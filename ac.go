@@ -1,0 +1,74 @@
+package dynahist
+
+import (
+	"dynahist/internal/approx"
+)
+
+// AC is the Approximate Compressed histogram of Gibbons, Matias and
+// Poosala (VLDB'97): a compressed histogram maintained from a reservoir
+// "backing sample". It is the baseline the paper evaluates dynamic
+// histograms against. It is not safe for concurrent use; wrap it with
+// NewConcurrent if needed.
+type AC struct {
+	inner *approx.AC
+}
+
+// ACDefaultDiskFactor is the default backing-sample budget relative to
+// main memory (20×), following the AC authors' suggestion adopted by
+// the paper.
+const ACDefaultDiskFactor = approx.DefaultDiskFactor
+
+// ACRecomputeAlways is the γ setting (−1) that recomputes the histogram
+// from the backing sample at every update — the paper's configuration.
+const ACRecomputeAlways = approx.RecomputeAlways
+
+// NewAC returns an AC histogram with the given in-memory byte budget,
+// backing-sample disk factor, and reservoir seed.
+func NewAC(memBytes, diskFactor int, seed int64) (*AC, error) {
+	h, err := approx.New(memBytes, diskFactor, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &AC{inner: h}, nil
+}
+
+// NewACBuckets returns an AC histogram with explicit bucket and sample
+// capacities.
+func NewACBuckets(buckets, sampleCapacity int, seed int64) (*AC, error) {
+	h, err := approx.NewBuckets(buckets, sampleCapacity, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &AC{inner: h}, nil
+}
+
+// Insert adds one occurrence of v.
+func (h *AC) Insert(v float64) error { return h.inner.Insert(v) }
+
+// Delete removes one occurrence of v (also evicting it from the
+// backing sample when present; the sample is not refilled).
+func (h *AC) Delete(v float64) error { return h.inner.Delete(v) }
+
+// Total returns the number of points currently summarised.
+func (h *AC) Total() float64 { return h.inner.Total() }
+
+// CDF returns the approximate fraction of points ≤ x.
+func (h *AC) CDF(x float64) float64 { return h.inner.CDF(x) }
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive.
+func (h *AC) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+
+// Buckets returns a copy of the current bucket list.
+func (h *AC) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
+
+// SetGamma sets the maintenance threshold: ACRecomputeAlways (−1)
+// recomputes per update; γ > 0 maintains incrementally with a
+// recompute fallback.
+func (h *AC) SetGamma(gamma float64) error { return h.inner.SetGamma(gamma) }
+
+// SampleSize returns the current backing-sample size.
+func (h *AC) SampleSize() int { return h.inner.SampleSize() }
+
+// SampleCapacity returns the backing-sample capacity.
+func (h *AC) SampleCapacity() int { return h.inner.SampleCapacity() }

@@ -1,0 +1,147 @@
+package dynahist_test
+
+// One testing.B benchmark per paper figure (the full-fidelity tables
+// are produced by cmd/histbench; these benches run the same runners in
+// quick mode so `go test -bench=.` exercises every experiment), plus
+// micro-benchmarks for the per-update cost of each histogram — the §3.1
+// and §4.4 cost analyses.
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynahist"
+	"dynahist/internal/experiments"
+)
+
+func benchFigure(b *testing.B, id string) {
+	runner, ok := experiments.Registry[id]
+	if !ok {
+		b.Fatalf("no runner for %s", id)
+	}
+	opts := experiments.Options{Seeds: 1, Points: 10000, Quick: true}
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, err := runner(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B)  { benchFigure(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchFigure(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchFigure(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchFigure(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchFigure(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchFigure(b, "fig18") }
+func BenchmarkFig19(b *testing.B) { benchFigure(b, "fig19") }
+func BenchmarkFig20(b *testing.B) { benchFigure(b, "fig20") }
+func BenchmarkFig21(b *testing.B) { benchFigure(b, "fig21") }
+func BenchmarkFig22(b *testing.B) { benchFigure(b, "fig22") }
+func BenchmarkFig23(b *testing.B) { benchFigure(b, "fig23") }
+
+func BenchmarkSec731(b *testing.B)             { benchFigure(b, "sec731") }
+func BenchmarkAblationSubBuckets(b *testing.B) { benchFigure(b, "ablation-subbucket") }
+func BenchmarkAblationAlphaMin(b *testing.B)   { benchFigure(b, "ablation-alphamin") }
+
+// Micro-benchmarks: per-update cost of each maintained histogram at a
+// 1KB budget over a 100k-value random stream (the paper's §3.1/§4.4
+// cost comparison: DC is O(log n) per point, DVO/DADO O(n)).
+
+func benchInsert(b *testing.B, build func() (dynahist.Histogram, error)) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 1<<16)
+	for i := range values {
+		values[i] = float64(rng.Intn(5001))
+	}
+	h, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		if err := h.Insert(values[i&(len(values)-1)]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+func BenchmarkInsertDC(b *testing.B) {
+	benchInsert(b, func() (dynahist.Histogram, error) { return dynahist.NewDCMemory(1024) })
+}
+
+func BenchmarkInsertDADO(b *testing.B) {
+	benchInsert(b, func() (dynahist.Histogram, error) { return dynahist.NewDADOMemory(1024) })
+}
+
+func BenchmarkInsertDVO(b *testing.B) {
+	benchInsert(b, func() (dynahist.Histogram, error) { return dynahist.NewDVOMemory(1024) })
+}
+
+func BenchmarkInsertAC(b *testing.B) {
+	benchInsert(b, func() (dynahist.Histogram, error) { return dynahist.NewAC(1024, 20, 1) })
+}
+
+func BenchmarkEstimateRangeDADO(b *testing.B) {
+	h, err := dynahist.NewDADOMemory(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for range 100000 {
+		if err := h.Insert(float64(rng.Intn(5001))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		_ = h.EstimateRange(1000, 2000)
+	}
+}
+
+func BenchmarkStaticSSBMConstruction(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]int, 100000)
+	for i := range values {
+		values[i] = rng.Intn(5001)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := dynahist.BuildStaticMemory(dynahist.SSBM, values, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStaticVOptimalConstruction(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	values := make([]int, 20000)
+	for i := range values {
+		values[i] = rng.Intn(1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := dynahist.BuildStatic(dynahist.VOptimal, values, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSubdivision(b *testing.B) { benchFigure(b, "ablation-subdivision") }
+func BenchmarkMetricComparison(b *testing.B)    { benchFigure(b, "metric-comparison") }
+
+func BenchmarkAblation2D(b *testing.B) { benchFigure(b, "ablation-2d") }

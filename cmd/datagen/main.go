@@ -1,0 +1,103 @@
+// Command datagen emits the paper's synthetic workloads as text for
+// use with histcli or external tools: one operation per line, a bare
+// integer for an insert and "-<value>" for a delete.
+//
+// Usage:
+//
+//	datagen [-points n] [-domain n] [-clusters n] [-s skew] [-z skew]
+//	        [-sd dev] [-shape normal|uniform|exponential]
+//	        [-pattern name] [-delete-rate r] [-delete-fraction f]
+//	        [-seed n] [-mailorder]
+//
+// -pattern selects one of the paper's §7 update patterns:
+// random-inserts (default), sorted-inserts, mixed-insert-delete,
+// inserts-then-deletes, sorted-then-sorted-deletes.
+// -mailorder ignores the cluster parameters and emits the synthetic
+// mail-order trace of Fig. 19 instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynahist/internal/distgen"
+	"dynahist/internal/workload"
+)
+
+func main() {
+	var (
+		points    = flag.Int("points", 100000, "number of data points")
+		domain    = flag.Int("domain", 5000, "largest attribute value")
+		clusters  = flag.Int("clusters", 2000, "number of clusters (C)")
+		s         = flag.Float64("s", 1, "Zipf skew of cluster-center spreads (S)")
+		z         = flag.Float64("z", 1, "Zipf skew of cluster sizes (Z)")
+		sd        = flag.Float64("sd", 2, "standard deviation within clusters (SD)")
+		shapeName = flag.String("shape", "normal", "cluster shape: normal, uniform or exponential")
+		pattern   = flag.String("pattern", "random-inserts", "update pattern (see package doc)")
+		delRate   = flag.Float64("delete-rate", 0.25, "per-insert delete probability for mixed-insert-delete")
+		delFrac   = flag.Float64("delete-fraction", 0.5, "fraction deleted for *-then-deletes patterns")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		mailorder = flag.Bool("mailorder", false, "emit the synthetic mail-order trace instead")
+	)
+	flag.Parse()
+
+	var values []int
+	if *mailorder {
+		values = distgen.MailOrder(*seed)
+	} else {
+		shape, err := parseShape(*shapeName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := distgen.Config{
+			Points:     *points,
+			Domain:     *domain,
+			Clusters:   *clusters,
+			SpreadSkew: *s,
+			SizeSkew:   *z,
+			SD:         *sd,
+			Shape:      shape,
+			Seed:       *seed,
+		}
+		values, err = distgen.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	p, err := workload.ParsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	ops, err := workload.Build(values, workload.Config{
+		Pattern:        p,
+		DeleteRate:     *delRate,
+		DeleteFraction: *delFrac,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := workload.Write(os.Stdout, ops); err != nil {
+		fatal(err)
+	}
+}
+
+func parseShape(name string) (distgen.Shape, error) {
+	switch name {
+	case "normal":
+		return distgen.Normal, nil
+	case "uniform":
+		return distgen.Uniform, nil
+	case "exponential":
+		return distgen.Exponential, nil
+	default:
+		return 0, fmt.Errorf("unknown shape %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

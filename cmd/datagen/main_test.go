@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"dynahist/internal/distgen"
+)
+
+func TestParseShape(t *testing.T) {
+	cases := []struct {
+		in   string
+		want distgen.Shape
+		ok   bool
+	}{
+		{"normal", distgen.Normal, true},
+		{"uniform", distgen.Uniform, true},
+		{"exponential", distgen.Exponential, true},
+		{"gauss", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseShape(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseShape(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseShape(%q): want error", c.in)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command histbench regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	histbench [-fig id] [-seeds n] [-points n] [-quick] [-list] [-format table|csv]
+//
+// Without -fig it runs every registered experiment in order. IDs match
+// the paper's figure numbers (fig5 … fig23) plus sec731 and the two
+// ablations (ablation-subbucket, ablation-alphamin); see DESIGN.md for
+// the experiment index.
+//
+// The default settings are the paper's (100,000 points, 10 seeds per
+// configuration); -quick caps them for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dynahist/internal/experiments"
+)
+
+func main() {
+	var (
+		figID  = flag.String("fig", "", "single figure to run (default: all)")
+		seeds  = flag.Int("seeds", 10, "random seeds averaged per configuration")
+		points = flag.Int("points", 100000, "data points per run")
+		quick  = flag.Bool("quick", false, "cap seeds and points for a fast smoke run")
+		list   = flag.Bool("list", false, "list available figure IDs and exit")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seeds: *seeds, Points: *points, Quick: *quick}
+
+	ids := experiments.IDs()
+	if *figID != "" {
+		if _, ok := experiments.Registry[*figID]; !ok {
+			fmt.Fprintf(os.Stderr, "histbench: unknown figure %q (use -list)\n", *figID)
+			os.Exit(2)
+		}
+		ids = []string{*figID}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := experiments.Registry[id](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "histbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var werr error
+		switch *format {
+		case "table":
+			werr = fig.WriteTable(os.Stdout)
+		case "csv":
+			werr = fig.WriteCSV(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "histbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "histbench: %v\n", werr)
+			os.Exit(1)
+		}
+		if *format == "table" {
+			fmt.Printf("# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

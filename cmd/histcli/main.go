@@ -1,0 +1,162 @@
+// Command histcli streams numeric values from stdin (or a file) into a
+// chosen histogram and answers range queries against the summary —
+// the end-to-end "selectivity estimation from a maintained histogram"
+// workflow.
+//
+// Usage:
+//
+//	histcli [-algo dado|dvo|dc|ac] [-mem bytes] [-seed n]
+//	        [-query lo:hi ...] [-dump] [file]
+//
+// Input: one value per line; lines beginning with '-' delete the value
+// instead of inserting it (e.g. "-42" deletes one occurrence of 42).
+// After the stream ends, the tool prints the summary statistics, the
+// answers to the -query ranges, and with -dump the serialized bucket
+// list in hex.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynahist"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return strings.Join(*q, ",") }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var (
+		algo    = flag.String("algo", "dado", "histogram: dado, dvo, dc or ac")
+		mem     = flag.Int("mem", 1024, "memory budget in bytes")
+		seed    = flag.Int64("seed", 1, "seed for the AC backing sample")
+		dump    = flag.Bool("dump", false, "print the serialized bucket list in hex")
+		queries queryList
+	)
+	flag.Var(&queries, "query", "range query lo:hi (repeatable)")
+	flag.Parse()
+
+	h, err := buildHistogram(*algo, *mem, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	inserted, deleted, skipped := 0, 0, 0
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "-") {
+			v, err := strconv.ParseFloat(line[1:], 64)
+			if err != nil {
+				skipped++
+				continue
+			}
+			if err := h.Delete(v); err != nil {
+				skipped++
+				continue
+			}
+			deleted++
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			skipped++
+			continue
+		}
+		if err := h.Insert(v); err != nil {
+			skipped++
+			continue
+		}
+		inserted++
+	}
+	if err := scanner.Err(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm   %s\n", *algo)
+	fmt.Printf("memory      %d bytes\n", *mem)
+	fmt.Printf("inserted    %d\n", inserted)
+	fmt.Printf("deleted     %d\n", deleted)
+	if skipped > 0 {
+		fmt.Printf("skipped     %d (unparseable or failed)\n", skipped)
+	}
+	fmt.Printf("total       %.0f\n", h.Total())
+	fmt.Printf("buckets     %d\n", len(h.Buckets()))
+
+	for _, q := range queries {
+		lo, hi, err := parseRange(q)
+		if err != nil {
+			fatal(err)
+		}
+		est := h.EstimateRange(lo, hi)
+		sel := 0.0
+		if h.Total() > 0 {
+			sel = est / h.Total()
+		}
+		fmt.Printf("query [%g, %g]: estimate %.1f rows (selectivity %.4f)\n", lo, hi, est, sel)
+	}
+
+	if *dump {
+		data, err := dynahist.MarshalBuckets(h.Buckets())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot    %d bytes\n%s\n", len(data), hex.EncodeToString(data))
+	}
+}
+
+func buildHistogram(algo string, mem int, seed int64) (dynahist.Histogram, error) {
+	switch algo {
+	case "dado":
+		return dynahist.NewDADOMemory(mem)
+	case "dvo":
+		return dynahist.NewDVOMemory(mem)
+	case "dc":
+		return dynahist.NewDCMemory(mem)
+	case "ac":
+		return dynahist.NewAC(mem, dynahist.ACDefaultDiskFactor, seed)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func parseRange(s string) (lo, hi float64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad query %q, want lo:hi", s)
+	}
+	if lo, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return 0, 0, fmt.Errorf("bad query %q: %v", s, err)
+	}
+	if hi, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return 0, 0, fmt.Errorf("bad query %q: %v", s, err)
+	}
+	return lo, hi, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "histcli: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi float64
+		ok     bool
+	}{
+		{"100:500", 100, 500, true},
+		{"0:0", 0, 0, true},
+		{"-5:5", -5, 5, true},
+		{"1.5:2.5", 1.5, 2.5, true},
+		{"100", 0, 0, false},
+		{"a:b", 0, 0, false},
+		{"1:b", 0, 0, false},
+		{"", 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, err := parseRange(c.in)
+		if c.ok && err != nil {
+			t.Errorf("parseRange(%q): %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("parseRange(%q): want error", c.in)
+			}
+			continue
+		}
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("parseRange(%q) = %v,%v want %v,%v", c.in, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestBuildHistogram(t *testing.T) {
+	for _, algo := range []string{"dado", "dvo", "dc", "ac"} {
+		h, err := buildHistogram(algo, 1024, 1)
+		if err != nil {
+			t.Errorf("buildHistogram(%q): %v", algo, err)
+			continue
+		}
+		if err := h.Insert(42); err != nil {
+			t.Errorf("%q: insert failed: %v", algo, err)
+		}
+	}
+	if _, err := buildHistogram("nope", 1024, 1); err == nil {
+		t.Error("unknown algo: want error")
+	}
+	if _, err := buildHistogram("dado", 2, 1); err == nil {
+		t.Error("tiny memory: want error")
+	}
+}
+
+func TestQueryListFlag(t *testing.T) {
+	var q queryList
+	if err := q.Set("1:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Set("3:4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); !strings.Contains(got, "1:2") || !strings.Contains(got, "3:4") {
+		t.Errorf("String() = %q", got)
+	}
+}

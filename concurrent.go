@@ -1,0 +1,65 @@
+package dynahist
+
+import "sync"
+
+// Concurrent wraps a Histogram with a read-write mutex so it can be
+// shared between goroutines — typically one writer applying the
+// table's insert/delete stream and many readers asking for
+// selectivity estimates.
+type Concurrent struct {
+	mu sync.RWMutex
+	h  Histogram
+}
+
+// NewConcurrent returns a thread-safe view of h. The caller must stop
+// using h directly.
+func NewConcurrent(h Histogram) *Concurrent {
+	return &Concurrent{h: h}
+}
+
+// Insert adds one occurrence of v.
+func (c *Concurrent) Insert(v float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.Insert(v)
+}
+
+// Delete removes one occurrence of v.
+func (c *Concurrent) Delete(v float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.Delete(v)
+}
+
+// Total returns the number of points currently summarised.
+func (c *Concurrent) Total() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.h.Total()
+}
+
+// CDF returns the approximate fraction of points ≤ x.
+//
+// Estimation methods take the full write lock rather than a read lock:
+// some implementations (AC) rebuild an internal cache lazily on first
+// read after an update, so concurrent "reads" may mutate state.
+func (c *Concurrent) CDF(x float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.CDF(x)
+}
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive.
+func (c *Concurrent) EstimateRange(lo, hi float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.EstimateRange(lo, hi)
+}
+
+// Buckets returns a copy of the current bucket list.
+func (c *Concurrent) Buckets() []Bucket {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.Buckets()
+}

@@ -1,0 +1,182 @@
+package dynahist
+
+import (
+	"dynahist/internal/core"
+)
+
+// DeviationKind selects the deviation measure driving the split-merge
+// reorganisation of the DVO/DADO family.
+type DeviationKind int
+
+const (
+	// Variance drives the Dynamic V-Optimal (DVO) histogram.
+	Variance DeviationKind = iota
+	// AbsDeviation drives the Dynamic Average-Deviation Optimal (DADO)
+	// histogram — more robust to frequency outliers and the paper's
+	// best performer.
+	AbsDeviation
+)
+
+// DADO is a dynamic split-merge histogram: DADO or DVO depending on the
+// deviation kind it was created with. It is not safe for concurrent
+// use; wrap it with NewConcurrent if needed.
+type DADO struct {
+	inner *core.DVO
+}
+
+// NewDADO returns a Dynamic Average-Deviation Optimal histogram with
+// the given bucket budget (at least 2) and two sub-buckets per bucket.
+func NewDADO(buckets int) (*DADO, error) {
+	h, err := core.NewDADO(buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &DADO{inner: h}, nil
+}
+
+// NewDADOMemory returns a DADO sized for a byte budget using the
+// paper's accounting (§4.4): (n+1) borders plus 2n counters of 4 bytes.
+func NewDADOMemory(memBytes int) (*DADO, error) {
+	h, err := core.NewDADOMemory(memBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &DADO{inner: h}, nil
+}
+
+// NewDVO returns a Dynamic V-Optimal histogram with the given bucket
+// budget.
+func NewDVO(buckets int) (*DADO, error) {
+	h, err := core.NewDVO(buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &DADO{inner: h}, nil
+}
+
+// NewDVOMemory returns a DVO sized for a byte budget.
+func NewDVOMemory(memBytes int) (*DADO, error) {
+	h, err := core.NewDVOMemory(memBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &DADO{inner: h}, nil
+}
+
+// NewDynamic returns a split-merge histogram with an explicit deviation
+// kind and per-bucket sub-bucket count (the paper's §4 ablation knob;
+// the paper found 2–3 comparable and finer subdivisions worse).
+func NewDynamic(kind DeviationKind, buckets, subBuckets int) (*DADO, error) {
+	h, err := core.NewDynamic(core.Deviation(kind), buckets, subBuckets)
+	if err != nil {
+		return nil, err
+	}
+	return &DADO{inner: h}, nil
+}
+
+// NewDynamicMemory is NewDynamic with a byte budget instead of a bucket
+// count.
+func NewDynamicMemory(kind DeviationKind, memBytes, subBuckets int) (*DADO, error) {
+	h, err := core.NewDynamicMemory(core.Deviation(kind), memBytes, subBuckets)
+	if err != nil {
+		return nil, err
+	}
+	return &DADO{inner: h}, nil
+}
+
+// Insert adds one occurrence of v.
+func (h *DADO) Insert(v float64) error { return h.inner.Insert(v) }
+
+// Delete removes one occurrence of v.
+func (h *DADO) Delete(v float64) error { return h.inner.Delete(v) }
+
+// Total returns the number of points currently summarised.
+func (h *DADO) Total() float64 { return h.inner.Total() }
+
+// CDF returns the approximate fraction of points ≤ x.
+func (h *DADO) CDF(x float64) float64 { return h.inner.CDF(x) }
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive.
+func (h *DADO) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+
+// Buckets returns a copy of the current bucket list.
+func (h *DADO) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
+
+// MaxBuckets returns the bucket budget.
+func (h *DADO) MaxBuckets() int { return h.inner.MaxBuckets() }
+
+// Kind returns the deviation measure in use.
+func (h *DADO) Kind() DeviationKind { return DeviationKind(h.inner.Kind()) }
+
+// Reorganisations returns the number of split-merge pairs performed so
+// far — a diagnostic for maintenance churn.
+func (h *DADO) Reorganisations() int { return h.inner.Reorganisations() }
+
+// TotalDeviation returns the quantity the split-merge machinery
+// greedily minimises (Eq. 3 or Eq. 5 of the paper, depending on Kind).
+func (h *DADO) TotalDeviation() float64 { return h.inner.TotalDeviation() }
+
+// DC is a Dynamic Compressed histogram (paper §3): contiguous buckets,
+// singular buckets for heavy values, and chi-square-triggered
+// repartitioning. It is not safe for concurrent use; wrap it with
+// NewConcurrent if needed.
+type DC struct {
+	inner *core.DC
+}
+
+// NewDC returns a DC histogram with the given bucket budget.
+func NewDC(buckets int) (*DC, error) {
+	h, err := core.NewDC(buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &DC{inner: h}, nil
+}
+
+// NewDCMemory returns a DC sized for a byte budget using the paper's
+// accounting (§3.1): (n+1) borders plus n counters of 4 bytes.
+func NewDCMemory(memBytes int) (*DC, error) {
+	h, err := core.NewDCMemory(memBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &DC{inner: h}, nil
+}
+
+// Insert adds one occurrence of v.
+func (h *DC) Insert(v float64) error { return h.inner.Insert(v) }
+
+// Delete removes one occurrence of v.
+func (h *DC) Delete(v float64) error { return h.inner.Delete(v) }
+
+// Total returns the number of points currently summarised.
+func (h *DC) Total() float64 { return h.inner.Total() }
+
+// CDF returns the approximate fraction of points ≤ x.
+func (h *DC) CDF(x float64) float64 { return h.inner.CDF(x) }
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive.
+func (h *DC) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+
+// Buckets returns a copy of the current bucket list.
+func (h *DC) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
+
+// MaxBuckets returns the bucket budget.
+func (h *DC) MaxBuckets() int { return h.inner.MaxBuckets() }
+
+// SetAlphaMin overrides the chi-square significance threshold in [0,1]
+// (default 1e-6; 0 freezes the partition, 1 repartitions per insert).
+func (h *DC) SetAlphaMin(alpha float64) error { return h.inner.SetAlphaMin(alpha) }
+
+// Repartitions returns how many border relocations have occurred.
+func (h *DC) Repartitions() int { return h.inner.Repartitions() }
+
+// SetDamping toggles the futility floor on the repartition trigger
+// (default on); see the paper-fidelity notes in EXPERIMENTS.md.
+func (h *DC) SetDamping(on bool) { h.inner.SetDamping(on) }
+
+// SingularCount returns the number of singleton buckets currently
+// devoted to heavy values.
+func (h *DC) SingularCount() int { return h.inner.SingularCount() }

@@ -1,0 +1,79 @@
+package dynahist_test
+
+import (
+	"fmt"
+
+	"dynahist"
+)
+
+// ExampleNewDADOMemory shows the core workflow: size a histogram for a
+// memory budget, stream values, estimate a range predicate.
+func ExampleNewDADOMemory() {
+	h, err := dynahist.NewDADOMemory(1024) // 1 KB ≈ 85 buckets
+	if err != nil {
+		panic(err)
+	}
+	for v := range 10000 {
+		_ = h.Insert(float64(v % 100))
+	}
+	sel := h.EstimateRange(0, 49) / h.Total()
+	fmt.Printf("selectivity of [0,49]: %.2f\n", sel)
+	// Output: selectivity of [0,49]: 0.50
+}
+
+// ExampleBuildStatic builds the paper's SSBM static histogram from a
+// complete data set.
+func ExampleBuildStatic() {
+	values := make([]int, 0, 1000)
+	for v := range 1000 {
+		values = append(values, v%50)
+	}
+	h, err := dynahist.BuildStatic(dynahist.SSBM, values, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d buckets summarising %.0f rows\n", h.NumBuckets(), h.Total())
+	// Output: 10 buckets summarising 1000 rows
+}
+
+// ExampleQuantile computes percentiles from any histogram.
+func ExampleQuantile() {
+	h, err := dynahist.NewDADO(32)
+	if err != nil {
+		panic(err)
+	}
+	for v := range 1000 {
+		_ = h.Insert(float64(v))
+	}
+	median, err := dynahist.Quantile(h, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("median ≈ %.0f\n", median)
+	// Output: median ≈ 500
+}
+
+// ExampleSuperpose combines per-node histograms into a global one
+// (paper §8).
+func ExampleSuperpose() {
+	node1, _ := dynahist.NewDADO(8)
+	node2, _ := dynahist.NewDADO(8)
+	for v := range 100 {
+		_ = node1.Insert(float64(v))
+		_ = node2.Insert(float64(v + 500))
+	}
+	union, err := dynahist.Superpose(node1, node2)
+	if err != nil {
+		panic(err)
+	}
+	global, err := dynahist.Reduce(union, 8)
+	if err != nil {
+		panic(err)
+	}
+	total := 0.0
+	for _, b := range global {
+		total += b.Count()
+	}
+	fmt.Printf("global histogram: %d buckets, %.0f rows\n", len(global), total)
+	// Output: global histogram: 8 buckets, 200 rows
+}

@@ -1,0 +1,109 @@
+// Distributed: global histograms in a shared-nothing system (paper
+// §8). Each node maintains its own histogram over its partition; a
+// coordinator superposes them losslessly and reduces the result back
+// to the memory budget, producing a global summary without ever
+// moving the data.
+//
+// Run with:
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynahist"
+)
+
+const (
+	nodes   = 6
+	perNode = 50_000
+	domain  = 5000
+	mem     = 512 // bytes per histogram, local and global
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Each node owns a hash partition of the table, but its values
+	// concentrate on a node-specific range (think: regional shards with
+	// regional price levels).
+	var members []dynahist.Histogram
+	var allValues []int
+	for n := range nodes {
+		h, err := dynahist.NewDADOMemory(mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		center := float64(domain) * (float64(n) + 0.5) / float64(nodes)
+		for range perNode {
+			v := int(rng.NormFloat64()*200 + center)
+			if v < 0 {
+				v = 0
+			}
+			if v > domain {
+				v = domain
+			}
+			if err := h.Insert(float64(v)); err != nil {
+				log.Fatal(err)
+			}
+			allValues = append(allValues, v)
+		}
+		ksLocal, err := dynahist.KS(h, allValues[len(allValues)-perNode:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %d: %6d rows, %2d buckets, local KS %.4f\n",
+			n, perNode, len(h.Buckets()), ksLocal)
+		members = append(members, h)
+	}
+
+	// Coordinator: superpose (lossless), then reduce to the budget.
+	super, err := dynahist.Superpose(members...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget, err := dynahist.BucketsForMemory(mem, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduced, err := dynahist.Reduce(super, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	global, err := dynahist.NewStaticFromBuckets(reduced)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsuperposed: %d buckets (lossless union of all members)\n", len(super))
+	fmt.Printf("reduced:    %d buckets (back under the %dB budget)\n", len(reduced), mem)
+
+	ks, err := dynahist.KS(global, allValues)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("global KS vs all %d rows: %.4f\n\n", len(allValues), ks)
+
+	// The global summary answers cross-partition questions no single
+	// node could.
+	for _, q := range [][2]float64{{0, 999}, {2000, 2999}, {4500, 5000}} {
+		est := global.EstimateRange(q[0], q[1])
+		exact := 0
+		for _, v := range allValues {
+			if float64(v) >= q[0] && float64(v) <= q[1] {
+				exact++
+			}
+		}
+		fmt.Printf("rows in [%4.0f, %4.0f]: estimate %8.0f, exact %8d\n", q[0], q[1], est, exact)
+	}
+
+	// Persist the global histogram to the catalog.
+	blob, err := dynahist.MarshalBuckets(reduced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserialized global histogram: %d bytes\n", len(blob))
+}

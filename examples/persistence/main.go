@@ -1,0 +1,79 @@
+// Persistence: checkpoint a maintained histogram to the catalog and
+// continue maintaining it after a "restart" — the operational loop a
+// database needs for statistics that survive process lifecycle without
+// a rebuild scan.
+//
+// Run with:
+//
+//	go run ./examples/persistence
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"dynahist"
+)
+
+func main() {
+	catalog := filepath.Join(os.TempDir(), "dynahist-stats.bin")
+	defer os.Remove(catalog)
+
+	// ---- process 1: build statistics from the live update stream ----
+	h, err := dynahist.NewDADOMemory(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for range 200_000 {
+		if err := h.Insert(float64(rng.Intn(3000))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := h.EstimateRange(1000, 1999)
+	fmt.Printf("process 1: %.0f rows summarised, estimate[1000,1999] = %.0f\n",
+		h.Total(), before)
+
+	// Checkpoint: the snapshot carries the full maintainable state
+	// (counters, borders, configuration), not just the approximation.
+	blob, err := h.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(catalog, blob, 0o600); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpointed %d bytes to %s\n\n", len(blob), catalog)
+
+	// ---- process 2: restart, restore, keep maintaining ----
+	raw, err := os.ReadFile(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := dynahist.RestoreDADO(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("process 2: restored %.0f rows, estimate[1000,1999] = %.0f (identical)\n",
+		restored.Total(), restored.EstimateRange(1000, 1999))
+
+	// The restored histogram is not a frozen copy — it keeps absorbing
+	// the update stream exactly where the old process stopped.
+	for range 100_000 {
+		if err := restored.Insert(float64(rng.Intn(1000))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for range 50_000 {
+		if err := restored.Delete(float64(rng.Intn(3000))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after more updates: %.0f rows, estimate[0,999] = %.0f\n",
+		restored.Total(), restored.EstimateRange(0, 999))
+	fmt.Printf("reorganisations continued across the restart: %d\n",
+		restored.Reorganisations())
+}

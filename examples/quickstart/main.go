@@ -1,0 +1,75 @@
+// Quickstart: build a DADO histogram over a stream of values, ask it
+// for selectivity estimates, and compare against the truth.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynahist"
+)
+
+func main() {
+	// A 1 KB summary of a million-row column.
+	h, err := dynahist.NewDADOMemory(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated column: order totals concentrated around two price
+	// bands, 0..999.
+	rng := rand.New(rand.NewSource(42))
+	var values []int
+	for range 1_000_000 {
+		v := 0
+		if rng.Intn(3) == 0 {
+			v = int(rng.NormFloat64()*30 + 250) // budget tier
+		} else {
+			v = int(rng.NormFloat64()*80 + 700) // premium tier
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > 999 {
+			v = 999
+		}
+		values = append(values, v)
+		if err := h.Insert(float64(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("summarised %.0f rows in %d buckets (%d-bucket budget)\n\n",
+		h.Total(), len(h.Buckets()), h.MaxBuckets())
+
+	// Range estimates vs the exact answer.
+	queries := [][2]int{{0, 300}, {200, 299}, {650, 750}, {900, 999}}
+	fmt.Printf("%-14s %12s %12s %10s\n", "range", "estimate", "exact", "rel.err")
+	for _, q := range queries {
+		est := h.EstimateRange(float64(q[0]), float64(q[1]))
+		exact := 0
+		for _, v := range values {
+			if v >= q[0] && v <= q[1] {
+				exact++
+			}
+		}
+		relErr := 0.0
+		if exact > 0 {
+			relErr = (est - float64(exact)) / float64(exact)
+		}
+		fmt.Printf("[%4d, %4d]   %12.0f %12d %9.2f%%\n", q[0], q[1], est, exact, 100*relErr)
+	}
+
+	// The paper's quality metric: max CDF error against the data.
+	ks, err := dynahist.KS(h, values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nKS statistic (max selectivity error): %.4f\n", ks)
+	fmt.Printf("split-merge reorganisations performed: %d\n", h.Reorganisations())
+}

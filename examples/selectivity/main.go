@@ -1,0 +1,124 @@
+// Selectivity estimation for a query optimizer: the scenario that
+// motivates the paper's introduction. A cost-based optimizer must
+// decide between an index scan and a full scan for predicates like
+// `WHERE amount BETWEEN a AND b`; that decision is only as good as the
+// selectivity estimate behind it. This example keeps a dynamic
+// histogram in sync with a mutating table and shows how the plan
+// choice tracks reality, including after the data distribution shifts
+// — exactly where a stale static histogram goes wrong.
+//
+// Run with:
+//
+//	go run ./examples/selectivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynahist"
+)
+
+// indexScanThreshold is the classic rule of thumb: below ~10%
+// selectivity an index scan wins, above it a sequential scan does.
+const indexScanThreshold = 0.10
+
+type table struct {
+	rows map[int]int // value -> count
+	n    int
+}
+
+func (t *table) insert(v int) { t.rows[v]++; t.n++ }
+func (t *table) delete(v int) bool {
+	if t.rows[v] == 0 {
+		return false
+	}
+	t.rows[v]--
+	t.n--
+	return true
+}
+
+func (t *table) countRange(lo, hi int) int {
+	c := 0
+	for v, n := range t.rows {
+		if v >= lo && v <= hi {
+			c += n
+		}
+	}
+	return c
+}
+
+func main() {
+	h, err := dynahist.NewDADOMemory(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := dynahist.NewConcurrent(h) // share with planner goroutines if desired
+	tbl := &table{rows: map[int]int{}}
+	rng := rand.New(rand.NewSource(7))
+
+	apply := func(v int, del bool) {
+		if del {
+			if tbl.delete(v) {
+				if err := stats.Delete(float64(v)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return
+		}
+		tbl.insert(v)
+		if err := stats.Insert(float64(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Phase 1: order amounts cluster at the low end.
+	for range 200_000 {
+		v := int(rng.ExpFloat64() * 120)
+		if v > 4999 {
+			v = 4999
+		}
+		apply(v, false)
+	}
+	plan(stats, tbl, "after initial load", 1000, 4999)
+
+	// Phase 2: the business changes — premium orders arrive and old
+	// small orders are archived (deleted). A static histogram built in
+	// phase 1 would still claim the [1000, 4999] band is nearly empty.
+	for range 150_000 {
+		v := int(rng.NormFloat64()*300 + 3000)
+		if v < 0 {
+			v = 0
+		}
+		if v > 4999 {
+			v = 4999
+		}
+		apply(v, false)
+		if rng.Intn(2) == 0 {
+			apply(int(rng.ExpFloat64()*120), true)
+		}
+	}
+	plan(stats, tbl, "after the distribution shifted", 1000, 4999)
+	plan(stats, tbl, "narrow premium band", 2800, 3200)
+}
+
+func plan(stats dynahist.Histogram, tbl *table, label string, lo, hi int) {
+	est := stats.EstimateRange(float64(lo), float64(hi))
+	estSel := est / stats.Total()
+	exact := tbl.countRange(lo, hi)
+	exactSel := float64(exact) / float64(tbl.n)
+
+	choice := "seq scan"
+	if estSel < indexScanThreshold {
+		choice = "index scan"
+	}
+	correct := "correct"
+	if (estSel < indexScanThreshold) != (exactSel < indexScanThreshold) {
+		correct = "WRONG PLAN"
+	}
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  predicate amount BETWEEN %d AND %d over %d rows\n", lo, hi, tbl.n)
+	fmt.Printf("  estimated selectivity %.4f (exact %.4f) -> %s (%s)\n\n",
+		estSel, exactSel, choice, correct)
+}

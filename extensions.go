@@ -1,0 +1,114 @@
+package dynahist
+
+import (
+	"dynahist/internal/core"
+	"dynahist/internal/multidim"
+)
+
+// EDDado is the equi-depth sub-division variant of DADO — the other §4
+// design alternative the paper explored. Each bucket keeps an explicit
+// interior split at its mass median instead of the geometric midpoint.
+type EDDado struct {
+	inner *core.EDDado
+}
+
+// NewEDDado returns an equi-depth-subdivision dynamic histogram.
+func NewEDDado(kind DeviationKind, buckets int) (*EDDado, error) {
+	h, err := core.NewEDDado(core.Deviation(kind), buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &EDDado{inner: h}, nil
+}
+
+// NewEDDadoMemory sizes the histogram for a byte budget (20 bytes per
+// bucket: left border, split position, and two counters).
+func NewEDDadoMemory(kind DeviationKind, memBytes int) (*EDDado, error) {
+	h, err := core.NewEDDadoMemory(core.Deviation(kind), memBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &EDDado{inner: h}, nil
+}
+
+// Insert adds one occurrence of v.
+func (h *EDDado) Insert(v float64) error { return h.inner.Insert(v) }
+
+// Delete removes one occurrence of v.
+func (h *EDDado) Delete(v float64) error { return h.inner.Delete(v) }
+
+// Total returns the number of points currently summarised.
+func (h *EDDado) Total() float64 { return h.inner.Total() }
+
+// CDF returns the approximate fraction of points ≤ x.
+func (h *EDDado) CDF(x float64) float64 { return h.inner.CDF(x) }
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive.
+func (h *EDDado) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+
+// Buckets returns the state as ordinary buckets (each equi-depth
+// bucket's two unequal halves appear as separate buckets).
+func (h *EDDado) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
+
+// MaxBuckets returns the bucket budget.
+func (h *EDDado) MaxBuckets() int { return h.inner.MaxBuckets() }
+
+// Point2D is one two-dimensional data point.
+type Point2D = multidim.Point
+
+// Rect2D is an axis-aligned query/domain rectangle [X0,X1) × [Y0,Y1).
+type Rect2D = multidim.Rect
+
+// Histogram2D is a dynamic two-dimensional histogram — the paper's
+// stated future-work direction, built here as a binary-space-partition
+// of the domain with quadrant counters and DADO-style split-merge
+// maintenance. It is not safe for concurrent use.
+type Histogram2D struct {
+	inner *multidim.Histogram2D
+}
+
+// New2D returns a dynamic 2D histogram over the domain rectangle with
+// at most maxLeaves rectangular buckets.
+func New2D(domain Rect2D, maxLeaves int) (*Histogram2D, error) {
+	h, err := multidim.New2D(domain, maxLeaves)
+	if err != nil {
+		return nil, err
+	}
+	return &Histogram2D{inner: h}, nil
+}
+
+// New2DMemory sizes the histogram for a byte budget (24 bytes per
+// leaf).
+func New2DMemory(domain Rect2D, memBytes int) (*Histogram2D, error) {
+	h, err := multidim.New2DMemory(domain, memBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Histogram2D{inner: h}, nil
+}
+
+// Insert adds one occurrence of p (clamped into the domain).
+func (h *Histogram2D) Insert(p Point2D) error { return h.inner.Insert(p) }
+
+// Delete removes one occurrence of p.
+func (h *Histogram2D) Delete(p Point2D) error { return h.inner.Delete(p) }
+
+// Total returns the number of points currently summarised.
+func (h *Histogram2D) Total() float64 { return h.inner.Total() }
+
+// EstimateRect returns the approximate number of points inside the
+// query rectangle.
+func (h *Histogram2D) EstimateRect(query Rect2D) float64 { return h.inner.EstimateRect(query) }
+
+// Selectivity returns EstimateRect normalised by Total.
+func (h *Histogram2D) Selectivity(query Rect2D) float64 { return h.inner.Selectivity(query) }
+
+// NumLeaves returns the current number of rectangular buckets.
+func (h *Histogram2D) NumLeaves() int { return h.inner.NumLeaves() }
+
+// MaxLeaves returns the bucket budget.
+func (h *Histogram2D) MaxLeaves() int { return h.inner.MaxLeaves() }
+
+// Leaves returns the rectangular buckets and their counts.
+func (h *Histogram2D) Leaves() []multidim.LeafInfo { return h.inner.Leaves() }

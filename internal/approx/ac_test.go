@@ -1,0 +1,313 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+	"dynahist/internal/histogram"
+	"dynahist/internal/metric"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 20, 1); err == nil {
+		t.Error("2 bytes: want error")
+	}
+	if _, err := New(1024, 0, 1); err == nil {
+		t.Error("disk factor 0: want error")
+	}
+	if _, err := NewBuckets(0, 10, 1); err == nil {
+		t.Error("0 buckets: want error")
+	}
+	if _, err := NewBuckets(5, 0, 1); err == nil {
+		t.Error("0 sample: want error")
+	}
+	a, err := New(1024, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxBuckets() != 127 {
+		t.Errorf("1KB AC = %d buckets, want 127", a.MaxBuckets())
+	}
+	if a.SampleCapacity() != 20*1024/4 {
+		t.Errorf("sample capacity %d, want %d", a.SampleCapacity(), 20*1024/4)
+	}
+}
+
+func TestSetGamma(t *testing.T) {
+	a, err := NewBuckets(4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetGamma(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetGamma(RecomputeAlways); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.5, math.NaN()} {
+		if err := a.SetGamma(bad); err == nil {
+			t.Errorf("SetGamma(%v): want error", bad)
+		}
+	}
+}
+
+func TestEmptyReads(t *testing.T) {
+	a, err := NewBuckets(4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CDF(10) != 0 || a.EstimateRange(0, 10) != 0 {
+		t.Error("empty AC should estimate 0 everywhere")
+	}
+	if a.Buckets() != nil {
+		t.Error("empty AC should have no buckets")
+	}
+	if err := a.Delete(3); err == nil {
+		t.Error("delete from empty: want error")
+	}
+}
+
+func TestInsertAndScale(t *testing.T) {
+	// Sample smaller than the stream: estimates must be scaled to the
+	// live total.
+	a, err := NewBuckets(8, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 5000 {
+		if err := a.Insert(float64(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Total() != 5000 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	if a.SampleSize() != 50 {
+		t.Fatalf("sample size %d, want 50", a.SampleSize())
+	}
+	est := a.EstimateRange(0, 99)
+	if math.Abs(est-5000) > 1e-6 {
+		t.Errorf("whole-domain estimate %v, want 5000 (scaling broken)", est)
+	}
+	if got := len(a.Buckets()); got > 8 {
+		t.Errorf("%d buckets over budget", got)
+	}
+	if err := histogram.Validate(a.Buckets()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsNonFinite(t *testing.T) {
+	a, err := NewBuckets(4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert(math.NaN()); err == nil {
+		t.Error("Insert(NaN): want error")
+	}
+	if err := a.Delete(math.Inf(1)); err == nil {
+		t.Error("Delete(Inf): want error")
+	}
+}
+
+func TestDeleteShrinksSample(t *testing.T) {
+	a, err := NewBuckets(8, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 1000 {
+		if err := a.Insert(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := a.SampleSize()
+	for i := range 500 {
+		if err := a.Delete(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.SampleSize() >= before {
+		t.Errorf("sample did not shrink under deletion: %d -> %d", before, a.SampleSize())
+	}
+	if a.Total() != 500 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	// Estimates still scale to the live total.
+	if got := a.EstimateRange(0, 999); math.Abs(got-500) > 1e-6 {
+		t.Errorf("estimate %v, want 500", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	a, err := NewBuckets(16, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for range 4000 {
+		if err := a.Insert(float64(rng.Intn(300))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := 0.0
+	for x := -2.0; x <= 305; x += 1 {
+		c := a.CDF(x)
+		if c < prev-1e-12 || c < 0 || c > 1+1e-12 {
+			t.Fatalf("CDF not monotone/bounded at %v: %v", x, c)
+		}
+		prev = c
+	}
+}
+
+func TestIncrementalModeStructure(t *testing.T) {
+	a, err := NewBuckets(8, 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetGamma(0.5); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for range 3000 {
+		if err := a.Insert(float64(rng.Intn(400))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range 500 {
+		if err := a.Delete(float64(rng.Intn(400))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Total() != 2500 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	bs := a.Buckets()
+	if len(bs) == 0 || len(bs) > 9 {
+		t.Fatalf("incremental mode bucket count %d", len(bs))
+	}
+	if err := histogram.Validate(bs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalSkewForcesMaintenance(t *testing.T) {
+	a, err := NewBuckets(6, 300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetGamma(0.25); err != nil {
+		t.Fatal(err)
+	}
+	// Spread first, then hammer one value so a bucket overflows.
+	for i := range 600 {
+		if err := a.Insert(float64(i % 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range 3000 {
+		if err := a.Insert(42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs := a.Buckets()
+	if err := histogram.Validate(bs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(histogram.TotalCount(bs)-a.Total()) > a.Total()*0.25 {
+		t.Errorf("mass drifted: buckets %v vs total %v", histogram.TotalCount(bs), a.Total())
+	}
+}
+
+// Integration: AC approximates the reference distribution reasonably
+// but (paper Figs. 5-8) worse than the sample-free exact statics given
+// the sampling error floor.
+func TestACQualityOnReference(t *testing.T) {
+	cfg := distgen.Reference(3)
+	cfg.Points = 20000
+	cfg.Clusters = 200
+	values, err := distgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values = distgen.Shuffled(values, 3)
+	a, err := New(1024, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dist.New(cfg.Domain)
+	for _, v := range values {
+		if err := a.Insert(float64(v)); err != nil {
+			t.Fatal(err)
+		}
+		if err := truth.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks, err := metric.KS(a.CDF, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 0.06 {
+		t.Errorf("AC KS = %v, want < 0.06", ks)
+	}
+	if ks == 0 {
+		t.Error("AC cannot be exact from a sub-sample")
+	}
+}
+
+func TestIncrementalRecomputeFallback(t *testing.T) {
+	// γ very small: the threshold is tight, splits can rarely restore
+	// the constraint, so the recompute fallback must fire.
+	a, err := NewBuckets(4, 100, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetGamma(0.01); err != nil {
+		t.Fatal(err)
+	}
+	for i := range 2000 {
+		if err := a.Insert(float64(i % 37)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Recomputes() == 0 {
+		t.Error("tight gamma should have forced recomputations")
+	}
+	if err := histogram.Validate(a.Buckets()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalingAfterDeletesProperty(t *testing.T) {
+	// Whatever the insert/delete mix, the whole-domain estimate equals
+	// the live total (the scaling invariant).
+	f := func(ops []int16) bool {
+		a, err := NewBuckets(8, 64, 23)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			v := float64(int(op) % 100)
+			if v < 0 {
+				v = -v
+			}
+			if op%4 == 0 {
+				_ = a.Delete(v)
+			} else if a.Insert(v) != nil {
+				return false
+			}
+		}
+		if a.Total() == 0 || a.SampleSize() == 0 {
+			return true
+		}
+		got := a.EstimateRange(0, 100)
+		return math.Abs(got-a.Total()) < 1e-6*(1+a.Total())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

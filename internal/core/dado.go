@@ -1,0 +1,567 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynahist/internal/histogram"
+)
+
+// Deviation selects the bucket-deviation measure that drives split and
+// merge decisions (paper §4 and §4.1).
+type Deviation int
+
+const (
+	// Variance minimises Σ (f − f̄)² — the V-Optimal partition
+	// constraint; this is the DVO histogram.
+	Variance Deviation = iota
+	// AbsDeviation minimises Σ |f − f̄| — the Average-Deviation Optimal
+	// partition constraint; this is the DADO histogram, the paper's
+	// best performer. It is more robust to frequency outliers (§4.1).
+	AbsDeviation
+)
+
+func (d Deviation) String() string {
+	switch d {
+	case Variance:
+		return "variance"
+	case AbsDeviation:
+		return "abs-deviation"
+	default:
+		return fmt.Sprintf("Deviation(%d)", int(d))
+	}
+}
+
+// DefaultSubBuckets is the number of sub-bucket counters per bucket.
+// The paper found two or three comparable and finer subdivisions worse
+// (§4); all its experiments use two.
+const DefaultSubBuckets = 2
+
+// DVO is a Dynamic V-Optimal (or, with AbsDeviation, Dynamic
+// Average-Deviation Optimal) histogram (paper §4). Each bucket carries
+// K equal-width sub-bucket counters; after every update the histogram
+// considers one split-merge pair: split the bucket with the largest
+// internal deviation, merge the adjacent pair with the smallest merged
+// deviation, and perform both exactly when that strictly reduces the
+// overall deviation (minΔV < 0, the paper's most aggressive upper
+// bound of 0).
+type DVO struct {
+	kind       Deviation
+	subBuckets int
+	maxBuckets int
+	buckets    []histogram.Bucket // sorted by Left; gaps allowed
+	devs       []float64          // cached per-bucket deviation
+	pairDevs   []float64          // cached merged deviation of (i, i+1)
+	total      float64
+
+	reorganisations int
+}
+
+// NewDVO returns a Dynamic V-Optimal histogram with the given bucket
+// budget and two sub-buckets per bucket.
+func NewDVO(maxBuckets int) (*DVO, error) {
+	return NewDynamic(Variance, maxBuckets, DefaultSubBuckets)
+}
+
+// NewDADO returns a Dynamic Average-Deviation Optimal histogram with
+// the given bucket budget and two sub-buckets per bucket.
+func NewDADO(maxBuckets int) (*DVO, error) {
+	return NewDynamic(AbsDeviation, maxBuckets, DefaultSubBuckets)
+}
+
+// NewDynamic returns a dynamic split-merge histogram with an explicit
+// deviation kind and sub-bucket count (the paper's §4 ablation: "we
+// have also tried … dividing each bucket into more than two parts").
+func NewDynamic(kind Deviation, maxBuckets, subBuckets int) (*DVO, error) {
+	if maxBuckets < 2 {
+		return nil, fmt.Errorf("core: maxBuckets %d < 2 (split-merge needs at least two buckets)", maxBuckets)
+	}
+	if subBuckets < 2 {
+		return nil, fmt.Errorf("core: subBuckets %d < 2 (deviation needs internal structure)", subBuckets)
+	}
+	if kind != Variance && kind != AbsDeviation {
+		return nil, fmt.Errorf("core: unknown deviation kind %d", int(kind))
+	}
+	return &DVO{kind: kind, subBuckets: subBuckets, maxBuckets: maxBuckets}, nil
+}
+
+// NewDVOMemory returns a DVO sized for a byte budget using the paper's
+// accounting (§4.4: n+1 borders and 2n counters).
+func NewDVOMemory(memBytes int) (*DVO, error) {
+	n, err := histogram.BucketsForMemory(memBytes, DefaultSubBuckets)
+	if err != nil {
+		return nil, err
+	}
+	return NewDVO(n)
+}
+
+// NewDADOMemory returns a DADO sized for a byte budget.
+func NewDADOMemory(memBytes int) (*DVO, error) {
+	n, err := histogram.BucketsForMemory(memBytes, DefaultSubBuckets)
+	if err != nil {
+		return nil, err
+	}
+	return NewDADO(n)
+}
+
+// NewDynamicMemory returns a K-sub-bucket dynamic histogram sized for a
+// byte budget ((n+1) borders + K·n counters).
+func NewDynamicMemory(kind Deviation, memBytes, subBuckets int) (*DVO, error) {
+	n, err := histogram.BucketsForMemory(memBytes, subBuckets)
+	if err != nil {
+		return nil, err
+	}
+	return NewDynamic(kind, n, subBuckets)
+}
+
+// Kind returns the deviation measure in use.
+func (h *DVO) Kind() Deviation { return h.kind }
+
+// SubBuckets returns the per-bucket counter count.
+func (h *DVO) SubBuckets() int { return h.subBuckets }
+
+// MaxBuckets returns the bucket budget.
+func (h *DVO) MaxBuckets() int { return h.maxBuckets }
+
+// Total returns the current total point count.
+func (h *DVO) Total() float64 { return h.total }
+
+// Reorganisations returns the number of split-merge pairs performed.
+func (h *DVO) Reorganisations() int { return h.reorganisations }
+
+// Buckets returns a deep copy of the current bucket list.
+func (h *DVO) Buckets() []histogram.Bucket { return histogram.CloneBuckets(h.buckets) }
+
+// TotalDeviation returns the current overall deviation Σ V_i — the
+// quantity the split-merge machinery greedily minimises.
+func (h *DVO) TotalDeviation() float64 {
+	s := 0.0
+	for _, d := range h.devs {
+		s += d
+	}
+	return s
+}
+
+// CDF returns the approximate fraction of mass in (-∞, x].
+func (h *DVO) CDF(x float64) float64 {
+	if h.total <= 0 {
+		return 0
+	}
+	return histogram.MassBelow(h.buckets, x) / h.total
+}
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive.
+func (h *DVO) EstimateRange(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	return histogram.MassBelow(h.buckets, hi+1) - histogram.MassBelow(h.buckets, lo)
+}
+
+// Insert adds one occurrence of v. Values inside an existing bucket
+// increment a sub-counter and then run the split-merge check; values
+// outside every bucket borrow a new singleton bucket and merge the best
+// pair to pay for it (paper Figure 3).
+func (h *DVO) Insert(v float64) error {
+	if err := histogram.CheckFinite(v); err != nil {
+		return err
+	}
+	h.total++
+	if i := histogram.FindBucket(h.buckets, v); i >= 0 {
+		b := &h.buckets[i]
+		b.Subs[b.SubIndex(v)]++
+		h.devs[i] = h.deviation(b)
+		h.refreshPairsAround(i)
+		h.maybeSplitMerge()
+		return nil
+	}
+	h.insertSingleton(v, 1)
+	if len(h.buckets) > h.maxBuckets {
+		m := h.bestMergePair(-1)
+		h.mergeAt(m)
+	}
+	// The borrow-merge may leave a profitable split-merge pair behind
+	// (frequent under sorted insertions, where every point lands at the
+	// advancing edge); run the regular check as well.
+	h.maybeSplitMerge()
+	return nil
+}
+
+// Delete removes one occurrence of v by decrementing the sub-counter
+// that covers it. If that counter is empty the deletion spills: first
+// to the other counters of the same bucket, then to the nearest bucket
+// with positive count (§7.3). The split-merge check runs afterwards so
+// that emptied buckets are reclaimed by zero-cost merges.
+func (h *DVO) Delete(v float64) error {
+	if err := histogram.CheckFinite(v); err != nil {
+		return err
+	}
+	if h.total < 1 {
+		return ErrEmpty
+	}
+	i := histogram.FindBucket(h.buckets, v)
+	if i < 0 {
+		i = h.nearestPositive(v)
+		if i < 0 {
+			return ErrEmpty
+		}
+	}
+	if !h.decrement(i, v) {
+		j := h.nearestPositive(v)
+		if j < 0 || !h.decrement(j, v) {
+			return ErrEmpty
+		}
+	}
+	h.total--
+	h.maybeSplitMerge()
+	return nil
+}
+
+// decrement removes one point from bucket i, preferring the sub-counter
+// covering v. Reports whether a decrement happened.
+func (h *DVO) decrement(i int, v float64) bool {
+	b := &h.buckets[i]
+	x := v
+	if !b.Contains(x) {
+		if x < b.Left {
+			x = b.Left
+		} else {
+			x = b.Right - 1e-9
+		}
+	}
+	s := b.SubIndex(x)
+	if b.Subs[s] >= 1 {
+		b.Subs[s]--
+		h.devs[i] = h.deviation(b)
+		h.refreshPairsAround(i)
+		return true
+	}
+	for j := range b.Subs {
+		if b.Subs[j] >= 1 {
+			b.Subs[j]--
+			h.devs[i] = h.deviation(b)
+			h.refreshPairsAround(i)
+			return true
+		}
+	}
+	// Split and merge produce fractional counters, so the bucket may
+	// hold ≥ 1 point without any single counter reaching 1; remove the
+	// point proportionally.
+	if c := b.Count(); c >= 1 {
+		scale := (c - 1) / c
+		for j := range b.Subs {
+			b.Subs[j] *= scale
+		}
+		h.devs[i] = h.deviation(b)
+		h.refreshPairsAround(i)
+		return true
+	}
+	return false
+}
+
+// refreshPairsAround recomputes the cached merged deviation of the
+// pairs touching bucket i.
+func (h *DVO) refreshPairsAround(i int) {
+	h.ensurePairCache()
+	if i > 0 {
+		h.pairDevs[i-1] = h.mergedDeviation(&h.buckets[i-1], &h.buckets[i])
+	}
+	if i+1 < len(h.buckets) {
+		h.pairDevs[i] = h.mergedDeviation(&h.buckets[i], &h.buckets[i+1])
+	}
+}
+
+// ensurePairCache (re)builds the pair-deviation cache when its length
+// no longer matches the bucket list — which happens when tests or
+// restore paths assemble bucket state directly.
+func (h *DVO) ensurePairCache() {
+	want := len(h.buckets) - 1
+	if want < 0 {
+		want = 0
+	}
+	if len(h.pairDevs) == want {
+		return
+	}
+	h.pairDevs = make([]float64, want)
+	for m := range h.pairDevs {
+		h.pairDevs[m] = h.mergedDeviation(&h.buckets[m], &h.buckets[m+1])
+	}
+}
+
+// nearestPositive returns the bucket with count ≥ 1 nearest to v.
+func (h *DVO) nearestPositive(v float64) int {
+	best, bestDist := -1, 0.0
+	for i := range h.buckets {
+		if h.buckets[i].Count() < 1 {
+			continue
+		}
+		d := 0.0
+		switch {
+		case v < h.buckets[i].Left:
+			d = h.buckets[i].Left - v
+		case v >= h.buckets[i].Right:
+			d = v - h.buckets[i].Right
+		}
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// insertSingleton adds a width-one bucket [v, v+1) holding count points
+// spread across its sub-buckets, keeping the list sorted.
+func (h *DVO) insertSingleton(v, count float64) {
+	left := math.Floor(v)
+	right := left + 1
+	// Clip against neighbours so buckets never overlap (a point can
+	// land in a sub-unit gap between buckets).
+	pos := sort.Search(len(h.buckets), func(j int) bool { return h.buckets[j].Left > v })
+	if pos > 0 && h.buckets[pos-1].Right > left {
+		left = h.buckets[pos-1].Right
+	}
+	if pos < len(h.buckets) && h.buckets[pos].Left < right {
+		right = h.buckets[pos].Left
+	}
+	if right <= left {
+		// No room: the value sits flush between two buckets; widen
+		// nothing and attribute the point to the nearest bucket instead.
+		i := histogram.NearestBucket(h.buckets, v)
+		b := &h.buckets[i]
+		x := math.Min(math.Max(v, b.Left), b.Right-1e-9)
+		b.Subs[b.SubIndex(x)] += count
+		h.devs[i] = h.deviation(b)
+		h.refreshPairsAround(i)
+		return
+	}
+	nb := histogram.NewBucket(left, right, h.subBuckets)
+	for j := range nb.Subs {
+		nb.Subs[j] = count / float64(h.subBuckets)
+	}
+	h.buckets = append(h.buckets, histogram.Bucket{})
+	copy(h.buckets[pos+1:], h.buckets[pos:])
+	h.buckets[pos] = nb
+	h.devs = append(h.devs, 0)
+	copy(h.devs[pos+1:], h.devs[pos:])
+	h.devs[pos] = h.deviation(&h.buckets[pos])
+	// One more pair slot; the new bucket participates in up to two
+	// pairs.
+	if len(h.buckets) > 1 {
+		h.pairDevs = append(h.pairDevs, 0)
+		if pos < len(h.pairDevs) {
+			copy(h.pairDevs[pos+1:], h.pairDevs[pos:])
+		}
+	}
+	h.refreshPairsAround(pos)
+}
+
+// deviation returns the bucket's internal deviation under the
+// continuous-value and uniform-within-sub-bucket assumptions: the
+// integral over the bucket of |density − mean density| (AbsDeviation)
+// or (density − mean density)² (Variance). For two sub-buckets these
+// reduce to |cL − cR| and (cL − cR)²/W, the closed forms behind the
+// paper's Figure 4 discussion.
+func (h *DVO) deviation(b *histogram.Bucket) float64 {
+	w := b.Width()
+	if w <= 0 {
+		return 0
+	}
+	k := float64(len(b.Subs))
+	subW := w / k
+	mean := b.Count() / w
+	dev := 0.0
+	for _, c := range b.Subs {
+		d := c/subW - mean
+		if h.kind == Variance {
+			dev += subW * d * d
+		} else {
+			dev += subW * math.Abs(d)
+		}
+	}
+	return dev
+}
+
+// mergedDeviation returns the deviation the merged bucket [a.Left,
+// b.Right) would have, computed against the full piecewise profile of
+// both buckets (and the zero-density gap between them, if any) — the
+// V_M of the paper's Eq. (4).
+func (h *DVO) mergedDeviation(a, b *histogram.Bucket) float64 {
+	w := b.Right - a.Left
+	if w <= 0 {
+		return 0
+	}
+	mean := (a.Count() + b.Count()) / w
+	dev := 0.0
+	addSegs := func(bk *histogram.Bucket) {
+		subW := bk.Width() / float64(len(bk.Subs))
+		for _, c := range bk.Subs {
+			d := c/subW - mean
+			if h.kind == Variance {
+				dev += subW * d * d
+			} else {
+				dev += subW * math.Abs(d)
+			}
+		}
+	}
+	addSegs(a)
+	addSegs(b)
+	if gap := b.Left - a.Right; gap > 0 {
+		if h.kind == Variance {
+			dev += gap * mean * mean
+		} else {
+			dev += gap * mean
+		}
+	}
+	return dev
+}
+
+// bestSplit returns the index of the bucket with the largest deviation
+// (Theorem 4.1: if minΔV < 0 the bucket to split is the one with the
+// largest V). Buckets of sub-unit width are not split further — the
+// histogram cannot resolve below one integer value.
+func (h *DVO) bestSplit() int {
+	best, bestDev := -1, 0.0
+	for i := range h.buckets {
+		if h.buckets[i].Width() <= 1+1e-9 {
+			continue
+		}
+		if h.devs[i] > bestDev {
+			best, bestDev = i, h.devs[i]
+		}
+	}
+	return best
+}
+
+// bestMergePair returns the left index m of the adjacent pair (m, m+1)
+// with the smallest merged deviation, excluding pairs that contain the
+// bucket at index exclude (pass -1 to consider all pairs). Returns -1
+// when no pair exists. Pair costs come from the incrementally
+// maintained cache, making the per-update scan O(n) regardless of the
+// sub-bucket count.
+func (h *DVO) bestMergePair(exclude int) int {
+	h.ensurePairCache()
+	best, bestDev := -1, math.Inf(1)
+	for m := 0; m+1 < len(h.buckets); m++ {
+		if m == exclude || m+1 == exclude {
+			continue
+		}
+		if d := h.pairDevs[m]; d < bestDev {
+			best, bestDev = m, d
+		}
+	}
+	return best
+}
+
+// maybeSplitMerge performs one split-merge pair when it strictly
+// reduces the overall deviation (paper Figure 3): ΔV = V_M − V_S < 0.
+func (h *DVO) maybeSplitMerge() {
+	if len(h.buckets) < 3 {
+		return
+	}
+	s := h.bestSplit()
+	if s < 0 {
+		return
+	}
+	m := h.bestMergePair(s)
+	if m < 0 {
+		return
+	}
+	h.ensurePairCache()
+	vm := h.pairDevs[m]
+	// ΔV = V_M + V_children − V_S. With two sub-buckets the children
+	// have zero deviation and this is exactly the paper's Eq. (4); with
+	// more sub-buckets the residual child deviation is charged too.
+	if vm+h.splitChildDeviation(s) >= h.devs[s]-1e-12 {
+		return // minΔV ≥ 0: the current histogram is already best
+	}
+	// Order matters only for index bookkeeping: do the merge first and
+	// fix up the split index if it sat to the right of the pair.
+	h.mergeAt(m)
+	if s > m+1 {
+		s--
+	}
+	h.splitAt(s)
+	h.reorganisations++
+}
+
+// splitChildDeviation returns the summed deviation the two children of
+// splitting bucket s at its midpoint would carry. It is zero for two
+// sub-buckets (each child's counters come out equal).
+func (h *DVO) splitChildDeviation(s int) float64 {
+	if h.subBuckets == 2 {
+		return 0
+	}
+	old := &h.buckets[s]
+	mid := (old.Left + old.Right) / 2
+	dev := 0.0
+	for _, half := range [][2]float64{{old.Left, mid}, {mid, old.Right}} {
+		child := histogram.NewBucket(half[0], half[1], h.subBuckets)
+		subW := child.Width() / float64(h.subBuckets)
+		for j := range child.Subs {
+			lo := child.Left + float64(j)*subW
+			child.Subs[j] = old.Mass(lo, lo+subW)
+		}
+		dev += h.deviation(&child)
+	}
+	return dev
+}
+
+// mergeAt replaces buckets m and m+1 by their merge. The new bucket's
+// sub-counters are read off the old piecewise profile (paper §4:
+// "calculated based on the counts and ranges of the original buckets").
+func (h *DVO) mergeAt(m int) {
+	a, b := &h.buckets[m], &h.buckets[m+1]
+	nb := histogram.NewBucket(a.Left, b.Right, h.subBuckets)
+	subW := nb.Width() / float64(h.subBuckets)
+	for j := range nb.Subs {
+		lo := nb.Left + float64(j)*subW
+		hi := lo + subW
+		nb.Subs[j] = a.Mass(lo, hi) + b.Mass(lo, hi)
+	}
+	h.buckets[m] = nb
+	h.buckets = append(h.buckets[:m+1], h.buckets[m+2:]...)
+	h.devs[m] = h.deviation(&h.buckets[m])
+	h.devs = append(h.devs[:m+1], h.devs[m+2:]...)
+	// The pair (m, m+1) disappears; neighbours change.
+	if len(h.pairDevs) == len(h.buckets) { // cache was sized pre-merge
+		h.pairDevs = append(h.pairDevs[:m], h.pairDevs[m+1:]...)
+	}
+	h.refreshPairsAround(m)
+}
+
+// splitAt replaces bucket s by two buckets split at its midpoint. Each
+// half's sub-counters are read off the old profile; with two
+// sub-buckets this yields children with equal counters and hence zero
+// deviation (paper §4: "splitting never increases V").
+func (h *DVO) splitAt(s int) {
+	old := h.buckets[s].Clone()
+	mid := (old.Left + old.Right) / 2
+	left := histogram.NewBucket(old.Left, mid, h.subBuckets)
+	right := histogram.NewBucket(mid, old.Right, h.subBuckets)
+	fill := func(nb *histogram.Bucket) {
+		subW := nb.Width() / float64(h.subBuckets)
+		for j := range nb.Subs {
+			lo := nb.Left + float64(j)*subW
+			nb.Subs[j] = old.Mass(lo, lo+subW)
+		}
+	}
+	fill(&left)
+	fill(&right)
+	h.buckets[s] = left
+	h.buckets = append(h.buckets, histogram.Bucket{})
+	copy(h.buckets[s+2:], h.buckets[s+1:])
+	h.buckets[s+1] = right
+	h.devs[s] = h.deviation(&h.buckets[s])
+	h.devs = append(h.devs, 0)
+	copy(h.devs[s+2:], h.devs[s+1:])
+	h.devs[s+1] = h.deviation(&h.buckets[s+1])
+	// One new pair between the children; both edge pairs change.
+	if len(h.pairDevs) == len(h.buckets)-2 { // cache was sized pre-split
+		h.pairDevs = append(h.pairDevs, 0)
+		copy(h.pairDevs[s+1:], h.pairDevs[s:])
+	}
+	h.refreshPairsAround(s)
+	h.refreshPairsAround(s + 1)
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+	"dynahist/internal/histogram"
+	"dynahist/internal/metric"
+)
+
+func TestNewDynamicValidation(t *testing.T) {
+	if _, err := NewDVO(1); err == nil {
+		t.Error("NewDVO(1): want error")
+	}
+	if _, err := NewDynamic(Variance, 4, 1); err == nil {
+		t.Error("subBuckets=1: want error")
+	}
+	if _, err := NewDynamic(Deviation(9), 4, 2); err == nil {
+		t.Error("unknown kind: want error")
+	}
+	h, err := NewDADOMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxBuckets() != 85 {
+		t.Errorf("1KB DADO = %d buckets, want 85", h.MaxBuckets())
+	}
+	if h.Kind() != AbsDeviation || h.SubBuckets() != 2 {
+		t.Error("NewDADOMemory wrong configuration")
+	}
+	v, err := NewDVOMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != Variance {
+		t.Error("NewDVOMemory must use Variance")
+	}
+	k4, err := NewDynamicMemory(AbsDeviation, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4.SubBuckets() != 4 || k4.MaxBuckets() != 51 {
+		t.Errorf("K=4 at 1KB: %d subs / %d buckets, want 4 / 51", k4.SubBuckets(), k4.MaxBuckets())
+	}
+}
+
+func TestDeviationClosedForms(t *testing.T) {
+	dado, err := NewDADO(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvo, err := NewDVO(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := histogram.Bucket{Left: 0, Right: 8, Subs: []float64{6, 2}}
+	// DADO: |cL − cR| = 4; DVO: (cL−cR)²/W = 16/8 = 2.
+	if got := dado.deviation(&b); math.Abs(got-4) > 1e-12 {
+		t.Errorf("DADO deviation = %v, want 4", got)
+	}
+	if got := dvo.deviation(&b); math.Abs(got-2) > 1e-12 {
+		t.Errorf("DVO deviation = %v, want 2", got)
+	}
+	flat := histogram.Bucket{Left: 0, Right: 8, Subs: []float64{3, 3}}
+	if dado.deviation(&flat) != 0 || dvo.deviation(&flat) != 0 {
+		t.Error("balanced bucket must have zero deviation")
+	}
+}
+
+func TestSplitNeverIncreasesDeviation(t *testing.T) {
+	// Paper §4: splitting a bucket along the sub-bucket border yields
+	// children with zero deviation (for two sub-buckets).
+	f := func(cl, cr uint16, kindPick bool) bool {
+		kind := Variance
+		if kindPick {
+			kind = AbsDeviation
+		}
+		h, err := NewDynamic(kind, 4, 2)
+		if err != nil {
+			return false
+		}
+		h.buckets = []histogram.Bucket{
+			{Left: 0, Right: 16, Subs: []float64{float64(cl), float64(cr)}},
+		}
+		h.devs = []float64{h.deviation(&h.buckets[0])}
+		before := h.devs[0]
+		h.splitAt(0)
+		after := h.devs[0] + h.devs[1]
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeNeverDecreasesDeviation(t *testing.T) {
+	// Paper §4: the merged bucket's deviation (vs the merged mean) is ≥
+	// the summed deviations of the originals.
+	f := func(a1, a2, b1, b2 uint16, kindPick bool) bool {
+		kind := Variance
+		if kindPick {
+			kind = AbsDeviation
+		}
+		h, err := NewDynamic(kind, 4, 2)
+		if err != nil {
+			return false
+		}
+		a := histogram.Bucket{Left: 0, Right: 8, Subs: []float64{float64(a1), float64(a2)}}
+		b := histogram.Bucket{Left: 8, Right: 24, Subs: []float64{float64(b1), float64(b2)}}
+		sum := h.deviation(&a) + h.deviation(&b)
+		return h.mergedDeviation(&a, &b) >= sum-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePreservesMassAndProfile(t *testing.T) {
+	h, err := NewDADO(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.buckets = []histogram.Bucket{
+		{Left: 0, Right: 8, Subs: []float64{6, 2}},
+		{Left: 8, Right: 16, Subs: []float64{4, 4}},
+	}
+	h.devs = []float64{h.deviation(&h.buckets[0]), h.deviation(&h.buckets[1])}
+	h.mergeAt(0)
+	if len(h.buckets) != 1 {
+		t.Fatalf("merge left %d buckets", len(h.buckets))
+	}
+	m := h.buckets[0]
+	if m.Left != 0 || m.Right != 16 {
+		t.Fatalf("merged range [%v,%v)", m.Left, m.Right)
+	}
+	if math.Abs(m.Count()-16) > 1e-9 {
+		t.Fatalf("merged count %v, want 16", m.Count())
+	}
+	// Left half of the merged bucket is exactly the old first bucket.
+	if math.Abs(m.Subs[0]-8) > 1e-9 || math.Abs(m.Subs[1]-8) > 1e-9 {
+		t.Fatalf("merged subs %v, want {8,8}", m.Subs)
+	}
+}
+
+func TestMergeAcrossGap(t *testing.T) {
+	h, err := NewDADO(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.buckets = []histogram.Bucket{
+		{Left: 0, Right: 4, Subs: []float64{2, 2}},
+		{Left: 12, Right: 16, Subs: []float64{3, 3}},
+	}
+	h.devs = []float64{0, 0}
+	h.mergeAt(0)
+	m := h.buckets[0]
+	if m.Left != 0 || m.Right != 16 {
+		t.Fatalf("merged range [%v,%v), want [0,16)", m.Left, m.Right)
+	}
+	if math.Abs(m.Count()-10) > 1e-9 {
+		t.Fatalf("merged count %v, want 10", m.Count())
+	}
+	// Left half [0,8): all of bucket 1's mass (4) — the gap [4,12) has
+	// zero density. Right half [8,16): all of bucket 2's mass (6).
+	if math.Abs(m.Subs[0]-4) > 1e-9 || math.Abs(m.Subs[1]-6) > 1e-9 {
+		t.Fatalf("merged subs %v, want {4,6}", m.Subs)
+	}
+}
+
+func TestDADOExampleFromPaper(t *testing.T) {
+	// Figure 4: a bucket with very different counters has high V; an
+	// insertion triggers a split of that bucket and a merge of the
+	// adjacent low-variance pair.
+	h, err := NewDADO(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.buckets = []histogram.Bucket{
+		{Left: 0, Right: 2, Subs: []float64{10, 10}},
+		{Left: 2, Right: 4, Subs: []float64{100, 4}}, // high variance
+		{Left: 4, Right: 6, Subs: []float64{8, 8}},   // low variance
+		{Left: 6, Right: 8, Subs: []float64{8, 8}},   // low variance
+		{Left: 8, Right: 10, Subs: []float64{12, 10}},
+	}
+	h.devs = make([]float64, 5)
+	for i := range h.buckets {
+		h.devs[i] = h.deviation(&h.buckets[i])
+	}
+	h.total = histogram.TotalCount(h.buckets)
+
+	before := h.TotalDeviation()
+	if err := h.Insert(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if h.Reorganisations() != 1 {
+		t.Fatalf("expected one split-merge, got %d", h.Reorganisations())
+	}
+	if len(h.buckets) != 5 {
+		t.Fatalf("bucket count changed: %d", len(h.buckets))
+	}
+	if h.TotalDeviation() >= before {
+		t.Errorf("split-merge did not reduce deviation: %v -> %v", before, h.TotalDeviation())
+	}
+	// The high-variance bucket should have been split: there is now a
+	// border at its midpoint (3).
+	foundBorder := false
+	for _, b := range h.Buckets() {
+		if math.Abs(b.Left-3) < 1e-9 {
+			foundBorder = true
+		}
+	}
+	if !foundBorder {
+		t.Error("expected a new border at the split point 3")
+	}
+	if err := histogram.Validate(h.Buckets()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDVOInsertOutOfRangeBorrows(t *testing.T) {
+	h, err := NewDADO(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{10, 20, 30} {
+		if err := h.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(h.Buckets()) != 3 {
+		t.Fatalf("got %d buckets", len(h.Buckets()))
+	}
+	// Far outlier: borrow a bucket, then merge back to budget.
+	if err := h.Insert(1000); err != nil {
+		t.Fatal(err)
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("after borrow-merge: %d buckets, want 3", len(bs))
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	if math.Abs(histogram.TotalCount(bs)-4) > 1e-9 {
+		t.Fatalf("mass = %v, want 4", histogram.TotalCount(bs))
+	}
+	// The outlier is still represented somewhere near 1000.
+	if got := h.EstimateRange(990, 1005); got < 0.5 {
+		t.Errorf("outlier mass = %v, want ≈1", got)
+	}
+	if err := histogram.Validate(bs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDVODeleteSpill(t *testing.T) {
+	h, err := NewDADO(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{10, 20, 30} {
+		if err := h.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a value in a gap between buckets: spills to nearest.
+	if err := h.Delete(15); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 2 {
+		t.Fatalf("Total = %v, want 2", h.Total())
+	}
+	// Drain and verify the empty error.
+	if err := h.Delete(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(30); err == nil {
+		t.Error("delete from empty: want error")
+	}
+}
+
+func TestDVORejectsNonFinite(t *testing.T) {
+	h, err := NewDADO(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(math.Inf(1)); err == nil {
+		t.Error("Insert(Inf): want error")
+	}
+	if err := h.Delete(math.NaN()); err == nil {
+		t.Error("Delete(NaN): want error")
+	}
+}
+
+func TestDVOCDFMonotone(t *testing.T) {
+	for _, kind := range []Deviation{Variance, AbsDeviation} {
+		h, err := NewDynamic(kind, 16, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for range 3000 {
+			if err := h.Insert(float64(rng.Intn(200))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev := 0.0
+		for x := -5.0; x <= 205; x += 0.5 {
+			c := h.CDF(x)
+			if c < prev-1e-12 || c < 0 || c > 1+1e-12 {
+				t.Fatalf("%v: CDF not monotone/bounded at %v: %v", kind, x, c)
+			}
+			prev = c
+		}
+		if math.Abs(prev-1) > 1e-9 {
+			t.Fatalf("%v: CDF(max) = %v, want 1", kind, prev)
+		}
+	}
+}
+
+// Property: DADO conserves mass under arbitrary insert/delete mixes and
+// never exceeds its bucket budget.
+func TestDVOMassConservation(t *testing.T) {
+	f := func(ops []int16, kindPick bool) bool {
+		kind := Variance
+		if kindPick {
+			kind = AbsDeviation
+		}
+		h, err := NewDynamic(kind, 6, 2)
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		for _, op := range ops {
+			v := float64(int(op) % 200)
+			if v < 0 {
+				v = -v
+			}
+			if op%3 != 0 {
+				if h.Insert(v) == nil {
+					want++
+				}
+			} else if h.Delete(v) == nil {
+				want--
+			}
+		}
+		if math.Abs(h.Total()-want) > 1e-6 {
+			return false
+		}
+		if len(h.Buckets()) > h.MaxBuckets() {
+			return false
+		}
+		if histogram.Validate(h.Buckets()) != nil {
+			return false
+		}
+		return math.Abs(histogram.TotalCount(h.Buckets())-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Integration: DADO beats DVO on a skewed reference workload, and both
+// approximate well (paper Figs. 5-8 ordering, coarse check).
+func TestDADOQualityOnReference(t *testing.T) {
+	cfg := distgen.Reference(7)
+	cfg.Points = 20000
+	cfg.Clusters = 200
+	values, err := distgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values = distgen.Shuffled(values, 7)
+	truth := dist.New(cfg.Domain)
+	dado, err := NewDADOMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if err := dado.Insert(float64(v)); err != nil {
+			t.Fatal(err)
+		}
+		if err := truth.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks, err := metric.KS(dado.CDF, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 0.03 {
+		t.Errorf("DADO KS = %v, want < 0.03 on the reference distribution", ks)
+	}
+}
+
+func TestKSubBucketVariant(t *testing.T) {
+	// The §4 ablation variant with more sub-buckets must behave
+	// structurally like the base algorithm.
+	h, err := NewDynamic(AbsDeviation, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for range 2000 {
+		if err := h.Insert(float64(rng.Intn(300))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(h.Buckets()) > 8 {
+		t.Fatalf("over budget: %d buckets", len(h.Buckets()))
+	}
+	if err := histogram.Validate(h.Buckets()); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Total()-2000) > 1e-6 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+}
+
+// Property: the pair-deviation cache always matches a from-scratch
+// recomputation after arbitrary workloads (the cache is pure
+// acceleration, never behaviour).
+func TestPairCacheConsistency(t *testing.T) {
+	f := func(ops []int16, kindPick bool) bool {
+		kind := Variance
+		if kindPick {
+			kind = AbsDeviation
+		}
+		h, err := NewDynamic(kind, 8, 2)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			v := float64(int(op) % 400)
+			if v < 0 {
+				v = -v
+			}
+			if op%3 != 0 {
+				if h.Insert(v) != nil {
+					return false
+				}
+			} else {
+				_ = h.Delete(v)
+			}
+		}
+		h.ensurePairCache()
+		for m := 0; m+1 < len(h.buckets); m++ {
+			want := h.mergedDeviation(&h.buckets[m], &h.buckets[m+1])
+			if math.Abs(h.pairDevs[m]-want) > 1e-9*(1+want) {
+				return false
+			}
+		}
+		// Per-bucket deviations too.
+		for i := range h.buckets {
+			want := h.deviation(&h.buckets[i])
+			if math.Abs(h.devs[i]-want) > 1e-9*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+	"dynahist/internal/histogram"
+	"dynahist/internal/metric"
+)
+
+func TestNewDCValidation(t *testing.T) {
+	if _, err := NewDC(0); err == nil {
+		t.Error("NewDC(0): want error")
+	}
+	if _, err := NewDCMemory(2); err == nil {
+		t.Error("NewDCMemory(2B): want error")
+	}
+	h, err := NewDCMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxBuckets() != 127 {
+		t.Errorf("1KB DC = %d buckets, want 127", h.MaxBuckets())
+	}
+}
+
+func TestDCSetAlphaMin(t *testing.T) {
+	h, err := NewDC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetAlphaMin(0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := h.SetAlphaMin(bad); err == nil {
+			t.Errorf("SetAlphaMin(%v): want error", bad)
+		}
+	}
+}
+
+func TestDCLoadingPhase(t *testing.T) {
+	// With enough budget the loading phase is exact: one unit bucket
+	// per distinct value plus explicit zero-count gap buckets for the
+	// empty space between them (§7.2.1: "enough buckets to represent
+	// empty spaces between these points").
+	h, err := NewDC(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []float64{5, 5, 9, 2, 9, 9}
+	for _, v := range data {
+		if err := h.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !h.Loading() {
+		t.Fatal("should still be loading")
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %v, want 6", h.Total())
+	}
+	bs := h.Buckets()
+	if len(bs) != 5 {
+		t.Fatalf("got %d buckets, want 5 (3 values + 2 gaps)", len(bs))
+	}
+	// Exact per-value counts during loading.
+	if got := h.EstimateRange(5, 5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("count(5) = %v, want 2", got)
+	}
+	if got := h.EstimateRange(9, 9); math.Abs(got-3) > 1e-9 {
+		t.Errorf("count(9) = %v, want 3", got)
+	}
+	if got := h.EstimateRange(3, 4); got != 0 {
+		t.Errorf("gap count [3,4] = %v, want 0", got)
+	}
+	if err := histogram.Validate(bs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCLoadingContiguous(t *testing.T) {
+	h, err := NewDC(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order distinct inserts, including below the current min.
+	// The third value (30) would need three buckets (gap split) and
+	// exceed the budget of five, so it ends the loading phase and goes
+	// through the normal insert path instead.
+	for _, v := range []float64{50, 10, 30, 70, 20} {
+		if err := h.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Loading() {
+		t.Fatal("budget pressure should have ended loading")
+	}
+	bs := h.Buckets()
+	if len(bs) > 5 {
+		t.Fatalf("got %d buckets, budget 5", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Left != bs[i-1].Right {
+			t.Fatalf("buckets not contiguous at %d: %v vs %v", i, bs[i-1].Right, bs[i].Left)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %v, want 5", h.Total())
+	}
+	// Coverage must include every value seen (70 arrived after loading
+	// ended, extending the right edge).
+	if bs[0].Left > 10 || bs[len(bs)-1].Right < 71 {
+		t.Fatalf("coverage [%v,%v) must include [10,71)", bs[0].Left, bs[len(bs)-1].Right)
+	}
+	if err := histogram.Validate(bs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCInsertAfterLoading(t *testing.T) {
+	h, err := NewDC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{10, 20, 30} {
+		if err := h.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Loading() {
+		t.Fatal("loading should be complete")
+	}
+	// Contained insert.
+	if err := h.Insert(15); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range inserts extend the end buckets.
+	if err := h.Insert(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(1); err != nil {
+		t.Fatal(err)
+	}
+	bs := h.Buckets()
+	if bs[0].Left != 1 {
+		t.Errorf("left border = %v, want 1", bs[0].Left)
+	}
+	if bs[len(bs)-1].Right != 101 {
+		t.Errorf("right border = %v, want 101", bs[len(bs)-1].Right)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %v, want 6", h.Total())
+	}
+	if err := histogram.Validate(h.Buckets()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCRepartitionTriggers(t *testing.T) {
+	h, err := NewDC(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load 8 distinct values, then hammer one bucket: the chi-square
+	// test must eventually trigger a repartition.
+	for v := 0; v < 8; v++ {
+		if err := h.Insert(float64(v * 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range 2000 {
+		if err := h.Insert(35); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Repartitions() == 0 {
+		t.Fatal("chi-square trigger never fired under extreme skew")
+	}
+	if err := histogram.Validate(h.Buckets()); err != nil {
+		t.Fatal(err)
+	}
+	// Total conserved across repartitions.
+	if h.Total() != 2008 {
+		t.Fatalf("Total = %v, want 2008", h.Total())
+	}
+	if got := histogram.TotalCount(h.Buckets()); math.Abs(got-2008) > 1e-6 {
+		t.Fatalf("bucket mass = %v, want 2008", got)
+	}
+}
+
+func TestDCAlphaZeroFreezes(t *testing.T) {
+	h, err := NewDC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetAlphaMin(0); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		if err := h.Insert(float64(v * 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range 5000 {
+		if err := h.Insert(15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Repartitions() != 0 {
+		t.Errorf("αmin=0 must freeze the histogram; got %d repartitions", h.Repartitions())
+	}
+}
+
+func TestDCAlphaOneAlwaysRepartitions(t *testing.T) {
+	h, err := NewDC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetAlphaMin(1); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		if err := h.Insert(float64(v * 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range 50 {
+		if err := h.Insert(15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Repartitions() < 40 {
+		t.Errorf("αmin=1 should repartition on ~every insert; got %d", h.Repartitions())
+	}
+}
+
+func TestDCSingularPromotion(t *testing.T) {
+	h, err := NewDC(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		if err := h.Insert(float64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One enormous spike at a single value: after repartitioning, that
+	// value should sit in a singular bucket.
+	for range 10000 {
+		if err := h.Insert(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.SingularCount() == 0 {
+		t.Error("massive spike should be captured by a singular bucket")
+	}
+	// The spike estimate should be near-exact thanks to the singleton.
+	got := h.EstimateRange(3, 3)
+	if math.Abs(got-10001)/10001 > 0.15 {
+		t.Errorf("spike estimate %v, want ≈10001", got)
+	}
+}
+
+func TestDCDeleteAndSpill(t *testing.T) {
+	h, err := NewDC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 10, 20, 30} {
+		if err := h.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Delete(10); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("Total = %v, want 3", h.Total())
+	}
+	// Bucket for 10 is now empty: deleting 10 again spills to the
+	// nearest non-empty bucket.
+	if err := h.Delete(10); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 2 {
+		t.Fatalf("Total = %v, want 2", h.Total())
+	}
+	// Drain completely, then the next delete errors.
+	if err := h.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(30); err == nil {
+		t.Error("delete from empty: want error")
+	}
+}
+
+func TestDCRejectsNonFinite(t *testing.T) {
+	h, err := NewDC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(math.NaN()); err == nil {
+		t.Error("Insert(NaN): want error")
+	}
+	if err := h.Insert(math.Inf(-1)); err == nil {
+		t.Error("Insert(-Inf): want error")
+	}
+	if err := h.Delete(math.NaN()); err == nil {
+		t.Error("Delete(NaN): want error")
+	}
+}
+
+func TestDCCDFMonotone(t *testing.T) {
+	h, err := NewDC(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for range 3000 {
+		if err := h.Insert(float64(rng.Intn(200))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := 0.0
+	for x := -5.0; x <= 205; x += 0.5 {
+		c := h.CDF(x)
+		if c < prev-1e-12 || c < 0 || c > 1+1e-12 {
+			t.Fatalf("CDF not monotone/bounded at %v: %v (prev %v)", x, c, prev)
+		}
+		prev = c
+	}
+	if math.Abs(prev-1) > 1e-9 {
+		t.Fatalf("CDF(max) = %v, want 1", prev)
+	}
+}
+
+// Property: DC conserves total mass under arbitrary insert/delete mixes.
+func TestDCMassConservation(t *testing.T) {
+	f := func(ops []int16) bool {
+		h, err := NewDC(8)
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		for _, op := range ops {
+			v := float64(int(op) % 100)
+			if v < 0 {
+				v = -v
+			}
+			if op%3 != 0 {
+				if h.Insert(v) == nil {
+					want++
+				}
+			} else if h.Delete(v) == nil {
+				want--
+			}
+		}
+		if math.Abs(h.Total()-want) > 1e-6 {
+			return false
+		}
+		return math.Abs(histogram.TotalCount(h.Buckets())-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any insert workload, DC buckets validate and stay
+// within budget.
+func TestDCStructuralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		h, err := NewDC(12)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for range 1000 {
+			if err := h.Insert(float64(rng.Intn(500))); err != nil {
+				return false
+			}
+		}
+		if len(h.Buckets()) > h.MaxBuckets() {
+			return false
+		}
+		return histogram.Validate(h.Buckets()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Integration: on the paper's reference distribution, a 1KB DC
+// histogram must track the data far better than a trivial single-bucket
+// approximation.
+func TestDCApproximationQuality(t *testing.T) {
+	cfg := distgen.Reference(1)
+	cfg.Points = 20000
+	cfg.Clusters = 200
+	values, err := distgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values = distgen.Shuffled(values, 1)
+	h, err := NewDCMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dist.New(cfg.Domain)
+	for _, v := range values {
+		if err := h.Insert(float64(v)); err != nil {
+			t.Fatal(err)
+		}
+		if err := truth.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks, err := metric.KS(h.CDF, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 0.08 {
+		t.Errorf("DC KS = %v, want < 0.08 on the reference distribution", ks)
+	}
+}
+
+func TestDCDampingPreventsRepartitionStorm(t *testing.T) {
+	// Large-N regime: with damping (the default) the trigger stops
+	// firing once repartitioning is futile; without it every insert
+	// repartitions (the paper's "unnecessary relocations").
+	run := func(damping bool) int {
+		h, err := NewDC(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.SetDamping(damping)
+		// Few distinct values under a skewed rate: integer-width buckets
+		// cannot equalise the counts, so as N grows no repartition can
+		// satisfy the chi-square test and an undamped trigger fires on
+		// nearly every insert.
+		rng := rand.New(rand.NewSource(5))
+		for range 30000 {
+			v := int(rng.ExpFloat64() * 8)
+			if v > 39 {
+				v = 39
+			}
+			if err := h.Insert(float64(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return h.Repartitions()
+	}
+	damped := run(true)
+	undamped := run(false)
+	if damped*10 > undamped {
+		t.Errorf("damping should cut repartitions drastically: %d vs %d", damped, undamped)
+	}
+}

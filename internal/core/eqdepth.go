@@ -1,0 +1,456 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynahist/internal/histogram"
+)
+
+// EDDado is the equi-depth sub-division variant of the DADO histogram —
+// the other §4 design alternative the paper explored ("using equi-depth
+// divisions instead of equi-width divisions"). Each bucket stores an
+// explicit interior split point instead of implicitly halving its
+// range: right after a reorganisation the split sits at the bucket's
+// mass median (equal counts on both sides, hence "equi-depth"), and the
+// bucket's deviation measures how far the two halves' densities stray
+// from the bucket mean as inserts and deletes accumulate.
+//
+// The reorganisation machinery mirrors DVO/DADO: one split-merge pair
+// per update when it strictly reduces the total deviation.
+type EDDado struct {
+	kind       Deviation
+	maxBuckets int
+	buckets    []edBucket
+	devs       []float64
+	total      float64
+
+	reorganisations int
+}
+
+// edBucket is [Left, Right) with an interior split at Split and counts
+// CL in [Left, Split), CR in [Split, Right).
+type edBucket struct {
+	Left, Split, Right float64
+	CL, CR             float64
+}
+
+func (b *edBucket) count() float64 { return b.CL + b.CR }
+
+func (b *edBucket) massBelow(x float64) float64 {
+	switch {
+	case x <= b.Left:
+		return 0
+	case x >= b.Right:
+		return b.count()
+	case x <= b.Split:
+		if b.Split == b.Left {
+			return b.CL
+		}
+		return b.CL * (x - b.Left) / (b.Split - b.Left)
+	default:
+		if b.Right == b.Split {
+			return b.CL + b.CR
+		}
+		return b.CL + b.CR*(x-b.Split)/(b.Right-b.Split)
+	}
+}
+
+// NewEDDado returns an equi-depth-subdivision dynamic histogram.
+func NewEDDado(kind Deviation, maxBuckets int) (*EDDado, error) {
+	if maxBuckets < 2 {
+		return nil, fmt.Errorf("core: maxBuckets %d < 2", maxBuckets)
+	}
+	if kind != Variance && kind != AbsDeviation {
+		return nil, fmt.Errorf("core: unknown deviation kind %d", int(kind))
+	}
+	return &EDDado{kind: kind, maxBuckets: maxBuckets}, nil
+}
+
+// NewEDDadoMemory sizes the histogram for a byte budget. An equi-depth
+// bucket stores two borders' worth of interior state (left + split)
+// plus two counters, i.e. the same 12-byte footprint as a DADO bucket
+// plus one extra 4-byte split position.
+func NewEDDadoMemory(kind Deviation, memBytes int) (*EDDado, error) {
+	perBucket := 3*histogram.BorderBytes + 2*histogram.CounterBytes
+	n := (memBytes - histogram.BorderBytes) / perBucket
+	if n < 2 {
+		return nil, fmt.Errorf("core: %dB cannot hold two equi-depth buckets", memBytes)
+	}
+	return NewEDDado(kind, n)
+}
+
+// MaxBuckets returns the bucket budget.
+func (h *EDDado) MaxBuckets() int { return h.maxBuckets }
+
+// Total returns the current total point count.
+func (h *EDDado) Total() float64 { return h.total }
+
+// Reorganisations returns the number of split-merge pairs performed.
+func (h *EDDado) Reorganisations() int { return h.reorganisations }
+
+// Buckets exposes the state as ordinary histogram buckets: each
+// equi-depth bucket appears with its true sub-division by splitting the
+// counters at the stored split position (two unequal-width sub-buckets
+// are approximated by the matching piecewise densities).
+func (h *EDDado) Buckets() []histogram.Bucket {
+	out := make([]histogram.Bucket, 0, len(h.buckets))
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		// Represent the two unequal halves exactly as two buckets.
+		if b.Split > b.Left && b.Split < b.Right {
+			out = append(out,
+				histogram.Bucket{Left: b.Left, Right: b.Split, Subs: []float64{b.CL}},
+				histogram.Bucket{Left: b.Split, Right: b.Right, Subs: []float64{b.CR}},
+			)
+			continue
+		}
+		out = append(out, histogram.Bucket{Left: b.Left, Right: b.Right, Subs: []float64{b.count()}})
+	}
+	return out
+}
+
+// CDF returns the approximate fraction of mass in (-∞, x].
+func (h *EDDado) CDF(x float64) float64 {
+	if h.total <= 0 {
+		return 0
+	}
+	mass := 0.0
+	for i := range h.buckets {
+		if h.buckets[i].Left >= x {
+			break
+		}
+		mass += h.buckets[i].massBelow(x)
+	}
+	return mass / h.total
+}
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive.
+func (h *EDDado) EstimateRange(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	var below, above float64
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		above += b.massBelow(hi + 1)
+		below += b.massBelow(lo)
+	}
+	return above - below
+}
+
+// Insert adds one occurrence of v.
+func (h *EDDado) Insert(v float64) error {
+	if err := histogram.CheckFinite(v); err != nil {
+		return err
+	}
+	h.total++
+	if i := h.find(v); i >= 0 {
+		b := &h.buckets[i]
+		if v < b.Split {
+			b.CL++
+		} else {
+			b.CR++
+		}
+		h.devs[i] = h.deviation(b)
+		h.maybeSplitMerge()
+		return nil
+	}
+	h.insertSingleton(v, 1)
+	if len(h.buckets) > h.maxBuckets {
+		if m := h.bestMergePair(-1); m >= 0 {
+			h.mergeAt(m)
+		}
+	}
+	return nil
+}
+
+// Delete removes one occurrence of v, spilling to the nearest bucket
+// with positive count when needed (§7.3).
+func (h *EDDado) Delete(v float64) error {
+	if err := histogram.CheckFinite(v); err != nil {
+		return err
+	}
+	if h.total < 1 {
+		return ErrEmpty
+	}
+	i := h.find(v)
+	if i < 0 || !h.decrement(i, v) {
+		i = h.nearestPositive(v)
+		if i < 0 || !h.decrement(i, v) {
+			return ErrEmpty
+		}
+	}
+	h.total--
+	h.maybeSplitMerge()
+	return nil
+}
+
+func (h *EDDado) decrement(i int, v float64) bool {
+	b := &h.buckets[i]
+	x := math.Min(math.Max(v, b.Left), b.Right-1e-9)
+	if x < b.Split && b.CL >= 1 {
+		b.CL--
+	} else if x >= b.Split && b.CR >= 1 {
+		b.CR--
+	} else if b.CL >= 1 {
+		b.CL--
+	} else if b.CR >= 1 {
+		b.CR--
+	} else if c := b.count(); c >= 1 {
+		scale := (c - 1) / c
+		b.CL *= scale
+		b.CR *= scale
+	} else {
+		return false
+	}
+	h.devs[i] = h.deviation(b)
+	return true
+}
+
+func (h *EDDado) find(v float64) int {
+	i := sort.Search(len(h.buckets), func(j int) bool { return h.buckets[j].Right > v })
+	if i < len(h.buckets) && v >= h.buckets[i].Left && v < h.buckets[i].Right {
+		return i
+	}
+	return -1
+}
+
+func (h *EDDado) nearestPositive(v float64) int {
+	best, bestDist := -1, 0.0
+	for i := range h.buckets {
+		if h.buckets[i].count() < 1 {
+			continue
+		}
+		d := 0.0
+		switch {
+		case v < h.buckets[i].Left:
+			d = h.buckets[i].Left - v
+		case v >= h.buckets[i].Right:
+			d = v - h.buckets[i].Right
+		}
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func (h *EDDado) insertSingleton(v, count float64) {
+	left := math.Floor(v)
+	right := left + 1
+	pos := sort.Search(len(h.buckets), func(j int) bool { return h.buckets[j].Left > v })
+	if pos > 0 && h.buckets[pos-1].Right > left {
+		left = h.buckets[pos-1].Right
+	}
+	if pos < len(h.buckets) && h.buckets[pos].Left < right {
+		right = h.buckets[pos].Left
+	}
+	if right <= left {
+		if i := h.nearestPositive(v); i >= 0 {
+			b := &h.buckets[i]
+			if v < b.Split {
+				b.CL += count
+			} else {
+				b.CR += count
+			}
+			h.devs[i] = h.deviation(b)
+		}
+		return
+	}
+	nb := edBucket{Left: left, Split: (left + right) / 2, Right: right, CL: count / 2, CR: count / 2}
+	h.buckets = append(h.buckets, edBucket{})
+	copy(h.buckets[pos+1:], h.buckets[pos:])
+	h.buckets[pos] = nb
+	h.devs = append(h.devs, 0)
+	copy(h.devs[pos+1:], h.devs[pos:])
+	h.devs[pos] = h.deviation(&h.buckets[pos])
+}
+
+// deviation integrates |density − mean| (or its square) over the two
+// unequal-width halves.
+func (h *EDDado) deviation(b *edBucket) float64 {
+	w := b.Right - b.Left
+	if w <= 0 {
+		return 0
+	}
+	mean := b.count() / w
+	dev := 0.0
+	for _, half := range [2][2]float64{{b.Left, b.Split}, {b.Split, b.Right}} {
+		hw := half[1] - half[0]
+		if hw <= 0 {
+			continue
+		}
+		c := b.CL
+		if half[0] == b.Split {
+			c = b.CR
+		}
+		d := c/hw - mean
+		if h.kind == Variance {
+			dev += hw * d * d
+		} else {
+			dev += hw * math.Abs(d)
+		}
+	}
+	return dev
+}
+
+// mergedDeviation is the deviation the merged bucket would carry,
+// measured over the four original half-segments (plus any gap) against
+// the merged mean density.
+func (h *EDDado) mergedDeviation(a, b *edBucket) float64 {
+	w := b.Right - a.Left
+	if w <= 0 {
+		return 0
+	}
+	mean := (a.count() + b.count()) / w
+	dev := 0.0
+	add := func(lo, hi, c float64) {
+		hw := hi - lo
+		if hw <= 0 {
+			return
+		}
+		d := c/hw - mean
+		if h.kind == Variance {
+			dev += hw * d * d
+		} else {
+			dev += hw * math.Abs(d)
+		}
+	}
+	add(a.Left, a.Split, a.CL)
+	add(a.Split, a.Right, a.CR)
+	add(b.Left, b.Split, b.CL)
+	add(b.Split, b.Right, b.CR)
+	if gap := b.Left - a.Right; gap > 0 {
+		if h.kind == Variance {
+			dev += gap * mean * mean
+		} else {
+			dev += gap * mean
+		}
+	}
+	return dev
+}
+
+func (h *EDDado) bestSplit() int {
+	best, bestDev := -1, 0.0
+	for i := range h.buckets {
+		if h.buckets[i].Right-h.buckets[i].Left <= 1+1e-9 {
+			continue
+		}
+		if h.devs[i] > bestDev {
+			best, bestDev = i, h.devs[i]
+		}
+	}
+	return best
+}
+
+func (h *EDDado) bestMergePair(exclude int) int {
+	best, bestDev := -1, math.Inf(1)
+	for m := 0; m+1 < len(h.buckets); m++ {
+		if m == exclude || m+1 == exclude {
+			continue
+		}
+		d := h.mergedDeviation(&h.buckets[m], &h.buckets[m+1])
+		if d < bestDev {
+			best, bestDev = m, d
+		}
+	}
+	return best
+}
+
+func (h *EDDado) maybeSplitMerge() {
+	if len(h.buckets) < 3 {
+		return
+	}
+	s := h.bestSplit()
+	if s < 0 {
+		return
+	}
+	m := h.bestMergePair(s)
+	if m < 0 {
+		return
+	}
+	vm := h.mergedDeviation(&h.buckets[m], &h.buckets[m+1])
+	if vm >= h.devs[s]-1e-12 {
+		return
+	}
+	h.mergeAt(m)
+	if s > m+1 {
+		s--
+	}
+	h.splitAt(s)
+	h.reorganisations++
+}
+
+// mergeAt merges buckets m and m+1 into one bucket whose split is the
+// mass median of the combined piecewise profile, re-establishing the
+// equi-depth sub-division.
+func (h *EDDado) mergeAt(m int) {
+	a, b := h.buckets[m], h.buckets[m+1]
+	total := a.count() + b.count()
+	nb := edBucket{Left: a.Left, Right: b.Right}
+	nb.Split = massMedian(&a, &b, total)
+	nb.CL = a.massBelow(nb.Split) + b.massBelow(nb.Split)
+	nb.CR = total - nb.CL
+	h.buckets[m] = nb
+	h.buckets = append(h.buckets[:m+1], h.buckets[m+2:]...)
+	h.devs[m] = h.deviation(&h.buckets[m])
+	h.devs = append(h.devs[:m+1], h.devs[m+2:]...)
+}
+
+// splitAt splits a bucket at its stored split point; each child gets an
+// equi-depth interior split of its own (mass median under the uniform
+// assumption = geometric midpoint, since each half is uniform).
+func (h *EDDado) splitAt(s int) {
+	old := h.buckets[s]
+	left := edBucket{
+		Left: old.Left, Right: old.Split,
+		Split: (old.Left + old.Split) / 2,
+		CL:    old.CL / 2, CR: old.CL / 2,
+	}
+	right := edBucket{
+		Left: old.Split, Right: old.Right,
+		Split: (old.Split + old.Right) / 2,
+		CL:    old.CR / 2, CR: old.CR / 2,
+	}
+	h.buckets[s] = left
+	h.buckets = append(h.buckets, edBucket{})
+	copy(h.buckets[s+2:], h.buckets[s+1:])
+	h.buckets[s+1] = right
+	h.devs[s] = h.deviation(&h.buckets[s])
+	h.devs = append(h.devs, 0)
+	copy(h.devs[s+2:], h.devs[s+1:])
+	h.devs[s+1] = h.deviation(&h.buckets[s+1])
+}
+
+// massMedian returns the position where half of the combined mass of a
+// and b lies.
+func massMedian(a, b *edBucket, total float64) float64 {
+	target := total / 2
+	segs := [4][3]float64{
+		{a.Left, a.Split, a.CL},
+		{a.Split, a.Right, a.CR},
+		{b.Left, b.Split, b.CL},
+		{b.Split, b.Right, b.CR},
+	}
+	acc := 0.0
+	for _, seg := range segs {
+		lo, hi, c := seg[0], seg[1], seg[2]
+		if acc+c >= target && c > 0 {
+			frac := (target - acc) / c
+			x := lo + frac*(hi-lo)
+			// Keep the split strictly interior.
+			if x <= a.Left {
+				x = math.Nextafter(a.Left, math.Inf(1))
+			}
+			if x >= b.Right {
+				x = math.Nextafter(b.Right, math.Inf(-1))
+			}
+			return x
+		}
+		acc += c
+	}
+	return (a.Left + b.Right) / 2
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzRestoreDVO checks that snapshot restoration never panics and that
+// every accepted snapshot yields a histogram that can keep working.
+func FuzzRestoreDVO(f *testing.F) {
+	h, err := NewDADO(8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for v := range 30 {
+		if err := h.Insert(float64(v * 3)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add(blob[:len(blob)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := RestoreDVO(data)
+		if err != nil {
+			return
+		}
+		// An accepted snapshot must produce a usable histogram.
+		if err := r.Insert(42); err != nil {
+			t.Fatalf("restored histogram rejects inserts: %v", err)
+		}
+		if c := r.CDF(1e9); c < 0 || c > 1+1e-9 {
+			t.Fatalf("restored CDF out of range: %v", c)
+		}
+	})
+}
+
+// FuzzRestoreDC is the DC counterpart.
+func FuzzRestoreDC(f *testing.F) {
+	h, err := NewDC(8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for v := range 30 {
+		if err := h.Insert(float64(v * 3)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := RestoreDC(data)
+		if err != nil {
+			return
+		}
+		if err := r.Insert(42); err != nil {
+			t.Fatalf("restored histogram rejects inserts: %v", err)
+		}
+		if c := r.CDF(1e9); c < 0 || c > 1+1e-9 {
+			t.Fatalf("restored CDF out of range: %v", c)
+		}
+	})
+}

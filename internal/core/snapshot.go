@@ -1,0 +1,312 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dynahist/internal/histogram"
+)
+
+// Full-state snapshots for the dynamic histograms. Unlike the plain
+// bucket serialization in internal/histogram (which captures only the
+// approximation), a snapshot carries everything needed to *continue
+// maintaining* the histogram after a restart: configuration, counters,
+// singular flags and phase. A database stores this blob in its catalog
+// on checkpoint and restores it at startup, then keeps feeding the
+// histogram the table's update stream.
+
+const (
+	snapMagic   = 0x44594e53 // "DYNS"
+	snapVersion = 1
+
+	snapKindDC  = 1
+	snapKindDVO = 2
+)
+
+// ErrSnapshot reports a malformed snapshot blob.
+var ErrSnapshot = errors.New("core: malformed snapshot")
+
+// Snapshot serializes the DC histogram's complete maintainable state.
+func (h *DC) Snapshot() ([]byte, error) {
+	bucketBlob, err := histogram.MarshalBuckets(h.buckets)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 64+len(bucketBlob)+len(h.singular))
+	out = binary.LittleEndian.AppendUint32(out, snapMagic)
+	out = binary.LittleEndian.AppendUint16(out, snapVersion)
+	out = append(out, snapKindDC)
+	out = binary.LittleEndian.AppendUint32(out, uint32(h.maxBuckets))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(h.alphaMin))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(h.total))
+	if h.loaded {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(h.repartitions))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(h.singular)))
+	for _, s := range h.singular {
+		if s {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(bucketBlob)))
+	out = append(out, bucketBlob...)
+	return out, nil
+}
+
+// RestoreDC rebuilds a DC histogram from a Snapshot blob. The restored
+// histogram continues exactly where the snapshot left off.
+func RestoreDC(data []byte) (*DC, error) {
+	r := snapReader{data: data}
+	if err := r.header(snapKindDC); err != nil {
+		return nil, err
+	}
+	maxBuckets, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	alphaMin, err := r.f64()
+	if err != nil {
+		return nil, err
+	}
+	total, err := r.f64()
+	if err != nil {
+		return nil, err
+	}
+	loadedB, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	repartitions, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nSingular, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nSingular) > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible singular count %d", ErrSnapshot, nSingular)
+	}
+	singular := make([]bool, nSingular)
+	for i := range singular {
+		b, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		singular[i] = b != 0
+	}
+	buckets, err := r.bucketBlob()
+	if err != nil {
+		return nil, err
+	}
+	if len(buckets) != len(singular) {
+		return nil, fmt.Errorf("%w: %d buckets but %d singular flags", ErrSnapshot, len(buckets), len(singular))
+	}
+	h, err := NewDC(int(maxBuckets))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if err := h.SetAlphaMin(alphaMin); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if len(buckets) > int(maxBuckets) {
+		return nil, fmt.Errorf("%w: %d buckets exceed budget %d", ErrSnapshot, len(buckets), maxBuckets)
+	}
+	if total < 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("%w: bad total %v", ErrSnapshot, total)
+	}
+	if mass := histogram.TotalCount(buckets); math.Abs(mass-total) > 1e-6*(1+total) {
+		return nil, fmt.Errorf("%w: bucket mass %v disagrees with total %v", ErrSnapshot, mass, total)
+	}
+	h.buckets = buckets
+	h.singular = singular
+	h.total = total
+	h.loaded = loadedB != 0
+	h.repartitions = int(repartitions)
+	if h.loaded {
+		h.loadingSeen = nil
+	}
+	h.rebuildChiState()
+	return h, nil
+}
+
+// Snapshot serializes the DVO/DADO histogram's complete maintainable
+// state.
+func (h *DVO) Snapshot() ([]byte, error) {
+	bucketBlob, err := histogram.MarshalBuckets(h.buckets)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 64+len(bucketBlob))
+	out = binary.LittleEndian.AppendUint32(out, snapMagic)
+	out = binary.LittleEndian.AppendUint16(out, snapVersion)
+	out = append(out, snapKindDVO)
+	out = append(out, byte(h.kind))
+	out = binary.LittleEndian.AppendUint16(out, uint16(h.subBuckets))
+	out = binary.LittleEndian.AppendUint32(out, uint32(h.maxBuckets))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(h.total))
+	out = binary.LittleEndian.AppendUint32(out, uint32(h.reorganisations))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(bucketBlob)))
+	out = append(out, bucketBlob...)
+	return out, nil
+}
+
+// RestoreDVO rebuilds a DVO/DADO histogram from a Snapshot blob.
+func RestoreDVO(data []byte) (*DVO, error) {
+	r := snapReader{data: data}
+	if err := r.header(snapKindDVO); err != nil {
+		return nil, err
+	}
+	kindB, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	subBuckets, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	maxBuckets, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	total, err := r.f64()
+	if err != nil {
+		return nil, err
+	}
+	reorgs, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	buckets, err := r.bucketBlob()
+	if err != nil {
+		return nil, err
+	}
+	h, err := NewDynamic(Deviation(kindB), int(maxBuckets), int(subBuckets))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if len(buckets) > int(maxBuckets) {
+		return nil, fmt.Errorf("%w: %d buckets exceed budget %d", ErrSnapshot, len(buckets), maxBuckets)
+	}
+	if total < 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("%w: bad total %v", ErrSnapshot, total)
+	}
+	if mass := histogram.TotalCount(buckets); math.Abs(mass-total) > 1e-6*(1+total) {
+		return nil, fmt.Errorf("%w: bucket mass %v disagrees with total %v", ErrSnapshot, mass, total)
+	}
+	for i := range buckets {
+		if len(buckets[i].Subs) != int(subBuckets) {
+			return nil, fmt.Errorf("%w: bucket %d has %d sub-buckets, want %d",
+				ErrSnapshot, i, len(buckets[i].Subs), subBuckets)
+		}
+	}
+	h.buckets = buckets
+	h.total = total
+	h.reorganisations = int(reorgs)
+	h.devs = make([]float64, len(buckets))
+	for i := range buckets {
+		h.devs[i] = h.deviation(&h.buckets[i])
+	}
+	return h, nil
+}
+
+// snapReader parses the snapshot envelope.
+type snapReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *snapReader) header(wantKind byte) error {
+	magic, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if magic != snapMagic {
+		return fmt.Errorf("%w: bad magic %#x", ErrSnapshot, magic)
+	}
+	version, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if version != snapVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrSnapshot, version)
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if kind != wantKind {
+		return fmt.Errorf("%w: snapshot kind %d, want %d", ErrSnapshot, kind, wantKind)
+	}
+	return nil
+}
+
+func (r *snapReader) need(n int) error {
+	if r.pos+n > len(r.data) {
+		return fmt.Errorf("%w: truncated at byte %d", ErrSnapshot, r.pos)
+	}
+	return nil
+}
+
+func (r *snapReader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *snapReader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *snapReader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *snapReader) f64() (float64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return v, nil
+}
+
+func (r *snapReader) bucketBlob() ([]histogram.Bucket, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.need(int(n)); err != nil {
+		return nil, err
+	}
+	blob := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, len(r.data)-r.pos)
+	}
+	buckets, err := histogram.UnmarshalBuckets(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	return buckets, nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/metric"
+)
+
+func TestDCSnapshotRoundTrip(t *testing.T) {
+	h, err := NewDC(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetAlphaMin(1e-4); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for range 5000 {
+		if err := h.Insert(float64(rng.Intn(300))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreDC(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != h.Total() || r.MaxBuckets() != h.MaxBuckets() ||
+		r.Repartitions() != h.Repartitions() || r.SingularCount() != h.SingularCount() ||
+		r.Loading() != h.Loading() {
+		t.Fatal("restored DC state differs")
+	}
+	for x := -5.0; x <= 305; x += 1 {
+		if math.Abs(r.CDF(x)-h.CDF(x)) > 1e-12 {
+			t.Fatalf("restored CDF differs at %v", x)
+		}
+	}
+	// The restored histogram keeps maintaining: identical behaviour on
+	// the same continuation stream.
+	for range 2000 {
+		v := float64(rng.Intn(300))
+		if err := h.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for x := -5.0; x <= 305; x += 1 {
+		if math.Abs(r.CDF(x)-h.CDF(x)) > 1e-9 {
+			t.Fatalf("continued CDF differs at %v", x)
+		}
+	}
+}
+
+func TestDCSnapshotDuringLoading(t *testing.T) {
+	h, err := NewDC(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{5, 9, 9, 42} {
+		if err := h.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !h.Loading() {
+		t.Fatal("should be loading")
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreDC(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Loading() {
+		t.Fatal("restored histogram should still be loading")
+	}
+	if r.Total() != 4 {
+		t.Fatalf("Total = %v", r.Total())
+	}
+	// It can keep loading new distinct values.
+	if err := r.Insert(100); err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total after continue = %v", r.Total())
+	}
+}
+
+func TestDVOSnapshotRoundTrip(t *testing.T) {
+	for _, kind := range []Deviation{Variance, AbsDeviation} {
+		h, err := NewDynamic(kind, 24, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		truth := dist.New(500)
+		for range 8000 {
+			v := rng.Intn(501)
+			if err := h.Insert(float64(v)); err != nil {
+				t.Fatal(err)
+			}
+			if err := truth.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blob, err := h.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RestoreDVO(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Kind() != kind || r.SubBuckets() != 2 || r.MaxBuckets() != 24 ||
+			r.Total() != h.Total() || r.Reorganisations() != h.Reorganisations() {
+			t.Fatal("restored DVO state differs")
+		}
+		ksH, err := metric.KS(h.CDF, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ksR, err := metric.KS(r.CDF, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ksH-ksR) > 1e-12 {
+			t.Fatalf("restored KS %v != %v", ksR, ksH)
+		}
+		// Continuation equivalence.
+		for range 2000 {
+			v := float64(rng.Intn(501))
+			if err := h.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for x := 0.0; x <= 501; x += 1 {
+			if math.Abs(r.CDF(x)-h.CDF(x)) > 1e-9 {
+				t.Fatalf("%v: continued CDF differs at %v", kind, x)
+			}
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	h, err := NewDADO(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range 20 {
+		if err := h.Insert(float64(v * 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreDVO(blob[:10]); err == nil {
+		t.Error("truncated: want error")
+	}
+	if _, err := RestoreDVO(append(blob, 1)); err == nil {
+		t.Error("trailing: want error")
+	}
+	bad := make([]byte, len(blob))
+	copy(bad, blob)
+	bad[0] ^= 0xff
+	if _, err := RestoreDVO(bad); err == nil {
+		t.Error("bad magic: want error")
+	}
+	// Wrong kind: a DVO blob fed to RestoreDC.
+	if _, err := RestoreDC(blob); err == nil {
+		t.Error("kind mismatch: want error")
+	}
+	if _, err := RestoreDVO(nil); err == nil {
+		t.Error("nil: want error")
+	}
+}

@@ -1,0 +1,20 @@
+package distgen
+
+import "testing"
+
+func BenchmarkGenerateReference(b *testing.B) {
+	cfg := Reference(1)
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMailOrder(b *testing.B) {
+	b.ReportAllocs()
+	for b.Loop() {
+		_ = MailOrder(1)
+	}
+}

@@ -1,0 +1,308 @@
+// Package distgen generates the parameterised synthetic workloads of
+// paper §6.1 and the stand-in for the §7.4 mail-order trace.
+//
+// The generator creates C clusters of integer values over the domain
+// [0, Domain]. Cluster sizes follow a Zipf law with parameter Z; the
+// spreads (separations) between consecutive cluster centers follow a
+// Zipf law with parameter S; the within-cluster shape is Normal (the
+// paper's fixed choice), Uniform, or Exponential (two-sided), with
+// standard deviation SD. The correlation between cluster sizes and
+// separations is Random (the paper's fixed choice), Positive, or
+// Negative. Everything is deterministic given a seed.
+package distgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Shape selects the within-cluster value distribution.
+type Shape int
+
+const (
+	// Normal clusters are Gaussian around the center (the paper's fixed
+	// choice).
+	Normal Shape = iota
+	// Uniform clusters spread values evenly over center ± SD·√3.
+	Uniform
+	// Exponential clusters are two-sided exponential (Laplace) around
+	// the center with standard deviation SD.
+	Exponential
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case Uniform:
+		return "uniform"
+	case Exponential:
+		return "exponential"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Correlation selects how cluster sizes relate to the separations
+// around the cluster.
+type Correlation int
+
+const (
+	// RandomCorrelation pairs sizes and separations randomly (the
+	// paper's fixed choice).
+	RandomCorrelation Correlation = iota
+	// PositiveCorrelation gives the largest clusters the widest
+	// separations.
+	PositiveCorrelation
+	// NegativeCorrelation gives the largest clusters the narrowest
+	// separations.
+	NegativeCorrelation
+)
+
+func (c Correlation) String() string {
+	switch c {
+	case RandomCorrelation:
+		return "random"
+	case PositiveCorrelation:
+		return "positive"
+	case NegativeCorrelation:
+		return "negative"
+	default:
+		return fmt.Sprintf("Correlation(%d)", int(c))
+	}
+}
+
+// Config parameterises one synthetic data set. The field names follow
+// the paper's notation.
+type Config struct {
+	// Points is the number of data points (paper default 100,000).
+	Points int
+	// Domain is the largest attribute value (paper default 5000).
+	Domain int
+	// Clusters is C, the number of clusters (paper: 2000 or 50).
+	Clusters int
+	// SizeSkew is Z, the Zipf parameter of cluster sizes.
+	SizeSkew float64
+	// SpreadSkew is S, the Zipf parameter of cluster-center spreads.
+	SpreadSkew float64
+	// SD is the standard deviation within a cluster; 0 collapses each
+	// cluster to a single value.
+	SD float64
+	// Shape is the within-cluster distribution (default Normal).
+	Shape Shape
+	// Correlation pairs sizes with separations (default Random).
+	Correlation Correlation
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Reference returns the paper's reference configuration (§7: S=1, Z=1,
+// SD=2, C=2000, 100,000 points over [0..5000]) with the given seed.
+func Reference(seed int64) Config {
+	return Config{
+		Points:     100000,
+		Domain:     5000,
+		Clusters:   2000,
+		SizeSkew:   1,
+		SpreadSkew: 1,
+		SD:         2,
+		Seed:       seed,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Points < 1 {
+		return errors.New("distgen: Points < 1")
+	}
+	if c.Domain < 1 {
+		return errors.New("distgen: Domain < 1")
+	}
+	if c.Clusters < 1 {
+		return errors.New("distgen: Clusters < 1")
+	}
+	if c.Clusters > c.Domain+1 {
+		return fmt.Errorf("distgen: %d clusters cannot fit in domain [0,%d]", c.Clusters, c.Domain)
+	}
+	if c.SizeSkew < 0 || c.SpreadSkew < 0 || c.SD < 0 {
+		return errors.New("distgen: negative skew or SD")
+	}
+	if math.IsNaN(c.SizeSkew) || math.IsNaN(c.SpreadSkew) || math.IsNaN(c.SD) {
+		return errors.New("distgen: NaN parameter")
+	}
+	return nil
+}
+
+// ZipfWeights returns n weights proportional to 1/i^z (i = 1..n),
+// normalised to sum to 1. z = 0 yields uniform weights.
+func ZipfWeights(n int, z float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -z)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// apportion distributes total into len(weights) non-negative integer
+// shares proportional to the weights, using largest-remainder rounding
+// so the shares sum exactly to total.
+func apportion(total int, weights []float64) []int {
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	shares := make([]int, len(weights))
+	rems := make([]rem, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := w * float64(total)
+		shares[i] = int(exact)
+		assigned += shares[i]
+		rems[i] = rem{idx: i, frac: exact - float64(shares[i])}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; assigned < total; i++ {
+		shares[rems[i%len(rems)].idx]++
+		assigned++
+	}
+	return shares
+}
+
+// Generate produces the data set: a slice of Points integer values in
+// cluster order (all points of cluster 1, then cluster 2, …). Use
+// Shuffled or Sorted to impose the insertion orders of §7.1/§7.2.
+func Generate(cfg Config) ([]int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centers := clusterCenters(cfg, rng)
+	sizes := clusterSizes(cfg, rng, centers)
+
+	values := make([]int, 0, cfg.Points)
+	for c, size := range sizes {
+		for range size {
+			values = append(values, drawValue(cfg, rng, centers[c]))
+		}
+	}
+	return values, nil
+}
+
+// clusterCenters places C cluster centers: the spreads between
+// consecutive centers are Zipf(SpreadSkew) magnitudes scaled to fill the
+// domain, assigned to positions in random order.
+func clusterCenters(cfg Config, rng *rand.Rand) []float64 {
+	c := cfg.Clusters
+	spreads := ZipfWeights(c, cfg.SpreadSkew)
+	// Shuffle the spread magnitudes so the wide and narrow gaps are
+	// interleaved across the domain rather than sorted.
+	rng.Shuffle(len(spreads), func(i, j int) { spreads[i], spreads[j] = spreads[j], spreads[i] })
+	centers := make([]float64, c)
+	pos := 0.0
+	for i, s := range spreads {
+		pos += s * float64(cfg.Domain)
+		centers[i] = pos * float64(c) / float64(c+1) // keep the last center inside the domain
+	}
+	return centers
+}
+
+// clusterSizes apportions the point budget across clusters by
+// Zipf(SizeSkew), pairing sizes with cluster positions according to the
+// configured correlation: random pairing, positive (largest cluster in
+// the widest gap) or negative (largest cluster in the narrowest gap).
+func clusterSizes(cfg Config, rng *rand.Rand, centers []float64) []int {
+	weights := ZipfWeights(cfg.Clusters, cfg.SizeSkew)
+	sizes := apportion(cfg.Points, weights)
+
+	switch cfg.Correlation {
+	case RandomCorrelation:
+		rng.Shuffle(len(sizes), func(i, j int) { sizes[i], sizes[j] = sizes[j], sizes[i] })
+	case PositiveCorrelation, NegativeCorrelation:
+		// Order clusters by the width of the gap they sit in.
+		gap := make([]float64, len(centers))
+		for i := range centers {
+			switch i {
+			case 0:
+				gap[i] = centers[i]
+			default:
+				gap[i] = centers[i] - centers[i-1]
+			}
+		}
+		idx := make([]int, len(centers))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return gap[idx[a]] > gap[idx[b]] })
+		ordered := make([]int, len(sizes))
+		for rank, clusterIdx := range idx {
+			if cfg.Correlation == PositiveCorrelation {
+				ordered[clusterIdx] = sizes[rank] // biggest size → widest gap
+			} else {
+				ordered[clusterIdx] = sizes[len(sizes)-1-rank]
+			}
+		}
+		sizes = ordered
+	}
+	return sizes
+}
+
+// drawValue samples one integer value for a cluster centered at center.
+func drawValue(cfg Config, rng *rand.Rand, center float64) int {
+	x := center
+	if cfg.SD > 0 {
+		switch cfg.Shape {
+		case Normal:
+			x += rng.NormFloat64() * cfg.SD
+		case Uniform:
+			half := cfg.SD * math.Sqrt(3)
+			x += (rng.Float64()*2 - 1) * half
+		case Exponential:
+			// Two-sided exponential with std dev SD: scale b = SD/√2.
+			mag := rng.ExpFloat64() * cfg.SD / math.Sqrt2
+			if rng.Intn(2) == 0 {
+				mag = -mag
+			}
+			x += mag
+		}
+	}
+	v := int(math.Round(x))
+	if v < 0 {
+		v = 0
+	}
+	if v > cfg.Domain {
+		v = cfg.Domain
+	}
+	return v
+}
+
+// Shuffled returns a copy of values in uniformly random order — the
+// "random insertions" workload of §7.1.
+func Shuffled(values []int, seed int64) []int {
+	out := make([]int, len(values))
+	copy(out, values)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Sorted returns a copy of values in increasing value order — the
+// "sorted insertions" workload of §7.2.
+func Sorted(values []int) []int {
+	out := make([]int, len(values))
+	copy(out, values)
+	sort.Ints(out)
+	return out
+}

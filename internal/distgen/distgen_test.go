@@ -1,0 +1,279 @@
+package distgen
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 0)
+	for _, x := range w {
+		if math.Abs(x-0.25) > 1e-12 {
+			t.Fatalf("z=0 weights not uniform: %v", w)
+		}
+	}
+	w = ZipfWeights(3, 1)
+	// 1, 1/2, 1/3 normalised by 11/6.
+	want := []float64{6.0 / 11, 3.0 / 11, 2.0 / 11}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("z=1 weights = %v, want %v", w, want)
+		}
+	}
+	// Higher skew concentrates more mass on the first element.
+	if ZipfWeights(10, 2)[0] <= ZipfWeights(10, 1)[0] {
+		t.Error("higher z must increase first weight")
+	}
+}
+
+func TestApportionExact(t *testing.T) {
+	f := func(total uint16, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		w := ZipfWeights(int(n), 1.3)
+		shares := apportion(int(total), w)
+		sum := 0
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == int(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := Config{Points: 5000, Domain: 1000, Clusters: 50, SizeSkew: 1, SpreadSkew: 1, SD: 2, Seed: 7}
+	values, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != cfg.Points {
+		t.Fatalf("got %d points, want %d", len(values), cfg.Points)
+	}
+	for _, v := range values {
+		if v < 0 || v > cfg.Domain {
+			t.Fatalf("value %d outside domain", v)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Reference(42)
+	cfg.Points = 2000
+	cfg.Clusters = 100
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateSDZeroCollapses(t *testing.T) {
+	cfg := Config{Points: 1000, Domain: 500, Clusters: 10, SizeSkew: 1, SpreadSkew: 1, SD: 0, Seed: 3}
+	values, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int]bool{}
+	for _, v := range values {
+		distinct[v] = true
+	}
+	if len(distinct) > cfg.Clusters {
+		t.Errorf("SD=0: %d distinct values for %d clusters", len(distinct), cfg.Clusters)
+	}
+}
+
+func TestGenerateSizeSkew(t *testing.T) {
+	// With very high Z, one cluster dominates.
+	cfg := Config{Points: 10000, Domain: 1000, Clusters: 20, SizeSkew: 3, SpreadSkew: 0, SD: 0, Seed: 5}
+	values, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, v := range values {
+		counts[v]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 0.5*float64(cfg.Points) {
+		t.Errorf("Z=3: dominant cluster holds %d of %d points, want > half", max, cfg.Points)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, shape := range []Shape{Normal, Uniform, Exponential} {
+		cfg := Config{Points: 20000, Domain: 2000, Clusters: 1, SizeSkew: 0, SpreadSkew: 0,
+			SD: 10, Shape: shape, Seed: 11}
+		values, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		mean, sd := meanSD(values)
+		if sd < 5 || sd > 15 {
+			t.Errorf("%v: sample SD %v, want ≈10", shape, sd)
+		}
+		_ = mean
+	}
+}
+
+func meanSD(values []int) (mean, sd float64) {
+	for _, v := range values {
+		mean += float64(v)
+	}
+	mean /= float64(len(values))
+	for _, v := range values {
+		d := float64(v) - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(values)))
+	return mean, sd
+}
+
+func TestGenerateCorrelations(t *testing.T) {
+	for _, corr := range []Correlation{RandomCorrelation, PositiveCorrelation, NegativeCorrelation} {
+		cfg := Config{Points: 5000, Domain: 1000, Clusters: 20, SizeSkew: 1.5, SpreadSkew: 1.5,
+			SD: 1, Correlation: corr, Seed: 13}
+		values, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", corr, err)
+		}
+		if len(values) != cfg.Points {
+			t.Fatalf("%v: wrong count", corr)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{Points: 0, Domain: 10, Clusters: 1},
+		{Points: 10, Domain: 0, Clusters: 1},
+		{Points: 10, Domain: 10, Clusters: 0},
+		{Points: 10, Domain: 10, Clusters: 100},
+		{Points: 10, Domain: 10, Clusters: 2, SizeSkew: -1},
+		{Points: 10, Domain: 10, Clusters: 2, SD: math.NaN()},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestShuffledAndSorted(t *testing.T) {
+	values := []int{5, 3, 9, 1, 1, 7}
+	s := Sorted(values)
+	if !sort.IntsAreSorted(s) {
+		t.Error("Sorted output not sorted")
+	}
+	if values[0] != 5 {
+		t.Error("Sorted must not mutate input")
+	}
+	sh := Shuffled(values, 1)
+	if len(sh) != len(values) {
+		t.Fatal("Shuffled changed length")
+	}
+	// Multiset preserved.
+	a, b := Sorted(values), Sorted(sh)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Shuffled changed multiset")
+		}
+	}
+	// Deterministic per seed.
+	sh2 := Shuffled(values, 1)
+	for i := range sh {
+		if sh[i] != sh2[i] {
+			t.Fatal("Shuffled not deterministic")
+		}
+	}
+}
+
+func TestMailOrder(t *testing.T) {
+	values := MailOrder(1)
+	if len(values) != MailOrderRecords {
+		t.Fatalf("got %d records, want %d", len(values), MailOrderRecords)
+	}
+	counts := map[int]int{}
+	for _, v := range values {
+		if v < 0 || v > MailOrderDomain {
+			t.Fatalf("value %d outside [0,%d]", v, MailOrderDomain)
+		}
+		counts[v]++
+	}
+	// "Spiky": many distinct values and a heavy top spike.
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct values; trace should be spiky across the domain", len(counts))
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 0.02*MailOrderRecords {
+		t.Errorf("largest spike %d too small for a spiky trace", max)
+	}
+	// Deterministic.
+	again := MailOrder(1)
+	for i := range values {
+		if values[i] != again[i] {
+			t.Fatal("MailOrder not deterministic")
+		}
+	}
+}
+
+func TestClusterCentersInsideDomain(t *testing.T) {
+	f := func(seed int64, s uint8) bool {
+		cfg := Config{Points: 100, Domain: 1000, Clusters: 30,
+			SpreadSkew: float64(s%4) * 0.75, SizeSkew: 1, SD: 0, Seed: seed}
+		values, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		for _, v := range values {
+			if v < 0 || v > cfg.Domain {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package distgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MailOrderRecords matches the size of the paper's proprietary trace:
+// 61,105 order amounts.
+const MailOrderRecords = 61105
+
+// MailOrderDomain matches the trace's dollar-amount domain [0, 500].
+const MailOrderDomain = 500
+
+// MailOrder generates the stand-in for the paper's §7.4 real-world
+// trace (dollar amounts collected by a mail order company), which is
+// proprietary and unavailable. The paper describes the data as "very
+// spiky": far more distinct modes than any affordable histogram has
+// buckets, which is what makes the measured KS decline slower than 1/n.
+//
+// The substitute reproduces that regime: Zipf-weighted point masses at
+// psychologically-priced dollar amounts (x9, x5 and round values — the
+// classic retail price points) over a log-normal background of odd
+// amounts, 61,105 records over [0, 500].
+func MailOrder(seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Price points: every $9.xx-style amount (9, 19, 29, …), every $5
+	// multiple, and a few dominant catalog staples near the low end.
+	var spikes []int
+	for v := 9; v <= MailOrderDomain; v += 10 {
+		spikes = append(spikes, v)
+	}
+	for v := 5; v <= MailOrderDomain; v += 5 {
+		spikes = append(spikes, v)
+	}
+	for _, v := range []int{12, 15, 20, 25, 35, 40, 60, 75, 100, 120, 150, 200, 250} {
+		spikes = append(spikes, v)
+	}
+	// Zipf weights over the spikes, shuffled so the heavy spikes land at
+	// scattered price points rather than monotonically.
+	weights := ZipfWeights(len(spikes), 1.0)
+	rng.Shuffle(len(spikes), func(i, j int) { spikes[i], spikes[j] = spikes[j], spikes[i] })
+
+	spikeFraction := 0.7 // 70% of orders hit a price point exactly
+	spikeCounts := apportion(int(spikeFraction*MailOrderRecords), weights)
+
+	values := make([]int, 0, MailOrderRecords)
+	for i, n := range spikeCounts {
+		for range n {
+			values = append(values, spikes[i])
+		}
+	}
+	// Log-normal background for the remaining odd amounts: median ≈ $33,
+	// long right tail clipped to the domain.
+	for len(values) < MailOrderRecords {
+		x := math.Exp(rng.NormFloat64()*0.9 + 3.5)
+		v := int(math.Round(x))
+		if v < 0 {
+			v = 0
+		}
+		if v > MailOrderDomain {
+			v = MailOrderDomain
+		}
+		values = append(values, v)
+	}
+	rng.Shuffle(len(values), func(i, j int) { values[i], values[j] = values[j], values[i] })
+	return values
+}

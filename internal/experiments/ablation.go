@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynahist/internal/core"
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+	"dynahist/internal/histogram"
+)
+
+// AblationSubBuckets reproduces the §4 design discussion: "dividing
+// each bucket into more than two parts … experimentation has shown that
+// all alternatives with a small number of sub-buckets (two or three)
+// have comparable performance, with finer subdivisions being worse."
+// The sweep varies the per-bucket sub-bucket count K of the DADO
+// algorithm at a fixed 1KB memory budget — more sub-buckets mean fewer
+// buckets, shifting resolution from borders to interiors.
+func AblationSubBuckets(o Options) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{
+		ID:     "ablation-subbucket",
+		Title:  "DADO sub-bucket count ablation (reference distribution, M=1KB)",
+		XLabel: "sub-buckets K",
+		YLabel: "KS statistic",
+	}
+	xs := []float64{2, 3, 4, 6, 8}
+	ys := make([]float64, len(xs))
+	mem := histogram.KB(1)
+	for xi, x := range xs {
+		k := int(x)
+		var kss []float64
+		for seed := range o.Seeds {
+			cfg := distgen.Reference(int64(seed + 1))
+			cfg.Points = o.Points
+			values, err := distgen.Generate(cfg)
+			if err != nil {
+				return fig, err
+			}
+			values = distgen.Shuffled(values, int64(seed+1))
+			h, err := core.NewDynamicMemory(core.AbsDeviation, mem, k)
+			if err != nil {
+				return fig, fmt.Errorf("K=%d: %w", k, err)
+			}
+			truth := dist.New(cfg.Domain)
+			if err := insertAll(h, truth, values); err != nil {
+				return fig, err
+			}
+			ks, err := ksOf(h, truth)
+			if err != nil {
+				return fig, err
+			}
+			kss = append(kss, ks)
+		}
+		ys[xi] = mean(kss)
+	}
+	fig.Series = append(fig.Series, Series{Label: "DADO-K", X: xs, Y: ys})
+	return fig, nil
+}
+
+// AblationAlphaMin reproduces the §3 sensitivity claim: "the algorithm
+// is quite insensitive to the value of αmin, as long as it is much less
+// than 1." It sweeps the DC chi-square threshold and reports both the
+// final KS and the border-relocation count (scaled by 1/1000), whose
+// explosion at large αmin is the paper's explanation for DC's errors.
+func AblationAlphaMin(o Options) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{
+		ID:     "ablation-alphamin",
+		Title:  "DC αmin sensitivity (reference distribution, M=1KB)",
+		XLabel: "alphaMin",
+		YLabel: "KS statistic / relocations·10⁻³",
+	}
+	xs := []float64{1e-12, 1e-9, 1e-6, 1e-3, 1e-1, 0.5}
+	ksY := make([]float64, len(xs))
+	relocY := make([]float64, len(xs))
+	mem := histogram.KB(1)
+	for xi, alpha := range xs {
+		var kss, relocs []float64
+		for seed := range o.Seeds {
+			cfg := distgen.Reference(int64(seed + 1))
+			cfg.Points = o.Points
+			values, err := distgen.Generate(cfg)
+			if err != nil {
+				return fig, err
+			}
+			values = distgen.Shuffled(values, int64(seed+1))
+			h, err := core.NewDCMemory(mem)
+			if err != nil {
+				return fig, err
+			}
+			if err := h.SetAlphaMin(alpha); err != nil {
+				return fig, err
+			}
+			truth := dist.New(cfg.Domain)
+			if err := insertAll(h, truth, values); err != nil {
+				return fig, err
+			}
+			ks, err := ksOf(h, truth)
+			if err != nil {
+				return fig, err
+			}
+			kss = append(kss, ks)
+			relocs = append(relocs, float64(h.Repartitions())/1000)
+		}
+		ksY[xi] = mean(kss)
+		relocY[xi] = mean(relocs)
+	}
+	fig.Series = append(fig.Series,
+		Series{Label: "DC KS", X: xs, Y: ksY},
+		Series{Label: "relocs/1000", X: xs, Y: relocY},
+	)
+	return fig, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynahist/internal/core"
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+	"dynahist/internal/histogram"
+	"dynahist/internal/metric"
+)
+
+// AblationSubdivision reproduces the other §4 design alternative the
+// paper explored: "using equi-depth divisions instead of equi-width
+// divisions" inside each bucket. It compares the standard DADO
+// (equi-width sub-buckets) against the equi-depth-subdivision variant
+// across the spread-skew sweep, at matched memory.
+func AblationSubdivision(o Options) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{
+		ID:     "ablation-subdivision",
+		Title:  "Sub-bucket division ablation: equi-width vs equi-depth (M=1KB)",
+		XLabel: "S",
+		YLabel: "KS statistic",
+	}
+	xs := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3}
+	mem := histogram.KB(1)
+	labels := []string{"DADO (equi-width)", "DADO (equi-depth)"}
+	results := make([][]float64, len(labels))
+	for i := range results {
+		results[i] = make([]float64, len(xs))
+	}
+	for xi, x := range xs {
+		perSeed := make([][]float64, len(labels))
+		for seed := range o.Seeds {
+			cfg := distgen.Reference(int64(seed + 1))
+			cfg.SpreadSkew = x
+			cfg.Points = o.Points
+			values, err := distgen.Generate(cfg)
+			if err != nil {
+				return fig, err
+			}
+			values = distgen.Shuffled(values, int64(seed+1))
+			hists := make([]updater, 2)
+			if hists[0], err = core.NewDADOMemory(mem); err != nil {
+				return fig, err
+			}
+			if hists[1], err = core.NewEDDadoMemory(core.AbsDeviation, mem); err != nil {
+				return fig, err
+			}
+			truth := dist.New(cfg.Domain)
+			for _, v := range values {
+				if err := truth.Insert(v); err != nil {
+					return fig, err
+				}
+				for _, h := range hists {
+					if err := h.Insert(float64(v)); err != nil {
+						return fig, err
+					}
+				}
+			}
+			for ai, h := range hists {
+				ks, err := ksOf(h, truth)
+				if err != nil {
+					return fig, err
+				}
+				perSeed[ai] = append(perSeed[ai], ks)
+			}
+		}
+		for ai := range labels {
+			results[ai][xi] = mean(perSeed[ai])
+		}
+	}
+	for ai, label := range labels {
+		fig.Series = append(fig.Series, Series{Label: label, X: xs, Y: results[ai]})
+	}
+	return fig, nil
+}
+
+// MetricComparison validates the paper's §6.2 claim that the Eq. (7)
+// average-relative-error metric, "although different from KS, gave
+// similar results in terms of relative performance": it scores the four
+// dynamic algorithms on the reference distribution under both metrics
+// and reports them side by side (series come in KS / Eq.7 pairs; the
+// orderings should agree).
+func MetricComparison(o Options) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{
+		ID:     "metric-comparison",
+		Title:  "KS vs Eq.(7) avg-relative-error orderings (reference distribution)",
+		XLabel: "S",
+		YLabel: "KS / (Eq.7 ÷ 1000)",
+	}
+	xs := []float64{0, 1, 2, 3}
+	specs := dynamicAlgos(histogram.KB(1))
+	nAlg := len(specs)
+	ksResults := make([][]float64, nAlg)
+	reResults := make([][]float64, nAlg)
+	for i := range ksResults {
+		ksResults[i] = make([]float64, len(xs))
+		reResults[i] = make([]float64, len(xs))
+	}
+	for xi, x := range xs {
+		ksSeed := make([][]float64, nAlg)
+		reSeed := make([][]float64, nAlg)
+		for seed := range o.Seeds {
+			cfg := distgen.Reference(int64(seed + 1))
+			cfg.SpreadSkew = x
+			cfg.Points = o.Points
+			values, err := distgen.Generate(cfg)
+			if err != nil {
+				return fig, err
+			}
+			values = distgen.Shuffled(values, int64(seed+1))
+			queries := metric.UniformQueries(cfg.Domain, 100)
+			for ai, spec := range specs {
+				h, err := spec.build(int64(seed + 1))
+				if err != nil {
+					return fig, fmt.Errorf("%s: %w", spec.name, err)
+				}
+				truth := dist.New(cfg.Domain)
+				if err := insertAll(h, truth, values); err != nil {
+					return fig, err
+				}
+				ks, err := ksOf(h, truth)
+				if err != nil {
+					return fig, err
+				}
+				estimator := func(lo, hi float64) float64 {
+					return (h.CDF(hi+1) - h.CDF(lo)) * float64(truth.Total())
+				}
+				re, err := metric.AvgRelativeError(estimator, truth, queries)
+				if err != nil {
+					return fig, err
+				}
+				ksSeed[ai] = append(ksSeed[ai], ks)
+				reSeed[ai] = append(reSeed[ai], re)
+			}
+		}
+		for ai := range specs {
+			ksResults[ai][xi] = mean(ksSeed[ai])
+			reResults[ai][xi] = mean(reSeed[ai])
+		}
+	}
+	for ai, spec := range specs {
+		fig.Series = append(fig.Series, Series{Label: spec.name + " KS", X: xs, Y: ksResults[ai]})
+	}
+	for ai, spec := range specs {
+		// Scale Eq.7 percentages down so both metrics share one table.
+		scaled := make([]float64, len(xs))
+		for i, v := range reResults[ai] {
+			scaled[i] = v / 1000
+		}
+		fig.Series = append(fig.Series, Series{Label: spec.name + " Eq7", X: xs, Y: scaled})
+	}
+	return fig, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"dynahist/internal/multidim"
+)
+
+// Ablation2D evaluates the multidimensional extension (the paper's
+// future-work direction): the adaptive BSP 2D histogram against a fixed
+// equal-area grid with the same bucket budget, on a clustered 2D
+// workload, across bucket budgets. The metric is the average relative
+// error of rectangle-query counts (the 2D analogue of the Eq. (7)
+// metric, since a 2D KS statistic has no canonical definition).
+func Ablation2D(o Options) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{
+		ID:     "ablation-2d",
+		Title:  "2D extension: adaptive BSP vs fixed grid (clustered data)",
+		XLabel: "buckets",
+		YLabel: "avg relative query error",
+	}
+	xs := []float64{16, 32, 64, 128, 256}
+	labels := []string{"adaptive 2D", "fixed grid"}
+	results := make([][]float64, len(labels))
+	for i := range results {
+		results[i] = make([]float64, len(xs))
+	}
+	domain := multidim.Rect{X0: 0, X1: 1000, Y0: 0, Y1: 1000}
+	for xi, x := range xs {
+		budget := int(x)
+		perSeed := make([][]float64, len(labels))
+		for seed := range o.Seeds {
+			points := clustered2D(o.Points, int64(seed+1))
+			adaptive, err := multidim.New2D(domain, budget)
+			if err != nil {
+				return fig, err
+			}
+			grid, err := multidim.NewGrid2DBudget(domain, budget)
+			if err != nil {
+				return fig, err
+			}
+			for _, p := range points {
+				if err := adaptive.Insert(p); err != nil {
+					return fig, err
+				}
+				if err := grid.Insert(p); err != nil {
+					return fig, err
+				}
+			}
+			queries := queryRects2D(domain, 50, int64(seed+100))
+			errA := avgRelErr2D(adaptive.EstimateRect, points, queries)
+			errG := avgRelErr2D(grid.EstimateRect, points, queries)
+			perSeed[0] = append(perSeed[0], errA)
+			perSeed[1] = append(perSeed[1], errG)
+		}
+		for ai := range labels {
+			results[ai][xi] = mean(perSeed[ai])
+		}
+	}
+	for ai, label := range labels {
+		fig.Series = append(fig.Series, Series{Label: label, X: xs, Y: results[ai]})
+	}
+	return fig, nil
+}
+
+// clustered2D draws n points from a five-cluster Gaussian mixture.
+func clustered2D(n int, seed int64) []multidim.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]float64{{150, 200}, {700, 150}, {400, 600}, {850, 800}, {200, 850}}
+	out := make([]multidim.Point, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		out[i] = multidim.Point{
+			X: math.Min(math.Max(c[0]+rng.NormFloat64()*60, 0), 999.99),
+			Y: math.Min(math.Max(c[1]+rng.NormFloat64()*60, 0), 999.99),
+		}
+	}
+	return out
+}
+
+// queryRects2D returns q random query rectangles of varied sizes.
+func queryRects2D(domain multidim.Rect, q int, seed int64) []multidim.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]multidim.Rect, q)
+	for i := range out {
+		w := 50 + rng.Float64()*300
+		h := 50 + rng.Float64()*300
+		x0 := domain.X0 + rng.Float64()*(domain.Width()-w)
+		y0 := domain.Y0 + rng.Float64()*(domain.Height()-h)
+		out[i] = multidim.Rect{X0: x0, X1: x0 + w, Y0: y0, Y1: y0 + h}
+	}
+	return out
+}
+
+// avgRelErr2D measures Σ|est−exact|/exact over queries with non-empty
+// exact answers.
+func avgRelErr2D(estimate func(multidim.Rect) float64, points []multidim.Point, queries []multidim.Rect) float64 {
+	sum, used := 0.0, 0
+	for _, q := range queries {
+		exact := 0
+		for _, p := range points {
+			if q.Contains(p) {
+				exact++
+			}
+		}
+		if exact == 0 {
+			continue
+		}
+		sum += math.Abs(estimate(q)-float64(exact)) / float64(exact)
+		used++
+	}
+	if used == 0 {
+		return 0
+	}
+	return sum / float64(used)
+}

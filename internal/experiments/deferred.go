@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/histogram"
+	"dynahist/internal/static"
+)
+
+// deferredStatic adapts a static constructor to the streaming updater
+// interface used by the sweeps: it accumulates the exact multiset and
+// (re)builds the static histogram lazily at evaluation time. This is
+// how the paper treats SC in the dynamic comparisons — the static
+// algorithm is given the whole data set ("construction of a SC
+// histogram requires sorting of the input data set and for this purpose
+// it was given as much memory as needed").
+type deferredStatic struct {
+	kind     static.Kind
+	memBytes int
+
+	counts map[int]int64
+	total  int64
+	maxV   int
+
+	dirty  bool
+	cached *histogram.Piecewise
+}
+
+func newDeferredStatic(memBytes int) (updater, error) {
+	return newDeferredStaticKind(static.KindCompressed, memBytes)
+}
+
+func newDeferredStaticKind(kind static.Kind, memBytes int) (updater, error) {
+	if memBytes < 1 {
+		return nil, errors.New("experiments: static memory budget < 1")
+	}
+	return &deferredStatic{kind: kind, memBytes: memBytes, counts: map[int]int64{}, dirty: true}, nil
+}
+
+func (d *deferredStatic) Insert(v float64) error {
+	if err := histogram.CheckFinite(v); err != nil {
+		return err
+	}
+	iv := int(math.Round(v))
+	if iv < 0 {
+		iv = 0
+	}
+	d.counts[iv]++
+	d.total++
+	if iv > d.maxV {
+		d.maxV = iv
+	}
+	d.dirty = true
+	return nil
+}
+
+func (d *deferredStatic) Delete(v float64) error {
+	if err := histogram.CheckFinite(v); err != nil {
+		return err
+	}
+	iv := int(math.Round(v))
+	if d.counts[iv] == 0 {
+		return errors.New("experiments: delete of absent value from static multiset")
+	}
+	d.counts[iv]--
+	if d.counts[iv] == 0 {
+		delete(d.counts, iv)
+	}
+	d.total--
+	d.dirty = true
+	return nil
+}
+
+func (d *deferredStatic) CDF(x float64) float64 {
+	h := d.current()
+	if h == nil {
+		return 0
+	}
+	return h.CDF(x)
+}
+
+func (d *deferredStatic) current() *histogram.Piecewise {
+	if !d.dirty {
+		return d.cached
+	}
+	d.dirty = false
+	d.cached = nil
+	if d.total == 0 {
+		return nil
+	}
+	tr := dist.New(d.maxV)
+	for v, c := range d.counts {
+		if err := tr.InsertN(v, c); err != nil {
+			return nil
+		}
+	}
+	h, err := static.BuildMemory(d.kind, tr, d.memBytes)
+	if err != nil {
+		return nil
+	}
+	d.cached = h
+	return h
+}

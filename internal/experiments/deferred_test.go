@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"dynahist/internal/static"
+)
+
+func TestDeferredStaticBasics(t *testing.T) {
+	d, err := newDeferredStatic(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CDF(10) != 0 {
+		t.Error("empty deferred static should have zero CDF")
+	}
+	for v := range 100 {
+		for range 3 {
+			if err := d.Insert(float64(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// CDF rebuilt lazily and normalised.
+	if got := d.CDF(100); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF(max) = %v, want 1", got)
+	}
+	if got := d.CDF(49); math.Abs(got-0.5) > 0.1 {
+		t.Errorf("CDF(49) = %v, want ≈0.5", got)
+	}
+	// Delete updates the underlying multiset.
+	if err := d.Delete(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(50); err == nil {
+		t.Error("deleting a 4th copy of 50: want error")
+	}
+	if err := d.Insert(math.NaN()); err == nil {
+		t.Error("Insert(NaN): want error")
+	}
+	if err := d.Delete(math.Inf(1)); err == nil {
+		t.Error("Delete(Inf): want error")
+	}
+}
+
+func TestDeferredStaticKinds(t *testing.T) {
+	for _, kind := range []static.Kind{static.KindCompressed, static.KindEquiDepth, static.KindSSBM} {
+		d, err := newDeferredStaticKind(kind, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range 200 {
+			if err := d.Insert(float64(v % 50)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev := 0.0
+		for x := -1.0; x <= 51; x += 1 {
+			c := d.CDF(x)
+			if c < prev-1e-12 || c < 0 || c > 1+1e-12 {
+				t.Fatalf("%v: CDF not monotone at %v", kind, x)
+			}
+			prev = c
+		}
+	}
+	if _, err := newDeferredStaticKind(static.KindSSBM, 0); err == nil {
+		t.Error("0 bytes: want error")
+	}
+}
+
+func TestDeferredStaticCaches(t *testing.T) {
+	d, err := newDeferredStatic(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range 50 {
+		if err := d.Insert(float64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := d.(*deferredStatic)
+	_ = d.CDF(25)
+	first := ds.cached
+	_ = d.CDF(30)
+	if ds.cached != first {
+		t.Error("CDF without intervening update must reuse the cache")
+	}
+	if err := d.Insert(1); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.CDF(25)
+	if ds.cached == first {
+		t.Error("update must invalidate the cache")
+	}
+}

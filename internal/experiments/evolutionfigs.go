@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynahist/internal/approx"
+	"dynahist/internal/core"
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+	"dynahist/internal/histogram"
+)
+
+// checkpointFractions are the data fractions at which Figs. 16–18
+// sample the error.
+var checkpointFractions = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Fig16 reproduces Figure 16: error vs the fraction of data inserted,
+// with sorted insertions, for DADO, AC and SC on the reference
+// distribution.
+func Fig16(o Options) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{
+		ID:     "fig16",
+		Title:  "Error vs volume of inserts (sorted order, S=1 Z=1 SD=2)",
+		XLabel: "fraction inserted",
+		YLabel: "KS statistic",
+	}
+	mem := histogram.KB(1)
+	labels := []string{"DADO", "AC", "SC"}
+	results := make([][]float64, len(labels))
+	for i := range results {
+		results[i] = make([]float64, len(checkpointFractions))
+	}
+	for seed := range o.Seeds {
+		cfg := distgen.Reference(int64(seed + 1))
+		cfg.Points = o.Points
+		values, err := distgen.Generate(cfg)
+		if err != nil {
+			return fig, err
+		}
+		values = distgen.Sorted(values)
+		hists := make([]updater, 3)
+		if hists[0], err = core.NewDADOMemory(mem); err != nil {
+			return fig, err
+		}
+		if hists[1], err = approx.New(mem, approx.DefaultDiskFactor, int64(seed+1)); err != nil {
+			return fig, err
+		}
+		if hists[2], err = newDeferredStatic(mem); err != nil {
+			return fig, err
+		}
+		truth := dist.New(cfg.Domain)
+		next := 0
+		for ci, frac := range checkpointFractions {
+			upto := int(frac * float64(len(values)))
+			for ; next < upto; next++ {
+				v := values[next]
+				if err := truth.Insert(v); err != nil {
+					return fig, err
+				}
+				for _, h := range hists {
+					if err := h.Insert(float64(v)); err != nil {
+						return fig, err
+					}
+				}
+			}
+			for ai, h := range hists {
+				ks, err := ksOf(h, truth)
+				if err != nil {
+					return fig, err
+				}
+				results[ai][ci] += ks / float64(o.Seeds)
+			}
+		}
+	}
+	for ai, label := range labels {
+		fig.Series = append(fig.Series, Series{Label: label, X: checkpointFractions, Y: results[ai]})
+	}
+	return fig, nil
+}
+
+// deleteFractions are the deleted-data fractions of Figs. 17–18.
+var deleteFractions = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+
+// deletionSweep drives Figs. 17 and 18: load the full data set (in the
+// given order), then delete random points, sampling the error of DADO
+// and AC at each deleted fraction.
+func deletionSweep(o Options, id, title string, sorted bool) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{ID: id, Title: title, XLabel: "fraction deleted", YLabel: "KS statistic"}
+	mem := histogram.KB(1)
+	labels := []string{"DADO", "AC"}
+	results := make([][]float64, len(labels))
+	for i := range results {
+		results[i] = make([]float64, len(deleteFractions))
+	}
+	for seed := range o.Seeds {
+		cfg := distgen.Reference(int64(seed + 1))
+		cfg.Clusters = 1000
+		cfg.Points = o.Points
+		values, err := distgen.Generate(cfg)
+		if err != nil {
+			return fig, err
+		}
+		if sorted {
+			values = distgen.Sorted(values)
+		} else {
+			values = distgen.Shuffled(values, int64(seed+1))
+		}
+		hists := make([]updater, 2)
+		if hists[0], err = core.NewDADOMemory(mem); err != nil {
+			return fig, err
+		}
+		if hists[1], err = approx.New(mem, approx.DefaultDiskFactor, int64(seed+1)); err != nil {
+			return fig, err
+		}
+		truth := dist.New(cfg.Domain)
+		for _, v := range values {
+			if err := truth.Insert(v); err != nil {
+				return fig, err
+			}
+			for _, h := range hists {
+				if err := h.Insert(float64(v)); err != nil {
+					return fig, err
+				}
+			}
+		}
+		// Delete in uniformly random order of the inserted points.
+		order := distgen.Shuffled(values, int64(seed+1000))
+		next := 0
+		for ci, frac := range deleteFractions {
+			upto := int(frac * float64(len(order)))
+			for ; next < upto; next++ {
+				v := order[next]
+				if err := truth.Delete(v); err != nil {
+					return fig, err
+				}
+				for _, h := range hists {
+					if err := h.Delete(float64(v)); err != nil {
+						return fig, err
+					}
+				}
+			}
+			for ai, h := range hists {
+				ks, err := ksOf(h, truth)
+				if err != nil {
+					return fig, err
+				}
+				results[ai][ci] += ks / float64(o.Seeds)
+			}
+		}
+	}
+	for ai, label := range labels {
+		fig.Series = append(fig.Series, Series{Label: label, X: deleteFractions, Y: results[ai]})
+	}
+	return fig, nil
+}
+
+// Fig17 reproduces Figure 17: error vs the fraction of data deleted,
+// after random insertions (C=1000, M=1KB).
+func Fig17(o Options) (Figure, error) {
+	return deletionSweep(o, "fig17", "Error vs volume of random deletes (S=1 Z=1 SD=2 C=1000 M=1KB)", false)
+}
+
+// Fig18 reproduces Figure 18: random deletes after sorted inserts —
+// the regime where DADO's spill policy struggles (§7.3).
+func Fig18(o Options) (Figure, error) {
+	return deletionSweep(o, "fig18", "Random deletes after sorted inserts (S=1 Z=1 SD=2 C=1000 M=1KB)", true)
+}
+
+// Sec731 reproduces the §7.3.1 experiment the paper describes but omits
+// for space: sorted insertions with a 25% random-deletion rate, error
+// tracked against the fraction of the stream processed; the paper
+// reports results "similar to the experiments without deletions"
+// (Fig. 16).
+func Sec731(o Options) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{
+		ID:     "sec731",
+		Title:  "Sorted inserts with 25% delete rate (S=1 Z=1 SD=2 M=1KB)",
+		XLabel: "fraction processed",
+		YLabel: "KS statistic",
+	}
+	mem := histogram.KB(1)
+	ys := make([]float64, len(checkpointFractions))
+	for seed := range o.Seeds {
+		cfg := distgen.Reference(int64(seed + 1))
+		cfg.Points = o.Points
+		values, err := distgen.Generate(cfg)
+		if err != nil {
+			return fig, err
+		}
+		values = distgen.Sorted(values)
+		h, err := core.NewDADOMemory(mem)
+		if err != nil {
+			return fig, err
+		}
+		truth := dist.New(cfg.Domain)
+		rng := rand.New(rand.NewSource(int64(seed + 1)))
+		var live []int
+		next := 0
+		for ci, frac := range checkpointFractions {
+			upto := int(frac * float64(len(values)))
+			for ; next < upto; next++ {
+				v := values[next]
+				if err := truth.Insert(v); err != nil {
+					return fig, err
+				}
+				if err := h.Insert(float64(v)); err != nil {
+					return fig, err
+				}
+				live = append(live, v)
+				// After every insertion one random live tuple is deleted
+				// with probability 25%.
+				if len(live) > 1 && rng.Float64() < 0.25 {
+					pick := rng.Intn(len(live))
+					dv := live[pick]
+					live[pick] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if err := truth.Delete(dv); err != nil {
+						return fig, err
+					}
+					if err := h.Delete(float64(dv)); err != nil {
+						return fig, err
+					}
+				}
+			}
+			ks, err := ksOf(h, truth)
+			if err != nil {
+				return fig, fmt.Errorf("sec731: %w", err)
+			}
+			ys[ci] += ks / float64(o.Seeds)
+		}
+	}
+	fig.Series = append(fig.Series, Series{Label: "DADO", X: checkpointFractions, Y: ys})
+	return fig, nil
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps each figure runner fast enough for unit tests.
+func tinyOptions() Options {
+	return Options{Seeds: 1, Points: 6000, Quick: true}
+}
+
+func runFig(t *testing.T, id string) Figure {
+	t.Helper()
+	runner, ok := Registry[id]
+	if !ok {
+		t.Fatalf("no runner for %s", id)
+	}
+	fig, err := runner(tinyOptions())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if fig.ID != id {
+		t.Fatalf("runner %s returned figure %s", id, fig.ID)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatalf("%s: no series", id)
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("%s series %s: X/Y length mismatch (%d/%d)", id, s.Label, len(s.X), len(s.Y))
+		}
+	}
+	return fig
+}
+
+func seriesByLabel(t *testing.T, fig Figure, label string) Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("%s: no series %q", fig.ID, label)
+	return Series{}
+}
+
+func meanY(s Series) float64 {
+	sum := 0.0
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}
+
+func assertAllFinitePositiveKS(t *testing.T, fig Figure) {
+	t.Helper()
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Errorf("%s/%s[%d]: KS %v outside [0,1]", fig.ID, s.Label, i, y)
+			}
+		}
+	}
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() returned %d of %d", len(ids), len(Registry))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs() not sorted")
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	fig := Figure{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.25}}},
+	}
+	var sb strings.Builder
+	if err := fig.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"figX", "demo", "a", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5DynamicComparison(t *testing.T) {
+	fig := runFig(t, "fig5")
+	assertAllFinitePositiveKS(t, fig)
+	dado := seriesByLabel(t, fig, "DADO")
+	dc := seriesByLabel(t, fig, "DC")
+	// Paper: DADO is the best dynamic histogram on average.
+	if meanY(dado) > meanY(dc) {
+		t.Errorf("DADO (%.4f) should beat DC (%.4f) on average", meanY(dado), meanY(dc))
+	}
+}
+
+func TestFig6Ordering(t *testing.T) {
+	fig := runFig(t, "fig6")
+	assertAllFinitePositiveKS(t, fig)
+	dado := seriesByLabel(t, fig, "DADO")
+	ac := seriesByLabel(t, fig, "AC")
+	if meanY(dado) > meanY(ac) {
+		t.Errorf("DADO (%.4f) should beat AC (%.4f) on average (paper Figs. 5-8)", meanY(dado), meanY(ac))
+	}
+}
+
+func TestFig7Runs(t *testing.T) { assertAllFinitePositiveKS(t, runFig(t, "fig7")) }
+func TestFig8MemoryTrend(t *testing.T) {
+	fig := runFig(t, "fig8")
+	assertAllFinitePositiveKS(t, fig)
+	// More memory must help DADO: last point better than first.
+	dado := seriesByLabel(t, fig, "DADO")
+	if dado.Y[len(dado.Y)-1] > dado.Y[0] {
+		t.Errorf("DADO KS should fall with memory: %v -> %v", dado.Y[0], dado.Y[len(dado.Y)-1])
+	}
+}
+
+func TestFig9StaticsComparable(t *testing.T) {
+	fig := runFig(t, "fig9")
+	assertAllFinitePositiveKS(t, fig)
+	svo := seriesByLabel(t, fig, "SVO")
+	sado := seriesByLabel(t, fig, "SADO")
+	// Paper: optimising variance or average deviation makes essentially
+	// no difference in the static case.
+	if d := meanY(svo) - meanY(sado); d > 0.05 || d < -0.05 {
+		t.Errorf("SVO (%.4f) and SADO (%.4f) should be close", meanY(svo), meanY(sado))
+	}
+	// DADO comes close to the statics: within a generous factor.
+	dado := seriesByLabel(t, fig, "DADO")
+	if meanY(dado) > 6*meanY(svo)+0.06 {
+		t.Errorf("DADO (%.4f) too far from SVO (%.4f)", meanY(dado), meanY(svo))
+	}
+}
+
+func TestFig10Runs(t *testing.T) { assertAllFinitePositiveKS(t, runFig(t, "fig10")) }
+func TestFig11Runs(t *testing.T) { assertAllFinitePositiveKS(t, runFig(t, "fig11")) }
+func TestFig12Runs(t *testing.T) { assertAllFinitePositiveKS(t, runFig(t, "fig12")) }
+
+func TestFig13TimingOrder(t *testing.T) {
+	fig := runFig(t, "fig13")
+	svo := seriesByLabel(t, fig, "SVO")
+	ssbm := seriesByLabel(t, fig, "SSBM")
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0 {
+				t.Errorf("%s[%d]: negative time %v", s.Label, i, y)
+			}
+		}
+	}
+	// Paper Fig. 13: SVO construction is far more expensive than SSBM.
+	if meanY(svo) < meanY(ssbm) {
+		t.Errorf("SVO (%.4fs) should cost more than SSBM (%.4fs)", meanY(svo), meanY(ssbm))
+	}
+}
+
+func TestFig14DiskFactors(t *testing.T) {
+	fig := runFig(t, "fig14")
+	assertAllFinitePositiveKS(t, fig)
+	ac20 := seriesByLabel(t, fig, "AC20X")
+	ac60 := seriesByLabel(t, fig, "AC60X")
+	// More disk helps AC. (The paper's second claim — DADO beats even
+	// AC60X — only holds when the data volume dwarfs the backing
+	// sample, i.e. at full 100k-point fidelity; at this test's tiny
+	// scale the sample holds nearly the whole data set, so that
+	// ordering is checked by the full harness, not here.)
+	if meanY(ac60) > meanY(ac20)+0.01 {
+		t.Errorf("AC60X (%.4f) should not be worse than AC20X (%.4f)", meanY(ac60), meanY(ac20))
+	}
+}
+
+func TestFig15SortedInserts(t *testing.T) {
+	fig := runFig(t, "fig15")
+	assertAllFinitePositiveKS(t, fig)
+	dado := seriesByLabel(t, fig, "DADO")
+	ac := seriesByLabel(t, fig, "AC20X")
+	// Paper: DADO under sorted input is "comparable or better" than AC.
+	if meanY(dado) > 2*meanY(ac)+0.02 {
+		t.Errorf("DADO (%.4f) should stay comparable to AC (%.4f) under sorted inserts", meanY(dado), meanY(ac))
+	}
+}
+
+func TestFig16Stabilises(t *testing.T) {
+	fig := runFig(t, "fig16")
+	assertAllFinitePositiveKS(t, fig)
+	dado := seriesByLabel(t, fig, "DADO")
+	// Paper Fig. 16: the DADO error reaches a stable point — the last
+	// value must not be dramatically above the middle of the curve.
+	midIdx := len(dado.Y) / 2
+	last := dado.Y[len(dado.Y)-1]
+	if last > 3*dado.Y[midIdx]+0.03 {
+		t.Errorf("DADO error still growing at the end: mid %.4f -> last %.4f", dado.Y[midIdx], last)
+	}
+}
+
+func TestFig17ACDegrades(t *testing.T) {
+	fig := runFig(t, "fig17")
+	assertAllFinitePositiveKS(t, fig)
+	ac := seriesByLabel(t, fig, "AC")
+	dado := seriesByLabel(t, fig, "DADO")
+	// Paper Fig. 17: deletions hurt AC (shrinking sample) more than
+	// DADO by the end of the sweep.
+	lastAC, lastDADO := ac.Y[len(ac.Y)-1], dado.Y[len(dado.Y)-1]
+	if lastDADO > lastAC {
+		t.Errorf("after heavy random deletion DADO (%.4f) should beat AC (%.4f)", lastDADO, lastAC)
+	}
+}
+
+func TestFig18Runs(t *testing.T) { assertAllFinitePositiveKS(t, runFig(t, "fig18")) }
+func TestFig19Runs(t *testing.T) {
+	fig := runFig(t, "fig19")
+	assertAllFinitePositiveKS(t, fig)
+	dado := seriesByLabel(t, fig, "DADO")
+	// More memory helps on the spiky trace too.
+	if dado.Y[len(dado.Y)-1] > dado.Y[0] {
+		t.Errorf("DADO KS should fall with memory on the mail-order trace")
+	}
+}
+
+func TestFig20UnionStrategies(t *testing.T) {
+	fig := runFig(t, "fig20")
+	assertAllFinitePositiveKS(t, fig)
+	a := seriesByLabel(t, fig, "histogram + union")
+	b := seriesByLabel(t, fig, "union + histogram")
+	// Paper §8: the strategies are approximately of the same quality.
+	if d := meanY(a) - meanY(b); d > 0.05 || d < -0.05 {
+		t.Errorf("union strategies diverge: %.4f vs %.4f", meanY(a), meanY(b))
+	}
+}
+
+func TestFig21Runs(t *testing.T) { assertAllFinitePositiveKS(t, runFig(t, "fig21")) }
+func TestFig22Runs(t *testing.T) { assertAllFinitePositiveKS(t, runFig(t, "fig22")) }
+func TestFig23Runs(t *testing.T) { assertAllFinitePositiveKS(t, runFig(t, "fig23")) }
+
+func TestSec731Stable(t *testing.T) {
+	fig := runFig(t, "sec731")
+	assertAllFinitePositiveKS(t, fig)
+}
+
+func TestAblationSubBuckets(t *testing.T) {
+	fig := runFig(t, "ablation-subbucket")
+	assertAllFinitePositiveKS(t, fig)
+	s := fig.Series[0]
+	// Paper §4: finer subdivisions are worse — K=8 should not beat K=2
+	// decisively.
+	if s.Y[len(s.Y)-1]+0.005 < s.Y[0]/2 {
+		t.Errorf("K=8 (%v) dramatically better than K=2 (%v), contradicting the paper", s.Y[len(s.Y)-1], s.Y[0])
+	}
+}
+
+func TestAblationAlphaMin(t *testing.T) {
+	fig := runFig(t, "ablation-alphamin")
+	ks := seriesByLabel(t, fig, "DC KS")
+	relocs := seriesByLabel(t, fig, "relocs/1000")
+	for i, y := range ks.Y {
+		if y < 0 || y > 1 {
+			t.Errorf("KS[%d] = %v outside [0,1]", i, y)
+		}
+	}
+	// Larger αmin must not reduce the number of relocations.
+	if relocs.Y[len(relocs.Y)-1] < relocs.Y[0] {
+		t.Errorf("relocations should grow with αmin: %v -> %v", relocs.Y[0], relocs.Y[len(relocs.Y)-1])
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Seeds != 10 || o.Points != 100000 {
+		t.Errorf("zero options should default to paper settings: %+v", o)
+	}
+	q := Options{Seeds: 50, Points: 500000, Quick: true}.normalized()
+	if q.Seeds > 2 || q.Points > 20000 {
+		t.Errorf("quick mode should cap settings: %+v", q)
+	}
+}
+
+func TestAblationSubdivision(t *testing.T) {
+	fig := runFig(t, "ablation-subdivision")
+	assertAllFinitePositiveKS(t, fig)
+	ew := seriesByLabel(t, fig, "DADO (equi-width)")
+	ed := seriesByLabel(t, fig, "DADO (equi-depth)")
+	// Paper §4: the alternatives "have comparable performance" — the
+	// variants must stay within a loose factor of each other.
+	if meanY(ed) > 5*meanY(ew)+0.05 || meanY(ew) > 5*meanY(ed)+0.05 {
+		t.Errorf("subdivision variants diverge: EW %.4f vs ED %.4f", meanY(ew), meanY(ed))
+	}
+}
+
+func TestMetricComparisonOrderings(t *testing.T) {
+	fig := runFig(t, "metric-comparison")
+	// §6.2 claim: the Eq. (7) metric "gave similar results in terms of
+	// relative performance" as KS. For every pair of algorithms whose
+	// KS scores are decisively separated (>2.5x apart — at this test's
+	// tiny scale closer calls are noise), the Eq. (7) metric must agree
+	// on the winner.
+	algos := []string{"DC", "DADO", "AC", "DVO"}
+	for i := range algos {
+		for j := i + 1; j < len(algos); j++ {
+			ksI := meanY(seriesByLabel(t, fig, algos[i]+" KS"))
+			ksJ := meanY(seriesByLabel(t, fig, algos[j]+" KS"))
+			reI := meanY(seriesByLabel(t, fig, algos[i]+" Eq7"))
+			reJ := meanY(seriesByLabel(t, fig, algos[j]+" Eq7"))
+			lo, hi := ksI, ksJ
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if hi < 2.5*lo {
+				continue // too close to call — no ordering to agree on
+			}
+			if (ksI < ksJ) != (reI < reJ) {
+				t.Errorf("metrics disagree on %s vs %s: KS %.4f/%.4f, Eq7 %.4f/%.4f",
+					algos[i], algos[j], ksI, ksJ, reI, reJ)
+			}
+		}
+	}
+}
+
+func TestAblation2D(t *testing.T) {
+	fig := runFig(t, "ablation-2d")
+	adaptive := seriesByLabel(t, fig, "adaptive 2D")
+	grid := seriesByLabel(t, fig, "fixed grid")
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0 {
+				t.Errorf("%s[%d]: negative error %v", s.Label, i, y)
+			}
+		}
+	}
+	// The adaptive partition must beat the fixed grid on clustered data
+	// on average across budgets.
+	if meanY(adaptive) > meanY(grid) {
+		t.Errorf("adaptive (%.4f) should beat fixed grid (%.4f) on clustered data",
+			meanY(adaptive), meanY(grid))
+	}
+	// More buckets must help the adaptive histogram.
+	if adaptive.Y[len(adaptive.Y)-1] > adaptive.Y[0] {
+		t.Errorf("adaptive error should fall with budget: %v -> %v",
+			adaptive.Y[0], adaptive.Y[len(adaptive.Y)-1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	fig := Figure{
+		ID: "figX", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a,b", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+			{Label: "c", X: []float64{1, 2}, Y: []float64{0.125}},
+		},
+	}
+	var sb strings.Builder
+	if err := fig.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], `"a,b"`) {
+		t.Errorf("comma-bearing label must be quoted: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,0.5") {
+		t.Errorf("row 1 = %s", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Errorf("short series should leave an empty cell: %s", lines[2])
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dynahist/internal/core"
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+	"dynahist/internal/histogram"
+	"dynahist/internal/metric"
+	"dynahist/internal/static"
+)
+
+// staticComparisonMem is the paper's memory budget for Figs. 9–12
+// (0.14 KB).
+const staticComparisonMemKB = 0.14
+
+// staticSweep runs the Figs. 9–12 comparison: SADO, SVO, SC, DADO and
+// SSBM on a C=50 workload, sweeping one parameter. The static
+// histograms are built from the complete exact distribution; DADO sees
+// the data as a random insertion stream.
+func staticSweep(o Options, id, title, xLabel string, xs []float64,
+	makeCfg func(x float64, seed int64) distgen.Config,
+	memOf func(x float64) float64,
+) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{ID: id, Title: title, XLabel: xLabel, YLabel: "KS statistic"}
+	labels := []string{"SADO", "SVO", "SC", "DADO", "SSBM"}
+	results := make([][]float64, len(labels))
+	for i := range results {
+		results[i] = make([]float64, len(xs))
+	}
+	for xi, x := range xs {
+		mem := histogram.KB(memOf(x))
+		perSeed := make([][]float64, len(labels))
+		for seed := range o.Seeds {
+			cfg := makeCfg(x, int64(seed+1))
+			cfg.Points = o.Points
+			values, err := distgen.Generate(cfg)
+			if err != nil {
+				return fig, fmt.Errorf("%s: %w", id, err)
+			}
+			truth := dist.New(cfg.Domain)
+			for _, v := range values {
+				if err := truth.Insert(v); err != nil {
+					return fig, err
+				}
+			}
+			kss, err := staticComparisonKS(values, truth, mem, int64(seed+1))
+			if err != nil {
+				return fig, fmt.Errorf("%s x=%v: %w", id, x, err)
+			}
+			for ai := range labels {
+				perSeed[ai] = append(perSeed[ai], kss[ai])
+			}
+		}
+		for ai := range labels {
+			results[ai][xi] = mean(perSeed[ai])
+		}
+	}
+	for ai, label := range labels {
+		fig.Series = append(fig.Series, Series{Label: label, X: xs, Y: results[ai]})
+	}
+	return fig, nil
+}
+
+// staticComparisonKS returns the KS of SADO, SVO, SC, DADO, SSBM (in
+// that order) on the given data at the given memory budget.
+func staticComparisonKS(values []int, truth *dist.Tracker, mem int, seed int64) ([5]float64, error) {
+	var out [5]float64
+	builders := []static.Kind{static.KindSADO, static.KindVOptimal, static.KindCompressed}
+	for i, kind := range builders {
+		h, err := static.BuildMemory(kind, truth, mem)
+		if err != nil {
+			return out, fmt.Errorf("%v: %w", kind, err)
+		}
+		ks, err := metric.KS(h.CDF, truth)
+		if err != nil {
+			return out, err
+		}
+		out[i] = ks
+	}
+	// DADO consumes the stream in random order.
+	dado, err := core.NewDADOMemory(mem)
+	if err != nil {
+		return out, err
+	}
+	for _, v := range distgen.Shuffled(values, seed) {
+		if err := dado.Insert(float64(v)); err != nil {
+			return out, err
+		}
+	}
+	ks, err := metric.KS(dado.CDF, truth)
+	if err != nil {
+		return out, err
+	}
+	out[3] = ks
+	// SSBM.
+	ssbm, err := static.SSBMMemory(truth, mem)
+	if err != nil {
+		return out, err
+	}
+	ks, err = metric.KS(ssbm.CDF, truth)
+	if err != nil {
+		return out, err
+	}
+	out[4] = ks
+	return out, nil
+}
+
+// fig9Cfg is the Figs. 9–12 base configuration: C=50, SD=1.
+func fig9Cfg(seed int64) distgen.Config {
+	cfg := distgen.Reference(seed)
+	cfg.Clusters = 50
+	cfg.SD = 1
+	return cfg
+}
+
+// Fig9 reproduces Figure 9: static comparison, KS vs spread skew S
+// (fixed Z=1, SD=1, C=50, M=0.14KB).
+func Fig9(o Options) (Figure, error) {
+	return staticSweep(o, "fig9", "Static comparison: KS vs S (Z=1 SD=1 C=50 M=0.14KB)", "S",
+		[]float64{0, 0.5, 1, 1.5, 2, 2.5, 3},
+		func(x float64, seed int64) distgen.Config {
+			cfg := fig9Cfg(seed)
+			cfg.SpreadSkew = x
+			return cfg
+		},
+		func(float64) float64 { return staticComparisonMemKB },
+	)
+}
+
+// Fig10 reproduces Figure 10: static comparison, KS vs size skew Z.
+func Fig10(o Options) (Figure, error) {
+	return staticSweep(o, "fig10", "Static comparison: KS vs Z (S=1 SD=1 C=50 M=0.14KB)", "Z",
+		[]float64{0, 0.5, 1, 1.5, 2, 2.5, 3},
+		func(x float64, seed int64) distgen.Config {
+			cfg := fig9Cfg(seed)
+			cfg.SizeSkew = x
+			return cfg
+		},
+		func(float64) float64 { return staticComparisonMemKB },
+	)
+}
+
+// Fig11 reproduces Figure 11: static comparison, KS vs cluster SD.
+func Fig11(o Options) (Figure, error) {
+	return staticSweep(o, "fig11", "Static comparison: KS vs SD (S=1 Z=1 C=50 M=0.14KB)", "SD",
+		[]float64{0, 1, 2, 3, 4, 5},
+		func(x float64, seed int64) distgen.Config {
+			cfg := fig9Cfg(seed)
+			cfg.SD = x
+			return cfg
+		},
+		func(float64) float64 { return staticComparisonMemKB },
+	)
+}
+
+// Fig12 reproduces Figure 12: static comparison, KS vs memory.
+func Fig12(o Options) (Figure, error) {
+	return staticSweep(o, "fig12", "Static comparison: KS vs memory (S=1 Z=1 SD=1 C=50)", "memory KB",
+		[]float64{0.11, 0.12, 0.13, 0.14, 0.15, 0.16, 0.17},
+		func(x float64, seed int64) distgen.Config { return fig9Cfg(seed) },
+		func(x float64) float64 { return x },
+	)
+}
+
+// Fig13 reproduces Figure 13: construction wall-time vs memory for
+// SVO, SSBM, SC and DADO on the C=200 workload. Absolute times depend
+// on the host; the paper's point is the ordering (SVO far slower) and
+// the growth with memory.
+func Fig13(o Options) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{
+		ID:     "fig13",
+		Title:  "Construction time vs memory (S=1 Z=1 SD=1 C=200)",
+		XLabel: "memory KB",
+		YLabel: "seconds",
+	}
+	xs := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	labels := []string{"SVO", "SSBM", "SC", "DADO"}
+	results := make([][]float64, len(labels))
+	for i := range results {
+		results[i] = make([]float64, len(xs))
+	}
+	for xi, x := range xs {
+		mem := histogram.KB(x)
+		perSeed := make([][]float64, len(labels))
+		for seed := range o.Seeds {
+			cfg := distgen.Reference(int64(seed + 1))
+			cfg.Clusters = 200
+			cfg.SD = 1
+			cfg.Points = o.Points
+			values, err := distgen.Generate(cfg)
+			if err != nil {
+				return fig, err
+			}
+			truth := dist.New(cfg.Domain)
+			for _, v := range values {
+				if err := truth.Insert(v); err != nil {
+					return fig, err
+				}
+			}
+			shuffled := distgen.Shuffled(values, int64(seed+1))
+
+			timeOf := func(f func() error) (float64, error) {
+				start := time.Now()
+				if err := f(); err != nil {
+					return 0, err
+				}
+				return time.Since(start).Seconds(), nil
+			}
+			timings := []func() error{
+				func() error { _, err := static.BuildMemory(static.KindVOptimal, truth, mem); return err },
+				func() error { _, err := static.SSBMMemory(truth, mem); return err },
+				func() error { _, err := static.BuildMemory(static.KindCompressed, truth, mem); return err },
+				func() error {
+					h, err := core.NewDADOMemory(mem)
+					if err != nil {
+						return err
+					}
+					for _, v := range shuffled {
+						if err := h.Insert(float64(v)); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			}
+			for ai, f := range timings {
+				sec, err := timeOf(f)
+				if err != nil {
+					return fig, fmt.Errorf("fig13 %s: %w", labels[ai], err)
+				}
+				perSeed[ai] = append(perSeed[ai], sec)
+			}
+		}
+		for ai := range labels {
+			results[ai][xi] = mean(perSeed[ai])
+		}
+	}
+	for ai, label := range labels {
+		fig.Series = append(fig.Series, Series{Label: label, X: xs, Y: results[ai]})
+	}
+	return fig, nil
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynahist/internal/histogram"
+	"dynahist/internal/metric"
+	"dynahist/internal/static"
+	"dynahist/internal/union"
+)
+
+// unionSweep drives Figs. 20–23: for each x it builds the site
+// population, then compares the two global-histogram strategies of §8
+// ("histogram + union" vs "union + histogram") against the exact union
+// distribution.
+func unionSweep(o Options, id, title, xLabel string, xs []float64,
+	makeCfg func(x float64, seed int64) union.SitesConfig,
+	memOf func(x float64) int,
+) (Figure, error) {
+	o = o.normalized()
+	fig := Figure{ID: id, Title: title, XLabel: xLabel, YLabel: "KS statistic"}
+	labels := []string{"histogram + union", "union + histogram"}
+	results := make([][]float64, len(labels))
+	for i := range results {
+		results[i] = make([]float64, len(xs))
+	}
+	for xi, x := range xs {
+		mem := memOf(x)
+		perSeed := make([][]float64, len(labels))
+		for seed := range o.Seeds {
+			cfg := makeCfg(x, int64(seed+1))
+			if o.Quick && cfg.TotalPoints > o.Points {
+				cfg.TotalPoints = o.Points
+			}
+			sites, all, err := union.GenerateSites(cfg)
+			if err != nil {
+				return fig, fmt.Errorf("%s x=%v: %w", id, x, err)
+			}
+			// Strategy A: per-site SSBM histograms, superposed, reduced.
+			var members [][]histogram.Bucket
+			for _, s := range sites {
+				h, err := static.SSBMMemory(s, mem)
+				if err != nil {
+					return fig, err
+				}
+				members = append(members, h.Buckets())
+			}
+			super, err := union.Superpose(members...)
+			if err != nil {
+				return fig, err
+			}
+			n, err := histogram.BucketsForMemory(mem, 1)
+			if err != nil {
+				return fig, err
+			}
+			reduced, err := union.Reduce(super, n)
+			if err != nil {
+				return fig, err
+			}
+			ksA, err := metric.KS(union.CDFOf(reduced), all)
+			if err != nil {
+				return fig, err
+			}
+			// Strategy B: pool the data, then build one SSBM histogram.
+			direct, err := static.SSBMMemory(all, mem)
+			if err != nil {
+				return fig, err
+			}
+			ksB, err := metric.KS(direct.CDF, all)
+			if err != nil {
+				return fig, err
+			}
+			perSeed[0] = append(perSeed[0], ksA)
+			perSeed[1] = append(perSeed[1], ksB)
+		}
+		for ai := range labels {
+			results[ai][xi] = mean(perSeed[ai])
+		}
+	}
+	for ai, label := range labels {
+		fig.Series = append(fig.Series, Series{Label: label, X: xs, Y: results[ai]})
+	}
+	return fig, nil
+}
+
+// unionDefaultMem is the paper's default per-histogram memory in §8
+// (250 bytes).
+const unionDefaultMem = 250
+
+// Fig20 reproduces Figure 20: union strategies vs histogram memory.
+func Fig20(o Options) (Figure, error) {
+	return unionSweep(o, "fig20", "Union strategies: error vs histogram size", "memory KB",
+		[]float64{0.1, 0.25, 0.5, 0.75, 1.0},
+		func(x float64, seed int64) union.SitesConfig { return union.DefaultSites(seed) },
+		func(x float64) int { return histogram.KB(x) },
+	)
+}
+
+// Fig21 reproduces Figure 21: union strategies vs intrasite data skew
+// Z_Freq.
+func Fig21(o Options) (Figure, error) {
+	return unionSweep(o, "fig21", "Union strategies: error vs Z_Freq (skew within members)", "Z_Freq",
+		[]float64{0, 0.5, 1, 1.5, 2, 2.5, 3},
+		func(x float64, seed int64) union.SitesConfig {
+			cfg := union.DefaultSites(seed)
+			cfg.ZFreq = x
+			return cfg
+		},
+		func(float64) int { return unionDefaultMem },
+	)
+}
+
+// Fig22 reproduces Figure 22: union strategies vs the number of sites.
+func Fig22(o Options) (Figure, error) {
+	return unionSweep(o, "fig22", "Union strategies: error vs number of sites", "sites",
+		[]float64{1, 2, 5, 10, 15, 20},
+		func(x float64, seed int64) union.SitesConfig {
+			cfg := union.DefaultSites(seed)
+			cfg.Sites = int(x)
+			return cfg
+		},
+		func(float64) int { return unionDefaultMem },
+	)
+}
+
+// Fig23 reproduces Figure 23: union strategies vs the skew in member
+// sizes Z_Site.
+func Fig23(o Options) (Figure, error) {
+	return unionSweep(o, "fig23", "Union strategies: error vs Z_Site (skew in member sizes)", "Z_Site",
+		[]float64{0, 0.5, 1, 1.5, 2, 2.5, 3},
+		func(x float64, seed int64) union.SitesConfig {
+			cfg := union.DefaultSites(seed)
+			cfg.ZSite = x
+			return cfg
+		},
+		func(float64) int { return unionDefaultMem },
+	)
+}

@@ -1,0 +1,153 @@
+package histogram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary serialization of bucket lists. A database system persists its
+// statistics in the catalog; this is the catalog wire format:
+//
+//	magic   uint32  "DYNH"
+//	version uint16  1
+//	nbucket uint32
+//	per bucket:
+//	  left  float64
+//	  right float64
+//	  nsubs uint16
+//	  subs  nsubs × float64
+//
+// All integers are little-endian.
+
+const (
+	encodeMagic   = 0x44594e48 // "DYNH"
+	encodeVersion = 1
+)
+
+// ErrDecode reports a malformed serialized histogram.
+var ErrDecode = errors.New("histogram: malformed encoding")
+
+// MarshalBuckets serializes a bucket list.
+func MarshalBuckets(buckets []Bucket) ([]byte, error) {
+	if err := Validate(buckets); err != nil {
+		return nil, err
+	}
+	size := 4 + 2 + 4
+	for i := range buckets {
+		size += 8 + 8 + 2 + 8*len(buckets[i].Subs)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, encodeMagic)
+	out = binary.LittleEndian.AppendUint16(out, encodeVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(buckets)))
+	for i := range buckets {
+		b := &buckets[i]
+		if len(b.Subs) > math.MaxUint16 {
+			return nil, fmt.Errorf("histogram: bucket %d has %d sub-buckets, limit %d",
+				i, len(b.Subs), math.MaxUint16)
+		}
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(b.Left))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(b.Right))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Subs)))
+		for _, c := range b.Subs {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBuckets parses a bucket list serialized by MarshalBuckets
+// and validates it.
+func UnmarshalBuckets(data []byte) ([]Bucket, error) {
+	r := reader{data: data}
+	magic, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != encodeMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrDecode, magic)
+	}
+	version, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if version != encodeVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrDecode, version)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(len(data)) { // cheap sanity bound before allocating
+		return nil, fmt.Errorf("%w: implausible bucket count %d", ErrDecode, n)
+	}
+	buckets := make([]Bucket, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var b Bucket
+		if b.Left, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if b.Right, err = r.f64(); err != nil {
+			return nil, err
+		}
+		nsubs, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		b.Subs = make([]float64, nsubs)
+		for j := range b.Subs {
+			if b.Subs[j], err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+		buckets = append(buckets, b)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(data)-r.pos)
+	}
+	if err := Validate(buckets); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return buckets, nil
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) need(n int) error {
+	if r.pos+n > len(r.data) {
+		return fmt.Errorf("%w: truncated at byte %d", ErrDecode, r.pos)
+	}
+	return nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return v, nil
+}

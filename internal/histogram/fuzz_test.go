@@ -1,0 +1,40 @@
+package histogram
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBuckets checks that the decoder never panics on
+// arbitrary input and that every successfully decoded bucket list
+// re-encodes to an equivalent blob.
+func FuzzUnmarshalBuckets(f *testing.F) {
+	good, err := MarshalBuckets(bucketsFixture())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x48, 0x4e, 0x59, 0x44}) // magic only
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buckets, err := UnmarshalBuckets(data)
+		if err != nil {
+			return
+		}
+		if err := Validate(buckets); err != nil {
+			t.Fatalf("decoder accepted invalid buckets: %v", err)
+		}
+		re, err := MarshalBuckets(buckets)
+		if err != nil {
+			t.Fatalf("re-encode of decoded buckets failed: %v", err)
+		}
+		round, err := UnmarshalBuckets(re)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(round) != len(buckets) {
+			t.Fatalf("round trip changed bucket count: %d vs %d", len(round), len(buckets))
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package histogram
+
+import "fmt"
+
+// The paper charges every histogram the same main-memory budget and
+// derives the affordable bucket count from the per-bucket footprint
+// (§3.1 and §4.4): (n+1) borders of 4 bytes each plus, per bucket, one
+// 4-byte counter per sub-bucket.
+const (
+	// BorderBytes is the size of one stored bucket border.
+	BorderBytes = 4
+	// CounterBytes is the size of one stored point counter.
+	CounterBytes = 4
+)
+
+// BucketsForMemory returns the number of buckets a histogram with
+// subsPerBucket counters per bucket can afford within memBytes:
+//
+//	(n+1)·BorderBytes + n·subsPerBucket·CounterBytes ≤ memBytes
+//
+// It returns an error if even one bucket does not fit.
+func BucketsForMemory(memBytes, subsPerBucket int) (int, error) {
+	if subsPerBucket < 1 {
+		return 0, fmt.Errorf("histogram: subsPerBucket %d < 1", subsPerBucket)
+	}
+	if memBytes <= 0 {
+		return 0, fmt.Errorf("histogram: memory budget %dB is not positive", memBytes)
+	}
+	perBucket := BorderBytes + subsPerBucket*CounterBytes
+	n := (memBytes - BorderBytes) / perBucket
+	if n < 1 {
+		return 0, fmt.Errorf("histogram: %dB cannot hold a single bucket (%dB needed)",
+			memBytes, 2*BorderBytes+subsPerBucket*CounterBytes)
+	}
+	return n, nil
+}
+
+// MemoryForBuckets is the inverse of BucketsForMemory: the number of
+// bytes n buckets with subsPerBucket counters each occupy.
+func MemoryForBuckets(n, subsPerBucket int) int {
+	return (n+1)*BorderBytes + n*subsPerBucket*CounterBytes
+}
+
+// KB converts a kilobyte figure (the unit the paper's plots use) to
+// bytes.
+func KB(kb float64) int { return int(kb * 1024) }

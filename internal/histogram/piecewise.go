@@ -1,0 +1,186 @@
+package histogram
+
+import "fmt"
+
+// Piecewise is a read-mostly histogram over a fixed bucket list. Static
+// constructors (Equi-Width, Equi-Depth, SC, SVO, SADO, SSBM) return
+// their result as a Piecewise; it also backs the superposed histograms
+// of the shared-nothing union (paper §8).
+//
+// Insert and Delete adjust the counter of the containing (or nearest)
+// bucket without ever moving borders, which is exactly the "static
+// histogram that is incrementally counted but never reorganised"
+// behaviour the paper contrasts the dynamic histograms against.
+type Piecewise struct {
+	buckets []Bucket
+	total   float64
+}
+
+// NewPiecewise wraps a bucket list. The list is validated and deep
+// copied; the histogram owns its copy.
+func NewPiecewise(buckets []Bucket) (*Piecewise, error) {
+	if err := Validate(buckets); err != nil {
+		return nil, err
+	}
+	cp := CloneBuckets(buckets)
+	return &Piecewise{buckets: cp, total: TotalCount(cp)}, nil
+}
+
+// CloneBuckets deep-copies a bucket list.
+func CloneBuckets(buckets []Bucket) []Bucket {
+	out := make([]Bucket, len(buckets))
+	for i := range buckets {
+		out[i] = buckets[i].Clone()
+	}
+	return out
+}
+
+// Total returns the total point count.
+func (p *Piecewise) Total() float64 { return p.total }
+
+// Buckets returns a deep copy of the bucket list.
+func (p *Piecewise) Buckets() []Bucket { return CloneBuckets(p.buckets) }
+
+// NumBuckets returns the number of buckets.
+func (p *Piecewise) NumBuckets() int { return len(p.buckets) }
+
+// CDF returns the fraction of mass in (-∞, x]. An empty histogram
+// returns 0 everywhere.
+func (p *Piecewise) CDF(x float64) float64 {
+	if p.total <= 0 {
+		return 0
+	}
+	return MassBelow(p.buckets, x) / p.total
+}
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive (mass over [lo, hi+1) by the integer
+// convention).
+func (p *Piecewise) EstimateRange(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	return MassBelow(p.buckets, hi+1) - MassBelow(p.buckets, lo)
+}
+
+// Insert adds one occurrence of v to the containing bucket, or to the
+// nearest bucket if v lies outside every bucket.
+func (p *Piecewise) Insert(v float64) error {
+	if err := CheckFinite(v); err != nil {
+		return err
+	}
+	i := NearestBucket(p.buckets, v)
+	if i < 0 {
+		return fmt.Errorf("histogram: insert into empty piecewise histogram")
+	}
+	b := &p.buckets[i]
+	x := v
+	if !b.Contains(x) {
+		// Out of range: attribute to the nearest sub-bucket.
+		if x < b.Left {
+			x = b.Left
+		} else {
+			x = b.Right - 1e-9
+		}
+	}
+	b.Subs[b.SubIndex(x)]++
+	p.total++
+	return nil
+}
+
+// Delete removes one occurrence of v, spilling to the nearest bucket
+// with positive count when the containing sub-bucket is empty (the
+// paper's §7.3 policy).
+func (p *Piecewise) Delete(v float64) error {
+	if err := CheckFinite(v); err != nil {
+		return err
+	}
+	if p.total <= 0 {
+		return fmt.Errorf("histogram: delete from empty histogram")
+	}
+	i := NearestBucket(p.buckets, v)
+	if i < 0 {
+		return fmt.Errorf("histogram: delete from empty piecewise histogram")
+	}
+	if !p.decrementAt(i, v) {
+		if j := nearestPositive(p.buckets, v); j >= 0 {
+			p.decrementAnySub(j)
+		} else {
+			return fmt.Errorf("histogram: no positive bucket to delete from")
+		}
+	}
+	p.total--
+	return nil
+}
+
+// decrementAt decrements the sub-bucket of bucket i containing v if it
+// is positive; otherwise tries the other sub-buckets of the same
+// bucket. Reports whether a decrement happened.
+func (p *Piecewise) decrementAt(i int, v float64) bool {
+	b := &p.buckets[i]
+	x := v
+	if !b.Contains(x) {
+		if x < b.Left {
+			x = b.Left
+		} else {
+			x = b.Right - 1e-9
+		}
+	}
+	s := b.SubIndex(x)
+	if b.Subs[s] >= 1 {
+		b.Subs[s]--
+		return true
+	}
+	for j := range b.Subs {
+		if b.Subs[j] >= 1 {
+			b.Subs[j]--
+			return true
+		}
+	}
+	// Fractional counters (from merged/static construction) may hold a
+	// whole point collectively without any single counter reaching 1.
+	if c := b.Count(); c >= 1 {
+		scale := (c - 1) / c
+		for j := range b.Subs {
+			b.Subs[j] *= scale
+		}
+		return true
+	}
+	return false
+}
+
+// decrementAnySub removes one point from bucket j proportionally
+// across its sub-buckets.
+func (p *Piecewise) decrementAnySub(j int) {
+	b := &p.buckets[j]
+	c := b.Count()
+	if c < 1 {
+		return
+	}
+	scale := (c - 1) / c
+	for s := range b.Subs {
+		b.Subs[s] *= scale
+	}
+}
+
+// nearestPositive returns the index of the bucket with count ≥ 1 whose
+// range is closest to v, or -1.
+func nearestPositive(buckets []Bucket, v float64) int {
+	best, bestDist := -1, 0.0
+	for i := range buckets {
+		if buckets[i].Count() < 1 {
+			continue
+		}
+		d := 0.0
+		switch {
+		case v < buckets[i].Left:
+			d = buckets[i].Left - v
+		case v >= buckets[i].Right:
+			d = v - buckets[i].Right
+		}
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

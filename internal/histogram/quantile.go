@@ -1,0 +1,58 @@
+package histogram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Quantile returns the smallest x such that the bucket list's CDF at x
+// is at least q, for q in (0, 1]. Within a sub-bucket the position is
+// linearly interpolated (uniform assumption). The bucket list must hold
+// positive mass.
+//
+// Quantiles are the building block of equi-depth repartitioning and a
+// useful API in their own right: a query optimizer uses them for
+// percentile statistics and histogram-based sampling.
+func Quantile(buckets []Bucket, q float64) (float64, error) {
+	if math.IsNaN(q) || q <= 0 || q > 1 {
+		return 0, fmt.Errorf("histogram: quantile %v outside (0,1]", q)
+	}
+	total := TotalCount(buckets)
+	if total <= 0 {
+		return 0, errors.New("histogram: quantile of empty histogram")
+	}
+	target := q * total
+	acc := 0.0
+	for i := range buckets {
+		b := &buckets[i]
+		c := b.Count()
+		if acc+c < target-1e-12 {
+			acc += c
+			continue
+		}
+		// The target falls inside this bucket; walk its sub-buckets.
+		k := len(b.Subs)
+		subW := b.Width() / float64(k)
+		for s, sc := range b.Subs {
+			if acc+sc < target-1e-12 {
+				acc += sc
+				continue
+			}
+			lo := b.Left + float64(s)*subW
+			if sc <= 0 {
+				return lo, nil
+			}
+			frac := (target - acc) / sc
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*subW, nil
+		}
+		return b.Right, nil
+	}
+	return buckets[len(buckets)-1].Right, nil
+}

@@ -1,0 +1,34 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynahist/internal/dist"
+)
+
+func BenchmarkKS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := dist.New(5000)
+	for range 100000 {
+		if err := tr.Insert(rng.Intn(5001)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cdf := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 5000 {
+			return 1
+		}
+		return x / 5000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := KS(cdf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

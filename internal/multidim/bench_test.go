@@ -1,0 +1,46 @@
+package multidim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsert2D(b *testing.B) {
+	h, err := New2D(Rect{X0: 0, X1: 1000, Y0: 0, Y1: 1000}, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	points := make([]Point, 1<<14)
+	for i := range points {
+		points[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		if err := h.Insert(points[i&(len(points)-1)]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+func BenchmarkEstimateRect2D(b *testing.B) {
+	h, err := New2D(Rect{X0: 0, X1: 1000, Y0: 0, Y1: 1000}, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for range 50000 {
+		if err := h.Insert(Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := Rect{X0: 200, X1: 600, Y0: 300, Y1: 700}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		_ = h.EstimateRect(q)
+	}
+}

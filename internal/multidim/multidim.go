@@ -1,0 +1,587 @@
+// Package multidim implements a two-dimensional dynamic histogram —
+// the paper's stated future work ("the most important direction of our
+// future work is the extension of the DC and DADO algorithms to more
+// than one dimension").
+//
+// The design transplants the DADO machinery to 2D: the domain rectangle
+// is partitioned by a binary space partition (BSP) tree whose leaves
+// are the buckets. Each leaf keeps four quadrant counters (the 2D
+// analogue of the two sub-buckets), its deviation integrates
+// |density − mean| over the quadrants, and after every update the
+// histogram considers one split-merge pair: split the leaf with the
+// largest deviation along its more imbalanced axis, and merge the
+// sibling pair whose recombination costs the least. Sibling-only
+// merging keeps the partition a set of disjoint rectangles that tile
+// the domain exactly.
+package multidim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmpty is returned when deleting from an empty histogram.
+var ErrEmpty = errors.New("multidim: histogram is empty")
+
+// Point is one two-dimensional data point.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle [X0, X1) × [Y0, Y1).
+type Rect struct {
+	X0, X1, Y0, Y1 float64
+}
+
+// Width returns the X extent.
+func (r Rect) Width() float64 { return r.X1 - r.X0 }
+
+// Height returns the Y extent.
+func (r Rect) Height() float64 { return r.Y1 - r.Y0 }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside the half-open rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X < r.X1 && p.Y >= r.Y0 && p.Y < r.Y1
+}
+
+// Intersect returns the overlap of two rectangles (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	out := Rect{
+		X0: math.Max(r.X0, o.X0), X1: math.Min(r.X1, o.X1),
+		Y0: math.Max(r.Y0, o.Y0), Y1: math.Min(r.Y1, o.Y1),
+	}
+	if out.X1 < out.X0 {
+		out.X1 = out.X0
+	}
+	if out.Y1 < out.Y0 {
+		out.Y1 = out.Y0
+	}
+	return out
+}
+
+// node is one BSP node. Leaves carry the quadrant counters; interior
+// nodes carry the split axis and position.
+type node struct {
+	rect Rect
+
+	// Leaf state: counts of the four quadrants, indexed qx + 2*qy
+	// (qx: 0 left / 1 right of the X midpoint; qy likewise for Y).
+	quads [4]float64
+	dev   float64
+
+	// Tree links; children == nil means leaf.
+	parent      *node
+	left, right *node
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+func (n *node) count() float64 {
+	return n.quads[0] + n.quads[1] + n.quads[2] + n.quads[3]
+}
+
+// quadrant returns the index of the quadrant containing p.
+func (n *node) quadrant(p Point) int {
+	q := 0
+	if p.X >= (n.rect.X0+n.rect.X1)/2 {
+		q |= 1
+	}
+	if p.Y >= (n.rect.Y0+n.rect.Y1)/2 {
+		q |= 2
+	}
+	return q
+}
+
+// quadRect returns the rectangle of quadrant q.
+func (n *node) quadRect(q int) Rect {
+	mx := (n.rect.X0 + n.rect.X1) / 2
+	my := (n.rect.Y0 + n.rect.Y1) / 2
+	r := n.rect
+	if q&1 == 0 {
+		r.X1 = mx
+	} else {
+		r.X0 = mx
+	}
+	if q&2 == 0 {
+		r.Y1 = my
+	} else {
+		r.Y0 = my
+	}
+	return r
+}
+
+// massIn returns the leaf's estimated mass inside query, assuming
+// uniform density within each quadrant.
+func (n *node) massIn(query Rect) float64 {
+	mass := 0.0
+	for q := range 4 {
+		c := n.quads[q]
+		if c == 0 {
+			continue
+		}
+		qr := n.quadRect(q)
+		overlap := qr.Intersect(query).Area()
+		if a := qr.Area(); a > 0 && overlap > 0 {
+			mass += c * overlap / a
+		}
+	}
+	return mass
+}
+
+// Histogram2D is the dynamic 2D histogram. It is not safe for
+// concurrent use.
+type Histogram2D struct {
+	root      *node
+	leaves    []*node
+	maxLeaves int
+	total     float64
+
+	reorganisations int
+}
+
+// minExtent is the smallest leaf side length; leaves at this size are
+// not split further (the 2D analogue of the unit-width bucket).
+const minExtent = 1.0
+
+// New2D returns a dynamic 2D histogram over the domain rectangle with
+// at most maxLeaves leaf buckets.
+func New2D(domain Rect, maxLeaves int) (*Histogram2D, error) {
+	if maxLeaves < 2 {
+		return nil, fmt.Errorf("multidim: maxLeaves %d < 2", maxLeaves)
+	}
+	if !(domain.X1 > domain.X0) || !(domain.Y1 > domain.Y0) {
+		return nil, fmt.Errorf("multidim: empty domain %+v", domain)
+	}
+	for _, v := range []float64{domain.X0, domain.X1, domain.Y0, domain.Y1} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("multidim: non-finite domain bound %v", v)
+		}
+	}
+	root := &node{rect: domain}
+	return &Histogram2D{root: root, leaves: []*node{root}, maxLeaves: maxLeaves}, nil
+}
+
+// New2DMemory sizes the histogram for a byte budget: each leaf costs
+// four 4-byte counters plus two 4-byte split coordinates of the tree
+// path amortised per leaf (24 bytes per leaf).
+func New2DMemory(domain Rect, memBytes int) (*Histogram2D, error) {
+	n := memBytes / 24
+	if n < 2 {
+		return nil, fmt.Errorf("multidim: %dB cannot hold two leaves", memBytes)
+	}
+	return New2D(domain, n)
+}
+
+// MaxLeaves returns the leaf budget.
+func (h *Histogram2D) MaxLeaves() int { return h.maxLeaves }
+
+// NumLeaves returns the current number of leaf buckets.
+func (h *Histogram2D) NumLeaves() int { return len(h.leaves) }
+
+// Total returns the number of points currently summarised.
+func (h *Histogram2D) Total() float64 { return h.total }
+
+// Reorganisations returns how many split-merge pairs have been
+// performed.
+func (h *Histogram2D) Reorganisations() int { return h.reorganisations }
+
+// Domain returns the histogram's domain rectangle.
+func (h *Histogram2D) Domain() Rect { return h.root.rect }
+
+// Leaves returns the current leaf rectangles and their counts.
+func (h *Histogram2D) Leaves() []LeafInfo {
+	out := make([]LeafInfo, 0, len(h.leaves))
+	for _, l := range h.leaves {
+		out = append(out, LeafInfo{Rect: l.rect, Count: l.count()})
+	}
+	return out
+}
+
+// LeafInfo describes one leaf bucket.
+type LeafInfo struct {
+	Rect  Rect
+	Count float64
+}
+
+// clamp forces p into the domain (boundary-inclusive points are nudged
+// inside, mirroring the 1D end-bucket extension policy without moving
+// borders).
+func (h *Histogram2D) clamp(p Point) (Point, error) {
+	if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+		return p, fmt.Errorf("multidim: non-finite point (%v, %v)", p.X, p.Y)
+	}
+	d := h.root.rect
+	p.X = math.Min(math.Max(p.X, d.X0), math.Nextafter(d.X1, math.Inf(-1)))
+	p.Y = math.Min(math.Max(p.Y, d.Y0), math.Nextafter(d.Y1, math.Inf(-1)))
+	return p, nil
+}
+
+// leafFor descends to the leaf containing p.
+func (h *Histogram2D) leafFor(p Point) *node {
+	n := h.root
+	for !n.isLeaf() {
+		if n.left.rect.Contains(p) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// Insert adds one occurrence of p (clamped into the domain).
+func (h *Histogram2D) Insert(p Point) error {
+	p, err := h.clamp(p)
+	if err != nil {
+		return err
+	}
+	leaf := h.leafFor(p)
+	leaf.quads[leaf.quadrant(p)]++
+	leaf.dev = deviation(leaf)
+	h.total++
+	h.maybeSplitMerge()
+	return nil
+}
+
+// Delete removes one occurrence of p, spilling to the nearest leaf with
+// positive count when the containing leaf is empty.
+func (h *Histogram2D) Delete(p Point) error {
+	p, err := h.clamp(p)
+	if err != nil {
+		return err
+	}
+	if h.total < 1 {
+		return ErrEmpty
+	}
+	leaf := h.leafFor(p)
+	if !decrement(leaf, p) {
+		leaf = h.nearestPositive(p)
+		if leaf == nil || !decrement(leaf, p) {
+			return ErrEmpty
+		}
+	}
+	h.total--
+	h.maybeSplitMerge()
+	return nil
+}
+
+func decrement(n *node, p Point) bool {
+	q := n.quadrant(p)
+	if n.quads[q] >= 1 {
+		n.quads[q]--
+		n.dev = deviation(n)
+		return true
+	}
+	for i := range n.quads {
+		if n.quads[i] >= 1 {
+			n.quads[i]--
+			n.dev = deviation(n)
+			return true
+		}
+	}
+	if c := n.count(); c >= 1 {
+		scale := (c - 1) / c
+		for i := range n.quads {
+			n.quads[i] *= scale
+		}
+		n.dev = deviation(n)
+		return true
+	}
+	return false
+}
+
+func (h *Histogram2D) nearestPositive(p Point) *node {
+	var best *node
+	bestDist := math.Inf(1)
+	for _, l := range h.leaves {
+		if l.count() < 1 {
+			continue
+		}
+		dx := math.Max(math.Max(l.rect.X0-p.X, p.X-l.rect.X1), 0)
+		dy := math.Max(math.Max(l.rect.Y0-p.Y, p.Y-l.rect.Y1), 0)
+		d := dx*dx + dy*dy
+		if d < bestDist {
+			best, bestDist = l, d
+		}
+	}
+	return best
+}
+
+// EstimateRect returns the approximate number of points inside query.
+func (h *Histogram2D) EstimateRect(query Rect) float64 {
+	if query.X1 <= query.X0 || query.Y1 <= query.Y0 {
+		return 0
+	}
+	mass := 0.0
+	var walk func(n *node)
+	walk = func(n *node) {
+		overlap := n.rect.Intersect(query)
+		if overlap.Area() <= 0 {
+			// Degenerate overlap: nothing (or a zero-area sliver).
+			return
+		}
+		if n.isLeaf() {
+			mass += n.massIn(query)
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(h.root)
+	return mass
+}
+
+// Selectivity returns EstimateRect normalised by the total count.
+func (h *Histogram2D) Selectivity(query Rect) float64 {
+	if h.total <= 0 {
+		return 0
+	}
+	return h.EstimateRect(query) / h.total
+}
+
+// deviation integrates |density − mean| over the four quadrants — the
+// 2D AbsDeviation measure.
+func deviation(n *node) float64 {
+	area := n.rect.Area()
+	if area <= 0 {
+		return 0
+	}
+	mean := n.count() / area
+	quadArea := area / 4
+	dev := 0.0
+	for _, c := range n.quads {
+		dev += quadArea * math.Abs(c/quadArea-mean)
+	}
+	return dev
+}
+
+// mergedDeviation is the deviation the recombined parent of two sibling
+// leaves would carry, measured over the eight child quadrants against
+// the merged mean density.
+func mergedDeviation(parent *node) float64 {
+	area := parent.rect.Area()
+	if area <= 0 {
+		return 0
+	}
+	total := parent.left.count() + parent.right.count()
+	mean := total / area
+	dev := 0.0
+	for _, child := range []*node{parent.left, parent.right} {
+		quadArea := child.rect.Area() / 4
+		for _, c := range child.quads {
+			dev += quadArea * math.Abs(c/quadArea-mean)
+		}
+	}
+	return dev
+}
+
+// splittable reports whether the leaf can be split further.
+func splittable(n *node) bool {
+	return n.rect.Width() > minExtent+1e-9 || n.rect.Height() > minExtent+1e-9
+}
+
+// maybeSplitMerge performs one split-merge pair when it strictly
+// reduces the overall deviation, exactly like the 1D algorithm.
+func (h *Histogram2D) maybeSplitMerge() {
+	if len(h.leaves) < 3 {
+		h.growIfUnderBudget()
+		return
+	}
+	s := h.bestSplit(nil)
+	if s == nil {
+		return
+	}
+	m := h.bestMergeParent(s)
+	if m == nil {
+		// No mergeable pair: grow if the budget allows.
+		h.growIfUnderBudget()
+		return
+	}
+	vm := mergedDeviation(m)
+	if vm >= s.dev-1e-12 {
+		h.growIfUnderBudget()
+		return
+	}
+	h.mergeAt(m)
+	h.splitLeaf(s)
+	h.reorganisations++
+}
+
+// growIfUnderBudget splits the worst leaf for free while the leaf count
+// is below budget (the 2D loading phase).
+func (h *Histogram2D) growIfUnderBudget() {
+	for len(h.leaves) < h.maxLeaves {
+		s := h.bestSplit(nil)
+		if s == nil || s.dev <= 0 {
+			return
+		}
+		h.splitLeaf(s)
+	}
+}
+
+// bestSplit returns the splittable leaf with the largest deviation,
+// excluding `exclude`.
+func (h *Histogram2D) bestSplit(exclude *node) *node {
+	var best *node
+	bestDev := 0.0
+	for _, l := range h.leaves {
+		if l == exclude || !splittable(l) {
+			continue
+		}
+		if l.dev > bestDev {
+			best, bestDev = l, l.dev
+		}
+	}
+	return best
+}
+
+// bestMergeParent returns the interior node, both of whose children are
+// leaves (neither being the split candidate), with the smallest merged
+// deviation.
+func (h *Histogram2D) bestMergeParent(exclude *node) *node {
+	var best *node
+	bestDev := math.Inf(1)
+	seen := map[*node]bool{}
+	for _, l := range h.leaves {
+		p := l.parent
+		if p == nil || seen[p] {
+			continue
+		}
+		seen[p] = true
+		if !p.left.isLeaf() || !p.right.isLeaf() {
+			continue
+		}
+		if p.left == exclude || p.right == exclude {
+			continue
+		}
+		d := mergedDeviation(p)
+		if d < bestDev {
+			best, bestDev = p, d
+		}
+	}
+	return best
+}
+
+// splitLeaf splits the leaf along its more imbalanced axis at the
+// midpoint; the children's quadrant counters are read off the parent's
+// quadrant profile.
+func (h *Histogram2D) splitLeaf(n *node) {
+	// Axis choice: compare the X-halves imbalance vs the Y-halves
+	// imbalance, preferring the axis with the larger difference —
+	// splitting there removes the most deviation. Respect minExtent.
+	xImb := math.Abs((n.quads[0] + n.quads[2]) - (n.quads[1] + n.quads[3]))
+	yImb := math.Abs((n.quads[0] + n.quads[1]) - (n.quads[2] + n.quads[3]))
+	splitX := xImb >= yImb
+	if n.rect.Width() <= minExtent+1e-9 {
+		splitX = false
+	}
+	if n.rect.Height() <= minExtent+1e-9 {
+		splitX = true
+	}
+
+	var lRect, rRect Rect
+	if splitX {
+		mx := (n.rect.X0 + n.rect.X1) / 2
+		lRect = Rect{X0: n.rect.X0, X1: mx, Y0: n.rect.Y0, Y1: n.rect.Y1}
+		rRect = Rect{X0: mx, X1: n.rect.X1, Y0: n.rect.Y0, Y1: n.rect.Y1}
+	} else {
+		my := (n.rect.Y0 + n.rect.Y1) / 2
+		lRect = Rect{X0: n.rect.X0, X1: n.rect.X1, Y0: n.rect.Y0, Y1: my}
+		rRect = Rect{X0: n.rect.X0, X1: n.rect.X1, Y0: my, Y1: n.rect.Y1}
+	}
+	left := &node{rect: lRect, parent: n}
+	right := &node{rect: rRect, parent: n}
+	// Children's quadrant counters from the parent's uniform-quadrant
+	// profile.
+	for q := range 4 {
+		qr := n.quadRect(q)
+		c := n.quads[q]
+		if c == 0 || qr.Area() == 0 {
+			continue
+		}
+		for _, child := range []*node{left, right} {
+			for cq := range 4 {
+				cr := child.quadRect(cq)
+				if overlap := qr.Intersect(cr).Area(); overlap > 0 {
+					child.quads[cq] += c * overlap / qr.Area()
+				}
+			}
+		}
+	}
+	left.dev = deviation(left)
+	right.dev = deviation(right)
+	n.left, n.right = left, right
+	n.dev = 0
+	for i := range n.quads {
+		n.quads[i] = 0
+	}
+	h.replaceLeaf(n, left, right)
+}
+
+// mergeAt recombines the two leaf children of p into p, reading p's
+// quadrant counters off the children's profiles.
+func (h *Histogram2D) mergeAt(p *node) {
+	for q := range 4 {
+		qr := p.quadRect(q)
+		mass := 0.0
+		for _, child := range []*node{p.left, p.right} {
+			mass += child.massIn(qr)
+		}
+		p.quads[q] = mass
+	}
+	h.removeLeaves(p.left, p.right)
+	p.left, p.right = nil, nil
+	p.dev = deviation(p)
+	h.leaves = append(h.leaves, p)
+}
+
+func (h *Histogram2D) replaceLeaf(old, a, b *node) {
+	for i, l := range h.leaves {
+		if l == old {
+			h.leaves[i] = a
+			h.leaves = append(h.leaves, b)
+			return
+		}
+	}
+}
+
+func (h *Histogram2D) removeLeaves(a, b *node) {
+	out := h.leaves[:0]
+	for _, l := range h.leaves {
+		if l != a && l != b {
+			out = append(out, l)
+		}
+	}
+	h.leaves = out
+}
+
+// Validate checks the structural invariants: the leaves tile the
+// domain exactly (total area preserved), counts are non-negative, and
+// the recorded total matches the leaf mass.
+func (h *Histogram2D) Validate() error {
+	area := 0.0
+	mass := 0.0
+	for _, l := range h.leaves {
+		if !l.isLeaf() {
+			return errors.New("multidim: interior node in leaf list")
+		}
+		for _, c := range l.quads {
+			if c < -1e-6 || math.IsNaN(c) {
+				return fmt.Errorf("multidim: bad count %v", c)
+			}
+		}
+		area += l.rect.Area()
+		mass += l.count()
+	}
+	if math.Abs(area-h.root.rect.Area()) > 1e-6*h.root.rect.Area() {
+		return fmt.Errorf("multidim: leaves cover %v of domain area %v", area, h.root.rect.Area())
+	}
+	if math.Abs(mass-h.total) > 1e-6*(1+h.total) {
+		return fmt.Errorf("multidim: leaf mass %v != total %v", mass, h.total)
+	}
+	return nil
+}

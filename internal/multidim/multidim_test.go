@@ -1,0 +1,350 @@
+package multidim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func domain1000() Rect { return Rect{X0: 0, X1: 1000, Y0: 0, Y1: 1000} }
+
+func TestNew2DValidation(t *testing.T) {
+	if _, err := New2D(domain1000(), 1); err == nil {
+		t.Error("maxLeaves 1: want error")
+	}
+	if _, err := New2D(Rect{X0: 5, X1: 5, Y0: 0, Y1: 1}, 4); err == nil {
+		t.Error("empty domain: want error")
+	}
+	if _, err := New2D(Rect{X0: 0, X1: math.NaN(), Y0: 0, Y1: 1}, 4); err == nil {
+		t.Error("NaN domain: want error")
+	}
+	if _, err := New2DMemory(domain1000(), 10); err == nil {
+		t.Error("10 bytes: want error")
+	}
+	h, err := New2DMemory(domain1000(), 24*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxLeaves() != 64 {
+		t.Errorf("budget = %d leaves, want 64", h.MaxLeaves())
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{X0: 0, X1: 10, Y0: 0, Y1: 20}
+	if r.Width() != 10 || r.Height() != 20 || r.Area() != 200 {
+		t.Error("extent helpers wrong")
+	}
+	if !r.Contains(Point{5, 5}) || r.Contains(Point{10, 5}) || r.Contains(Point{-1, 5}) {
+		t.Error("Contains half-open semantics violated")
+	}
+	o := r.Intersect(Rect{X0: 5, X1: 15, Y0: 10, Y1: 30})
+	if o.X0 != 5 || o.X1 != 10 || o.Y0 != 10 || o.Y1 != 20 {
+		t.Errorf("Intersect = %+v", o)
+	}
+	empty := r.Intersect(Rect{X0: 100, X1: 110, Y0: 0, Y1: 1})
+	if empty.Area() != 0 {
+		t.Errorf("disjoint intersect area = %v", empty.Area())
+	}
+}
+
+func TestInsertCountAndBudget(t *testing.T) {
+	h, err := New2D(domain1000(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for range 10000 {
+		p := Point{X: float64(rng.Intn(1000)), Y: float64(rng.Intn(1000))}
+		if err := h.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Total() != 10000 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	if h.NumLeaves() > 32 {
+		t.Fatalf("%d leaves over budget", h.NumLeaves())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EstimateRect(domain1000()); math.Abs(got-10000) > 1e-6 {
+		t.Fatalf("whole-domain estimate %v", got)
+	}
+}
+
+func TestInsertRejectsNonFinite(t *testing.T) {
+	h, err := New2D(domain1000(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(Point{math.NaN(), 3}); err == nil {
+		t.Error("Insert NaN: want error")
+	}
+	if err := h.Delete(Point{3, math.Inf(1)}); err == nil {
+		t.Error("Delete Inf: want error")
+	}
+	if err := h.Delete(Point{3, 3}); err == nil {
+		t.Error("delete from empty: want error")
+	}
+}
+
+func TestClampOutOfDomain(t *testing.T) {
+	h, err := New2D(domain1000(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points outside the domain are clamped in, not lost.
+	for _, p := range []Point{{-50, 500}, {2000, 500}, {500, -3}, {500, 5000}} {
+		if err := h.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	if got := h.EstimateRect(domain1000()); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("clamped mass %v, want 4", got)
+	}
+}
+
+func TestDeleteAndSpill(t *testing.T) {
+	h, err := New2D(domain1000(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range 100 {
+		if err := h.Insert(Point{100, 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete far from the data: spills to the populated region.
+	if err := h.Delete(Point{900, 900}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 99 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredBeatsCoarseUniform(t *testing.T) {
+	// Two tight clusters: the adaptive partition should estimate a
+	// cluster query far better than a uniform-density assumption over
+	// the domain.
+	h, err := New2D(domain1000(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	n := 20000
+	for i := range n {
+		var p Point
+		if i%2 == 0 {
+			p = Point{X: 100 + rng.NormFloat64()*20, Y: 100 + rng.NormFloat64()*20}
+		} else {
+			p = Point{X: 800 + rng.NormFloat64()*20, Y: 800 + rng.NormFloat64()*20}
+		}
+		if err := h.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := Rect{X0: 50, X1: 150, Y0: 50, Y1: 150} // first cluster
+	est := h.EstimateRect(query)
+	exact := float64(n) / 2 * 0.95 // nearly all of cluster 1 (±2.5σ)
+	if est < exact*0.5 || est > float64(n)*0.75 {
+		t.Errorf("cluster estimate %v, want ≈%v", est, exact)
+	}
+	uniform := float64(n) * query.Area() / domain1000().Area() // = n/100
+	if math.Abs(est-exact) > math.Abs(uniform-exact) {
+		t.Errorf("adaptive estimate %v no better than uniform %v (exact %v)", est, uniform, exact)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	h, err := New2D(domain1000(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Selectivity(domain1000()) != 0 {
+		t.Error("empty selectivity should be 0")
+	}
+	for range 100 {
+		if err := h.Insert(Point{500, 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Selectivity(domain1000()); math.Abs(got-1) > 1e-9 {
+		t.Errorf("whole-domain selectivity %v", got)
+	}
+	if got := h.EstimateRect(Rect{X0: 10, X1: 5, Y0: 0, Y1: 1}); got != 0 {
+		t.Errorf("inverted query = %v", got)
+	}
+}
+
+func TestLeavesExposed(t *testing.T) {
+	h, err := New2D(domain1000(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for range 5000 {
+		if err := h.Insert(Point{rng.Float64() * 1000, rng.Float64() * 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves := h.Leaves()
+	if len(leaves) != h.NumLeaves() {
+		t.Fatalf("Leaves() length %d != NumLeaves %d", len(leaves), h.NumLeaves())
+	}
+	mass := 0.0
+	for _, l := range leaves {
+		mass += l.Count
+	}
+	if math.Abs(mass-5000) > 1e-6 {
+		t.Fatalf("leaf mass %v", mass)
+	}
+}
+
+// Property: mass conservation and structural validity across arbitrary
+// insert/delete workloads.
+func TestMassConservationProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		h, err := New2D(Rect{X0: 0, X1: 256, Y0: 0, Y1: 256}, 12)
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		for _, op := range ops {
+			v := int(op)
+			if v < 0 {
+				v = -v
+			}
+			p := Point{X: float64(v % 256), Y: float64((v / 7) % 256)}
+			if op%3 != 0 {
+				if h.Insert(p) == nil {
+					want++
+				}
+			} else if h.Delete(p) == nil {
+				want--
+			}
+		}
+		if math.Abs(h.Total()-want) > 1e-6 {
+			return false
+		}
+		return h.Validate() == nil && h.NumLeaves() <= h.MaxLeaves()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: estimates are monotone in the query rectangle (a larger
+// query never yields a smaller estimate).
+func TestEstimateMonotoneProperty(t *testing.T) {
+	h, err := New2D(domain1000(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for range 8000 {
+		if err := h.Insert(Point{rng.Float64() * 1000, rng.Float64() * 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(x0, y0 uint16, w, hgt uint16) bool {
+		q := Rect{
+			X0: float64(x0 % 900), Y0: float64(y0 % 900),
+		}
+		q.X1 = q.X0 + float64(w%100) + 1
+		q.Y1 = q.Y0 + float64(hgt%100) + 1
+		inner := h.EstimateRect(q)
+		bigger := Rect{X0: q.X0 - 10, X1: q.X1 + 10, Y0: q.Y0 - 10, Y1: q.Y1 + 10}
+		outer := h.EstimateRect(bigger)
+		return outer >= inner-1e-9 && inner >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g, err := NewGrid2D(domain1000(), 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 64 {
+		t.Fatalf("Cells = %d", g.Cells())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for range 5000 {
+		if err := g.Insert(Point{rng.Float64() * 1000, rng.Float64() * 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Total() != 5000 {
+		t.Fatalf("Total = %v", g.Total())
+	}
+	if got := g.EstimateRect(domain1000()); math.Abs(got-5000) > 1e-6 {
+		t.Fatalf("whole-domain estimate %v", got)
+	}
+	// Uniform data: quarter-domain estimate ≈ quarter of the rows.
+	q := Rect{X0: 0, X1: 500, Y0: 0, Y1: 500}
+	if got := g.EstimateRect(q); math.Abs(got-1250) > 200 {
+		t.Errorf("quarter estimate %v, want ≈1250", got)
+	}
+	if err := g.Delete(Point{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 4999 {
+		t.Fatalf("Total after delete = %v", g.Total())
+	}
+	if err := g.Insert(Point{math.NaN(), 1}); err == nil {
+		t.Error("NaN insert: want error")
+	}
+	if _, err := NewGrid2D(domain1000(), 0, 3); err == nil {
+		t.Error("0 columns: want error")
+	}
+}
+
+func TestGrid2DBudget(t *testing.T) {
+	for _, budget := range []int{1, 2, 16, 63, 100} {
+		g, err := NewGrid2DBudget(domain1000(), budget)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if g.Cells() > budget {
+			t.Errorf("budget %d: %d cells over budget", budget, g.Cells())
+		}
+	}
+	if _, err := NewGrid2DBudget(domain1000(), 0); err == nil {
+		t.Error("budget 0: want error")
+	}
+}
+
+func TestGrid2DDeleteEmptyAndSpill(t *testing.T) {
+	g, err := NewGrid2D(domain1000(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Delete(Point{1, 1}); err == nil {
+		t.Error("delete from empty: want error")
+	}
+	if err := g.Insert(Point{900, 900}); err != nil {
+		t.Fatal(err)
+	}
+	// Delete from an empty cell spills to the fullest cell.
+	if err := g.Delete(Point{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 0 {
+		t.Fatalf("Total = %v", g.Total())
+	}
+}

@@ -1,0 +1,187 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestLogGamma(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+		{10, math.Log(362880)},
+	}
+	for _, c := range cases {
+		if got := LogGamma(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("LogGamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x) (exponential CDF).
+	for _, x := range []float64{0, 0.1, 0.5, 1, 2, 5, 10} {
+		got, err := GammaP(1, x)
+		if err != nil {
+			t.Fatalf("GammaP(1,%v): %v", x, err)
+		}
+		want := 1 - math.Exp(-x)
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("GammaP(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPHalfIsErf(t *testing.T) {
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.01, 0.25, 1, 2.25, 4, 9} {
+		got, err := GammaP(0.5, x)
+		if err != nil {
+			t.Fatalf("GammaP(0.5,%v): %v", x, err)
+		}
+		want := math.Erf(math.Sqrt(x))
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("GammaP(0.5,%v) = %v, want erf=%v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	f := func(a, x float64) bool {
+		a = 0.1 + math.Abs(math.Mod(a, 50))
+		x = math.Abs(math.Mod(x, 100))
+		p, err1 := GammaP(a, x)
+		q, err2 := GammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(p+q, 1, 1e-9) && p >= 0 && p <= 1+1e-12 && q >= 0 && q <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPMonotoneInX(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2, 5, 20} {
+		prev := -1.0
+		for x := 0.0; x <= 60; x += 0.5 {
+			p, err := GammaP(a, x)
+			if err != nil {
+				t.Fatalf("GammaP(%v,%v): %v", a, x, err)
+			}
+			if p < prev-1e-12 {
+				t.Fatalf("GammaP(%v,·) not monotone at x=%v: %v < %v", a, x, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestGammaDomainErrors(t *testing.T) {
+	cases := []struct{ a, x float64 }{
+		{0, 1}, {-1, 1}, {1, -0.5}, {math.NaN(), 1}, {1, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := GammaP(c.a, c.x); err == nil {
+			t.Errorf("GammaP(%v,%v): want domain error", c.a, c.x)
+		}
+		if _, err := GammaQ(c.a, c.x); err == nil {
+			t.Errorf("GammaQ(%v,%v): want domain error", c.a, c.x)
+		}
+	}
+}
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// For df=2 the chi-square survival is exp(-x/2).
+	for _, x := range []float64{0, 1, 2, 5, 10, 20} {
+		got, err := ChiSquareSurvival(x, 2)
+		if err != nil {
+			t.Fatalf("ChiSquareSurvival(%v,2): %v", x, err)
+		}
+		want := math.Exp(-x / 2)
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("ChiSquareSurvival(%v,2) = %v, want %v", x, got, want)
+		}
+	}
+	// Median of chi-square with df=1 is ~0.4549.
+	got, err := ChiSquareSurvival(0.454936, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.5, 1e-4) {
+		t.Errorf("ChiSquareSurvival(median,1) = %v, want 0.5", got)
+	}
+}
+
+func TestChiSquareSurvivalBounds(t *testing.T) {
+	f := func(chi2 float64, df uint8) bool {
+		c := math.Abs(math.Mod(chi2, 1000))
+		d := int(df%64) + 1
+		q, err := ChiSquareSurvival(c, d)
+		if err != nil {
+			return false
+		}
+		return q >= 0 && q <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareSurvivalDecreasing(t *testing.T) {
+	prev := 2.0
+	for x := 0.0; x < 100; x += 1 {
+		q, err := ChiSquareSurvival(x, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q > prev+1e-12 {
+			t.Fatalf("survival increased at x=%v: %v > %v", x, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestChiSquareSurvivalErrors(t *testing.T) {
+	if _, err := ChiSquareSurvival(1, 0); err == nil {
+		t.Error("df=0: want error")
+	}
+	if _, err := ChiSquareSurvival(-1, 3); err == nil {
+		t.Error("chi2<0: want error")
+	}
+	if _, err := ChiSquareSurvival(math.NaN(), 3); err == nil {
+		t.Error("NaN: want error")
+	}
+}
+
+func TestChiSquareExtremeTail(t *testing.T) {
+	// Very large chi-square must give a tiny but non-negative survival
+	// probability without overflow; this is the regime the DC trigger
+	// operates in (αmin = 1e-6).
+	q, err := ChiSquareSurvival(500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0 || q > 1e-60 {
+		t.Errorf("ChiSquareSurvival(500,10) = %v, want tiny positive", q)
+	}
+}

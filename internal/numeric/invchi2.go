@@ -1,0 +1,57 @@
+package numeric
+
+import "math"
+
+// ChiSquareInvSurvival returns the chi-square value x such that
+// ChiSquareSurvival(x, df) = p, i.e. the (1−p) quantile of the
+// chi-square distribution with df degrees of freedom.
+//
+// The DC histogram uses it to turn its αmin significance threshold into
+// a plain chi-square threshold once per bucket-count change, so the
+// per-insertion trigger test is a single float comparison instead of an
+// incomplete-gamma evaluation (paper §3: the test runs on every point).
+//
+// p = 1 maps to 0 (always trigger) and p = 0 maps to +Inf (never
+// trigger), matching the paper's description of the αmin extremes.
+func ChiSquareInvSurvival(p float64, df int) (float64, error) {
+	if df <= 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, ErrDomain
+	}
+	if p >= 1 {
+		return 0, nil
+	}
+	if p <= 0 {
+		return math.Inf(1), nil
+	}
+	// Bracket the root: survival is continuous and strictly decreasing.
+	lo, hi := 0.0, float64(df)+10
+	for {
+		q, err := ChiSquareSurvival(hi, df)
+		if err != nil {
+			return 0, err
+		}
+		if q <= p {
+			break
+		}
+		hi *= 2
+		if hi > 1e12 {
+			return hi, nil // p is astronomically small; any practical chi2 is below
+		}
+	}
+	for range 200 {
+		mid := (lo + hi) / 2
+		q, err := ChiSquareSurvival(mid, df)
+		if err != nil {
+			return 0, err
+		}
+		if q > p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-9*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}

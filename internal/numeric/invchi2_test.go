@@ -1,0 +1,89 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquareInvSurvivalRoundTrip(t *testing.T) {
+	for _, df := range []int{1, 2, 5, 20, 126} {
+		for _, p := range []float64{1e-9, 1e-6, 1e-3, 0.05, 0.5, 0.95} {
+			x, err := ChiSquareInvSurvival(p, df)
+			if err != nil {
+				t.Fatalf("inv(%v,%d): %v", p, df, err)
+			}
+			q, err := ChiSquareSurvival(x, df)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(q-p) > 1e-6*(1+p) && math.Abs(q-p) > 1e-9 {
+				t.Errorf("df=%d p=%v: survival(inv) = %v", df, p, q)
+			}
+		}
+	}
+}
+
+func TestChiSquareInvSurvivalEdges(t *testing.T) {
+	x, err := ChiSquareInvSurvival(1, 5)
+	if err != nil || x != 0 {
+		t.Errorf("p=1: got %v, %v, want 0", x, err)
+	}
+	x, err = ChiSquareInvSurvival(0, 5)
+	if err != nil || !math.IsInf(x, 1) {
+		t.Errorf("p=0: got %v, %v, want +Inf", x, err)
+	}
+	for _, bad := range []struct {
+		p  float64
+		df int
+	}{{-0.1, 5}, {1.1, 5}, {0.5, 0}, {math.NaN(), 5}} {
+		if _, err := ChiSquareInvSurvival(bad.p, bad.df); err == nil {
+			t.Errorf("inv(%v,%d): want error", bad.p, bad.df)
+		}
+	}
+}
+
+func TestChiSquareInvSurvivalKnownValues(t *testing.T) {
+	// Chi-square upper critical values from standard tables.
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.05, 1, 3.841},
+		{0.05, 10, 18.307},
+		{0.01, 5, 15.086},
+		{0.5, 2, 1.386},
+	}
+	for _, c := range cases {
+		x, err := ChiSquareInvSurvival(c.p, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(x-c.want) > 0.01 {
+			t.Errorf("inv(%v,%d) = %v, want %v", c.p, c.df, x, c.want)
+		}
+	}
+}
+
+// Property: the inverse is decreasing in p.
+func TestChiSquareInvSurvivalMonotone(t *testing.T) {
+	f := func(df uint8) bool {
+		d := int(df%100) + 1
+		prev := math.Inf(1)
+		for _, p := range []float64{1e-8, 1e-4, 0.01, 0.1, 0.5, 0.9, 0.999} {
+			x, err := ChiSquareInvSurvival(p, d)
+			if err != nil {
+				return false
+			}
+			if x > prev+1e-6 {
+				return false
+			}
+			prev = x
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package sample implements reservoir sampling (Vitter's Algorithm R)
+// with deletion support — the "backing sample" substrate of the
+// Approximate Histograms of Gibbons, Matias and Poosala (VLDB'97) that
+// the paper compares against.
+//
+// Deletions remove the deleted value from the reservoir if present and
+// do not refill it: in the stream model there is no way to resample
+// already-discarded data. The shrinking sample under heavy deletion is
+// precisely the degradation the paper demonstrates in Fig. 17.
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrCapacity is returned for a non-positive reservoir capacity.
+var ErrCapacity = errors.New("sample: capacity < 1")
+
+// Reservoir maintains a uniform random sample of capacity k over an
+// insert stream, with best-effort deletion support. It is
+// deterministic given the seed.
+type Reservoir struct {
+	capacity int
+	items    []float64
+	seen     int64 // inserts observed since creation
+	rng      *rand.Rand
+
+	// byValue indexes the positions of each value currently in the
+	// reservoir so deletions are O(1) expected.
+	byValue map[float64][]int
+}
+
+// NewReservoir returns an empty reservoir holding at most capacity
+// values.
+func NewReservoir(capacity int, seed int64) (*Reservoir, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrCapacity, capacity)
+	}
+	return &Reservoir{
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+		byValue:  make(map[float64][]int),
+	}, nil
+}
+
+// Capacity returns the maximum sample size.
+func (r *Reservoir) Capacity() int { return r.capacity }
+
+// Len returns the current sample size.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Seen returns the number of inserts observed.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Values returns a copy of the current sample.
+func (r *Reservoir) Values() []float64 {
+	out := make([]float64, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Insert offers one value to the reservoir (Algorithm R): the first k
+// values are kept; afterwards the value replaces a uniformly random
+// resident with probability k/seen.
+func (r *Reservoir) Insert(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("sample: non-finite value %v", v)
+	}
+	r.seen++
+	if len(r.items) < r.capacity {
+		r.indexAdd(v, len(r.items))
+		r.items = append(r.items, v)
+		return nil
+	}
+	// Standard Algorithm R acceptance test.
+	j := r.rng.Int63n(r.seen)
+	if j < int64(r.capacity) {
+		r.replaceAt(int(j), v)
+	}
+	return nil
+}
+
+// Delete removes one instance of v from the reservoir if present and
+// reports whether it did. The slot is not refilled.
+func (r *Reservoir) Delete(v float64) bool {
+	positions := r.byValue[v]
+	if len(positions) == 0 {
+		return false
+	}
+	pos := positions[len(positions)-1]
+	r.indexRemove(v, pos)
+	last := len(r.items) - 1
+	if pos != last {
+		moved := r.items[last]
+		r.items[pos] = moved
+		r.indexRemove(moved, last)
+		r.indexAdd(moved, pos)
+	}
+	r.items = r.items[:last]
+	return true
+}
+
+func (r *Reservoir) replaceAt(pos int, v float64) {
+	old := r.items[pos]
+	r.indexRemove(old, pos)
+	r.items[pos] = v
+	r.indexAdd(v, pos)
+}
+
+func (r *Reservoir) indexAdd(v float64, pos int) {
+	r.byValue[v] = append(r.byValue[v], pos)
+}
+
+func (r *Reservoir) indexRemove(v float64, pos int) {
+	positions := r.byValue[v]
+	for i, p := range positions {
+		if p == pos {
+			positions[i] = positions[len(positions)-1]
+			positions = positions[:len(positions)-1]
+			break
+		}
+	}
+	if len(positions) == 0 {
+		delete(r.byValue, v)
+	} else {
+		r.byValue[v] = positions
+	}
+}

@@ -1,0 +1,201 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, 1); err == nil {
+		t.Error("capacity 0: want error")
+	}
+	if _, err := NewReservoir(-3, 1); err == nil {
+		t.Error("negative capacity: want error")
+	}
+}
+
+func TestReservoirFillPhase(t *testing.T) {
+	r, err := NewReservoir(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 5 {
+		if err := r.Insert(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	vals := map[float64]bool{}
+	for _, v := range r.Values() {
+		vals[v] = true
+	}
+	for i := range 5 {
+		if !vals[float64(i)] {
+			t.Errorf("fill phase must keep the first k values; missing %d", i)
+		}
+	}
+}
+
+func TestReservoirCapacityBound(t *testing.T) {
+	r, err := NewReservoir(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 10000 {
+		if err := r.Insert(float64(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	if r.Seen() != 10000 {
+		t.Fatalf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirRejectsNonFinite(t *testing.T) {
+	r, err := NewReservoir(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(math.NaN()); err == nil {
+		t.Error("Insert(NaN): want error")
+	}
+	if err := r.Insert(math.Inf(1)); err == nil {
+		t.Error("Insert(Inf): want error")
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Statistical check: each of 100 stream values should appear in the
+	// sample with roughly equal frequency across many trials.
+	hits := make([]int, 100)
+	trials := 400
+	for trial := range trials {
+		r, err := NewReservoir(10, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range 100 {
+			if err := r.Insert(float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, v := range r.Values() {
+			hits[int(v)]++
+		}
+	}
+	// Expected hits per value: trials * 10/100 = 40. Allow wide noise.
+	for v, h := range hits {
+		if h < 10 || h > 90 {
+			t.Errorf("value %d sampled %d times, want ≈40 (uniformity broken)", v, h)
+		}
+	}
+}
+
+func TestReservoirDelete(t *testing.T) {
+	r, err := NewReservoir(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 2, 2, 3, 4} {
+		if err := r.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Delete(2) {
+		t.Fatal("Delete(2) should succeed")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if !r.Delete(2) {
+		t.Fatal("second Delete(2) should succeed (two copies inserted)")
+	}
+	if r.Delete(2) {
+		t.Fatal("third Delete(2) should fail")
+	}
+	if r.Delete(99) {
+		t.Fatal("Delete of absent value should fail")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestReservoirDeterministicPerSeed(t *testing.T) {
+	build := func(seed int64) []float64 {
+		r, err := NewReservoir(7, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range 500 {
+			if err := r.Insert(float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.Values()
+	}
+	a, b := build(42), build(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same sample")
+		}
+	}
+}
+
+// Property: the index stays consistent with the slice across arbitrary
+// insert/delete interleavings — every Delete(v) succeeds iff v is in
+// the sample.
+func TestReservoirIndexConsistency(t *testing.T) {
+	f := func(ops []int16) bool {
+		r, err := NewReservoir(8, 9)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			v := float64(int(op) % 20)
+			if v < 0 {
+				v = -v
+			}
+			if op%4 == 0 {
+				present := false
+				for _, x := range r.items {
+					if x == v {
+						present = true
+						break
+					}
+				}
+				if r.Delete(v) != present {
+					return false
+				}
+			} else if r.Insert(v) != nil {
+				return false
+			}
+			if r.Len() > r.Capacity() {
+				return false
+			}
+			// Index agrees with the slice.
+			n := 0
+			for val, positions := range r.byValue {
+				for _, p := range positions {
+					if p < 0 || p >= len(r.items) || r.items[p] != val {
+						return false
+					}
+					n++
+				}
+			}
+			if n != len(r.items) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package static
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynahist/internal/dist"
+)
+
+func benchTracker(b *testing.B, n, domain int) *dist.Tracker {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tr := dist.New(domain)
+	for range n {
+		if err := tr.Insert(rng.Intn(domain + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func benchKind(b *testing.B, kind Kind) {
+	tr := benchTracker(b, 100000, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := Build(kind, tr, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEquiWidth(b *testing.B)  { benchKind(b, KindEquiWidth) }
+func BenchmarkEquiDepth(b *testing.B)  { benchKind(b, KindEquiDepth) }
+func BenchmarkCompressed(b *testing.B) { benchKind(b, KindCompressed) }
+func BenchmarkSSBM(b *testing.B)       { benchKind(b, KindSSBM) }
+func BenchmarkVOptimal(b *testing.B)   { benchKind(b, KindVOptimal) }
+func BenchmarkSADO(b *testing.B)       { benchKind(b, KindSADO) }

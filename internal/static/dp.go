@@ -1,0 +1,269 @@
+package static
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/histogram"
+)
+
+// maxDPElements bounds the number of distinct values the exact dynamic
+// programs accept. The SADO cost table is O(D²) floats; beyond this the
+// table would dominate memory and the caller should coarsen the data
+// first. (The paper's static comparisons, Figs. 9-13, use C=50 and
+// C=200 cluster workloads that stay far below the bound.)
+const maxDPElements = 6000
+
+// VOptimal builds the SVO histogram: the partition of the distinct
+// values into at most n groups minimising the summed within-group
+// variance of frequencies, Eq. (2)/(3), found by exact dynamic
+// programming. The paper quotes the naive construction as exponential
+// in the number of buckets; the classic DP is O(D²·n) with O(1) segment
+// costs from prefix sums of f and f².
+func VOptimal(tr *dist.Tracker, n int) (*histogram.Piecewise, error) {
+	values, counts, err := checkInput(tr, n)
+	if err != nil {
+		return nil, err
+	}
+	d := len(values)
+	if n >= d {
+		return Exact(tr)
+	}
+	// Prefix sums over frequencies.
+	sum := make([]float64, d+1)
+	sum2 := make([]float64, d+1)
+	for i, c := range counts {
+		f := float64(c)
+		sum[i+1] = sum[i] + f
+		sum2[i+1] = sum2[i] + f*f
+	}
+	// Cost of grouping elements [i, j): the SSE of the per-value
+	// frequencies over the bucket's whole integer span — Eq. (3)'s "j
+	// ranges over all possible domain values within the bucket", so
+	// zero-frequency values inside the span count too. This is what
+	// makes merging across wide empty gaps expensive and keeps bucket
+	// borders at the edges of populated regions.
+	cost := func(i, j int) float64 {
+		m := float64(values[j-1] - values[i] + 1) // span incl. zeros
+		s := sum[j] - sum[i]
+		s2 := sum2[j] - sum2[i]
+		c := s2 - s*s/m
+		if c < 0 {
+			return 0
+		}
+		return c
+	}
+	groups := partitionDP(d, n, cost)
+	return bucketsFromGroups(values, counts, groups)
+}
+
+// SADO builds the Static Average-Deviation Optimal histogram the paper
+// introduces (§4.1): the partition minimising the summed within-group
+// absolute deviation of frequencies from the group mean, Eq. (5), by
+// the same dynamic program. Absolute deviations have no prefix-sum
+// closed form, so the D×D segment-cost table is precomputed with a
+// Fenwick tree keyed by compressed frequency in O(D² log D).
+func SADO(tr *dist.Tracker, n int) (*histogram.Piecewise, error) {
+	values, counts, err := checkInput(tr, n)
+	if err != nil {
+		return nil, err
+	}
+	d := len(values)
+	if n >= d {
+		return Exact(tr)
+	}
+	if d > maxDPElements {
+		return nil, fmt.Errorf("static: SADO over %d distinct values exceeds the %d-element DP bound", d, maxDPElements)
+	}
+	table := adCostTable(values, counts)
+	cost := func(i, j int) float64 { return float64(table[i*d+j-1]) }
+	groups := partitionDP(d, n, cost)
+	return bucketsFromGroups(values, counts, groups)
+}
+
+// adCostTable returns the packed table t[i*d + j] = Σ_v |f_v − μ| for
+// all element ranges [i, j], where v runs over every integer domain
+// value in the span [values[i], values[j]] (zeros included, per
+// Eq. (5)) and μ is the mean frequency over that span. For each fixed
+// left endpoint i the right endpoint j sweeps upward while a Fenwick
+// tree over compressed frequency values answers "count and sum of
+// frequencies ≤ μ" in O(log D); the zero-frequency values contribute
+// μ each.
+func adCostTable(values []int, counts []int64) []float32 {
+	d := len(counts)
+	freqs := make([]float64, d)
+	for i, c := range counts {
+		freqs[i] = float64(c)
+	}
+	ranks, sorted := compressRanks(freqs)
+
+	table := make([]float32, d*d)
+	bit := newFenwick(len(sorted))
+	for i := 0; i < d; i++ {
+		bit.reset()
+		sum := 0.0
+		for j := i; j < d; j++ {
+			bit.add(ranks[j], freqs[j])
+			sum += freqs[j]
+			nonzero := float64(j - i + 1)
+			span := float64(values[j] - values[i] + 1)
+			mean := sum / span
+			// Populated values with frequency ≤ mean: count nLo, sum sLo.
+			nLo, sLo := bit.prefix(upperRank(sorted, mean))
+			dev := (mean*float64(nLo) - sLo) + ((sum - sLo) - mean*(nonzero-float64(nLo)))
+			dev += (span - nonzero) * mean // zero-frequency values
+			if dev < 0 {
+				dev = 0
+			}
+			table[i*d+j] = float32(dev)
+		}
+	}
+	return table
+}
+
+// compressRanks maps each frequency to its rank among the distinct
+// sorted frequencies.
+func compressRanks(freqs []float64) (ranks []int, sorted []float64) {
+	sorted = append(sorted, freqs...)
+	sort.Float64s(sorted)
+	sorted = dedupFloat64s(sorted)
+	ranks = make([]int, len(freqs))
+	for i, f := range freqs {
+		ranks[i] = lowerBound(sorted, f)
+	}
+	return ranks, sorted
+}
+
+// upperRank returns the number of distinct sorted frequencies ≤ x.
+func upperRank(sorted []float64, x float64) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func lowerBound(sorted []float64, x float64) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func dedupFloat64s(s []float64) []float64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fenwick is a Fenwick (binary indexed) tree tracking, per frequency
+// rank, the count of elements and the sum of their frequencies.
+type fenwick struct {
+	n     int
+	count []int
+	sum   []float64
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{n: n, count: make([]int, n+1), sum: make([]float64, n+1)}
+}
+
+func (f *fenwick) reset() {
+	for i := range f.count {
+		f.count[i] = 0
+		f.sum[i] = 0
+	}
+}
+
+func (f *fenwick) add(rank int, freq float64) {
+	for i := rank + 1; i <= f.n; i += i & (-i) {
+		f.count[i]++
+		f.sum[i] += freq
+	}
+}
+
+// prefix returns the count and frequency-sum of the first k ranks.
+func (f *fenwick) prefix(k int) (int, float64) {
+	if k > f.n {
+		k = f.n
+	}
+	n, s := 0, 0.0
+	for i := k; i > 0; i -= i & (-i) {
+		n += f.count[i]
+		s += f.sum[i]
+	}
+	return n, s
+}
+
+// partitionDP computes the optimal partition of d elements into at most
+// n contiguous groups under the given segment cost, and returns the
+// group index ranges. Standard O(d²·n) histogram DP.
+func partitionDP(d, n int, cost func(i, j int) float64) [][2]int {
+	if n > d {
+		n = d
+	}
+	const inf = math.MaxFloat64
+	// dp[j] = best cost of first j elements with the current number of
+	// groups; parent[k][j] = split point.
+	prev := make([]float64, d+1)
+	cur := make([]float64, d+1)
+	parent := make([][]int32, n+1)
+	for j := 1; j <= d; j++ {
+		prev[j] = cost(0, j)
+	}
+	parent[1] = make([]int32, d+1)
+	for k := 2; k <= n; k++ {
+		parent[k] = make([]int32, d+1)
+		for j := 0; j <= d; j++ {
+			cur[j] = inf
+		}
+		for j := k; j <= d; j++ {
+			best, bestI := inf, k-1
+			for i := k - 1; i < j; i++ {
+				if prev[i] >= best {
+					continue
+				}
+				c := prev[i] + cost(i, j)
+				if c < best {
+					best, bestI = c, i
+				}
+			}
+			cur[j] = best
+			parent[k][j] = int32(bestI)
+		}
+		prev, cur = cur, prev
+	}
+	// Walk back from dp[n][d].
+	groups := make([][2]int, 0, n)
+	j := d
+	for k := n; k >= 1 && j > 0; k-- {
+		i := 0
+		if k > 1 {
+			i = int(parent[k][j])
+		}
+		groups = append(groups, [2]int{i, j})
+		j = i
+	}
+	// Reverse into left-to-right order.
+	for a, b := 0, len(groups)-1; a < b; a, b = a+1, b-1 {
+		groups[a], groups[b] = groups[b], groups[a]
+	}
+	return groups
+}

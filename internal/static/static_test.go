@@ -1,0 +1,483 @@
+package static
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+	"dynahist/internal/histogram"
+	"dynahist/internal/metric"
+)
+
+func trackerFrom(t testing.TB, domain int, values ...int) *dist.Tracker {
+	t.Helper()
+	tr := dist.New(domain)
+	for _, v := range values {
+		if err := tr.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func loadTracker(t testing.TB, domain int, values []int) *dist.Tracker {
+	t.Helper()
+	tr := dist.New(domain)
+	for _, v := range values {
+		if err := tr.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func allKinds() []Kind {
+	return []Kind{KindEquiWidth, KindEquiDepth, KindCompressed, KindVOptimal, KindSADO, KindSSBM, KindExact}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tr := trackerFrom(t, 10, 1, 2, 3)
+	for _, kind := range allKinds() {
+		if kind == KindExact {
+			continue
+		}
+		if _, err := Build(kind, tr, 0); err == nil {
+			t.Errorf("%v with n=0: want error", kind)
+		}
+		if _, err := Build(kind, dist.New(10), 3); err == nil {
+			t.Errorf("%v with empty tracker: want error", kind)
+		}
+	}
+	if _, err := Build(Kind(99), tr, 3); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}
+
+func TestAllKindsPreserveMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	values := make([]int, 5000)
+	for i := range values {
+		values[i] = rng.Intn(300)
+	}
+	tr := loadTracker(t, 300, values)
+	for _, kind := range allKinds() {
+		for _, n := range []int{1, 2, 5, 17, 63} {
+			p, err := Build(kind, tr, n)
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", kind, n, err)
+			}
+			if math.Abs(p.Total()-5000) > 1e-6 {
+				t.Errorf("%v n=%d: mass %v, want 5000", kind, n, p.Total())
+			}
+			if kind != KindExact && p.NumBuckets() > n {
+				t.Errorf("%v n=%d: %d buckets over budget", kind, n, p.NumBuckets())
+			}
+			if err := histogram.Validate(p.Buckets()); err != nil {
+				t.Errorf("%v n=%d: %v", kind, n, err)
+			}
+		}
+	}
+}
+
+func TestExactIsLossless(t *testing.T) {
+	tr := trackerFrom(t, 50, 3, 3, 17, 17, 17, 42)
+	p, err := Exact(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := metric.KS(p.CDF, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 1e-12 {
+		t.Errorf("exact histogram KS = %v, want 0", ks)
+	}
+}
+
+func TestEquiDepthBalance(t *testing.T) {
+	// 100 distinct values of equal frequency into 10 buckets: each
+	// bucket must hold exactly 10% of the mass.
+	var values []int
+	for v := range 100 {
+		values = append(values, v, v)
+	}
+	tr := loadTracker(t, 100, values)
+	p, err := EquiDepth(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBuckets() != 10 {
+		t.Fatalf("got %d buckets, want 10", p.NumBuckets())
+	}
+	for i, b := range p.Buckets() {
+		if math.Abs(b.Count()-20) > 1e-9 {
+			t.Errorf("bucket %d count %v, want 20", i, b.Count())
+		}
+	}
+}
+
+func TestEquiWidthRanges(t *testing.T) {
+	tr := trackerFrom(t, 100, 0, 10, 20, 30, 39)
+	p, err := EquiWidth(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := p.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("got %d buckets", len(bs))
+	}
+	w := bs[0].Width()
+	for i, b := range bs {
+		if math.Abs(b.Width()-w) > 1e-9 {
+			t.Errorf("bucket %d width %v differs from %v", i, b.Width(), w)
+		}
+	}
+	if bs[0].Left != 0 || bs[3].Right != 40 {
+		t.Errorf("coverage [%v,%v), want [0,40)", bs[0].Left, bs[3].Right)
+	}
+}
+
+func TestCompressedSingletons(t *testing.T) {
+	// One heavy value among light ones must get a singleton bucket.
+	var values []int
+	for range 1000 {
+		values = append(values, 50)
+	}
+	for v := range 40 {
+		values = append(values, v)
+	}
+	tr := loadTracker(t, 100, values)
+	p, err := Compressed(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range p.Buckets() {
+		if b.Left == 50 && b.Right == 51 && math.Abs(b.Count()-1000) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("heavy value 50 should sit in a singleton bucket with its exact count")
+	}
+	// The singleton makes the heavy value's estimate exact.
+	if got := p.EstimateRange(50, 50); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("estimate(50) = %v, want 1000", got)
+	}
+}
+
+func TestVOptimalBeatsEquiWidthOnSteps(t *testing.T) {
+	// Step distribution: V-Optimal should place borders at the steps
+	// and achieve (near-)zero error with 3 buckets.
+	var values []int
+	for v := 0; v < 10; v++ {
+		values = append(values, v) // freq 1
+	}
+	for v := 10; v < 20; v++ {
+		for range 10 {
+			values = append(values, v) // freq 10
+		}
+	}
+	for v := 20; v < 30; v++ {
+		for range 3 {
+			values = append(values, v) // freq 3
+		}
+	}
+	tr := loadTracker(t, 30, values)
+	vo, err := VOptimal(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksVO, err := metric.KS(vo.CDF, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksVO > 1e-9 {
+		t.Errorf("V-Optimal on 3-step data: KS = %v, want 0", ksVO)
+	}
+	ew, err := EquiWidth(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksEW, err := metric.KS(ew.CDF, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksVO > ksEW {
+		t.Errorf("V-Optimal (%v) worse than Equi-Width (%v)", ksVO, ksEW)
+	}
+}
+
+func TestSADOMatchesVOOnSteps(t *testing.T) {
+	// On clean step data both DPs find the perfect partition (paper:
+	// "essentially no difference between the static V-optimal and the
+	// static Average-Deviation optimal").
+	var values []int
+	for v := 0; v < 8; v++ {
+		values = append(values, v)
+	}
+	for v := 8; v < 16; v++ {
+		for range 7 {
+			values = append(values, v)
+		}
+	}
+	tr := loadTracker(t, 16, values)
+	sado, err := SADO(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := metric.KS(sado.CDF, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 1e-9 {
+		t.Errorf("SADO on 2-step data: KS = %v, want 0", ks)
+	}
+}
+
+func TestSSBMStopsAtBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	values := make([]int, 3000)
+	for i := range values {
+		values[i] = rng.Intn(500)
+	}
+	tr := loadTracker(t, 500, values)
+	for _, n := range []int{1, 7, 31, 100} {
+		p, err := SSBM(tr, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumBuckets() != n {
+			t.Errorf("SSBM(n=%d) = %d buckets", n, p.NumBuckets())
+		}
+	}
+}
+
+func TestSSBMKeepsGapBordersOnClusters(t *testing.T) {
+	// Two tight clusters far apart: with 2 buckets, SSBM must not merge
+	// across the gap.
+	var values []int
+	for v := 0; v < 5; v++ {
+		for range 10 {
+			values = append(values, v, 400+v)
+		}
+	}
+	tr := loadTracker(t, 500, values)
+	p, err := SSBM(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := p.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("got %d buckets", len(bs))
+	}
+	if bs[0].Right > 5+1e-9 && bs[0].Right != 5 {
+		t.Errorf("first bucket right %v, want 5 (gap preserved)", bs[0].Right)
+	}
+	if bs[1].Left != 400 {
+		t.Errorf("second bucket left %v, want 400", bs[1].Left)
+	}
+}
+
+func TestSSBMCloseToVOptimal(t *testing.T) {
+	// Paper §5/Figs. 9-12: SSBM is comparable in quality to SVO.
+	cfg := distgen.Config{Points: 20000, Domain: 2000, Clusters: 50,
+		SizeSkew: 1, SpreadSkew: 1, SD: 1, Seed: 11}
+	values, err := distgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := loadTracker(t, cfg.Domain, values)
+	n := 17
+	vo, err := VOptimal(tr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := SSBM(tr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksVO, err := metric.KS(vo.CDF, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksSB, err := metric.KS(sb.CDF, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksSB > 3*ksVO+0.01 {
+		t.Errorf("SSBM KS %v much worse than SVO KS %v", ksSB, ksVO)
+	}
+}
+
+func TestSADODPBoundError(t *testing.T) {
+	tr := dist.New(10000)
+	for v := 0; v <= 6500; v++ {
+		if err := tr.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := SADO(tr, 10); err == nil {
+		t.Error("SADO beyond DP bound: want error")
+	}
+}
+
+func TestBuildMemorySizing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	values := make([]int, 2000)
+	for i := range values {
+		values[i] = rng.Intn(400)
+	}
+	tr := loadTracker(t, 400, values)
+	p, err := BuildMemory(KindEquiDepth, tr, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBuckets() > 17 {
+		t.Errorf("0.14KB equi-depth: %d buckets, want ≤ 17", p.NumBuckets())
+	}
+	if _, err := BuildMemory(KindEquiDepth, tr, 2); err == nil {
+		t.Error("2 bytes: want error")
+	}
+}
+
+// Property: every kind yields a monotone CDF ending at 1.
+func TestStaticCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64, kindPick uint8) bool {
+		kind := allKinds()[int(kindPick)%len(allKinds())]
+		rng := rand.New(rand.NewSource(seed))
+		tr := dist.New(200)
+		for range 500 {
+			if tr.Insert(rng.Intn(201)) != nil {
+				return false
+			}
+		}
+		p, err := Build(kind, tr, 9)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for x := -2.0; x <= 203; x += 1.0 {
+			c := p.CDF(x)
+			if c < prev-1e-12 || c < 0 || c > 1+1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the DP partition is optimal — no exhaustive 2-bucket split
+// beats it.
+func TestVOptimalDPOptimality(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		tr := dist.New(len(raw))
+		for v, c := range raw {
+			for range int(c%7) + 1 {
+				if tr.Insert(v) != nil {
+					return false
+				}
+			}
+		}
+		values, counts := tr.NonZero()
+		p, err := VOptimal(tr, 2)
+		if err != nil {
+			return false
+		}
+		dpCost := sseOfPartition(values, counts, p.Buckets())
+		// Exhaustive best 2-way split.
+		best := math.Inf(1)
+		for cut := 1; cut < len(values); cut++ {
+			c := sse(counts[:cut]) + sse(counts[cut:])
+			if c < best {
+				best = c
+			}
+		}
+		return dpCost <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sse(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var s, s2 float64
+	for _, c := range counts {
+		f := float64(c)
+		s += f
+		s2 += f * f
+	}
+	return s2 - s*s/float64(len(counts))
+}
+
+func sseOfPartition(values []int, counts []int64, buckets []histogram.Bucket) float64 {
+	total := 0.0
+	for _, b := range buckets {
+		var group []int64
+		for i, v := range values {
+			if float64(v) >= b.Left && float64(v) < b.Right {
+				group = append(group, counts[i])
+			}
+		}
+		total += sse(group)
+	}
+	return total
+}
+
+// Property: SADO cost table entries equal the brute-force deviation.
+func TestADCostTableCorrect(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		counts := make([]int64, len(raw))
+		values := make([]int, len(raw))
+		for i, c := range raw {
+			counts[i] = int64(c) + 1
+			values[i] = i * 3 // deliberate gaps: two zero values between elements
+		}
+		d := len(counts)
+		table := adCostTable(values, counts)
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				span := values[j] - values[i] + 1
+				mean := 0.0
+				for k := i; k <= j; k++ {
+					mean += float64(counts[k])
+				}
+				mean /= float64(span)
+				want := 0.0
+				for k := i; k <= j; k++ {
+					want += math.Abs(float64(counts[k]) - mean)
+				}
+				want += float64(span-(j-i+1)) * mean // zero-frequency values
+				if math.Abs(float64(table[i*d+j])-want) > 1e-3*(1+want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

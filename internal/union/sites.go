@@ -1,0 +1,146 @@
+package union
+
+import (
+	"errors"
+	"math/rand"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/distgen"
+)
+
+// SitesConfig parameterises the shared-nothing population of paper §8:
+// NSites union members, each holding Zipf(ZFreq)-distributed data over
+// a uniformly random sub-range of the domain, with member sizes drawn
+// from Zipf(ZSite).
+type SitesConfig struct {
+	// Sites is the number of union members (paper default 5).
+	Sites int
+	// TotalPoints is the total data volume across all members.
+	TotalPoints int
+	// Domain is the global attribute domain [0, Domain].
+	Domain int
+	// ZFreq skews the value frequencies within each member (default 1).
+	ZFreq float64
+	// ZSite skews the data volume across members (default 0 = equal).
+	ZSite float64
+	// DistinctPerSite bounds the distinct values a member draws inside
+	// its sub-range.
+	DistinctPerSite int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultSites returns the paper's default §8 configuration.
+func DefaultSites(seed int64) SitesConfig {
+	return SitesConfig{
+		Sites:           5,
+		TotalPoints:     100000,
+		Domain:          5000,
+		ZFreq:           1,
+		ZSite:           0,
+		DistinctPerSite: 200,
+		Seed:            seed,
+	}
+}
+
+// GenerateSites returns one exact distribution tracker per site plus
+// the union of all of them.
+func GenerateSites(cfg SitesConfig) (sites []*dist.Tracker, all *dist.Tracker, err error) {
+	if cfg.Sites < 1 {
+		return nil, nil, errors.New("union: Sites < 1")
+	}
+	if cfg.TotalPoints < cfg.Sites {
+		return nil, nil, errors.New("union: fewer points than sites")
+	}
+	if cfg.Domain < 1 {
+		return nil, nil, errors.New("union: Domain < 1")
+	}
+	if cfg.DistinctPerSite < 1 {
+		return nil, nil, errors.New("union: DistinctPerSite < 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	siteWeights := distgen.ZipfWeights(cfg.Sites, cfg.ZSite)
+	rng.Shuffle(len(siteWeights), func(i, j int) {
+		siteWeights[i], siteWeights[j] = siteWeights[j], siteWeights[i]
+	})
+	siteSizes := apportionInts(cfg.TotalPoints, siteWeights)
+
+	all = dist.New(cfg.Domain)
+	for s := range cfg.Sites {
+		tr := dist.New(cfg.Domain)
+		// Uniformly random sub-range of the domain, at least wide enough
+		// for the distinct budget.
+		a := rng.Intn(cfg.Domain + 1)
+		b := rng.Intn(cfg.Domain + 1)
+		if a > b {
+			a, b = b, a
+		}
+		if b-a+1 < cfg.DistinctPerSite {
+			b = a + cfg.DistinctPerSite - 1
+			if b > cfg.Domain {
+				b = cfg.Domain
+				a = b - cfg.DistinctPerSite + 1
+				if a < 0 {
+					a = 0
+				}
+			}
+		}
+		width := b - a + 1
+		distinct := cfg.DistinctPerSite
+		if distinct > width {
+			distinct = width
+		}
+		// Distinct values spread evenly over the sub-range; Zipf(ZFreq)
+		// frequencies assigned in shuffled order.
+		values := make([]int, distinct)
+		for i := range values {
+			values[i] = a + i*width/distinct
+		}
+		weights := distgen.ZipfWeights(distinct, cfg.ZFreq)
+		rng.Shuffle(len(weights), func(i, j int) { weights[i], weights[j] = weights[j], weights[i] })
+		counts := apportionInts(siteSizes[s], weights)
+		for i, v := range values {
+			for range counts[i] {
+				if err := tr.Insert(v); err != nil {
+					return nil, nil, err
+				}
+				if err := all.Insert(v); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		sites = append(sites, tr)
+	}
+	return sites, all, nil
+}
+
+// apportionInts distributes total across weights with largest-remainder
+// rounding (shares sum exactly to total).
+func apportionInts(total int, weights []float64) []int {
+	shares := make([]int, len(weights))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(weights))
+	given := 0
+	for i, w := range weights {
+		exact := w * float64(total)
+		shares[i] = int(exact)
+		given += shares[i]
+		rems[i] = rem{i, exact - float64(shares[i])}
+	}
+	for given < total {
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		shares[rems[best].idx]++
+		rems[best].frac = -1
+		given++
+	}
+	return shares
+}

@@ -1,0 +1,211 @@
+// Package union implements global histogram construction in a
+// shared-nothing environment (paper §8): lossless superposition of
+// member histograms, SSBM-style reduction of the superposed histogram
+// back to a memory budget, and the site-population generator behind
+// Figs. 20–23.
+package union
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dynahist/internal/histogram"
+)
+
+// ErrNoMembers is returned when superposing an empty member list.
+var ErrNoMembers = errors.New("union: no member histograms")
+
+// Superpose builds the union histogram of the members: the result has
+// a bucket border wherever any member has one, and each interval's
+// count is the sum of the members' estimated mass inside it. As the
+// paper notes, this loses no information relative to the members — the
+// union histogram's CDF is the (weighted) sum of the member CDFs.
+// Intervals where every member estimates zero mass are dropped,
+// preserving empty gaps.
+func Superpose(members ...[]histogram.Bucket) ([]histogram.Bucket, error) {
+	if len(members) == 0 {
+		return nil, ErrNoMembers
+	}
+	borderSet := map[float64]struct{}{}
+	for _, m := range members {
+		if err := histogram.Validate(m); err != nil {
+			return nil, fmt.Errorf("union: invalid member: %w", err)
+		}
+		for i := range m {
+			borderSet[m[i].Left] = struct{}{}
+			borderSet[m[i].Right] = struct{}{}
+			// Sub-bucket borders carry information too; keep them so the
+			// superposition stays lossless for DVO/DADO members.
+			k := len(m[i].Subs)
+			for j := 1; j < k; j++ {
+				borderSet[m[i].Left+m[i].Width()*float64(j)/float64(k)] = struct{}{}
+			}
+		}
+	}
+	borders := make([]float64, 0, len(borderSet))
+	for b := range borderSet {
+		borders = append(borders, b)
+	}
+	sort.Float64s(borders)
+	if len(borders) < 2 {
+		return nil, errors.New("union: members have no extent")
+	}
+
+	var out []histogram.Bucket
+	for i := 0; i+1 < len(borders); i++ {
+		lo, hi := borders[i], borders[i+1]
+		mass := 0.0
+		for _, m := range members {
+			mass += histogram.MassBelow(m, hi) - histogram.MassBelow(m, lo)
+		}
+		if mass <= 0 {
+			continue
+		}
+		out = append(out, histogram.Bucket{Left: lo, Right: hi, Subs: []float64{mass}})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("union: members are all empty")
+	}
+	return out, nil
+}
+
+// Reduce merges the bucket list down to at most n buckets by repeatedly
+// merging the adjacent pair with the smallest merged variance — the
+// SSBM technique applied to an already-bucketised distribution ("treat
+// the histogram as a data set to be partitioned", §8).
+func Reduce(buckets []histogram.Bucket, n int) ([]histogram.Bucket, error) {
+	if n < 1 {
+		return nil, errors.New("union: reduce budget < 1")
+	}
+	if err := histogram.Validate(buckets); err != nil {
+		return nil, err
+	}
+	d := len(buckets)
+	if d <= n {
+		return histogram.CloneBuckets(buckets), nil
+	}
+
+	groups := make([]group, d)
+	for i := range buckets {
+		b := &buckets[i]
+		g := group{left: b.Left, right: b.Right, prev: i - 1, next: i + 1, alive: true}
+		k := len(b.Subs)
+		subW := b.Width() / float64(k)
+		for _, c := range b.Subs {
+			g.mass += c
+			if subW > 0 {
+				dens := c / subW
+				g.e2 += subW * dens * dens
+			}
+		}
+		groups[i] = g
+	}
+	groups[d-1].next = -1
+
+	h := &groupHeap{}
+	heap.Init(h)
+	for i := 0; i+1 < d; i++ {
+		heap.Push(h, groupEntry{cost: mergedGroupCost(&groups[i], &groups[i+1]), left: i})
+	}
+	alive := d
+	for alive > n && h.Len() > 0 {
+		e := heap.Pop(h).(groupEntry)
+		l := e.left
+		if !groups[l].alive || groups[l].version != e.lv {
+			continue
+		}
+		r := groups[l].next
+		if r < 0 || groups[r].version != e.rv {
+			continue
+		}
+		groups[l].right = groups[r].right
+		groups[l].mass += groups[r].mass
+		groups[l].e2 += groups[r].e2
+		groups[l].version++
+		groups[r].alive = false
+		groups[l].next = groups[r].next
+		if groups[l].next >= 0 {
+			groups[groups[l].next].prev = l
+		}
+		alive--
+		if p := groups[l].prev; p >= 0 {
+			heap.Push(h, groupEntry{
+				cost: mergedGroupCost(&groups[p], &groups[l]),
+				left: p, lv: groups[p].version, rv: groups[l].version,
+			})
+		}
+		if nx := groups[l].next; nx >= 0 {
+			heap.Push(h, groupEntry{
+				cost: mergedGroupCost(&groups[l], &groups[nx]),
+				left: l, lv: groups[l].version, rv: groups[nx].version,
+			})
+		}
+	}
+
+	out := make([]histogram.Bucket, 0, n)
+	for i := 0; i >= 0; i = groups[i].next {
+		g := &groups[i]
+		out = append(out, histogram.Bucket{Left: g.left, Right: g.right, Subs: []float64{g.mass}})
+	}
+	return out, nil
+}
+
+// group aggregates a run of merged buckets: its span, its mass, and
+// Σ len·density² over the covered intervals (gaps contribute width but
+// no density), which is all the merged-variance formula needs.
+type group struct {
+	left, right float64
+	mass        float64
+	e2          float64
+	prev, next  int
+	version     int
+	alive       bool
+}
+
+// mergedGroupCost is the variance of the merged density profile around
+// the merged mean: Σ len·(d − μ)² = e2 − W·μ².
+func mergedGroupCost(a, b *group) float64 {
+	w := b.right - a.left
+	if w <= 0 {
+		return 0
+	}
+	mean := (a.mass + b.mass) / w
+	c := a.e2 + b.e2 - w*mean*mean
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+type groupEntry struct {
+	cost   float64
+	left   int
+	lv, rv int
+}
+
+type groupHeap []groupEntry
+
+func (h groupHeap) Len() int           { return len(h) }
+func (h groupHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h groupHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *groupHeap) Push(x any)        { *h = append(*h, x.(groupEntry)) }
+func (h *groupHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// CDFOf returns the normalised CDF of a bucket list.
+func CDFOf(buckets []histogram.Bucket) func(float64) float64 {
+	total := histogram.TotalCount(buckets)
+	return func(x float64) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return histogram.MassBelow(buckets, x) / total
+	}
+}

@@ -1,0 +1,22 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuildMixed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int, 100000)
+	for i := range values {
+		values[i] = rng.Intn(5001)
+	}
+	cfg := Config{Pattern: MixedInsertDelete, DeleteRate: 0.25, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := Build(values, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package workload models the paper's update patterns (§7: "we have
+// evaluated all algorithms along the three broad classes of tests") as
+// first-class operation streams: random insertions, sorted insertions,
+// random insertions intermixed with random deletions, insertions
+// followed by deletions, and sorted insertions followed by sorted
+// deletions. A workload is a replayable sequence of insert/delete
+// operations over integer values, with a text encoding shared by the
+// command-line tools.
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// OpKind distinguishes inserts from deletes.
+type OpKind int
+
+const (
+	// Insert adds one occurrence of the value.
+	Insert OpKind = iota
+	// Delete removes one occurrence of the value.
+	Delete
+)
+
+// Op is one update operation.
+type Op struct {
+	Kind  OpKind
+	Value int
+}
+
+// Pattern names one of the paper's §7 update patterns.
+type Pattern int
+
+const (
+	// RandomInserts streams the data set in uniformly random order
+	// (§7.1).
+	RandomInserts Pattern = iota
+	// SortedInserts streams the data set in increasing value order
+	// (§7.2).
+	SortedInserts
+	// MixedInsertDelete interleaves random insertions with random
+	// deletions of previously inserted values at the given rate
+	// (§7.3.1 uses rate 0.25).
+	MixedInsertDelete
+	// InsertsThenDeletes inserts everything in random order, then
+	// deletes a fraction of the data in random order (Fig. 17).
+	InsertsThenDeletes
+	// SortedThenSortedDeletes inserts in sorted order, then deletes in
+	// sorted order (§7 test class e).
+	SortedThenSortedDeletes
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case RandomInserts:
+		return "random-inserts"
+	case SortedInserts:
+		return "sorted-inserts"
+	case MixedInsertDelete:
+		return "mixed-insert-delete"
+	case InsertsThenDeletes:
+		return "inserts-then-deletes"
+	case SortedThenSortedDeletes:
+		return "sorted-then-sorted-deletes"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// ParsePattern maps a pattern name (as printed by String) back to its
+// value.
+func ParsePattern(name string) (Pattern, error) {
+	for _, p := range []Pattern{
+		RandomInserts, SortedInserts, MixedInsertDelete,
+		InsertsThenDeletes, SortedThenSortedDeletes,
+	} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown pattern %q", name)
+}
+
+// Config parameterises workload generation from a base data set.
+type Config struct {
+	// Pattern selects the update pattern.
+	Pattern Pattern
+	// DeleteRate is the per-insert deletion probability for
+	// MixedInsertDelete (paper §7.3.1: 0.25).
+	DeleteRate float64
+	// DeleteFraction is the fraction of the data deleted afterwards for
+	// InsertsThenDeletes and SortedThenSortedDeletes (Figs. 17-18 sweep
+	// 0..0.8).
+	DeleteFraction float64
+	// Seed drives the deterministic ordering choices.
+	Seed int64
+}
+
+// Build turns a multiset of values into the operation stream the
+// configured pattern prescribes.
+func Build(values []int, cfg Config) ([]Op, error) {
+	if len(values) == 0 {
+		return nil, errors.New("workload: no values")
+	}
+	if cfg.DeleteRate < 0 || cfg.DeleteRate >= 1 {
+		if cfg.Pattern == MixedInsertDelete {
+			return nil, fmt.Errorf("workload: delete rate %v outside [0,1)", cfg.DeleteRate)
+		}
+	}
+	if cfg.DeleteFraction < 0 || cfg.DeleteFraction > 1 {
+		return nil, fmt.Errorf("workload: delete fraction %v outside [0,1]", cfg.DeleteFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Pattern {
+	case RandomInserts:
+		return insertsOnly(shuffled(values, rng)), nil
+	case SortedInserts:
+		return insertsOnly(sorted(values)), nil
+	case MixedInsertDelete:
+		return mixed(shuffled(values, rng), cfg.DeleteRate, rng), nil
+	case InsertsThenDeletes:
+		return thenDeletes(shuffled(values, rng), cfg.DeleteFraction, rng, false), nil
+	case SortedThenSortedDeletes:
+		return thenDeletes(sorted(values), cfg.DeleteFraction, rng, true), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern %d", int(cfg.Pattern))
+	}
+}
+
+func shuffled(values []int, rng *rand.Rand) []int {
+	out := make([]int, len(values))
+	copy(out, values)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func sorted(values []int) []int {
+	out := make([]int, len(values))
+	copy(out, values)
+	// Counting sort: the domains are small integers.
+	maxV := 0
+	for _, v := range out {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	counts := make([]int, maxV+1)
+	for _, v := range out {
+		counts[v]++
+	}
+	i := 0
+	for v, c := range counts {
+		for range c {
+			out[i] = v
+			i++
+		}
+	}
+	return out
+}
+
+func insertsOnly(values []int) []Op {
+	ops := make([]Op, len(values))
+	for i, v := range values {
+		ops[i] = Op{Kind: Insert, Value: v}
+	}
+	return ops
+}
+
+func mixed(values []int, rate float64, rng *rand.Rand) []Op {
+	ops := make([]Op, 0, len(values)+int(rate*float64(len(values)))+1)
+	var live []int
+	for _, v := range values {
+		ops = append(ops, Op{Kind: Insert, Value: v})
+		live = append(live, v)
+		if len(live) > 1 && rng.Float64() < rate {
+			pick := rng.Intn(len(live))
+			dv := live[pick]
+			live[pick] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ops = append(ops, Op{Kind: Delete, Value: dv})
+		}
+	}
+	return ops
+}
+
+func thenDeletes(values []int, fraction float64, rng *rand.Rand, sortedDeletes bool) []Op {
+	ops := insertsOnly(values)
+	nDel := int(fraction * float64(len(values)))
+	var order []int
+	if sortedDeletes {
+		order = sorted(values)
+	} else {
+		order = shuffled(values, rng)
+	}
+	for _, v := range order[:nDel] {
+		ops = append(ops, Op{Kind: Delete, Value: v})
+	}
+	return ops
+}
+
+// Applier is anything that accepts the stream (all histograms and the
+// exact tracker adapters qualify).
+type Applier interface {
+	Insert(v float64) error
+	Delete(v float64) error
+}
+
+// Replay applies the operations to every target in order. It stops at
+// the first error.
+func Replay(ops []Op, targets ...Applier) error {
+	for i, op := range ops {
+		for _, t := range targets {
+			var err error
+			if op.Kind == Insert {
+				err = t.Insert(float64(op.Value))
+			} else {
+				err = t.Delete(float64(op.Value))
+			}
+			if err != nil {
+				return fmt.Errorf("workload: op %d (%v %d): %w", i, op.Kind, op.Value, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Write encodes the stream as text: one operation per line, a bare
+// integer for an insert and "-<value>" for a delete — the same format
+// cmd/histcli consumes.
+func Write(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		if op.Kind == Delete {
+			if err := bw.WriteByte('-'); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(strconv.Itoa(op.Value)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text encoding produced by Write. Blank lines and
+// lines starting with '#' are skipped.
+func Read(r io.Reader) ([]Op, error) {
+	var ops []Op
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kind := Insert
+		if strings.HasPrefix(line, "-") {
+			kind = Delete
+			line = line[1:]
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative value %d", lineNo, v)
+		}
+		ops = append(ops, Op{Kind: kind, Value: v})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynahist/internal/dist"
+)
+
+func baseValues() []int { return []int{5, 3, 9, 3, 7, 1, 9, 9} }
+
+func TestPatternRoundTripNames(t *testing.T) {
+	for _, p := range []Pattern{
+		RandomInserts, SortedInserts, MixedInsertDelete,
+		InsertsThenDeletes, SortedThenSortedDeletes,
+	} {
+		got, err := ParsePattern(p.String())
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got != p {
+			t.Errorf("ParsePattern(%q) = %v", p.String(), got)
+		}
+	}
+	if _, err := ParsePattern("nope"); err == nil {
+		t.Error("unknown pattern: want error")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, Config{}); err == nil {
+		t.Error("no values: want error")
+	}
+	if _, err := Build(baseValues(), Config{Pattern: MixedInsertDelete, DeleteRate: 1.5}); err == nil {
+		t.Error("bad rate: want error")
+	}
+	if _, err := Build(baseValues(), Config{DeleteFraction: -0.1}); err == nil {
+		t.Error("bad fraction: want error")
+	}
+	if _, err := Build(baseValues(), Config{Pattern: Pattern(99)}); err == nil {
+		t.Error("bad pattern: want error")
+	}
+}
+
+func TestRandomInsertsIsPermutation(t *testing.T) {
+	ops, err := Build(baseValues(), Config{Pattern: RandomInserts, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != len(baseValues()) {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	var got []int
+	for _, op := range ops {
+		if op.Kind != Insert {
+			t.Fatal("random-inserts must contain only inserts")
+		}
+		got = append(got, op.Value)
+	}
+	want := append([]int(nil), baseValues()...)
+	sort.Ints(got)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("multiset changed")
+		}
+	}
+}
+
+func TestSortedInserts(t *testing.T) {
+	ops, err := Build(baseValues(), Config{Pattern: SortedInserts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, op := range ops {
+		if op.Value < prev {
+			t.Fatal("not sorted")
+		}
+		prev = op.Value
+	}
+}
+
+func TestMixedNeverDeletesAbsent(t *testing.T) {
+	ops, err := Build(baseValues(), Config{Pattern: MixedInsertDelete, DeleteRate: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int]int{}
+	for _, op := range ops {
+		if op.Kind == Insert {
+			live[op.Value]++
+			continue
+		}
+		if live[op.Value] == 0 {
+			t.Fatalf("delete of absent value %d", op.Value)
+		}
+		live[op.Value]--
+	}
+}
+
+func TestThenDeletesFraction(t *testing.T) {
+	values := make([]int, 100)
+	for i := range values {
+		values[i] = i % 10
+	}
+	for _, pattern := range []Pattern{InsertsThenDeletes, SortedThenSortedDeletes} {
+		ops, err := Build(values, Config{Pattern: pattern, DeleteFraction: 0.3, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserts, deletes := 0, 0
+		for _, op := range ops {
+			if op.Kind == Insert {
+				inserts++
+			} else {
+				deletes++
+			}
+		}
+		if inserts != 100 || deletes != 30 {
+			t.Errorf("%v: %d inserts / %d deletes, want 100/30", pattern, inserts, deletes)
+		}
+		// All inserts precede all deletes.
+		seenDelete := false
+		for _, op := range ops {
+			if op.Kind == Delete {
+				seenDelete = true
+			} else if seenDelete {
+				t.Fatalf("%v: insert after delete", pattern)
+			}
+		}
+	}
+}
+
+func TestSortedThenSortedDeletesOrder(t *testing.T) {
+	ops, err := Build(baseValues(), Config{Pattern: SortedThenSortedDeletes, DeleteFraction: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, op := range ops {
+		if op.Kind != Delete {
+			continue
+		}
+		if op.Value < prev {
+			t.Fatal("deletes not sorted")
+		}
+		prev = op.Value
+	}
+}
+
+// trackerApplier adapts dist.Tracker to the Applier interface.
+type trackerApplier struct{ tr *dist.Tracker }
+
+func (a trackerApplier) Insert(v float64) error { return a.tr.Insert(int(v)) }
+func (a trackerApplier) Delete(v float64) error { return a.tr.Delete(int(v)) }
+
+func TestReplay(t *testing.T) {
+	ops, err := Build(baseValues(), Config{Pattern: MixedInsertDelete, DeleteRate: 0.4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := dist.New(10)
+	if err := Replay(ops, trackerApplier{tr}); err != nil {
+		t.Fatal(err)
+	}
+	inserts, deletes := 0, 0
+	for _, op := range ops {
+		if op.Kind == Insert {
+			inserts++
+		} else {
+			deletes++
+		}
+	}
+	if tr.Total() != int64(inserts-deletes) {
+		t.Fatalf("Total = %d, want %d", tr.Total(), inserts-deletes)
+	}
+}
+
+func TestReplayStopsOnError(t *testing.T) {
+	ops := []Op{{Kind: Delete, Value: 5}} // delete from empty tracker
+	tr := dist.New(10)
+	if err := Replay(ops, trackerApplier{tr}); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ops, err := Build(baseValues(), Config{Pattern: MixedInsertDelete, DeleteRate: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("round trip %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndRejectsGarbage(t *testing.T) {
+	ops, err := Read(strings.NewReader("# header\n\n42\n-42\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].Kind != Insert || ops[1].Kind != Delete {
+		t.Fatalf("parsed %+v", ops)
+	}
+	if _, err := Read(strings.NewReader("abc\n")); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := Read(strings.NewReader("--3\n")); err == nil {
+		t.Error("double negative: want error")
+	}
+}
+
+// Property: every pattern preserves the invariant that deletes never
+// exceed prior inserts of the same value, and the net count equals
+// inserts − deletes.
+func TestPatternsWellFormedProperty(t *testing.T) {
+	f := func(raw []uint8, patternPick uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]int, len(raw))
+		for i, r := range raw {
+			values[i] = int(r) % 50
+		}
+		patterns := []Pattern{
+			RandomInserts, SortedInserts, MixedInsertDelete,
+			InsertsThenDeletes, SortedThenSortedDeletes,
+		}
+		cfg := Config{
+			Pattern:        patterns[int(patternPick)%len(patterns)],
+			DeleteRate:     0.3,
+			DeleteFraction: 0.5,
+			Seed:           seed,
+		}
+		ops, err := Build(values, cfg)
+		if err != nil {
+			return false
+		}
+		live := map[int]int{}
+		for _, op := range ops {
+			if op.Kind == Insert {
+				live[op.Value]++
+			} else {
+				if live[op.Value] == 0 {
+					return false
+				}
+				live[op.Value]--
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

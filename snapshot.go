@@ -1,0 +1,34 @@
+package dynahist
+
+import "dynahist/internal/core"
+
+// Snapshot serializes the histogram's complete maintainable state —
+// configuration, counters, singular flags and phase — so a database can
+// checkpoint its statistics and keep maintaining them after a restart.
+// (MarshalBuckets, by contrast, captures only the approximation.)
+func (h *DC) Snapshot() ([]byte, error) { return h.inner.Snapshot() }
+
+// RestoreDC rebuilds a DC histogram from a blob produced by
+// (*DC).Snapshot. The restored histogram continues exactly where the
+// snapshot left off.
+func RestoreDC(data []byte) (*DC, error) {
+	inner, err := core.RestoreDC(data)
+	if err != nil {
+		return nil, err
+	}
+	return &DC{inner: inner}, nil
+}
+
+// Snapshot serializes the histogram's complete maintainable state; see
+// (*DC).Snapshot.
+func (h *DADO) Snapshot() ([]byte, error) { return h.inner.Snapshot() }
+
+// RestoreDADO rebuilds a DADO/DVO histogram from a blob produced by
+// (*DADO).Snapshot.
+func RestoreDADO(data []byte) (*DADO, error) {
+	inner, err := core.RestoreDVO(data)
+	if err != nil {
+		return nil, err
+	}
+	return &DADO{inner: inner}, nil
+}

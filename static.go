@@ -1,0 +1,167 @@
+package dynahist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dynahist/internal/dist"
+	"dynahist/internal/histogram"
+	"dynahist/internal/static"
+)
+
+// StaticKind names a static histogram construction.
+type StaticKind int
+
+const (
+	// EquiWidth partitions the value range into equal-width buckets.
+	EquiWidth StaticKind = iota
+	// EquiDepth partitions the values into equal-count buckets.
+	EquiDepth
+	// Compressed gives heavy values singleton buckets and splits the
+	// rest equi-depth (the SC histogram).
+	Compressed
+	// VOptimal minimises within-bucket frequency variance by exact
+	// dynamic programming (the SVO histogram).
+	VOptimal
+	// SADO minimises within-bucket absolute deviation by exact dynamic
+	// programming — the static histogram the paper introduces.
+	SADO
+	// SSBM is Successive Similar Bucket Merge (paper §5): near-SVO
+	// quality at a fraction of the construction cost.
+	SSBM
+)
+
+var staticKinds = map[StaticKind]static.Kind{
+	EquiWidth:  static.KindEquiWidth,
+	EquiDepth:  static.KindEquiDepth,
+	Compressed: static.KindCompressed,
+	VOptimal:   static.KindVOptimal,
+	SADO:       static.KindSADO,
+	SSBM:       static.KindSSBM,
+}
+
+// Static is an immutable-borders histogram produced by one of the
+// static constructions (or restored from a serialized bucket list).
+// Insert and Delete adjust counters without moving borders.
+type Static struct {
+	inner *histogram.Piecewise
+}
+
+// BuildStatic constructs a static histogram of the given kind over the
+// complete data set with at most n buckets. Values must be
+// non-negative integers (the paper's workloads are integer-valued;
+// real-valued data should be quantised first).
+func BuildStatic(kind StaticKind, values []int, n int) (*Static, error) {
+	tr, err := trackerOf(values)
+	if err != nil {
+		return nil, err
+	}
+	ik, ok := staticKinds[kind]
+	if !ok {
+		return nil, fmt.Errorf("dynahist: unknown static kind %d", int(kind))
+	}
+	h, err := static.Build(ik, tr, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Static{inner: h}, nil
+}
+
+// BuildStaticMemory is BuildStatic with a byte budget instead of a
+// bucket count.
+func BuildStaticMemory(kind StaticKind, values []int, memBytes int) (*Static, error) {
+	n, err := histogram.BucketsForMemory(memBytes, 1)
+	if err != nil {
+		return nil, err
+	}
+	return BuildStatic(kind, values, n)
+}
+
+// NewStaticFromBuckets wraps an explicit bucket list (for example one
+// produced by UnmarshalBuckets or Superpose) as a histogram.
+func NewStaticFromBuckets(buckets []Bucket) (*Static, error) {
+	p, err := histogram.NewPiecewise(toInternal(buckets))
+	if err != nil {
+		return nil, err
+	}
+	return &Static{inner: p}, nil
+}
+
+func trackerOf(values []int) (*dist.Tracker, error) {
+	if len(values) == 0 {
+		return nil, errors.New("dynahist: no values")
+	}
+	maxV := 0
+	for _, v := range values {
+		if v < 0 {
+			return nil, fmt.Errorf("dynahist: negative value %d", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	tr := dist.New(maxV)
+	for _, v := range values {
+		if err := tr.Insert(v); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// Insert adds one occurrence of v to the containing (or nearest)
+// bucket without moving borders.
+func (h *Static) Insert(v float64) error { return h.inner.Insert(v) }
+
+// Delete removes one occurrence of v.
+func (h *Static) Delete(v float64) error { return h.inner.Delete(v) }
+
+// Total returns the number of points currently summarised.
+func (h *Static) Total() float64 { return h.inner.Total() }
+
+// CDF returns the approximate fraction of points ≤ x.
+func (h *Static) CDF(x float64) float64 { return h.inner.CDF(x) }
+
+// EstimateRange returns the approximate number of points with integer
+// value in [lo, hi] inclusive.
+func (h *Static) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+
+// Buckets returns a copy of the bucket list.
+func (h *Static) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
+
+// NumBuckets returns the number of buckets.
+func (h *Static) NumBuckets() int { return h.inner.NumBuckets() }
+
+// KS returns the Kolmogorov–Smirnov distance between the histogram and
+// the exact distribution of the given values — the paper's quality
+// metric (§6.2). It is exported so applications can measure how well a
+// summary tracks a known data set.
+func KS(h Histogram, values []int) (float64, error) {
+	tr, err := trackerOf(values)
+	if err != nil {
+		return 0, err
+	}
+	cum := tr.Cumulative()
+	total := float64(tr.Total())
+	d := 0.0
+	prev := 0.0
+	for v := 0; v < len(cum); v++ {
+		exact := float64(cum[v]) / total
+		if diff := math.Abs(h.CDF(float64(v)+1) - exact); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(h.CDF(float64(v)) - prev); diff > d {
+			d = diff
+		}
+		prev = exact
+	}
+	return d, nil
+}
+
+// Quantile returns the smallest value x such that approximately a
+// fraction q of the summarised points are ≤ x, for q in (0, 1].
+// It works for any histogram in this package via its bucket list.
+func Quantile(h Histogram, q float64) (float64, error) {
+	return histogram.Quantile(toInternal(h.Buckets()), q)
+}
