@@ -8,6 +8,7 @@ package dynahist_test
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"dynahist"
@@ -145,3 +146,106 @@ func BenchmarkAblationSubdivision(b *testing.B) { benchFigure(b, "ablation-subdi
 func BenchmarkMetricComparison(b *testing.B)    { benchFigure(b, "metric-comparison") }
 
 func BenchmarkAblation2D(b *testing.B) { benchFigure(b, "ablation-2d") }
+
+func BenchmarkConcurrency(b *testing.B) { benchFigure(b, "concurrency") }
+
+// Concurrent-ingest benchmarks: the single-mutex Concurrent wrapper
+// against the sharded engine at 8 writer goroutines and equal total
+// memory (8 KB as one histogram vs 8 shards of 1 KB). RunParallel with
+// SetParallelism(8) gives 8·GOMAXPROCS writer goroutines; b.N inserts
+// are spread across them, so ns/op is comparable across the three.
+
+const benchShardWriters = 8
+
+func benchParallelIngest(b *testing.B, ins func(v float64) error) {
+	values := make([]float64, 1<<16)
+	rng := rand.New(rand.NewSource(6))
+	for i := range values {
+		values[i] = float64(rng.Intn(5001))
+	}
+	var goroutineSeed atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(benchShardWriters)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(goroutineSeed.Add(1)) * 7919
+		for pb.Next() {
+			if err := ins(values[i&(len(values)-1)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkIngest8WritersConcurrent(b *testing.B) {
+	h, err := dynahist.NewDADOMemory(8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, dynahist.NewConcurrent(h).Insert)
+}
+
+func BenchmarkIngest8WritersSharded(b *testing.B) {
+	s, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
+		return dynahist.NewDADOMemory(8192 / benchShardWriters)
+	}, dynahist.WithShards(benchShardWriters))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, s.Insert)
+}
+
+func BenchmarkIngest8WritersShardedBatch(b *testing.B) {
+	s, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
+		return dynahist.NewDADOMemory(8192 / benchShardWriters)
+	}, dynahist.WithShards(benchShardWriters))
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := make([]float64, 1<<16)
+	rng := rand.New(rand.NewSource(7))
+	for i := range values {
+		values[i] = float64(rng.Intn(5001))
+	}
+	const batch = 256
+	var goroutineSeed atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(benchShardWriters)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		off := (int(goroutineSeed.Add(1)) * 7919) % (len(values) - batch)
+		for pb.Next() {
+			// One batched call counts as `batch` inserts' worth of work;
+			// ns/op here is per batch, not per value.
+			if err := s.InsertBatch(values[off : off+batch]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkShardedRead measures the epoch-cached read path: after a
+// write-heavy warmup, every CDF call but the first is served from the
+// cached merged snapshot without touching any shard lock.
+func BenchmarkShardedRead(b *testing.B) {
+	s, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
+		return dynahist.NewDADOMemory(1024)
+	}, dynahist.WithShards(benchShardWriters))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for range 100000 {
+		if err := s.Insert(float64(rng.Intn(5001))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		_ = s.CDF(2500)
+	}
+}

@@ -6,9 +6,11 @@
 //	histbench [-fig id] [-seeds n] [-points n] [-quick] [-list] [-format table|csv]
 //
 // Without -fig it runs every registered experiment in order. IDs match
-// the paper's figure numbers (fig5 … fig23) plus sec731 and the two
-// ablations (ablation-subbucket, ablation-alphamin); see DESIGN.md for
-// the experiment index.
+// the paper's figure numbers (fig5 … fig23) plus sec731, the ablations
+// (ablation-subbucket, ablation-alphamin, …) and the repo's own
+// concurrency experiment ("concurrency": single-thread vs mutex-wrapped
+// vs sharded ingest throughput); see DESIGN.md for the experiment
+// index.
 //
 // The default settings are the paper's (100,000 points, 10 seeds per
 // configuration); -quick caps them for a fast smoke run.

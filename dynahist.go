@@ -27,6 +27,10 @@
 //     histograms and SSBM reduction (paper §8).
 //   - Binary serialization for catalog persistence and a thread-safe
 //     wrapper for concurrent use.
+//   - A sharded concurrent ingest engine (Sharded) that stripes writes
+//     across per-shard histograms and serves reads from an epoch-cached
+//     lossless union — the §8 superposition applied to many-writer
+//     serving.
 //
 // Quickstart:
 //

@@ -1,0 +1,3 @@
+module dynahist
+
+go 1.24

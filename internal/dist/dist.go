@@ -1,0 +1,124 @@
+// Package dist tracks the exact distribution of an integer-valued data
+// set over a fixed domain [0, maxV]. It is the ground truth that every
+// static construction consumes and every quality metric compares
+// against: histograms approximate, the Tracker remembers.
+package dist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDomain is returned when a value falls outside the tracker's
+// domain.
+var ErrDomain = errors.New("dist: value outside domain")
+
+// ErrAbsent is returned when deleting a value with a zero count.
+var ErrAbsent = errors.New("dist: delete of absent value")
+
+// Tracker is an exact frequency table over the integer domain
+// [0, Domain()]. The zero value is not usable; construct with New.
+type Tracker struct {
+	counts []int64
+	total  int64
+}
+
+// New returns an empty tracker over the domain [0, maxV]. A negative
+// maxV is clamped to 0 (a single-value domain).
+func New(maxV int) *Tracker {
+	if maxV < 0 {
+		maxV = 0
+	}
+	return &Tracker{counts: make([]int64, maxV+1)}
+}
+
+// Domain returns the largest representable value maxV.
+func (t *Tracker) Domain() int { return len(t.counts) - 1 }
+
+// Total returns the number of points currently tracked.
+func (t *Tracker) Total() int64 { return t.total }
+
+// Insert adds one occurrence of v.
+func (t *Tracker) Insert(v int) error { return t.InsertN(v, 1) }
+
+// InsertN adds n occurrences of v. n must be non-negative.
+func (t *Tracker) InsertN(v int, n int64) error {
+	if v < 0 || v >= len(t.counts) {
+		return fmt.Errorf("%w: %d not in [0, %d]", ErrDomain, v, t.Domain())
+	}
+	if n < 0 {
+		return fmt.Errorf("dist: negative insert count %d", n)
+	}
+	t.counts[v] += n
+	t.total += n
+	return nil
+}
+
+// Delete removes one occurrence of v.
+func (t *Tracker) Delete(v int) error {
+	if v < 0 || v >= len(t.counts) {
+		return fmt.Errorf("%w: %d not in [0, %d]", ErrDomain, v, t.Domain())
+	}
+	if t.counts[v] == 0 {
+		return fmt.Errorf("%w: %d", ErrAbsent, v)
+	}
+	t.counts[v]--
+	t.total--
+	return nil
+}
+
+// Count returns the exact frequency of v (zero outside the domain).
+func (t *Tracker) Count(v int) int64 {
+	if v < 0 || v >= len(t.counts) {
+		return 0
+	}
+	return t.counts[v]
+}
+
+// RangeCount returns the exact number of points with value in the
+// closed range [lo, hi]. Out-of-domain portions contribute nothing.
+func (t *Tracker) RangeCount(lo, hi int) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(t.counts) {
+		hi = len(t.counts) - 1
+	}
+	s := int64(0)
+	for v := lo; v <= hi; v++ {
+		s += t.counts[v]
+	}
+	return s
+}
+
+// Cumulative returns the exact cumulative counts: element v is the
+// number of points with value ≤ v. The slice has Domain()+1 elements
+// and is freshly allocated on each call.
+func (t *Tracker) Cumulative() []int64 {
+	cum := make([]int64, len(t.counts))
+	run := int64(0)
+	for v, c := range t.counts {
+		run += c
+		cum[v] = run
+	}
+	return cum
+}
+
+// NonZero returns the distinct values with non-zero counts in
+// ascending order, alongside their counts.
+func (t *Tracker) NonZero() (values []int, counts []int64) {
+	for v, c := range t.counts {
+		if c != 0 {
+			values = append(values, v)
+			counts = append(counts, c)
+		}
+	}
+	return values, counts
+}
+
+// Clone returns an independent copy of the tracker.
+func (t *Tracker) Clone() *Tracker {
+	c := &Tracker{counts: make([]int64, len(t.counts)), total: t.total}
+	copy(c.counts, t.counts)
+	return c
+}

@@ -1,0 +1,132 @@
+package dist
+
+import "testing"
+
+func TestInsertCountTotal(t *testing.T) {
+	tr := New(10)
+	if tr.Domain() != 10 {
+		t.Fatalf("Domain = %d, want 10", tr.Domain())
+	}
+	for v := 0; v <= 10; v++ {
+		for range v {
+			if err := tr.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got, want := tr.Total(), int64(55); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	for v := 0; v <= 10; v++ {
+		if got := tr.Count(v); got != int64(v) {
+			t.Fatalf("Count(%d) = %d, want %d", v, got, v)
+		}
+	}
+	if tr.Count(-1) != 0 || tr.Count(11) != 0 {
+		t.Error("out-of-domain Count not zero")
+	}
+}
+
+func TestDomainErrors(t *testing.T) {
+	tr := New(5)
+	if err := tr.Insert(6); err == nil {
+		t.Error("insert above domain accepted")
+	}
+	if err := tr.Insert(-1); err == nil {
+		t.Error("negative insert accepted")
+	}
+	if err := tr.Delete(0); err == nil {
+		t.Error("delete of absent value accepted")
+	}
+	if err := tr.InsertN(1, -2); err == nil {
+		t.Error("negative InsertN count accepted")
+	}
+}
+
+func TestDeleteBalances(t *testing.T) {
+	tr := New(3)
+	if err := tr.InsertN(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for range 4 {
+		if err := tr.Delete(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Total() != 0 {
+		t.Fatalf("Total = %d after balanced deletes", tr.Total())
+	}
+	if err := tr.Delete(2); err == nil {
+		t.Error("delete below zero accepted")
+	}
+}
+
+func TestCumulativeAndRange(t *testing.T) {
+	tr := New(4)
+	counts := []int64{1, 0, 3, 2, 5}
+	for v, c := range counts {
+		if err := tr.InsertN(v, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cum := tr.Cumulative()
+	if len(cum) != 5 {
+		t.Fatalf("len(Cumulative) = %d, want 5", len(cum))
+	}
+	want := []int64{1, 1, 4, 6, 11}
+	for v := range want {
+		if cum[v] != want[v] {
+			t.Fatalf("Cumulative[%d] = %d, want %d", v, cum[v], want[v])
+		}
+	}
+	if got := tr.RangeCount(1, 3); got != 5 {
+		t.Fatalf("RangeCount(1,3) = %d, want 5", got)
+	}
+	if got := tr.RangeCount(-10, 100); got != 11 {
+		t.Fatalf("clamped RangeCount = %d, want 11", got)
+	}
+}
+
+func TestNonZero(t *testing.T) {
+	tr := New(9)
+	for _, v := range []int{3, 3, 7, 9} {
+		if err := tr.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	values, counts := tr.NonZero()
+	wantV := []int{3, 7, 9}
+	wantC := []int64{2, 1, 1}
+	if len(values) != len(wantV) {
+		t.Fatalf("NonZero values = %v, want %v", values, wantV)
+	}
+	for i := range wantV {
+		if values[i] != wantV[i] || counts[i] != wantC[i] {
+			t.Fatalf("NonZero = %v/%v, want %v/%v", values, counts, wantV, wantC)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := New(3)
+	if err := tr.InsertN(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Clone()
+	if err := c.Insert(2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != 2 || c.Total() != 3 {
+		t.Fatalf("clone not independent: %d vs %d", tr.Total(), c.Total())
+	}
+}
+
+func TestNegativeDomainClamped(t *testing.T) {
+	tr := New(-3)
+	if tr.Domain() != 0 {
+		t.Fatalf("Domain = %d, want 0", tr.Domain())
+	}
+	if err := tr.Insert(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"dynahist/internal/core"
+	"dynahist/internal/shard"
+)
+
+// Concurrency measures ingest throughput (million inserts/sec) versus
+// writer-goroutine count for three maintenance strategies over the
+// same DC histogram configuration:
+//
+//   - single-thread: one bare histogram, one writer — the upper bound
+//     a lone core can reach with no synchronisation at all (plotted
+//     as a constant reference line).
+//   - mutex: one histogram behind a single mutex, the Concurrent
+//     wrapper's strategy — every writer serialises.
+//   - sharded: the §8-superposition shard engine with GOMAXPROCS
+//     shards — writers contend only per stripe.
+//   - sharded-batch: the same engine fed through InsertBatch in
+//     chunks of 256, amortising lock acquisition.
+//
+// Unlike the paper-figure runners this measures wall-clock throughput
+// rather than estimation quality, so absolute numbers vary by
+// machine; the shape (mutex flat or falling, sharded rising with
+// writers) is the reproducible part.
+func Concurrency(o Options) (Figure, error) {
+	o = o.normalized()
+	writerCounts := []float64{1, 2, 4, 8}
+
+	fig := Figure{
+		ID:     "concurrency",
+		Title:  "Concurrent ingest throughput: sharded vs mutex-wrapped",
+		XLabel: "writers",
+		YLabel: "Minserts/sec",
+	}
+
+	values := make([]float64, o.Points)
+	rng := rand.New(rand.NewSource(42))
+	for i := range values {
+		values[i] = float64(rng.Intn(5001))
+	}
+
+	// Single-thread reference: measured once, repeated across X.
+	bare, err := core.NewDCMemory(1024)
+	if err != nil {
+		return fig, err
+	}
+	start := time.Now()
+	for _, v := range values {
+		if err := bare.Insert(v); err != nil {
+			return fig, err
+		}
+	}
+	single := mops(len(values), time.Since(start))
+
+	var mutexY, shardY, batchY []float64
+	for _, wf := range writerCounts {
+		w := int(wf)
+
+		m, err := ingestMutex(values, w)
+		if err != nil {
+			return fig, fmt.Errorf("concurrency: mutex %d writers: %w", w, err)
+		}
+		mutexY = append(mutexY, m)
+
+		s, err := ingestSharded(values, w, 1)
+		if err != nil {
+			return fig, fmt.Errorf("concurrency: sharded %d writers: %w", w, err)
+		}
+		shardY = append(shardY, s)
+
+		b, err := ingestSharded(values, w, 256)
+		if err != nil {
+			return fig, fmt.Errorf("concurrency: sharded-batch %d writers: %w", w, err)
+		}
+		batchY = append(batchY, b)
+	}
+
+	constant := make([]float64, len(writerCounts))
+	for i := range constant {
+		constant[i] = single
+	}
+	fig.Series = []Series{
+		{Label: "single-thread", X: writerCounts, Y: constant},
+		{Label: "mutex", X: writerCounts, Y: mutexY},
+		{Label: "sharded", X: writerCounts, Y: shardY},
+		{Label: "sharded-batch", X: writerCounts, Y: batchY},
+	}
+	return fig, nil
+}
+
+// lockedDC is the single-mutex baseline: the strategy of the public
+// Concurrent wrapper, reproduced here over the internal type.
+type lockedDC struct {
+	mu sync.Mutex
+	h  *core.DC
+}
+
+func (l *lockedDC) Insert(v float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Insert(v)
+}
+
+func ingestMutex(values []float64, writers int) (float64, error) {
+	h, err := core.NewDCMemory(1024)
+	if err != nil {
+		return 0, err
+	}
+	l := &lockedDC{h: h}
+	return timedFanOut(values, writers, func(chunk []float64) error {
+		for _, v := range chunk {
+			if err := l.Insert(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func ingestSharded(values []float64, writers, batch int) (float64, error) {
+	e, err := shard.New(shard.Config{Shards: runtime.GOMAXPROCS(0)}, func() (shard.Member, error) {
+		return core.NewDCMemory(1024)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return timedFanOut(values, writers, func(chunk []float64) error {
+		if batch <= 1 {
+			for _, v := range chunk {
+				if err := e.Insert(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for len(chunk) > 0 {
+			n := min(batch, len(chunk))
+			if err := e.InsertBatch(chunk[:n]); err != nil {
+				return err
+			}
+			chunk = chunk[n:]
+		}
+		return nil
+	})
+}
+
+// timedFanOut splits values into one contiguous chunk per writer,
+// runs the chunks concurrently, and returns million ops/sec.
+func timedFanOut(values []float64, writers int, run func([]float64) error) (float64, error) {
+	chunks := make([][]float64, 0, writers)
+	per := (len(values) + writers - 1) / writers
+	for off := 0; off < len(values); off += per {
+		end := min(off+per, len(values))
+		chunks = append(chunks, values[off:end])
+	}
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, c := range chunks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = run(c)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return mops(len(values), elapsed), nil
+}
+
+func mops(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds() / 1e6
+}

@@ -100,6 +100,7 @@ var Registry = map[string]Runner{
 	"ablation-subdivision": AblationSubdivision,
 	"ablation-2d":          Ablation2D,
 	"metric-comparison":    MetricComparison,
+	"concurrency":          Concurrency,
 }
 
 // IDs returns the registry keys in stable order.

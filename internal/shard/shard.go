@@ -1,0 +1,359 @@
+// Package shard implements a sharded concurrent ingest engine for
+// dynamic histograms. The paper's §8 superposition result says the
+// union of independently maintained histograms loses no information
+// relative to its members, so a histogram can be maintained as P
+// shared-nothing shards — each with its own lock and its own member
+// histogram — and merged losslessly whenever a read needs the global
+// view.
+//
+// Writes stripe across the shards (by value hash or round-robin) and
+// contend only on the chosen shard's lock, so P writer goroutines
+// scale to P-way parallelism instead of serialising on a single
+// mutex. Reads superpose the per-shard bucket lists with
+// union.Superpose into a merged view that is cached under an epoch
+// counter: every write bumps the epoch, and a read only pays the
+// merge cost when the cached view's epoch is stale. A read-heavy
+// phase therefore costs one merge, then runs lock-free off the
+// cached snapshot.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynahist/internal/histogram"
+	"dynahist/internal/union"
+)
+
+// Member is the per-shard histogram maintained by the engine. Every
+// maintained histogram in this repository satisfies it.
+type Member interface {
+	Insert(v float64) error
+	Delete(v float64) error
+	Total() float64
+	Buckets() []histogram.Bucket
+}
+
+// Policy selects how writes are striped across shards.
+type Policy int
+
+const (
+	// ByValueHash routes each value to the shard owning its hash, so
+	// all occurrences of a value live in one shard and a Delete finds
+	// the shard its inserts went to. This is the default.
+	ByValueHash Policy = iota
+	// RoundRobin spreads writes evenly regardless of value, trading
+	// delete locality for perfectly balanced shard sizes under skew.
+	RoundRobin
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Shards is the number of stripes; 0 defaults to GOMAXPROCS.
+	Shards int
+	// Policy is the striping policy (default ByValueHash).
+	Policy Policy
+	// MergeBudget, when positive, reduces the merged read view to at
+	// most this many buckets with union.Reduce. Zero keeps the full
+	// lossless superposition.
+	MergeBudget int
+}
+
+// cell is one shard: a lock and its member histogram, padded so
+// adjacent cells do not share a cache line and the locks do not
+// false-share under write contention.
+type cell struct {
+	mu sync.Mutex
+	m  Member
+	_  [64]byte
+}
+
+// snapshot is an immutable merged view of all shards at some epoch.
+type snapshot struct {
+	epoch   uint64
+	buckets []histogram.Bucket
+	total   float64
+}
+
+// Engine stripes writes across per-shard member histograms and serves
+// reads from an epoch-cached union of their bucket lists. It is safe
+// for concurrent use by any number of goroutines.
+type Engine struct {
+	cells  []cell
+	policy Policy
+	budget int
+
+	rr    atomic.Uint64 // round-robin cursor
+	epoch atomic.Uint64 // bumped on every write
+
+	snapMu   sync.Mutex // serialises snapshot rebuilds
+	snap     atomic.Pointer[snapshot]
+	mergeErr atomic.Pointer[error]
+}
+
+// New builds an engine over freshly created members, one per shard.
+// factory is called once per shard and must return independent
+// instances.
+func New(cfg Config, factory func() (Member, error)) (*Engine, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", n)
+	}
+	if cfg.Policy != ByValueHash && cfg.Policy != RoundRobin {
+		return nil, fmt.Errorf("shard: unknown policy %d", int(cfg.Policy))
+	}
+	if cfg.MergeBudget < 0 {
+		return nil, fmt.Errorf("shard: negative merge budget %d", cfg.MergeBudget)
+	}
+	if factory == nil {
+		return nil, errors.New("shard: nil member factory")
+	}
+	e := &Engine{cells: make([]cell, n), policy: cfg.Policy, budget: cfg.MergeBudget}
+	for i := range e.cells {
+		m, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("shard: member %d: %w", i, err)
+		}
+		if m == nil {
+			return nil, fmt.Errorf("shard: member %d: factory returned nil", i)
+		}
+		e.cells[i].m = m
+	}
+	return e, nil
+}
+
+// NumShards returns the number of shards.
+func (e *Engine) NumShards() int { return len(e.cells) }
+
+// shardOf returns the shard index for a write of v.
+func (e *Engine) shardOf(v float64) int {
+	if len(e.cells) == 1 {
+		return 0
+	}
+	switch e.policy {
+	case RoundRobin:
+		return int(e.rr.Add(1) % uint64(len(e.cells)))
+	default:
+		return int(hash64(math.Float64bits(v)) % uint64(len(e.cells)))
+	}
+}
+
+// hash64 is the SplitMix64 finaliser — a cheap, well-mixed integer
+// hash so adjacent float bit patterns land on different shards.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Insert adds one occurrence of v to the owning shard.
+func (e *Engine) Insert(v float64) error {
+	c := &e.cells[e.shardOf(v)]
+	c.mu.Lock()
+	err := c.m.Insert(v)
+	c.mu.Unlock()
+	if err == nil {
+		e.epoch.Add(1)
+	}
+	return err
+}
+
+// Delete removes one occurrence of v. Under ByValueHash the owning
+// shard is tried first; if its member cannot satisfy the delete (for
+// example the engine ingested via InsertBatch under RoundRobin
+// earlier, or the member spilled), the remaining shards are tried in
+// order so a globally present point is always removable.
+func (e *Engine) Delete(v float64) error {
+	start := e.shardOf(v)
+	var firstErr error
+	for i := range e.cells {
+		c := &e.cells[(start+i)%len(e.cells)]
+		c.mu.Lock()
+		canDelete := c.m.Total() >= 1
+		var err error
+		if canDelete {
+			err = c.m.Delete(v)
+		}
+		c.mu.Unlock()
+		if canDelete && err == nil {
+			e.epoch.Add(1)
+			return nil
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return errors.New("shard: delete from empty engine")
+}
+
+// InsertBatch adds every value in vs, grouping values by shard so
+// each shard's lock is taken at most once per call. The epoch is
+// bumped once for the whole batch. Returns the first member error;
+// values after a failing value within the same shard are skipped,
+// other shards' values are still applied.
+func (e *Engine) InsertBatch(vs []float64) error {
+	return e.applyBatch(vs, func(m Member, v float64) error { return m.Insert(v) })
+}
+
+// DeleteBatch removes every value in vs with the same amortised
+// locking as InsertBatch. Unlike Delete it does not retry other
+// shards on a member miss; under ByValueHash the owning shard is the
+// only shard that ever held the value's inserts.
+func (e *Engine) DeleteBatch(vs []float64) error {
+	return e.applyBatch(vs, func(m Member, v float64) error { return m.Delete(v) })
+}
+
+func (e *Engine) applyBatch(vs []float64, op func(Member, float64) error) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	n := len(e.cells)
+	groups := make([][]float64, n)
+	if n == 1 {
+		groups[0] = vs
+	} else {
+		for _, v := range vs {
+			s := e.shardOf(v)
+			groups[s] = append(groups[s], v)
+		}
+	}
+	var firstErr error
+	applied := false
+	for s, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		c := &e.cells[s]
+		c.mu.Lock()
+		for _, v := range g {
+			if err := op(c.m, v); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			applied = true
+		}
+		c.mu.Unlock()
+	}
+	if applied {
+		e.epoch.Add(1)
+	}
+	return firstErr
+}
+
+// view returns the current merged snapshot, rebuilding it if any
+// write has landed since it was cached. The epoch is sampled before
+// the per-shard bucket lists are collected, so a write that races the
+// collection leaves the stored snapshot already stale and the next
+// read rebuilds — the cache can lag but never sticks.
+func (e *Engine) view() *snapshot {
+	cur := e.epoch.Load()
+	if s := e.snap.Load(); s != nil && s.epoch == cur {
+		return s
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	cur = e.epoch.Load()
+	if s := e.snap.Load(); s != nil && s.epoch == cur {
+		return s
+	}
+	lists := make([][]histogram.Bucket, 0, len(e.cells))
+	for i := range e.cells {
+		c := &e.cells[i]
+		c.mu.Lock()
+		bs := c.m.Buckets()
+		c.mu.Unlock()
+		if histogram.TotalCount(bs) > 0 {
+			lists = append(lists, bs)
+		}
+	}
+	s := &snapshot{epoch: cur}
+	if len(lists) > 0 {
+		merged, err := union.Superpose(lists...)
+		if err == nil && e.budget > 0 && len(merged) > e.budget {
+			merged, err = union.Reduce(merged, e.budget)
+		}
+		if err != nil {
+			// A member produced an unmergeable bucket list (only possible
+			// with a misbehaving user-supplied Member). Keep serving the
+			// last good view rather than silently reporting an empty
+			// histogram; the stale epoch stamp means the next read
+			// retries the merge.
+			e.mergeErr.Store(&err)
+			if prev := e.snap.Load(); prev != nil {
+				return prev
+			}
+			return s
+		}
+		s.buckets = merged
+		s.total = histogram.TotalCount(merged)
+	}
+	e.mergeErr.Store(nil)
+	e.snap.Store(s)
+	return s
+}
+
+// MergeErr returns the error from the most recent failed merged-view
+// rebuild, or nil if the last rebuild succeeded. While non-nil, reads
+// serve the last successfully merged snapshot.
+func (e *Engine) MergeErr() error {
+	if p := e.mergeErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Total returns the point count of the merged view.
+func (e *Engine) Total() float64 { return e.view().total }
+
+// CDF returns the merged view's approximate fraction of mass ≤ x.
+func (e *Engine) CDF(x float64) float64 {
+	s := e.view()
+	if s.total <= 0 {
+		return 0
+	}
+	return histogram.MassBelow(s.buckets, x) / s.total
+}
+
+// EstimateRange returns the merged view's approximate number of
+// points with integer value in [lo, hi] inclusive.
+func (e *Engine) EstimateRange(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	s := e.view()
+	return histogram.MassBelow(s.buckets, hi+1) - histogram.MassBelow(s.buckets, lo)
+}
+
+// Buckets returns a deep copy of the merged view's bucket list.
+func (e *Engine) Buckets() []histogram.Bucket {
+	return histogram.CloneBuckets(e.view().buckets)
+}
+
+// ShardTotals returns each shard's own point count — a balance
+// diagnostic. The totals are read per-shard and may not be mutually
+// consistent under concurrent writes.
+func (e *Engine) ShardTotals() []float64 {
+	out := make([]float64, len(e.cells))
+	for i := range e.cells {
+		c := &e.cells[i]
+		c.mu.Lock()
+		out[i] = c.m.Total()
+		c.mu.Unlock()
+	}
+	return out
+}
