@@ -7,12 +7,19 @@ package dynahist_test
 // and §4.4 cost analyses.
 
 import (
+	"context"
+	"io"
+	"log"
 	"math/rand"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 
 	"dynahist"
+	"dynahist/client"
 	"dynahist/internal/experiments"
+	"dynahist/internal/server"
+	"dynahist/internal/wire"
 )
 
 func benchFigure(b *testing.B, id string) {
@@ -226,6 +233,62 @@ func BenchmarkIngest8WritersShardedBatch(b *testing.B) {
 		}
 	})
 }
+
+// Ingest-over-HTTP benchmarks: the full serving stack — client
+// encoding, loopback HTTP, server decoding, registry lookup, sharded
+// InsertBatch — at 8 concurrent clients, for both wire encodings. One
+// op is one 512-value batch, so compare ns/op ÷ 512 against the
+// in-process 8-writer benchmarks above to read the network+codec tax.
+
+const benchHTTPBatch = 512
+
+func benchHTTPIngest(b *testing.B, binary bool) {
+	srv, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := srv.Registry().Create(wire.CreateRequest{
+		Name: "bench", Family: server.FamilyDC, MemBytes: 1024, Shards: benchShardWriters,
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	values := make([]float64, 1<<16)
+	rng := rand.New(rand.NewSource(9))
+	for i := range values {
+		values[i] = float64(rng.Intn(5001))
+	}
+	ctx := context.Background()
+	var goroutineSeed atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(benchShardWriters)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := client.New(ts.URL, ts.Client())
+		off := (int(goroutineSeed.Add(1)) * 7919) % (len(values) - benchHTTPBatch)
+		for pb.Next() {
+			chunk := values[off : off+benchHTTPBatch]
+			var err error
+			if binary {
+				_, err = c.InsertBinary(ctx, "bench", chunk)
+			} else {
+				_, err = c.Insert(ctx, "bench", chunk)
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkHTTPIngest8ClientsBinary(b *testing.B) { benchHTTPIngest(b, true) }
+func BenchmarkHTTPIngest8ClientsJSON(b *testing.B)   { benchHTTPIngest(b, false) }
+
+func BenchmarkServing(b *testing.B) { benchFigure(b, "serving") }
 
 // BenchmarkShardedRead measures the epoch-cached read path: after a
 // write-heavy warmup, every CDF call but the first is served from the

@@ -1,0 +1,281 @@
+// Package client is the Go client for histserved, the HTTP serving
+// layer over this repository's dynamic histograms (cmd/histserved).
+// It covers the full /v1 API: histogram lifecycle (create, delete,
+// list, info), batched ingest — JSON for convenience, the
+// length-prefixed binary format for high-volume writers — and the
+// query endpoints (total, cdf, quantile, range, buckets).
+//
+//	c := client.New("http://localhost:8080", nil)
+//	_ = c.Create(ctx, client.CreateOptions{Name: "latency", Family: client.FamilyDADO})
+//	_ = c.InsertBinary(ctx, "latency", samples)
+//	p99, _ := c.Quantile(ctx, "latency", 0.99)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"dynahist/internal/wire"
+)
+
+// Histogram families understood by the server.
+const (
+	FamilyDADO = "dado"
+	FamilyDVO  = "dvo"
+	FamilyDC   = "dc"
+	FamilyAC   = "ac"
+)
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("histserved: %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to one histserved server. It is safe for concurrent
+// use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient uses
+// http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// CreateOptions parameterise Create.
+type CreateOptions struct {
+	// Name identifies the histogram: letters, digits, '_', '-', '.'.
+	Name string
+	// Family is one of the Family constants.
+	Family string
+	// MemBytes is the per-shard memory budget; 0 defaults server-side
+	// to 1024.
+	MemBytes int
+	// Shards is the write-striping factor; 0 defaults server-side to
+	// GOMAXPROCS.
+	Shards int
+	// Seed seeds the FamilyAC reservoir; ignored otherwise.
+	Seed int64
+}
+
+// Info describes one registered histogram.
+type Info struct {
+	Name     string
+	Family   string
+	MemBytes int
+	Shards   int
+	Total    float64
+}
+
+// Bucket is one bucket of a histogram's merged view.
+type Bucket struct {
+	Left, Right float64
+	Counters    []float64
+}
+
+func infoFromWire(w wire.Info) Info {
+	return Info{Name: w.Name, Family: w.Family, MemBytes: w.MemBytes, Shards: w.Shards, Total: w.Total}
+}
+
+// do issues one request and decodes the JSON response into out when
+// out is non-nil.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e wire.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("histserved: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Create registers a new histogram and returns its info.
+func (c *Client) Create(ctx context.Context, opts CreateOptions) (Info, error) {
+	body, err := json.Marshal(wire.CreateRequest{
+		Name:     opts.Name,
+		Family:   opts.Family,
+		MemBytes: opts.MemBytes,
+		Shards:   opts.Shards,
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		return Info{}, err
+	}
+	var w wire.Info
+	if err := c.do(ctx, "POST", "/v1/h", "application/json", body, &w); err != nil {
+		return Info{}, err
+	}
+	return infoFromWire(w), nil
+}
+
+// Delete removes a histogram (and its catalog file, when the server
+// persists).
+func (c *Client) Delete(ctx context.Context, name string) error {
+	return c.do(ctx, "DELETE", "/v1/h/"+url.PathEscape(name), "", nil, nil)
+}
+
+// List returns every registered histogram, sorted by name.
+func (c *Client) List(ctx context.Context) ([]Info, error) {
+	var w wire.ListResponse
+	if err := c.do(ctx, "GET", "/v1/h", "", nil, &w); err != nil {
+		return nil, err
+	}
+	out := make([]Info, len(w.Histograms))
+	for i, h := range w.Histograms {
+		out[i] = infoFromWire(h)
+	}
+	return out, nil
+}
+
+// Info returns one histogram's info.
+func (c *Client) Info(ctx context.Context, name string) (Info, error) {
+	var w wire.Info
+	if err := c.do(ctx, "GET", "/v1/h/"+url.PathEscape(name), "", nil, &w); err != nil {
+		return Info{}, err
+	}
+	return infoFromWire(w), nil
+}
+
+// Insert adds the values via the JSON ingest body and returns the
+// histogram's new total.
+func (c *Client) Insert(ctx context.Context, name string, values []float64) (float64, error) {
+	return c.update(ctx, name, "insert", values, false)
+}
+
+// InsertBinary adds the values via the length-prefixed binary batch
+// format — roughly 3× denser on the wire than JSON and parsed with a
+// single bounds check, the fast path for high-volume writers.
+func (c *Client) InsertBinary(ctx context.Context, name string, values []float64) (float64, error) {
+	return c.update(ctx, name, "insert", values, true)
+}
+
+// DeleteValues removes the values from the histogram.
+func (c *Client) DeleteValues(ctx context.Context, name string, values []float64) (float64, error) {
+	return c.update(ctx, name, "delete", values, false)
+}
+
+func (c *Client) update(ctx context.Context, name, op string, values []float64, binary bool) (float64, error) {
+	var (
+		body []byte
+		ct   string
+		err  error
+	)
+	if binary {
+		body, ct = wire.EncodeBatch(values), wire.BatchContentType
+	} else {
+		body, err = json.Marshal(wire.ValuesRequest{Values: values})
+		ct = "application/json"
+		if err != nil {
+			return 0, err
+		}
+	}
+	var resp wire.UpdateResponse
+	if err := c.do(ctx, "POST", "/v1/h/"+url.PathEscape(name)+"/"+op, ct, body, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Total, nil
+}
+
+// Total returns the histogram's current point count.
+func (c *Client) Total(ctx context.Context, name string) (float64, error) {
+	var resp wire.TotalResponse
+	if err := c.do(ctx, "GET", "/v1/h/"+url.PathEscape(name)+"/total", "", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Total, nil
+}
+
+// CDF returns the approximate fraction of points ≤ x.
+func (c *Client) CDF(ctx context.Context, name string, x float64) (float64, error) {
+	var resp wire.CDFResponse
+	path := "/v1/h/" + url.PathEscape(name) + "/cdf?x=" + formatFloat(x)
+	if err := c.do(ctx, "GET", path, "", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.CDF, nil
+}
+
+// Quantile returns the approximate q-quantile, q in (0, 1].
+func (c *Client) Quantile(ctx context.Context, name string, q float64) (float64, error) {
+	var resp wire.QuantileResponse
+	path := "/v1/h/" + url.PathEscape(name) + "/quantile?q=" + formatFloat(q)
+	if err := c.do(ctx, "GET", path, "", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Range returns the approximate number of points with integer value in
+// [lo, hi] inclusive.
+func (c *Client) Range(ctx context.Context, name string, lo, hi float64) (float64, error) {
+	var resp wire.RangeResponse
+	path := "/v1/h/" + url.PathEscape(name) + "/range?lo=" + formatFloat(lo) + "&hi=" + formatFloat(hi)
+	if err := c.do(ctx, "GET", path, "", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Buckets returns the histogram's merged bucket list.
+func (c *Client) Buckets(ctx context.Context, name string) ([]Bucket, error) {
+	var resp wire.BucketsResponse
+	if err := c.do(ctx, "GET", "/v1/h/"+url.PathEscape(name)+"/buckets", "", nil, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]Bucket, len(resp.Buckets))
+	for i, b := range resp.Buckets {
+		out[i] = Bucket{Left: b.Left, Right: b.Right, Counters: b.Counters}
+	}
+	return out, nil
+}
+
+// Healthy reports whether the server answers its health check.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, "GET", "/healthz", "", nil, nil)
+}
+
+func formatFloat(v float64) string {
+	return url.QueryEscape(strconv.FormatFloat(v, 'g', -1, 64))
+}

@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"dynahist/internal/server"
+)
+
+// newPair wires a Client to a real in-process histserved handler.
+func newPair(t *testing.T) (*Client, *server.Server) {
+	t.Helper()
+	s, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = s.Close() })
+	return New(ts.URL, ts.Client()), s
+}
+
+func TestClientLifecycle(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := c.Create(ctx, CreateOptions{Name: "latency", Family: FamilyDADO, MemBytes: 2048, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "latency" || info.Shards != 4 {
+		t.Fatalf("create info = %+v", info)
+	}
+
+	vs := make([]float64, 10000)
+	for i := range vs {
+		vs[i] = float64(i % 1000)
+	}
+	total, err := c.Insert(ctx, "latency", vs[:5000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-5000) > 1e-6 {
+		t.Fatalf("total after JSON insert = %v", total)
+	}
+	total, err = c.InsertBinary(ctx, "latency", vs[5000:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-10000) > 1e-6 {
+		t.Fatalf("total after binary insert = %v", total)
+	}
+
+	got, err := c.Total(ctx, "latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10000) > 1e-6 {
+		t.Fatalf("Total = %v", got)
+	}
+
+	cdf, err := c.CDF(ctx, "latency", 499.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf-0.5) > 0.05 {
+		t.Fatalf("CDF(499.5) = %v", cdf)
+	}
+
+	median, err := c.Quantile(ctx, "latency", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(median-500) > 50 {
+		t.Fatalf("median = %v", median)
+	}
+
+	count, err := c.Range(ctx, "latency", 0, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(count-10000) > 100 {
+		t.Fatalf("range count = %v", count)
+	}
+
+	buckets, err := c.Buckets(ctx, "latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+
+	total, err = c.DeleteValues(ctx, "latency", vs[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-9900) > 1e-6 {
+		t.Fatalf("total after delete = %v", total)
+	}
+
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "latency" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	if err := c.Delete(ctx, "latency"); err != nil {
+		t.Fatal(err)
+	}
+	list, err = c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("list after delete = %+v", list)
+	}
+}
+
+func TestClientAPIErrors(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+
+	_, err := c.Total(ctx, "ghost")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.StatusCode != 404 || apiErr.Message == "" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+
+	if _, err := c.Create(ctx, CreateOptions{Name: "h", Family: "nope"}); err == nil {
+		t.Fatal("unsupported family: want error")
+	}
+	if _, err := c.Create(ctx, CreateOptions{Name: "ok", Family: FamilyDC}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create(ctx, CreateOptions{Name: "ok", Family: FamilyDC}); err == nil {
+		t.Fatal("duplicate create: want error")
+	}
+	if _, err := c.Quantile(ctx, "ok", 0.5); err == nil {
+		t.Fatal("empty-histogram quantile: want error")
+	}
+	if _, err := c.Quantile(ctx, "ok", 2); err == nil {
+		t.Fatal("out-of-range quantile: want error")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	c, _ := newPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.List(ctx); err == nil {
+		t.Fatal("cancelled context: want error")
+	}
+}

@@ -8,17 +8,19 @@
 // Without -fig it runs every registered experiment in order. IDs match
 // the paper's figure numbers (fig5 … fig23) plus sec731, the ablations
 // (ablation-subbucket, ablation-alphamin, …) and the repo's own
-// concurrency experiment ("concurrency": single-thread vs mutex-wrapped
-// vs sharded ingest throughput); see DESIGN.md for the experiment
-// index.
+// systems experiments ("concurrency": single-thread vs mutex-wrapped
+// vs sharded ingest throughput; "serving": HTTP ingest throughput,
+// JSON vs binary batches); see DESIGN.md for the experiment index.
 //
 // The default settings are the paper's (100,000 points, 10 seeds per
 // configuration); -quick caps them for a fast smoke run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,21 +28,33 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("histbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		figID  = flag.String("fig", "", "single figure to run (default: all)")
-		seeds  = flag.Int("seeds", 10, "random seeds averaged per configuration")
-		points = flag.Int("points", 100000, "data points per run")
-		quick  = flag.Bool("quick", false, "cap seeds and points for a fast smoke run")
-		list   = flag.Bool("list", false, "list available figure IDs and exit")
-		format = flag.String("format", "table", "output format: table or csv")
+		figID  = fs.String("fig", "", "single figure to run (default: all)")
+		seeds  = fs.Int("seeds", 10, "random seeds averaged per configuration")
+		points = fs.Int("points", 100000, "data points per run")
+		quick  = fs.Bool("quick", false, "cap seeds and points for a fast smoke run")
+		list   = fs.Bool("list", false, "list available figure IDs and exit")
+		format = fs.String("format", "table", "output format: table or csv")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 
 	opts := experiments.Options{Seeds: *seeds, Points: *points, Quick: *quick}
@@ -48,8 +62,8 @@ func main() {
 	ids := experiments.IDs()
 	if *figID != "" {
 		if _, ok := experiments.Registry[*figID]; !ok {
-			fmt.Fprintf(os.Stderr, "histbench: unknown figure %q (use -list)\n", *figID)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "histbench: unknown figure %q (use -list)\n", *figID)
+			return 2
 		}
 		ids = []string{*figID}
 	}
@@ -57,25 +71,26 @@ func main() {
 		start := time.Now()
 		fig, err := experiments.Registry[id](opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "histbench: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "histbench: %s: %v\n", id, err)
+			return 1
 		}
 		var werr error
 		switch *format {
 		case "table":
-			werr = fig.WriteTable(os.Stdout)
+			werr = fig.WriteTable(stdout)
 		case "csv":
-			werr = fig.WriteCSV(os.Stdout)
+			werr = fig.WriteCSV(stdout)
 		default:
-			fmt.Fprintf(os.Stderr, "histbench: unknown format %q\n", *format)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "histbench: unknown format %q\n", *format)
+			return 2
 		}
 		if werr != nil {
-			fmt.Fprintf(os.Stderr, "histbench: %v\n", werr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "histbench: %v\n", werr)
+			return 1
 		}
 		if *format == "table" {
-			fmt.Printf("# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return 0
 }

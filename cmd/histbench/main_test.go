@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list"}, &out, io.Discard); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	got := out.String()
+	for _, id := range []string{"fig5", "fig23", "concurrency", "serving"} {
+		if !strings.Contains(got, id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestSingleFigureTable(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-fig", "serving", "-quick", "-seeds", "1", "-points", "4000"}, &out, io.Discard)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# serving") || !strings.Contains(got, "http-binary") {
+		t.Errorf("table output missing headers:\n%s", got)
+	}
+}
+
+func TestSingleFigureCSV(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-fig", "concurrency", "-quick", "-seeds", "1", "-points", "4000", "-format", "csv"}, &out, io.Discard)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "writers,") {
+		t.Errorf("csv output malformed:\n%s", out.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "fig999"},
+		{"-format", "yaml", "-fig", "concurrency", "-quick"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if code := run(args, io.Discard, io.Discard); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if code := run([]string{"-h"}, io.Discard, io.Discard); code != 0 {
+		t.Fatalf("run(-h) = %d, want 0", code)
+	}
+}

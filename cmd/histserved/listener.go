@@ -1,0 +1,9 @@
+package main
+
+import "net"
+
+// newListener binds the serve address up front so run can report the
+// bound address (and tests can use ":0") before traffic arrives.
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

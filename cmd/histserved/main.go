@@ -1,0 +1,121 @@
+// Command histserved serves this repository's dynamic histograms over
+// HTTP: a named-histogram registry (DADO/DVO/DC/AC families, each
+// backed by the sharded concurrent ingest engine), batched JSON and
+// binary ingest, query endpoints, and snapshot-backed recovery — with
+// a catalog directory configured, the registry is checkpointed
+// periodically and restored on startup, so a restarted server keeps
+// maintaining where it left off.
+//
+// Usage:
+//
+//	histserved [-addr :8080] [-catalog DIR] [-checkpoint 30s]
+//
+// API sketch (see docs/ARCHITECTURE.md for the full contract):
+//
+//	POST   /v1/h                    create  {"name","family","mem_bytes","shards"}
+//	GET    /v1/h                    list
+//	GET    /v1/h/{name}             info
+//	DELETE /v1/h/{name}             drop
+//	POST   /v1/h/{name}/insert      {"values":[...]} or binary batch
+//	POST   /v1/h/{name}/delete      same bodies as insert
+//	GET    /v1/h/{name}/total       point count
+//	GET    /v1/h/{name}/cdf?x=      fraction of points ≤ x
+//	GET    /v1/h/{name}/quantile?q= smallest x with CDF(x) ≥ q
+//	GET    /v1/h/{name}/range?lo=&hi= count of points in [lo,hi]
+//	GET    /v1/h/{name}/buckets     merged bucket list
+//	GET    /healthz                 liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynahist/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is main's testable body: it parses args, serves until the
+// process is signalled or ready is closed-over externally, and returns
+// the exit code. When ready is non-nil it receives the bound address
+// once the listener is up.
+func run(args []string, errOut io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("histserved", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		catalog    = fs.String("catalog", "", "catalog directory for snapshot-backed recovery (empty: no persistence)")
+		checkpoint = fs.Duration("checkpoint", 30*time.Second, "checkpoint period (requires -catalog)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	logger := log.New(errOut, "histserved: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		CatalogDir:      *catalog,
+		CheckpointEvery: *checkpoint,
+		Logger:          logger,
+	})
+	if err != nil {
+		fmt.Fprintf(errOut, "histserved: %v\n", err)
+		return 1
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := newListener(*addr)
+	if err != nil {
+		fmt.Fprintf(errOut, "histserved: %v\n", err)
+		return 1
+	}
+	logger.Printf("listening on %s (catalog: %s)", ln.Addr(), orNone(*catalog))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(errOut, "histserved: %v\n", err)
+			_ = srv.Close()
+			return 1
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shutdownCtx)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(errOut, "histserved: final checkpoint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

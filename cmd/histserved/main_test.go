@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+
+	"dynahist/client"
+)
+
+// TestServeIngestRestart boots the real binary body on a loopback
+// port, drives it with the public client, kills it with SIGTERM, and
+// restarts it against the same catalog to assert recovery — the whole
+// zero-to-recovered lifecycle in one smoke test.
+func TestServeIngestRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	start := func() (addr string, done chan int) {
+		ready := make(chan string, 1)
+		done = make(chan int, 1)
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-catalog", dir, "-checkpoint", "50ms"}, io.Discard, ready)
+		}()
+		select {
+		case addr = <-ready:
+		case code := <-done:
+			t.Fatalf("server exited early with code %d", code)
+		case <-time.After(5 * time.Second):
+			t.Fatal("server did not become ready")
+		}
+		return addr, done
+	}
+
+	stop := func(done chan int) {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit code %d", code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+
+	ctx := context.Background()
+	addr, done := start()
+	c := client.New("http://"+addr, nil)
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create(ctx, client.CreateOptions{Name: "smoke", Family: client.FamilyDADO, MemBytes: 1024, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]float64, 2000)
+	for i := range vs {
+		vs[i] = float64(i % 500)
+	}
+	if _, err := c.InsertBinary(ctx, "smoke", vs); err != nil {
+		t.Fatal(err)
+	}
+	wantTotal, err := c.Total(ctx, "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCDF, err := c.CDF(ctx, "smoke", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop(done)
+
+	addr, done = start()
+	defer stop(done)
+	c = client.New("http://"+addr, nil)
+	gotTotal, err := c.Total(ctx, "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTotal != wantTotal {
+		t.Fatalf("recovered Total = %v, want %v", gotTotal, wantTotal)
+	}
+	gotCDF, err := c.CDF(ctx, "smoke", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCDF != wantCDF {
+		t.Fatalf("recovered CDF(250) = %v, want %v", gotCDF, wantCDF)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}, io.Discard, nil); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if code := run([]string{"-h"}, io.Discard, nil); code != 0 {
+		t.Fatalf("run(-h) = %d, want 0", code)
+	}
+}

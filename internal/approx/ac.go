@@ -43,6 +43,7 @@ var ErrEmpty = errors.New("approx: histogram is empty")
 type AC struct {
 	nBuckets int
 	gamma    float64
+	seed     int64
 	res      *sample.Reservoir
 	total    float64
 
@@ -82,7 +83,7 @@ func NewBuckets(nBuckets, sampleCap int, seed int64) (*AC, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AC{nBuckets: nBuckets, gamma: RecomputeAlways, res: res, dirty: true}, nil
+	return &AC{nBuckets: nBuckets, gamma: RecomputeAlways, seed: seed, res: res, dirty: true}, nil
 }
 
 // SetGamma sets the maintenance threshold: RecomputeAlways (−1)

@@ -1,0 +1,152 @@
+package approx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dynahist/internal/binenc"
+	"dynahist/internal/sample"
+)
+
+// Full-state snapshot for the AC histogram, mirroring the envelope used
+// by internal/core for the dynamic histograms (same magic and version,
+// its own kind byte). The maintainable state of an AC is its backing
+// sample plus the live count and the maintenance parameters; the
+// in-memory histogram itself is always recomputable from the sample, so
+// the snapshot does not carry it and a restore rebuilds lazily on the
+// first read.
+//
+// The reservoir's RNG stream cannot be captured (math/rand exposes no
+// state), so a restore re-seeds it from the original seed mixed with
+// the seen count. Algorithm R's acceptance probability depends only on
+// the capacity and the seen count, both restored exactly, so the
+// restored AC is a statistically equivalent continuation of the
+// original rather than a bit-identical replay.
+
+const (
+	snapMagic   = 0x44594e53 // "DYNS", shared with internal/core
+	snapVersion = 1
+	snapKindAC  = 3
+)
+
+// ErrSnapshot reports a malformed AC snapshot blob.
+var ErrSnapshot = errors.New("approx: malformed snapshot")
+
+// Snapshot serializes the AC histogram's complete maintainable state.
+func (a *AC) Snapshot() ([]byte, error) {
+	vals := a.res.Values()
+	out := make([]byte, 0, 64+8*len(vals))
+	out = binary.LittleEndian.AppendUint32(out, snapMagic)
+	out = binary.LittleEndian.AppendUint16(out, snapVersion)
+	out = append(out, snapKindAC)
+	out = binary.LittleEndian.AppendUint32(out, uint32(a.nBuckets))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(a.gamma))
+	out = binary.LittleEndian.AppendUint64(out, uint64(a.seed))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(a.total))
+	out = binary.LittleEndian.AppendUint32(out, uint32(a.recomputes))
+	out = binary.LittleEndian.AppendUint32(out, uint32(a.res.Capacity()))
+	out = binary.LittleEndian.AppendUint64(out, uint64(a.res.Seen()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(vals)))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// Restore rebuilds an AC histogram from a Snapshot blob.
+func Restore(data []byte) (*AC, error) {
+	r := binenc.Reader{Data: data, Err: ErrSnapshot}
+	magic, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrSnapshot, magic)
+	}
+	version, err := r.U16()
+	if err != nil {
+		return nil, err
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshot, version)
+	}
+	kind, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	if kind != snapKindAC {
+		return nil, fmt.Errorf("%w: snapshot kind %d, want %d", ErrSnapshot, kind, snapKindAC)
+	}
+	nBuckets, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	gamma, err := r.F64()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	total, err := r.F64()
+	if err != nil {
+		return nil, err
+	}
+	recomputes, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	sampleCap, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	seen, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	nVals, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nVals)*8 > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible sample size %d", ErrSnapshot, nVals)
+	}
+	vals := make([]float64, nVals)
+	for i := range vals {
+		v, err := r.F64()
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, r.Remaining())
+	}
+	if total < 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("%w: bad total %v", ErrSnapshot, total)
+	}
+	if nBuckets < 1 {
+		return nil, fmt.Errorf("%w: nBuckets %d < 1", ErrSnapshot, nBuckets)
+	}
+	// Mix the seen count into the restore seed so the continued stream
+	// does not replay the RNG prefix the original already consumed.
+	res, err := sample.RestoreReservoir(int(sampleCap), int64(seed)^int64(seen), vals, int64(seen))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	a := &AC{
+		nBuckets:   int(nBuckets),
+		seed:       int64(seed),
+		res:        res,
+		total:      total,
+		recomputes: int(recomputes),
+		dirty:      true,
+	}
+	if err := a.SetGamma(gamma); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	return a, nil
+}

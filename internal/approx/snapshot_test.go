@@ -1,0 +1,147 @@
+package approx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	h, err := NewBuckets(8, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range 500 {
+		if err := h.Insert(float64(v % 97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := range 20 {
+		if err := h.Delete(float64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != h.Total() {
+		t.Errorf("Total = %v, want %v", r.Total(), h.Total())
+	}
+	if r.SampleSize() != h.SampleSize() {
+		t.Errorf("SampleSize = %d, want %d", r.SampleSize(), h.SampleSize())
+	}
+	if r.SampleCapacity() != h.SampleCapacity() {
+		t.Errorf("SampleCapacity = %d, want %d", r.SampleCapacity(), h.SampleCapacity())
+	}
+	if r.MaxBuckets() != h.MaxBuckets() {
+		t.Errorf("MaxBuckets = %d, want %d", r.MaxBuckets(), h.MaxBuckets())
+	}
+	// The histogram is recomputed from the identical restored sample, so
+	// reads agree exactly.
+	for _, x := range []float64{0, 10, 48.5, 96, 1000} {
+		if got, want := r.CDF(x), h.CDF(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// The restored histogram keeps maintaining.
+	if err := r.Insert(3); err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != h.Total()+1 {
+		t.Errorf("Total after insert = %v, want %v", r.Total(), h.Total()+1)
+	}
+}
+
+func TestSnapshotRoundTripIncremental(t *testing.T) {
+	h, err := NewBuckets(8, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetGamma(0.5); err != nil {
+		t.Fatal(err)
+	}
+	for v := range 300 {
+		if err := h.Insert(float64(v % 53)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.gamma != 0.5 {
+		t.Errorf("gamma = %v, want 0.5", r.gamma)
+	}
+	if r.Total() != h.Total() {
+		t.Errorf("Total = %v, want %v", r.Total(), h.Total())
+	}
+	if c := r.CDF(26); c <= 0 || c >= 1 {
+		t.Errorf("CDF(26) = %v, want in (0,1)", c)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	h, err := NewBuckets(4, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range 100 {
+		if err := h.Insert(float64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": blob[:len(blob)/2],
+		"bad magic": append([]byte{0, 0, 0, 0}, blob[4:]...),
+		"trailing":  append(append([]byte{}, blob...), 0xff),
+	}
+	for name, data := range cases {
+		if _, err := Restore(data); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func FuzzRestoreAC(f *testing.F) {
+	h, err := NewBuckets(8, 100, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for v := range 200 {
+		if err := h.Insert(float64(v % 31)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add(blob[:len(blob)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Restore(data)
+		if err != nil {
+			return
+		}
+		if err := r.Insert(42); err != nil {
+			t.Fatalf("restored histogram rejects inserts: %v", err)
+		}
+		if c := r.CDF(1e9); c < 0 || c > 1+1e-9 {
+			t.Fatalf("restored CDF out of range: %v", c)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Package binenc provides the little-endian cursor reader shared by
+// the binary decoders in this repository — the core and AC snapshot
+// formats and the serving layer's catalog format. Each decoder embeds
+// Reader and supplies its own sentinel error, so truncation failures
+// carry the right package's error identity.
+package binenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Reader is a bounds-checked cursor over a byte slice. The zero Pos
+// starts at the beginning; every accessor advances it or fails with
+// an error wrapping Err.
+type Reader struct {
+	Data []byte
+	Pos  int
+	// Err is the sentinel wrapped into truncation errors (e.g. a
+	// package's ErrSnapshot).
+	Err error
+}
+
+// Need fails unless n more bytes are available.
+func (r *Reader) Need(n int) error {
+	if n < 0 || r.Pos+n > len(r.Data) {
+		return fmt.Errorf("%w: truncated at byte %d", r.Err, r.Pos)
+	}
+	return nil
+}
+
+// Remaining returns how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.Data) - r.Pos }
+
+// U8 reads one byte.
+func (r *Reader) U8() (byte, error) {
+	if err := r.Need(1); err != nil {
+		return 0, err
+	}
+	v := r.Data[r.Pos]
+	r.Pos++
+	return v, nil
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() (uint16, error) {
+	if err := r.Need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.Data[r.Pos:])
+	r.Pos += 2
+	return v, nil
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() (uint32, error) {
+	if err := r.Need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.Data[r.Pos:])
+	r.Pos += 4
+	return v, nil
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() (uint64, error) {
+	if err := r.Need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.Data[r.Pos:])
+	r.Pos += 8
+	return v, nil
+}
+
+// F64 reads a little-endian IEEE-754 double.
+func (r *Reader) F64() (float64, error) {
+	v, err := r.U64()
+	return math.Float64frombits(v), err
+}
+
+// Bytes reads n raw bytes (a sub-slice of Data, not a copy).
+func (r *Reader) Bytes(n int) ([]byte, error) {
+	if err := r.Need(n); err != nil {
+		return nil, err
+	}
+	out := r.Data[r.Pos : r.Pos+n]
+	r.Pos += n
+	return out, nil
+}

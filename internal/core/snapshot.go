@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"dynahist/internal/binenc"
 	"dynahist/internal/histogram"
 )
 
@@ -63,7 +64,7 @@ func (h *DC) Snapshot() ([]byte, error) {
 // RestoreDC rebuilds a DC histogram from a Snapshot blob. The restored
 // histogram continues exactly where the snapshot left off.
 func RestoreDC(data []byte) (*DC, error) {
-	r := snapReader{data: data}
+	r := newSnapReader(data)
 	if err := r.header(snapKindDC); err != nil {
 		return nil, err
 	}
@@ -160,7 +161,7 @@ func (h *DVO) Snapshot() ([]byte, error) {
 
 // RestoreDVO rebuilds a DVO/DADO histogram from a Snapshot blob.
 func RestoreDVO(data []byte) (*DVO, error) {
-	r := snapReader{data: data}
+	r := newSnapReader(data)
 	if err := r.header(snapKindDVO); err != nil {
 		return nil, err
 	}
@@ -217,10 +218,14 @@ func RestoreDVO(data []byte) (*DVO, error) {
 	return h, nil
 }
 
-// snapReader parses the snapshot envelope.
+// snapReader parses the snapshot envelope over the shared
+// little-endian cursor.
 type snapReader struct {
-	data []byte
-	pos  int
+	binenc.Reader
+}
+
+func newSnapReader(data []byte) *snapReader {
+	return &snapReader{Reader: binenc.Reader{Data: data, Err: ErrSnapshot}}
 }
 
 func (r *snapReader) header(wantKind byte) error {
@@ -248,61 +253,22 @@ func (r *snapReader) header(wantKind byte) error {
 	return nil
 }
 
-func (r *snapReader) need(n int) error {
-	if r.pos+n > len(r.data) {
-		return fmt.Errorf("%w: truncated at byte %d", ErrSnapshot, r.pos)
-	}
-	return nil
-}
-
-func (r *snapReader) u8() (byte, error) {
-	if err := r.need(1); err != nil {
-		return 0, err
-	}
-	v := r.data[r.pos]
-	r.pos++
-	return v, nil
-}
-
-func (r *snapReader) u16() (uint16, error) {
-	if err := r.need(2); err != nil {
-		return 0, err
-	}
-	v := binary.LittleEndian.Uint16(r.data[r.pos:])
-	r.pos += 2
-	return v, nil
-}
-
-func (r *snapReader) u32() (uint32, error) {
-	if err := r.need(4); err != nil {
-		return 0, err
-	}
-	v := binary.LittleEndian.Uint32(r.data[r.pos:])
-	r.pos += 4
-	return v, nil
-}
-
-func (r *snapReader) f64() (float64, error) {
-	if err := r.need(8); err != nil {
-		return 0, err
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
-	r.pos += 8
-	return v, nil
-}
+func (r *snapReader) u8() (byte, error)     { return r.U8() }
+func (r *snapReader) u16() (uint16, error)  { return r.U16() }
+func (r *snapReader) u32() (uint32, error)  { return r.U32() }
+func (r *snapReader) f64() (float64, error) { return r.F64() }
 
 func (r *snapReader) bucketBlob() ([]histogram.Bucket, error) {
 	n, err := r.u32()
 	if err != nil {
 		return nil, err
 	}
-	if err := r.need(int(n)); err != nil {
+	blob, err := r.Bytes(int(n))
+	if err != nil {
 		return nil, err
 	}
-	blob := r.data[r.pos : r.pos+int(n)]
-	r.pos += int(n)
-	if r.pos != len(r.data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, len(r.data)-r.pos)
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, r.Remaining())
 	}
 	buckets, err := histogram.UnmarshalBuckets(blob)
 	if err != nil {

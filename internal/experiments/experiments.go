@@ -101,6 +101,7 @@ var Registry = map[string]Runner{
 	"ablation-2d":          Ablation2D,
 	"metric-comparison":    MetricComparison,
 	"concurrency":          Concurrency,
+	"serving":              Serving,
 }
 
 // IDs returns the registry keys in stable order.

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"dynahist/client"
+	"dynahist/internal/server"
+	"dynahist/internal/wire"
+)
+
+// servingCreateRequest is the histogram configuration every serving
+// run uses: a DC (cheapest per update) over the engine's default
+// GOMAXPROCS shards.
+func servingCreateRequest() wire.CreateRequest {
+	return wire.CreateRequest{Name: "bench", Family: server.FamilyDC, MemBytes: 1024}
+}
+
+// Serving measures end-to-end HTTP ingest throughput (million
+// inserts/sec) versus concurrent client count against one histserved
+// registry entry, for the two wire encodings:
+//
+//   - http-json: batches in the JSON request body — the convenient
+//     path, dominated by encoding and parsing cost.
+//   - http-binary: the length-prefixed binary batch format — ~3×
+//     denser and parsed with a bounds check, the intended high-volume
+//     path.
+//   - in-process: the same Sharded engine driven directly through
+//     InsertBatch, as the no-network upper bound (constant across X).
+//
+// Like the concurrency experiment this measures wall-clock throughput,
+// so absolute numbers vary by machine; the reproducible shape is
+// binary ≥ json and both scaling with clients until the registry's
+// shard locks (or the loopback stack) saturate.
+func Serving(o Options) (Figure, error) {
+	o = o.normalized()
+	clientCounts := []float64{1, 2, 4, 8}
+	const batchSize = 512
+
+	fig := Figure{
+		ID:     "serving",
+		Title:  "HTTP ingest throughput: binary vs JSON batches",
+		XLabel: "clients",
+		YLabel: "Minserts/sec",
+	}
+
+	values := make([]float64, o.Points)
+	rng := rand.New(rand.NewSource(99))
+	for i := range values {
+		values[i] = float64(rng.Intn(5001))
+	}
+
+	// In-process reference: one registry-shaped Sharded engine fed
+	// directly.
+	direct, err := newServingEngine()
+	if err != nil {
+		return fig, err
+	}
+	start := time.Now()
+	for off := 0; off < len(values); off += batchSize {
+		end := min(off+batchSize, len(values))
+		if err := direct.InsertBatch(values[off:end]); err != nil {
+			return fig, err
+		}
+	}
+	inProcess := mops(len(values), time.Since(start))
+
+	var jsonY, binY []float64
+	for _, cf := range clientCounts {
+		n := int(cf)
+		j, err := ingestHTTP(values, n, batchSize, false)
+		if err != nil {
+			return fig, fmt.Errorf("serving: json %d clients: %w", n, err)
+		}
+		jsonY = append(jsonY, j)
+		b, err := ingestHTTP(values, n, batchSize, true)
+		if err != nil {
+			return fig, fmt.Errorf("serving: binary %d clients: %w", n, err)
+		}
+		binY = append(binY, b)
+	}
+
+	constant := make([]float64, len(clientCounts))
+	for i := range constant {
+		constant[i] = inProcess
+	}
+	fig.Series = []Series{
+		{Label: "in-process", X: clientCounts, Y: constant},
+		{Label: "http-json", X: clientCounts, Y: jsonY},
+		{Label: "http-binary", X: clientCounts, Y: binY},
+	}
+	return fig, nil
+}
+
+// servingEngine is the minimal mutation surface the experiment needs.
+type servingEngine interface {
+	InsertBatch(vs []float64) error
+}
+
+// newServingEngine builds the same histogram configuration the HTTP
+// runs use, directly.
+func newServingEngine() (servingEngine, error) {
+	reg := server.NewRegistry()
+	if _, err := reg.Create(servingCreateRequest()); err != nil {
+		return nil, err
+	}
+	return reg.Histogram("bench")
+}
+
+// ingestHTTP spins up an in-process serving layer and fans the values
+// out over `clients` concurrent HTTP writers in batches, returning
+// million inserts/sec.
+func ingestHTTP(values []float64, clients, batchSize int, binary bool) (float64, error) {
+	srv, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := srv.Registry().Create(servingCreateRequest()); err != nil {
+		return 0, err
+	}
+
+	ctx := context.Background()
+	return timedFanOut(values, clients, func(chunk []float64) error {
+		c := client.New(ts.URL, &http.Client{})
+		for len(chunk) > 0 {
+			n := min(batchSize, len(chunk))
+			var err error
+			if binary {
+				_, err = c.InsertBinary(ctx, "bench", chunk[:n])
+			} else {
+				_, err = c.Insert(ctx, "bench", chunk[:n])
+			}
+			if err != nil {
+				return err
+			}
+			chunk = chunk[n:]
+		}
+		return nil
+	})
+}

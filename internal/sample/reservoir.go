@@ -46,6 +46,39 @@ func NewReservoir(capacity int, seed int64) (*Reservoir, error) {
 	}, nil
 }
 
+// RestoreReservoir rebuilds a reservoir from previously captured state:
+// the sample values and the insert count observed when the state was
+// taken. The acceptance probability of Algorithm R depends only on the
+// capacity and the seen count, both of which are restored exactly; the
+// RNG stream itself restarts from seed, so the restored reservoir is a
+// statistically equivalent continuation rather than a bit-identical
+// replay.
+func RestoreReservoir(capacity int, seed int64, values []float64, seen int64) (*Reservoir, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrCapacity, capacity)
+	}
+	if len(values) > capacity {
+		return nil, fmt.Errorf("sample: %d values exceed capacity %d", len(values), capacity)
+	}
+	if seen < int64(len(values)) {
+		return nil, fmt.Errorf("sample: seen %d < sample size %d", seen, len(values))
+	}
+	r := &Reservoir{
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+		byValue:  make(map[float64][]int),
+		seen:     seen,
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sample: non-finite value %v at %d", v, i)
+		}
+		r.indexAdd(v, i)
+		r.items = append(r.items, v)
+	}
+	return r, nil
+}
+
 // Capacity returns the maximum sample size.
 func (r *Reservoir) Capacity() int { return r.capacity }
 

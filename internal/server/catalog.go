@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dynahist"
+	"dynahist/internal/binenc"
+)
+
+// The catalog is the serving layer's recovery substrate: one file per
+// registered histogram, holding the entry's identity and configuration
+// plus one full-state snapshot blob per shard (the root Snapshot API's
+// output). Files are written atomically (temp + rename) so a crash
+// mid-checkpoint leaves the previous complete catalog intact, and the
+// whole registry is rebuilt from the directory at startup.
+//
+// File layout (all integers little-endian):
+//
+//	u32  magic 0x48434154 ("HCAT")
+//	u16  version (1)
+//	u8   family code (1=dado, 2=dvo, 3=dc, 4=ac)
+//	u16  name length, then name bytes
+//	u32  per-shard mem_bytes
+//	u64  seed
+//	u32  shard count n
+//	n ×  (u32 blob length, blob bytes)
+
+const (
+	catMagic   = 0x48434154 // "HCAT"
+	catVersion = 1
+
+	// CatalogExt is the catalog file suffix; the stem is the histogram
+	// name.
+	CatalogExt = ".hist"
+)
+
+// ErrCatalog reports a malformed catalog file.
+var ErrCatalog = errors.New("server: malformed catalog entry")
+
+var familyCodes = map[string]byte{
+	FamilyDADO: 1,
+	FamilyDVO:  2,
+	FamilyDC:   3,
+	FamilyAC:   4,
+}
+
+var familyNames = map[byte]string{
+	1: FamilyDADO,
+	2: FamilyDVO,
+	3: FamilyDC,
+	4: FamilyAC,
+}
+
+// EncodeEntry serializes one registry entry: its configuration plus
+// one snapshot blob per shard.
+func EncodeEntry(e *entry) ([]byte, error) {
+	code, ok := familyCodes[e.family]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrFamily, e.family)
+	}
+	blobs, err := e.h.SnapshotShards()
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot %q: %w", e.name, err)
+	}
+	size := 32 + len(e.name)
+	for _, b := range blobs {
+		size += 4 + len(b)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, catMagic)
+	out = binary.LittleEndian.AppendUint16(out, catVersion)
+	out = append(out, code)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.name)))
+	out = append(out, e.name...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(e.memBytes))
+	out = binary.LittleEndian.AppendUint64(out, uint64(e.seed))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(blobs)))
+	for _, b := range blobs {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// DecodeEntry rebuilds a registry entry from an EncodeEntry blob,
+// restoring every shard. Garbage of any kind — bad magic, truncated
+// input, unknown family, implausible sizes, corrupt shard blobs — is
+// rejected with ErrCatalog, never a panic.
+func DecodeEntry(data []byte) (*entry, error) {
+	r := binenc.Reader{Data: data, Err: ErrCatalog}
+	magic, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != catMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCatalog, magic)
+	}
+	version, err := r.U16()
+	if err != nil {
+		return nil, err
+	}
+	if version != catVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCatalog, version)
+	}
+	code, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	family, ok := familyNames[code]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown family code %d", ErrCatalog, code)
+	}
+	nameLen, err := r.U16()
+	if err != nil {
+		return nil, err
+	}
+	nameBytes, err := r.Bytes(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	name := string(nameBytes)
+	if !ValidName(name) {
+		return nil, fmt.Errorf("%w: invalid name %q", ErrCatalog, name)
+	}
+	memBytes, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if memBytes == 0 || memBytes > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible mem_bytes %d", ErrCatalog, memBytes)
+	}
+	seed, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	nShards, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if nShards == 0 || uint64(nShards)*4 > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible shard count %d", ErrCatalog, nShards)
+	}
+	blobs := make([][]byte, nShards)
+	for i := range blobs {
+		n, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		blobs[i], err = r.Bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCatalog, r.Remaining())
+	}
+	restore, err := restorerFor(family)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCatalog, err)
+	}
+	h, err := dynahist.RestoreSharded(blobs, restore)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCatalog, err)
+	}
+	return &entry{
+		name:     name,
+		family:   family,
+		memBytes: int(memBytes),
+		shards:   int(nShards),
+		seed:     int64(seed),
+		h:        h,
+	}, nil
+}
+
+// catalogPath returns the catalog file for a histogram name.
+func catalogPath(dir, name string) string {
+	return filepath.Join(dir, name+CatalogExt)
+}
+
+// writeEntryFile atomically persists one entry: encode, write to a
+// temp file in the same directory, fsync, rename over the target.
+func writeEntryFile(dir string, e *entry) error {
+	data, err := EncodeEntry(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, e.name+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, catalogPath(dir, e.name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// loadCatalog restores every *.hist entry under dir into reg. It is
+// fail-soft: a corrupt or stale file is skipped and reported in the
+// returned error list, so one bad entry cannot keep the rest of the
+// registry from recovering.
+func loadCatalog(dir string, reg *Registry) []error {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return []error{err}
+	}
+	var errs []error
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		// A crash between CreateTemp and the rename orphans a temp
+		// file; sweep them on startup so periodic crashes cannot
+		// accumulate garbage in the catalog.
+		if strings.Contains(de.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, de.Name())); err != nil {
+				errs = append(errs, fmt.Errorf("removing stale temp %s: %w", de.Name(), err))
+			}
+			continue
+		}
+		if !strings.HasSuffix(de.Name(), CatalogExt) {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		e, err := DecodeEntry(data)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		if want := e.name + CatalogExt; de.Name() != want {
+			errs = append(errs, fmt.Errorf("%s: holds entry %q (want file %s)", path, e.name, want))
+			continue
+		}
+		if err := reg.attach(e); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+		}
+	}
+	return errs
+}

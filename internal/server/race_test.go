@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dynahist/internal/wire"
+)
+
+// TestConcurrentClients drives many concurrent HTTP clients — JSON and
+// binary ingesters, query readers, histogram creators/deleters — while
+// the checkpoint loop runs at an aggressive period, to pin down the
+// registry and checkpoint-loop locking under the race detector.
+func TestConcurrentClients(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{CatalogDir: dir, CheckpointEvery: 5 * time.Millisecond})
+
+	for i := range 3 {
+		mustCreate(t, ts.URL, fmt.Sprintf("stable%d", i), FamilyDADO, 1024, 4)
+	}
+
+	const (
+		writers  = 4
+		readers  = 4
+		churners = 2
+		rounds   = 30
+	)
+	var wg sync.WaitGroup
+
+	for w := range writers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := range rounds {
+				name := fmt.Sprintf("stable%d", rng.Intn(3))
+				vs := make([]float64, 64)
+				for j := range vs {
+					vs[j] = float64(rng.Intn(1000))
+				}
+				var body []byte
+				ct := "application/json"
+				if i%2 == 0 {
+					ct = wire.BatchContentType
+					body = wire.EncodeBatch(vs)
+				} else {
+					body, _ = json.Marshal(wire.ValuesRequest{Values: vs})
+				}
+				req, err := http.NewRequest("POST", ts.URL+"/v1/h/"+name+"/insert", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("Content-Type", ct)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("insert: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	for r := range readers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for range rounds {
+				name := fmt.Sprintf("stable%d", rng.Intn(3))
+				for _, path := range []string{
+					"/v1/h/" + name + "/total",
+					fmt.Sprintf("/v1/h/%s/cdf?x=%d", name, rng.Intn(1000)),
+					fmt.Sprintf("/v1/h/%s/range?lo=0&hi=%d", name, rng.Intn(1000)),
+					"/v1/h/" + name + "/buckets",
+					"/v1/h",
+				} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s: status %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Churners create, checkpoint and delete their own histograms so the
+	// checkpoint loop races registration and file removal.
+	for c := range churners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rounds / 2 {
+				name := fmt.Sprintf("churn%d-%d", c, i)
+				mustCreate(t, ts.URL, name, FamilyDC, 1024, 2)
+				mustInsertJSON(t, ts.URL, name, []float64{1, 2, 3})
+				_ = s.CheckpointNow()
+				req, _ := http.NewRequest("DELETE", ts.URL+"/v1/h/"+name, nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					t.Errorf("DELETE %s: status %d", name, resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	// Every stable histogram holds exactly the mass the writers pushed.
+	var list wire.ListResponse
+	do(t, "GET", ts.URL+"/v1/h", "", nil, http.StatusOK, &list)
+	var sum float64
+	for _, info := range list.Histograms {
+		sum += info.Total
+	}
+	if want := float64(writers * rounds * 64); !near(sum, want) {
+		t.Fatalf("total mass across histograms = %v, want %v", sum, want)
+	}
+}

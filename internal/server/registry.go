@@ -1,0 +1,268 @@
+// Package server implements histserved, the HTTP serving layer over
+// this repository's dynamic histograms: a named-histogram registry
+// whose entries are Sharded engines (one per histogram, for write
+// scaling), JSON and binary-batch ingest endpoints, query endpoints
+// (total, cdf, quantile, range, buckets), and snapshot-backed recovery
+// — a checkpoint loop that periodically serializes every registered
+// histogram to a catalog directory so a restarted server keeps
+// maintaining where it left off.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dynahist"
+	"dynahist/internal/wire"
+)
+
+// Families accepted by the registry.
+const (
+	FamilyDADO = "dado"
+	FamilyDVO  = "dvo"
+	FamilyDC   = "dc"
+	FamilyAC   = "ac"
+)
+
+// Registry errors, mapped onto HTTP statuses by the handlers.
+var (
+	ErrExists   = errors.New("server: histogram already exists")
+	ErrNotFound = errors.New("server: no such histogram")
+	ErrBadName  = errors.New("server: invalid histogram name")
+	ErrFamily   = errors.New("server: unsupported family")
+)
+
+// maxNameLen bounds histogram names; names also double as catalog file
+// stems, so the charset is filesystem-safe.
+const maxNameLen = 128
+
+// ValidName reports whether name is usable: 1–128 bytes of letters,
+// digits, '_', '-' and '.', not starting with '.' (which excludes
+// hidden files, "." and "..").
+func ValidName(name string) bool {
+	if len(name) == 0 || len(name) > maxNameLen || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '_' || c == '-' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// entry is one registered histogram: its identity and configuration
+// plus the sharded engine serving it.
+type entry struct {
+	name     string
+	family   string
+	memBytes int
+	shards   int
+	seed     int64
+	h        *dynahist.Sharded
+}
+
+func (e *entry) info() wire.Info {
+	return wire.Info{
+		Name:     e.name,
+		Family:   e.family,
+		MemBytes: e.memBytes,
+		Shards:   e.shards,
+		Total:    e.h.Total(),
+	}
+}
+
+// Registry is a concurrent name → histogram map. All methods are safe
+// for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*entry)}
+}
+
+// newFamilyHistogram builds the Sharded engine for one registry entry.
+// memBytes is the per-shard budget; for AC each shard's reservoir is
+// seeded distinctly so the shards do not make identical sampling
+// decisions.
+func newFamilyHistogram(family string, memBytes, shards int, seed int64) (*dynahist.Sharded, error) {
+	var factory func() (dynahist.Histogram, error)
+	switch family {
+	case FamilyDADO:
+		factory = func() (dynahist.Histogram, error) { return dynahist.NewDADOMemory(memBytes) }
+	case FamilyDVO:
+		factory = func() (dynahist.Histogram, error) { return dynahist.NewDVOMemory(memBytes) }
+	case FamilyDC:
+		factory = func() (dynahist.Histogram, error) { return dynahist.NewDCMemory(memBytes) }
+	case FamilyAC:
+		var shardSeq atomic.Int64
+		factory = func() (dynahist.Histogram, error) {
+			return dynahist.NewAC(memBytes, dynahist.ACDefaultDiskFactor, seed+shardSeq.Add(1))
+		}
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrFamily, family)
+	}
+	return dynahist.NewSharded(factory, dynahist.WithShards(shards))
+}
+
+// restorerFor returns the per-shard blob restorer for a family.
+func restorerFor(family string) (func([]byte) (dynahist.Histogram, error), error) {
+	switch family {
+	case FamilyDADO, FamilyDVO:
+		return func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreDADO(b) }, nil
+	case FamilyDC:
+		return func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreDC(b) }, nil
+	case FamilyAC:
+		return func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreAC(b) }, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrFamily, family)
+	}
+}
+
+// Create registers a new histogram. Zero MemBytes defaults to 1024
+// bytes per shard; zero Shards defaults to the engine's GOMAXPROCS
+// default.
+func (r *Registry) Create(req wire.CreateRequest) (wire.Info, error) {
+	if !ValidName(req.Name) {
+		return wire.Info{}, fmt.Errorf("%w: %q", ErrBadName, req.Name)
+	}
+	if req.MemBytes == 0 {
+		req.MemBytes = 1024
+	}
+	if req.MemBytes < 0 || req.Shards < 0 {
+		return wire.Info{}, fmt.Errorf("server: negative mem_bytes or shards")
+	}
+	h, err := newFamilyHistogram(req.Family, req.MemBytes, req.Shards, req.Seed)
+	if err != nil {
+		return wire.Info{}, err
+	}
+	e := &entry{
+		name:     req.Name,
+		family:   req.Family,
+		memBytes: req.MemBytes,
+		shards:   h.NumShards(),
+		seed:     req.Seed,
+		h:        h,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.checkCollision(e.name); err != nil {
+		return wire.Info{}, err
+	}
+	r.m[e.name] = e
+	return e.info(), nil
+}
+
+// attach inserts a restored entry, failing on duplicates.
+func (r *Registry) attach(e *entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.checkCollision(e.name); err != nil {
+		return err
+	}
+	r.m[e.name] = e
+	return nil
+}
+
+// checkCollision rejects a name that is already registered, exactly or
+// up to letter case: names double as catalog file stems, and on a
+// case-insensitive filesystem two case-only variants would silently
+// share one file and clobber each other's checkpoints. Callers hold
+// r.mu.
+func (r *Registry) checkCollision(name string) error {
+	if _, ok := r.m[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	for existing := range r.m {
+		if strings.EqualFold(existing, name) {
+			return fmt.Errorf("%w: %q collides with %q up to letter case", ErrExists, name, existing)
+		}
+	}
+	return nil
+}
+
+// Get returns the named entry.
+func (r *Registry) get(name string) (*entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Histogram returns the sharded engine serving name.
+func (r *Registry) Histogram(name string) (*dynahist.Sharded, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.h, nil
+}
+
+// Delete removes the named histogram.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.m, name)
+	return nil
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.m[name]
+	return ok
+}
+
+// List returns every registered histogram's info, sorted by name.
+func (r *Registry) List() []wire.Info {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.m))
+	for _, e := range r.m {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	infos := make([]wire.Info, len(entries))
+	for i, e := range entries {
+		infos[i] = e.info()
+	}
+	return infos
+}
+
+// entries returns a stable snapshot of the registered entries, sorted
+// by name — the checkpoint loop's iteration order.
+func (r *Registry) entries() []*entry {
+	r.mu.RLock()
+	out := make([]*entry, 0, len(r.m))
+	for _, e := range r.m {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len returns the number of registered histograms.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}

@@ -1,0 +1,388 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"dynahist"
+	"dynahist/internal/wire"
+)
+
+// maxBodyBytes caps ingest request bodies (~8M values binary).
+const maxBodyBytes = 64 << 20
+
+// Config parameterises a Server.
+type Config struct {
+	// CatalogDir, when non-empty, enables snapshot-backed recovery: the
+	// registry is restored from it at startup and checkpointed into it
+	// by CheckpointNow and the periodic loop.
+	CatalogDir string
+	// CheckpointEvery is the period of the background checkpoint loop;
+	// zero disables the loop (checkpoints then happen only via
+	// CheckpointNow and on Close).
+	CheckpointEvery time.Duration
+	// Logger receives recovery and checkpoint diagnostics; nil logs to
+	// the standard logger.
+	Logger *log.Logger
+}
+
+// Server is the histserved HTTP serving layer: a histogram registry,
+// its REST handlers, and the checkpoint loop. Create one with New,
+// mount Handler on an http.Server, and Close it on shutdown for a
+// final checkpoint.
+type Server struct {
+	cfg Config
+	reg *Registry
+	mux *http.ServeMux
+	log *log.Logger
+
+	// catMu serialises catalog writes against each other and against
+	// deletes, so a checkpoint pass cannot resurrect a file removed by
+	// a concurrent DELETE.
+	catMu sync.Mutex
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+// New builds a server, restoring the registry from cfg.CatalogDir when
+// set (corrupt catalog files are skipped and logged, never fatal) and
+// starting the periodic checkpoint loop when cfg.CheckpointEvery > 0.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(),
+		mux:      http.NewServeMux(),
+		log:      cfg.Logger,
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	if s.log == nil {
+		s.log = log.New(os.Stderr, "histserved: ", log.LstdFlags)
+	}
+	if cfg.CatalogDir != "" {
+		if err := os.MkdirAll(cfg.CatalogDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: catalog dir: %w", err)
+		}
+		for _, err := range loadCatalog(cfg.CatalogDir, s.reg) {
+			s.log.Printf("recovery: skipping entry: %v", err)
+		}
+		if n := s.reg.Len(); n > 0 {
+			s.log.Printf("recovered %d histogram(s) from %s", n, cfg.CatalogDir)
+		}
+	}
+	s.routes()
+	if cfg.CatalogDir != "" && cfg.CheckpointEvery > 0 {
+		go s.checkpointLoop()
+	} else {
+		close(s.loopDone)
+	}
+	return s, nil
+}
+
+// Registry exposes the server's registry (used by tests and the
+// serving experiment).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the HTTP handler serving the /v1 API and /healthz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the checkpoint loop and takes a final checkpoint so no
+// acknowledged write older than the last catalog write is lost beyond
+// the snapshot's own approximation.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.loopDone
+	if s.cfg.CatalogDir == "" {
+		return nil
+	}
+	return s.CheckpointNow()
+}
+
+// checkpointLoop periodically persists every registered histogram.
+func (s *Server) checkpointLoop() {
+	defer close(s.loopDone)
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.CheckpointNow(); err != nil {
+				s.log.Printf("checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// CheckpointNow serializes every registered histogram into the catalog
+// directory, one atomically replaced file per histogram. Entries
+// deleted while the pass runs are skipped. Returns the first error,
+// after attempting every entry.
+func (s *Server) CheckpointNow() error {
+	if s.cfg.CatalogDir == "" {
+		return errors.New("server: no catalog directory configured")
+	}
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	var firstErr error
+	for _, e := range s.reg.entries() {
+		if !s.reg.Has(e.name) {
+			continue
+		}
+		if err := writeEntryFile(s.cfg.CatalogDir, e); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("checkpoint %q: %w", e.name, err)
+		}
+	}
+	return firstErr
+}
+
+// routes mounts every endpoint.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("POST /v1/h", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/h", s.handleList)
+	s.mux.HandleFunc("GET /v1/h/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/h/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/h/{name}/insert", s.handleUpdate(insertOp))
+	s.mux.HandleFunc("POST /v1/h/{name}/delete", s.handleUpdate(deleteOp))
+	s.mux.HandleFunc("GET /v1/h/{name}/total", s.handleTotal)
+	s.mux.HandleFunc("GET /v1/h/{name}/cdf", s.handleCDF)
+	s.mux.HandleFunc("GET /v1/h/{name}/quantile", s.handleQuantile)
+	s.mux.HandleFunc("GET /v1/h/{name}/range", s.handleRange)
+	s.mux.HandleFunc("GET /v1/h/{name}/buckets", s.handleBuckets)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusOf maps registry errors onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrBadName), errors.Is(err, ErrFamily):
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req wire.CreateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	info, err := s.reg.Create(req)
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.ListResponse{Histograms: s.reg.List()})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	e, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Delete(name); err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	if s.cfg.CatalogDir != "" {
+		s.catMu.Lock()
+		err := os.Remove(catalogPath(s.cfg.CatalogDir, name))
+		s.catMu.Unlock()
+		if err != nil && !os.IsNotExist(err) {
+			s.log.Printf("delete %q: removing catalog file: %v", name, err)
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type updateOp int
+
+const (
+	insertOp updateOp = iota
+	deleteOp
+)
+
+// handleUpdate serves the two ingest endpoints. The body is either a
+// JSON ValuesRequest or, under wire.BatchContentType, the binary batch
+// format.
+func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h, err := s.reg.Histogram(r.PathValue("name"))
+		if err != nil {
+			writeErr(w, statusOf(err), "%v", err)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeErr(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+			return
+		}
+		// The binary batch format is opted into by content type; any
+		// other body (curl's default form type included) is parsed as
+		// the JSON ValuesRequest.
+		var vs []float64
+		if r.Header.Get("Content-Type") == wire.BatchContentType {
+			vs, err = wire.DecodeBatch(body)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		} else {
+			var req wire.ValuesRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+				return
+			}
+			vs = req.Values
+		}
+		for i, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				writeErr(w, http.StatusBadRequest, "non-finite value at index %d", i)
+				return
+			}
+		}
+		if op == insertOp {
+			err = h.InsertBatch(vs)
+		} else {
+			err = h.DeleteBatch(vs)
+		}
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, wire.UpdateResponse{Applied: len(vs), Total: h.Total()})
+	}
+}
+
+// queryFloat parses a required float query parameter.
+func queryFloat(r *http.Request, key string) (float64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("query parameter %q: not a finite number: %q", key, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
+	h, err := s.reg.Histogram(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.TotalResponse{Total: h.Total()})
+}
+
+func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
+	h, err := s.reg.Histogram(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	x, err := queryFloat(r, "x")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CDFResponse{X: x, CDF: h.CDF(x)})
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	h, err := s.reg.Histogram(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	q, err := queryFloat(r, "q")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if q <= 0 || q > 1 {
+		writeErr(w, http.StatusBadRequest, "quantile %v outside (0,1]", q)
+		return
+	}
+	v, err := dynahist.Quantile(h, q)
+	if err != nil {
+		// The only non-parameter failure is an empty histogram.
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.QuantileResponse{Q: q, Value: v})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	h, err := s.reg.Histogram(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	lo, err := queryFloat(r, "lo")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hi, err := queryFloat(r, "hi")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.RangeResponse{Lo: lo, Hi: hi, Count: h.EstimateRange(lo, hi)})
+}
+
+func (s *Server) handleBuckets(w http.ResponseWriter, r *http.Request) {
+	h, err := s.reg.Histogram(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	bs := h.Buckets()
+	out := make([]wire.Bucket, len(bs))
+	for i, b := range bs {
+		out[i] = wire.Bucket{Left: b.Left, Right: b.Right, Counters: b.Counters}
+	}
+	writeJSON(w, http.StatusOK, wire.BucketsResponse{Buckets: out})
+}

@@ -1,0 +1,506 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynahist/internal/wire"
+)
+
+// newTestServer builds a Server (no checkpoint loop unless cfg says
+// otherwise) and an httptest front end, both torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil && cfg.CatalogDir != "" {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// do issues a request and decodes the JSON response into out (when out
+// is non-nil), asserting the status code.
+func do(t *testing.T, method, url, contentType string, body []byte, wantStatus int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d (body: %s)", method, url, resp.StatusCode, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, data, err)
+		}
+	}
+}
+
+func mustCreate(t *testing.T, base, name, family string, memBytes, shards int) wire.Info {
+	t.Helper()
+	body, _ := json.Marshal(wire.CreateRequest{Name: name, Family: family, MemBytes: memBytes, Shards: shards})
+	var info wire.Info
+	do(t, "POST", base+"/v1/h", "application/json", body, http.StatusCreated, &info)
+	return info
+}
+
+func mustInsertJSON(t *testing.T, base, name string, vs []float64) wire.UpdateResponse {
+	t.Helper()
+	body, _ := json.Marshal(wire.ValuesRequest{Values: vs})
+	var resp wire.UpdateResponse
+	do(t, "POST", base+"/v1/h/"+name+"/insert", "application/json", body, http.StatusOK, &resp)
+	return resp
+}
+
+// near reports a ≈ b within the merged-view's float accumulation
+// noise.
+func near(a, b float64) bool { return math.Abs(a-b) <= 1e-6*(1+math.Abs(b)) }
+
+func seqValues(n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = float64(i % 1000)
+	}
+	return vs
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestCreateListInfoDelete(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	info := mustCreate(t, ts.URL, "latency", FamilyDADO, 2048, 4)
+	if info.Name != "latency" || info.Family != FamilyDADO || info.Shards != 4 || info.MemBytes != 2048 {
+		t.Fatalf("create info = %+v", info)
+	}
+	mustCreate(t, ts.URL, "sizes", FamilyDC, 0, 2) // default mem
+
+	var list wire.ListResponse
+	do(t, "GET", ts.URL+"/v1/h", "", nil, http.StatusOK, &list)
+	if len(list.Histograms) != 2 {
+		t.Fatalf("list has %d entries, want 2", len(list.Histograms))
+	}
+	if list.Histograms[0].Name != "latency" || list.Histograms[1].Name != "sizes" {
+		t.Fatalf("list order: %+v", list.Histograms)
+	}
+
+	var got wire.Info
+	do(t, "GET", ts.URL+"/v1/h/sizes", "", nil, http.StatusOK, &got)
+	if got.Family != FamilyDC || got.MemBytes != 1024 {
+		t.Fatalf("info = %+v", got)
+	}
+
+	do(t, "DELETE", ts.URL+"/v1/h/sizes", "", nil, http.StatusNoContent, nil)
+	do(t, "GET", ts.URL+"/v1/h/sizes", "", nil, http.StatusNotFound, nil)
+	do(t, "DELETE", ts.URL+"/v1/h/sizes", "", nil, http.StatusNotFound, nil)
+}
+
+func TestCreateErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	cases := []struct {
+		name string
+		req  wire.CreateRequest
+		want int
+	}{
+		{"unsupported family", wire.CreateRequest{Name: "h", Family: "splines"}, http.StatusBadRequest},
+		{"empty name", wire.CreateRequest{Name: "", Family: FamilyDADO}, http.StatusBadRequest},
+		{"dotfile name", wire.CreateRequest{Name: ".sneaky", Family: FamilyDADO}, http.StatusBadRequest},
+		{"path separator", wire.CreateRequest{Name: "a/b", Family: FamilyDADO}, http.StatusBadRequest},
+		{"negative mem", wire.CreateRequest{Name: "h", Family: FamilyDADO, MemBytes: -5}, http.StatusBadRequest},
+		{"tiny mem", wire.CreateRequest{Name: "h", Family: FamilyDADO, MemBytes: 3}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		body, _ := json.Marshal(c.req)
+		var e wire.ErrorResponse
+		do(t, "POST", ts.URL+"/v1/h", "application/json", body, c.want, &e)
+		if e.Error == "" {
+			t.Errorf("%s: empty error message", c.name)
+		}
+	}
+
+	do(t, "POST", ts.URL+"/v1/h", "application/json", []byte("{nope"), http.StatusBadRequest, nil)
+
+	mustCreate(t, ts.URL, "dup", FamilyDC, 1024, 1)
+	body, _ := json.Marshal(wire.CreateRequest{Name: "dup", Family: FamilyDC})
+	do(t, "POST", ts.URL+"/v1/h", "application/json", body, http.StatusConflict, nil)
+
+	// Case-only variants share a catalog file on case-insensitive
+	// filesystems, so they conflict too.
+	body, _ = json.Marshal(wire.CreateRequest{Name: "DUP", Family: FamilyDC})
+	do(t, "POST", ts.URL+"/v1/h", "application/json", body, http.StatusConflict, nil)
+}
+
+func TestInsertAndQueries(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustCreate(t, ts.URL, "h", FamilyDADO, 2048, 4)
+
+	vs := seqValues(10000)
+	resp := mustInsertJSON(t, ts.URL, "h", vs)
+	if resp.Applied != len(vs) || !near(resp.Total, float64(len(vs))) {
+		t.Fatalf("insert response = %+v", resp)
+	}
+
+	var total wire.TotalResponse
+	do(t, "GET", ts.URL+"/v1/h/h/total", "", nil, http.StatusOK, &total)
+	if !near(total.Total, float64(len(vs))) {
+		t.Fatalf("total = %v, want %d", total.Total, len(vs))
+	}
+
+	var cdf wire.CDFResponse
+	do(t, "GET", ts.URL+"/v1/h/h/cdf?x=499.5", "", nil, http.StatusOK, &cdf)
+	if math.Abs(cdf.CDF-0.5) > 0.05 {
+		t.Fatalf("CDF(499.5) = %v, want ≈0.5", cdf.CDF)
+	}
+
+	var q wire.QuantileResponse
+	do(t, "GET", ts.URL+"/v1/h/h/quantile?q=0.5", "", nil, http.StatusOK, &q)
+	if math.Abs(q.Value-500) > 50 {
+		t.Fatalf("quantile(0.5) = %v, want ≈500", q.Value)
+	}
+
+	var rng wire.RangeResponse
+	do(t, "GET", ts.URL+"/v1/h/h/range?lo=0&hi=999", "", nil, http.StatusOK, &rng)
+	if math.Abs(rng.Count-float64(len(vs))) > float64(len(vs))/100 {
+		t.Fatalf("range count = %v, want ≈%d", rng.Count, len(vs))
+	}
+
+	var bk wire.BucketsResponse
+	do(t, "GET", ts.URL+"/v1/h/h/buckets", "", nil, http.StatusOK, &bk)
+	if len(bk.Buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	sum := 0.0
+	for _, b := range bk.Buckets {
+		if b.Right <= b.Left {
+			t.Fatalf("degenerate bucket %+v", b)
+		}
+		for _, c := range b.Counters {
+			sum += c
+		}
+	}
+	if math.Abs(sum-float64(len(vs))) > 1e-6 {
+		t.Fatalf("bucket mass = %v, want %d", sum, len(vs))
+	}
+
+	// Delete endpoint removes mass again.
+	body, _ := json.Marshal(wire.ValuesRequest{Values: vs[:100]})
+	var del wire.UpdateResponse
+	do(t, "POST", ts.URL+"/v1/h/h/delete", "application/json", body, http.StatusOK, &del)
+	if !near(del.Total, float64(len(vs)-100)) {
+		t.Fatalf("total after delete = %v, want %d", del.Total, len(vs)-100)
+	}
+}
+
+func TestBinaryIngest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustCreate(t, ts.URL, "b", FamilyDC, 1024, 2)
+
+	vs := seqValues(5000)
+	var resp wire.UpdateResponse
+	do(t, "POST", ts.URL+"/v1/h/b/insert", wire.BatchContentType, wire.EncodeBatch(vs), http.StatusOK, &resp)
+	if resp.Applied != len(vs) || !near(resp.Total, float64(len(vs))) {
+		t.Fatalf("binary insert response = %+v", resp)
+	}
+	var total wire.TotalResponse
+	do(t, "GET", ts.URL+"/v1/h/b/total", "", nil, http.StatusOK, &total)
+	if !near(total.Total, float64(len(vs))) {
+		t.Fatalf("total = %v, want %d", total.Total, len(vs))
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustCreate(t, ts.URL, "h", FamilyDC, 1024, 1)
+
+	// Unknown histogram.
+	do(t, "POST", ts.URL+"/v1/h/ghost/insert", "application/json", []byte(`{"values":[1]}`), http.StatusNotFound, nil)
+	do(t, "GET", ts.URL+"/v1/h/ghost/total", "", nil, http.StatusNotFound, nil)
+
+	// Malformed JSON body.
+	do(t, "POST", ts.URL+"/v1/h/h/insert", "application/json", []byte(`{"values":[`), http.StatusBadRequest, nil)
+
+	// Malformed binary batches.
+	good := wire.EncodeBatch([]float64{1, 2, 3})
+	for name, bad := range map[string][]byte{
+		"empty":     {},
+		"truncated": good[:len(good)-2],
+		"bad magic": append([]byte{9, 9, 9, 9}, good[4:]...),
+		"trailing":  append(append([]byte{}, good...), 1),
+	} {
+		var e wire.ErrorResponse
+		do(t, "POST", ts.URL+"/v1/h/h/insert", wire.BatchContentType, bad, http.StatusBadRequest, &e)
+		if e.Error == "" {
+			t.Errorf("%s: empty error message", name)
+		}
+	}
+
+	// A non-batch content type is parsed as JSON, so a CSV body is a
+	// JSON error, not a silent drop.
+	do(t, "POST", ts.URL+"/v1/h/h/insert", "text/csv", []byte("1,2"), http.StatusBadRequest, nil)
+
+	// Delete from an empty histogram is unprocessable.
+	do(t, "POST", ts.URL+"/v1/h/h/delete", "application/json", []byte(`{"values":[5]}`), http.StatusUnprocessableEntity, nil)
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustCreate(t, ts.URL, "h", FamilyDADO, 1024, 1)
+
+	// Empty-histogram quantile.
+	do(t, "GET", ts.URL+"/v1/h/h/quantile?q=0.5", "", nil, http.StatusUnprocessableEntity, nil)
+
+	mustInsertJSON(t, ts.URL, "h", seqValues(100))
+
+	for _, url := range []string{
+		"/v1/h/h/cdf",            // missing x
+		"/v1/h/h/cdf?x=banana",   // non-numeric
+		"/v1/h/h/quantile?q=0",   // out of (0,1]
+		"/v1/h/h/quantile?q=1.5", // out of (0,1]
+		"/v1/h/h/quantile?q=x",   // non-numeric
+		"/v1/h/h/range?lo=1",     // missing hi
+		"/v1/h/ghost/cdf?x=1",    // unknown histogram (404 below)
+	} {
+		want := http.StatusBadRequest
+		if url == "/v1/h/ghost/cdf?x=1" {
+			want = http.StatusNotFound
+		}
+		do(t, "GET", ts.URL+url, "", nil, want, nil)
+	}
+}
+
+func TestAllFamiliesServe(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, fam := range []string{FamilyDADO, FamilyDVO, FamilyDC, FamilyAC} {
+		mustCreate(t, ts.URL, fam, fam, 2048, 2)
+		mustInsertJSON(t, ts.URL, fam, seqValues(2000))
+		var cdf wire.CDFResponse
+		do(t, "GET", ts.URL+"/v1/h/"+fam+"/cdf?x=1000", "", nil, http.StatusOK, &cdf)
+		if cdf.CDF < 0.9 {
+			t.Errorf("%s: CDF(1000) = %v, want ≈1", fam, cdf.CDF)
+		}
+	}
+}
+
+// TestRestartRecovery is the kill-and-restart test: a server with a
+// catalog directory is fed all four families, checkpointed, torn down,
+// and a fresh server pointed at the same directory must serve
+// identical Total and CDF (snapshot round-trips are exact) and keep
+// accepting writes.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	families := []string{FamilyDADO, FamilyDVO, FamilyDC, FamilyAC}
+
+	type probe struct {
+		total float64
+		cdf   map[float64]float64
+	}
+	before := make(map[string]probe)
+
+	s1, err := New(Config{CatalogDir: dir, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	for i, fam := range families {
+		name := fmt.Sprintf("h%d-%s", i, fam)
+		mustCreate(t, ts1.URL, name, fam, 2048, 3)
+		mustInsertJSON(t, ts1.URL, name, seqValues(8000))
+	}
+	// Some writes after an explicit mid-flight checkpoint, so the test
+	// also proves Close's final checkpoint captures the newest state.
+	if err := s1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fam := range families {
+		name := fmt.Sprintf("h%d-%s", i, fam)
+		mustInsertJSON(t, ts1.URL, name, seqValues(500))
+		p := probe{cdf: make(map[float64]float64)}
+		var total wire.TotalResponse
+		do(t, "GET", ts1.URL+"/v1/h/"+name+"/total", "", nil, http.StatusOK, &total)
+		p.total = total.Total
+		for _, x := range []float64{50, 250, 499.5, 750, 2000} {
+			var c wire.CDFResponse
+			do(t, "GET", fmt.Sprintf("%s/v1/h/%s/cdf?x=%v", ts1.URL, name, x), "", nil, http.StatusOK, &c)
+			p.cdf[x] = c.CDF
+		}
+		before[name] = p
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil { // kill: final checkpoint
+		t.Fatal(err)
+	}
+
+	// Restart from the same catalog.
+	s2, err := New(Config{CatalogDir: dir, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	var list wire.ListResponse
+	do(t, "GET", ts2.URL+"/v1/h", "", nil, http.StatusOK, &list)
+	if len(list.Histograms) != len(families) {
+		t.Fatalf("recovered %d histograms, want %d", len(list.Histograms), len(families))
+	}
+	for name, want := range before {
+		var total wire.TotalResponse
+		do(t, "GET", ts2.URL+"/v1/h/"+name+"/total", "", nil, http.StatusOK, &total)
+		if total.Total != want.total {
+			t.Errorf("%s: recovered Total = %v, want %v", name, total.Total, want.total)
+		}
+		for x, wantCDF := range want.cdf {
+			var c wire.CDFResponse
+			do(t, "GET", fmt.Sprintf("%s/v1/h/%s/cdf?x=%v", ts2.URL, name, x), "", nil, http.StatusOK, &c)
+			if math.Abs(c.CDF-wantCDF) > 1e-9 {
+				t.Errorf("%s: recovered CDF(%v) = %v, want %v", name, x, c.CDF, wantCDF)
+			}
+		}
+		// The recovered histogram keeps maintaining.
+		resp := mustInsertJSON(t, ts2.URL, name, []float64{42})
+		if !near(resp.Total, want.total+1) {
+			t.Errorf("%s: Total after post-recovery insert = %v, want %v", name, resp.Total, want.total+1)
+		}
+	}
+}
+
+// TestRecoverySkipsCorruptFiles plants garbage and mismatched catalog
+// files next to a good one: startup must recover the good entry,
+// ignore the rest, and never panic.
+func TestRecoverySkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := New(Config{CatalogDir: dir, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	mustCreate(t, ts1.URL, "good", FamilyDADO, 1024, 2)
+	mustInsertJSON(t, ts1.URL, "good", seqValues(1000))
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	goodData, err := os.ReadFile(catalogPath(dir, "good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"garbage" + CatalogExt:   []byte("not a catalog entry"),
+		"truncated" + CatalogExt: goodData[:len(goodData)/2],
+		"renamed" + CatalogExt:   goodData, // inner name "good" ≠ file stem
+		"noise.txt":              []byte("ignored entirely"),
+		"good.tmp12345":          goodData[:8], // orphan from a crashed checkpoint
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := New(Config{CatalogDir: dir, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Registry().Len(); got != 1 {
+		t.Fatalf("recovered %d entries, want 1", got)
+	}
+	h, err := s2.Registry().Histogram("good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(h.Total(), 1000) {
+		t.Fatalf("recovered Total = %v, want 1000", h.Total())
+	}
+	// The crashed checkpoint's temp file was swept at startup.
+	if _, err := os.Stat(filepath.Join(dir, "good.tmp12345")); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file not removed: %v", err)
+	}
+}
+
+// TestDeleteRemovesCatalogFile asserts a deleted histogram stays dead
+// across restart.
+func TestDeleteRemovesCatalogFile(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := func() (*Server, *httptest.Server) {
+		s, err := New(Config{CatalogDir: dir, Logger: log.New(io.Discard, "", 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, httptest.NewServer(s.Handler())
+	}()
+	mustCreate(t, ts1.URL, "doomed", FamilyDC, 1024, 1)
+	mustInsertJSON(t, ts1.URL, "doomed", seqValues(100))
+	if err := s1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(catalogPath(dir, "doomed")); err != nil {
+		t.Fatalf("catalog file missing after checkpoint: %v", err)
+	}
+	do(t, "DELETE", ts1.URL+"/v1/h/doomed", "", nil, http.StatusNoContent, nil)
+	if _, err := os.Stat(catalogPath(dir, "doomed")); !os.IsNotExist(err) {
+		t.Fatalf("catalog file still present after delete: %v", err)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{CatalogDir: dir, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Registry().Has("doomed") {
+		t.Fatal("deleted histogram resurrected by restart")
+	}
+}
+
+func TestCheckpointWithoutCatalogDir(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	if err := s.CheckpointNow(); err == nil {
+		t.Fatal("CheckpointNow without catalog dir: want error")
+	}
+}

@@ -38,6 +38,13 @@ type Member interface {
 	Buckets() []histogram.Bucket
 }
 
+// Snapshotter is the optional capability a Member implements when its
+// complete maintainable state can be serialized. The engine's
+// SnapshotShards uses it to checkpoint every shard.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+}
+
 // Policy selects how writes are striped across shards.
 type Policy int
 
@@ -123,6 +130,30 @@ func New(cfg Config, factory func() (Member, error)) (*Engine, error) {
 		}
 		if m == nil {
 			return nil, fmt.Errorf("shard: member %d: factory returned nil", i)
+		}
+		e.cells[i].m = m
+	}
+	return e, nil
+}
+
+// NewFromMembers builds an engine over pre-existing members — the
+// restore path of a checkpoint/recovery cycle, where each member was
+// rebuilt from its own snapshot blob. The shard count is len(members)
+// and overrides cfg.Shards; the engine owns the members afterwards.
+func NewFromMembers(cfg Config, members []Member) (*Engine, error) {
+	if len(members) == 0 {
+		return nil, errors.New("shard: no members")
+	}
+	if cfg.Policy != ByValueHash && cfg.Policy != RoundRobin {
+		return nil, fmt.Errorf("shard: unknown policy %d", int(cfg.Policy))
+	}
+	if cfg.MergeBudget < 0 {
+		return nil, fmt.Errorf("shard: negative merge budget %d", cfg.MergeBudget)
+	}
+	e := &Engine{cells: make([]cell, len(members)), policy: cfg.Policy, budget: cfg.MergeBudget}
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("shard: member %d is nil", i)
 		}
 		e.cells[i].m = m
 	}
@@ -342,6 +373,39 @@ func (e *Engine) EstimateRange(lo, hi float64) float64 {
 // Buckets returns a deep copy of the merged view's bucket list.
 func (e *Engine) Buckets() []histogram.Bucket {
 	return histogram.CloneBuckets(e.view().buckets)
+}
+
+// SnapshotShards serializes every shard's member via its Snapshotter
+// capability and returns one blob per shard, in shard order. It errors
+// if any member does not implement Snapshotter. Each shard is locked
+// only while its own blob is taken, so the checkpoint is fuzzy under
+// concurrent writes: each shard is internally consistent but the blobs
+// need not correspond to one global instant — the right trade-off for
+// statistics, where a checkpoint a few inserts askew is still a valid
+// summary to resume from.
+func (e *Engine) SnapshotShards() ([][]byte, error) {
+	out := make([][]byte, len(e.cells))
+	for i := range e.cells {
+		c := &e.cells[i]
+		c.mu.Lock()
+		s, ok := c.m.(Snapshotter)
+		var (
+			blob []byte
+			err  error
+		)
+		if ok {
+			blob, err = s.Snapshot()
+		}
+		c.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("shard: member %d does not support snapshots", i)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard: member %d: %w", i, err)
+		}
+		out[i] = blob
+	}
+	return out, nil
 }
 
 // ShardTotals returns each shard's own point count — a balance

@@ -329,3 +329,85 @@ func TestConcurrentStress(t *testing.T) {
 		t.Fatalf("Total after stress = %v, want %v", got, want)
 	}
 }
+
+// noSnapMember is a Member without the Snapshotter capability.
+type noSnapMember struct{ Member }
+
+func TestSnapshotShardsRoundTrip(t *testing.T) {
+	e := mustEngine(t, Config{Shards: 4})
+	rng := rand.New(rand.NewSource(11))
+	for range 8000 {
+		if err := e.Insert(float64(rng.Intn(1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blobs, err := e.SnapshotShards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 4 {
+		t.Fatalf("got %d blobs, want 4", len(blobs))
+	}
+	members := make([]Member, len(blobs))
+	for i, b := range blobs {
+		m, err := core.RestoreDC(b)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		members[i] = m
+	}
+	r, err := NewFromMembers(Config{}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Total(), e.Total(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("restored Total = %v, want %v", got, want)
+	}
+	for x := 0.0; x <= 1000; x += 50 {
+		if got, want := r.CDF(x), e.CDF(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("restored CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// The restored engine keeps maintaining.
+	if err := r.Insert(500); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Total(), e.Total()+1; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Total after insert = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotShardsRequiresCapability(t *testing.T) {
+	e, err := New(Config{Shards: 2}, func() (Member, error) {
+		m, err := newMember()
+		if err != nil {
+			return nil, err
+		}
+		return noSnapMember{m}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SnapshotShards(); err == nil {
+		t.Fatal("snapshot of non-snapshottable members accepted")
+	}
+}
+
+func TestNewFromMembersRejectsBadInput(t *testing.T) {
+	if _, err := NewFromMembers(Config{}, nil); err == nil {
+		t.Error("empty member list accepted")
+	}
+	m, err := newMember()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromMembers(Config{}, []Member{m, nil}); err == nil {
+		t.Error("nil member accepted")
+	}
+	if _, err := NewFromMembers(Config{Policy: Policy(9)}, []Member{m}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := NewFromMembers(Config{MergeBudget: -1}, []Member{m}); err == nil {
+		t.Error("negative merge budget accepted")
+	}
+}

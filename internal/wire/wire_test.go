@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0},
+		{1.5, -2.25, 3e9, 0.0001},
+		make([]float64, 1000),
+	}
+	for _, vs := range cases {
+		got, err := DecodeBatch(EncodeBatch(vs))
+		if err != nil {
+			t.Fatalf("round trip of %d values: %v", len(vs), err)
+		}
+		if len(got) != len(vs) {
+			t.Fatalf("got %d values, want %d", len(got), len(vs))
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				t.Fatalf("value %d = %v, want %v", i, got[i], vs[i])
+			}
+		}
+	}
+}
+
+func TestDecodeBatchRejectsGarbage(t *testing.T) {
+	good := EncodeBatch([]float64{1, 2, 3})
+	badMagic := append([]byte{}, good...)
+	badMagic[0] ^= 0xff
+	overCount := append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(overCount[4:], 1<<30)
+	nan := EncodeBatch([]float64{1, math.NaN()})
+	inf := EncodeBatch([]float64{math.Inf(1)})
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:6],
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte{}, good...), 0),
+		"bad magic":   badMagic,
+		"count lies":  overCount,
+		"header only": good[:8],
+		"NaN":         nan,
+		"Inf":         inf,
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatch(data); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestAppendBatchReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	out := AppendBatch(buf, []float64{7})
+	if &out[0] != &buf[:1][0] {
+		t.Error("AppendBatch did not reuse the provided buffer")
+	}
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch([]float64{1, 2, 3}))
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x54, 0x42, 0x48, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		// Accepted batches must round-trip bit-exactly.
+		again := EncodeBatch(vs)
+		if len(again) != len(data) {
+			t.Fatalf("re-encoded %d bytes, decoded from %d", len(again), len(data))
+		}
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("decoder let non-finite value through: %v", v)
+			}
+		}
+	})
+}

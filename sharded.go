@@ -1,6 +1,8 @@
 package dynahist
 
 import (
+	"fmt"
+
 	"dynahist/internal/histogram"
 	"dynahist/internal/shard"
 )
@@ -70,6 +72,17 @@ func (m memberAdapter) Delete(v float64) error { return m.h.Delete(v) }
 func (m memberAdapter) Total() float64         { return m.h.Total() }
 func (m memberAdapter) Buckets() []histogram.Bucket {
 	return toInternal(m.h.Buckets())
+}
+
+// Snapshot forwards to the wrapped histogram's Snapshot when it has
+// one (DC, DADO/DVO and AC all do), satisfying shard.Snapshotter so a
+// Sharded built over them can checkpoint.
+func (m memberAdapter) Snapshot() ([]byte, error) {
+	s, ok := m.h.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("dynahist: %T does not support snapshots", m.h)
+	}
+	return s.Snapshot()
 }
 
 // NewSharded builds a sharded histogram whose shards are created by

@@ -264,3 +264,92 @@ func TestShardedConcurrentReads(t *testing.T) {
 		t.Fatalf("Total = %v, want %v", got, want)
 	}
 }
+
+// noSnapHistogram wraps a Histogram and hides its Snapshot method.
+type noSnapHistogram struct{ dynahist.Histogram }
+
+// TestShardedSnapshotRestore round-trips a Sharded histogram of each
+// snapshottable family through SnapshotShards/RestoreSharded and
+// asserts the recovered engine answers Total and CDF identically, then
+// keeps maintaining.
+func TestShardedSnapshotRestore(t *testing.T) {
+	families := []struct {
+		name    string
+		factory func() (dynahist.Histogram, error)
+		restore func([]byte) (dynahist.Histogram, error)
+	}{
+		{"dado",
+			func() (dynahist.Histogram, error) { return dynahist.NewDADOMemory(1024) },
+			func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreDADO(b) }},
+		{"dc",
+			func() (dynahist.Histogram, error) { return dynahist.NewDCMemory(1024) },
+			func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreDC(b) }},
+		{"ac",
+			func() (dynahist.Histogram, error) { return dynahist.NewACBuckets(16, 500, 42) },
+			func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreAC(b) }},
+	}
+	values := uniformValues(23, 20000, 2000)
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			s, err := dynahist.NewSharded(fam.factory, dynahist.WithShards(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.InsertBatch(values); err != nil {
+				t.Fatal(err)
+			}
+			blobs, err := s.SnapshotShards()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := dynahist.RestoreSharded(blobs, fam.restore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.NumShards() != s.NumShards() {
+				t.Fatalf("NumShards = %d, want %d", r.NumShards(), s.NumShards())
+			}
+			if got, want := r.Total(), s.Total(); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("Total = %v, want %v", got, want)
+			}
+			for x := 0.0; x <= 2000; x += 100 {
+				if got, want := r.CDF(x), s.CDF(x); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("CDF(%v) = %v, want %v", x, got, want)
+				}
+			}
+			if err := r.Insert(1000); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := r.Total(), s.Total()+1; math.Abs(got-want) > 1e-6 {
+				t.Fatalf("Total after insert = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestShardedSnapshotErrors(t *testing.T) {
+	s, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
+		h, err := dynahist.NewDADOMemory(512)
+		return noSnapHistogram{h}, err
+	}, dynahist.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SnapshotShards(); err == nil {
+		t.Error("snapshot over non-snapshottable members accepted")
+	}
+
+	if _, err := dynahist.RestoreSharded(nil, func(b []byte) (dynahist.Histogram, error) {
+		return dynahist.RestoreDADO(b)
+	}); err == nil {
+		t.Error("restore of zero blobs accepted")
+	}
+	if _, err := dynahist.RestoreSharded([][]byte{{1, 2, 3}}, nil); err == nil {
+		t.Error("nil restorer accepted")
+	}
+	if _, err := dynahist.RestoreSharded([][]byte{{1, 2, 3}}, func(b []byte) (dynahist.Histogram, error) {
+		return dynahist.RestoreDADO(b)
+	}); err == nil {
+		t.Error("garbage blob accepted")
+	}
+}

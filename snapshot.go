@@ -1,6 +1,19 @@
 package dynahist
 
-import "dynahist/internal/core"
+import (
+	"errors"
+
+	"dynahist/internal/approx"
+	"dynahist/internal/core"
+	"dynahist/internal/shard"
+)
+
+// Snapshotter is implemented by every histogram in this package whose
+// complete maintainable state can be serialized: DC, DADO/DVO and AC.
+// The serving layer's checkpoint loop feeds on it.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+}
 
 // Snapshot serializes the histogram's complete maintainable state —
 // configuration, counters, singular flags and phase — so a database can
@@ -31,4 +44,71 @@ func RestoreDADO(data []byte) (*DADO, error) {
 		return nil, err
 	}
 	return &DADO{inner: inner}, nil
+}
+
+// Snapshot serializes the AC histogram's complete maintainable state:
+// its backing reservoir sample, live count and maintenance parameters.
+// The in-memory bucket list is recomputable from the sample and is not
+// stored; the reservoir's RNG stream is re-seeded on restore, so the
+// restored AC is a statistically equivalent continuation rather than a
+// bit-identical replay (Algorithm R's acceptance probability depends
+// only on the capacity and seen count, which round-trip exactly).
+func (h *AC) Snapshot() ([]byte, error) { return h.inner.Snapshot() }
+
+// RestoreAC rebuilds an AC histogram from a blob produced by
+// (*AC).Snapshot.
+func RestoreAC(data []byte) (*AC, error) {
+	inner, err := approx.Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	return &AC{inner: inner}, nil
+}
+
+// SnapshotShards serializes every shard of a Sharded histogram and
+// returns one blob per shard, in shard order. It errors if the shard
+// members were built from a constructor without snapshot support.
+// Shards are locked one at a time, so under concurrent writes the
+// checkpoint is fuzzy — each shard internally consistent, the set not
+// necessarily one global instant — which is the right trade-off for
+// statistics that tolerate being a few inserts askew.
+//
+// Restore the result with RestoreSharded, passing the restorer that
+// matches the family the shards were built from.
+func (s *Sharded) SnapshotShards() ([][]byte, error) { return s.e.SnapshotShards() }
+
+// RestoreSharded rebuilds a Sharded histogram from per-shard blobs
+// produced by SnapshotShards. restore is the family's blob restorer —
+// RestoreDC, RestoreDADO or RestoreAC, adapted to return a Histogram:
+//
+//	s, _ := dynahist.RestoreSharded(blobs, func(b []byte) (dynahist.Histogram, error) {
+//	    return dynahist.RestoreDADO(b)
+//	})
+//
+// The shard count is len(blobs); WithShards options are ignored, the
+// other options apply as in NewSharded.
+func RestoreSharded(blobs [][]byte, restore func([]byte) (Histogram, error), opts ...ShardOption) (*Sharded, error) {
+	if restore == nil {
+		return nil, errors.New("dynahist: nil restore function")
+	}
+	var cfg shard.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	members := make([]shard.Member, len(blobs))
+	for i, blob := range blobs {
+		h, err := restore(blob)
+		if err != nil {
+			return nil, err
+		}
+		if h == nil {
+			return nil, errors.New("dynahist: restore returned nil histogram")
+		}
+		members[i] = memberAdapter{h: h}
+	}
+	e, err := shard.NewFromMembers(cfg, members)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{e: e}, nil
 }
