@@ -24,6 +24,9 @@ const ACRecomputeAlways = approx.RecomputeAlways
 
 // NewAC returns an AC histogram with the given in-memory byte budget,
 // backing-sample disk factor, and reservoir seed.
+//
+// Deprecated: use New(KindAC, WithMemory(memBytes),
+// WithDiskFactor(diskFactor), WithSeed(seed)).
 func NewAC(memBytes, diskFactor int, seed int64) (*AC, error) {
 	h, err := approx.New(memBytes, diskFactor, seed)
 	if err != nil {
@@ -34,6 +37,9 @@ func NewAC(memBytes, diskFactor int, seed int64) (*AC, error) {
 
 // NewACBuckets returns an AC histogram with explicit bucket and sample
 // capacities.
+//
+// Deprecated: use New(KindAC, WithBuckets(buckets),
+// WithSampleCapacity(sampleCapacity), WithSeed(seed)).
 func NewACBuckets(buckets, sampleCapacity int, seed int64) (*AC, error) {
 	h, err := approx.NewBuckets(buckets, sampleCapacity, seed)
 	if err != nil {

@@ -1,0 +1,200 @@
+package dynahist_test
+
+// The API-surface snapshot: a golden file of every exported
+// declaration of package dynahist, so a PR that changes the public
+// surface — adds, removes or re-signatures anything — has to commit
+// the diff visibly in testdata/api_surface.txt. Regenerate with
+//
+//	go test -run TestAPISurface -update .
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPISurface = flag.Bool("update", false, "rewrite testdata/api_surface.txt")
+
+const apiSurfaceFile = "testdata/api_surface.txt"
+
+func TestAPISurface(t *testing.T) {
+	got := exportedSurface(t, ".")
+	if *updateAPISurface {
+		if err := os.MkdirAll(filepath.Dir(apiSurfaceFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiSurfaceFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", apiSurfaceFile)
+		return
+	}
+	wantBytes, err := os.ReadFile(apiSurfaceFile)
+	if err != nil {
+		t.Fatalf("no API surface snapshot (run with -update to create): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	seen := map[string]bool{}
+	for _, l := range gotLines {
+		seen[l] = true
+	}
+	for _, l := range wantLines {
+		if l != "" && !seen[l] {
+			t.Errorf("removed from API surface: %s", l)
+		}
+	}
+	wanted := map[string]bool{}
+	for _, l := range wantLines {
+		wanted[l] = true
+	}
+	for _, l := range gotLines {
+		if l != "" && !wanted[l] {
+			t.Errorf("added to API surface:   %s", l)
+		}
+	}
+	if t.Failed() {
+		t.Log("intentional change? regenerate with: go test -run TestAPISurface -update .")
+	}
+}
+
+// exportedSurface renders every exported declaration of the package in
+// dir as one sorted line-per-declaration string.
+func exportedSurface(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["dynahist"]
+	if !ok {
+		t.Fatalf("package dynahist not found in %s", dir)
+	}
+	var lines []string
+	add := func(node any) {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, strings.Join(strings.Fields(buf.String()), " "))
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				d.Body = nil
+				d.Doc = nil
+				add(d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						stripUnexportedMembers(sp)
+						add(&ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{sp}})
+					case *ast.ValueSpec:
+						names := exportedNames(sp.Names)
+						if len(names) == 0 {
+							continue
+						}
+						kind := "const"
+						if d.Tok == token.VAR {
+							kind = "var"
+						}
+						typ := ""
+						if sp.Type != nil {
+							var buf bytes.Buffer
+							if err := printer.Fprint(&buf, fset, sp.Type); err != nil {
+								t.Fatal(err)
+							}
+							typ = " " + buf.String()
+						}
+						lines = append(lines, fmt.Sprintf("%s %s%s", kind, strings.Join(names, ", "), typ))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedReceiver reports whether a method's receiver type is
+// exported (free functions count as exported receivers).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// stripUnexportedMembers removes unexported fields from struct types
+// and unexported methods from interface types, so internals can move
+// without churning the surface file.
+func stripUnexportedMembers(sp *ast.TypeSpec) {
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		t.Fields.List = exportedFields(t.Fields.List)
+	case *ast.InterfaceType:
+		t.Methods.List = exportedFields(t.Methods.List)
+	}
+	sp.Comment = nil
+}
+
+func exportedFields(fields []*ast.Field) []*ast.Field {
+	var out []*ast.Field
+	for _, f := range fields {
+		f.Doc, f.Comment = nil, nil
+		if len(f.Names) == 0 {
+			out = append(out, f) // embedded
+			continue
+		}
+		names := make([]*ast.Ident, 0, len(f.Names))
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			f.Names = names
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func exportedNames(ids []*ast.Ident) []string {
+	var out []string
+	for _, id := range ids {
+		if id.IsExported() {
+			out = append(out, id.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package dynahist
+
+// BatchWriter is the batch-first write path: one call applies a whole
+// slice of values, so wrappers that pay per-call costs — a lock
+// acquisition (Concurrent), a shard striping pass (Sharded), an HTTP
+// round-trip (the serving layer) — pay them once per batch instead of
+// once per value. Every histogram in this package implements it; feed
+// workloads through it whenever values arrive in groups, which is how
+// the self-tuning-histogram literature assumes summaries are fed.
+//
+// On a member error the batch stops there and the error is returned;
+// values before the failing one stay applied (a histogram is an
+// approximation — there is no transactional rollback).
+type BatchWriter interface {
+	// InsertBatch adds every value in vs.
+	InsertBatch(vs []float64) error
+	// DeleteBatch removes every value in vs.
+	DeleteBatch(vs []float64) error
+}
+
+// insertSeq is the plain per-value loop behind the batch methods of
+// the kinds with no maintenance to defer (DC, AC, Static): their
+// batch win is amortising the caller's per-call costs, not the loop
+// itself.
+func insertSeq(ins func(float64) error, vs []float64) error {
+	for _, v := range vs {
+		if err := ins(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertBatch adds every value in vs through the core's native batch
+// path: counter increments are applied value by value, but the
+// split-merge maintenance — whose per-insert trigger scan dominates
+// the insert cost — runs once at the end of the batch, repeated to
+// quiescence and capped at one reorganisation per value. The settled
+// result tracks the per-value path's quality (the trigger sees the
+// same counters, just batched); it is the package's fast ingest path.
+func (h *Dynamic) InsertBatch(vs []float64) error { return h.inner.InsertBatch(vs) }
+
+// DeleteBatch removes every value in vs with the same deferred
+// maintenance as InsertBatch.
+func (h *Dynamic) DeleteBatch(vs []float64) error { return h.inner.DeleteBatch(vs) }
+
+// InsertBatch adds every value in vs.
+func (h *DC) InsertBatch(vs []float64) error { return insertSeq(h.Insert, vs) }
+
+// DeleteBatch removes every value in vs.
+func (h *DC) DeleteBatch(vs []float64) error { return insertSeq(h.Delete, vs) }
+
+// InsertBatch adds every value in vs.
+func (h *AC) InsertBatch(vs []float64) error { return insertSeq(h.Insert, vs) }
+
+// DeleteBatch removes every value in vs.
+func (h *AC) DeleteBatch(vs []float64) error { return insertSeq(h.Delete, vs) }
+
+// InsertBatch adds every value in vs (counters only; borders never
+// move).
+func (h *Static) InsertBatch(vs []float64) error { return insertSeq(h.Insert, vs) }
+
+// DeleteBatch removes every value in vs.
+func (h *Static) DeleteBatch(vs []float64) error { return insertSeq(h.Delete, vs) }
+
+// InsertBatch adds every value in vs under one lock acquisition — the
+// batch-first path through the single-mutex wrapper, amortising the
+// contended lock the way Sharded.InsertBatch amortises its per-shard
+// locks.
+func (c *Concurrent) InsertBatch(vs []float64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bw, ok := c.h.(BatchWriter); ok {
+		return bw.InsertBatch(vs)
+	}
+	return insertSeq(c.h.Insert, vs)
+}
+
+// DeleteBatch removes every value in vs under one lock acquisition.
+func (c *Concurrent) DeleteBatch(vs []float64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bw, ok := c.h.(BatchWriter); ok {
+		return bw.DeleteBatch(vs)
+	}
+	return insertSeq(c.h.Delete, vs)
+}
+
+// InsertAll feeds vs to any histogram, through its native batch path
+// when it has one and value-by-value otherwise — the helper for code
+// generic over Histogram.
+func InsertAll(h Histogram, vs []float64) error {
+	if bw, ok := h.(BatchWriter); ok {
+		return bw.InsertBatch(vs)
+	}
+	return insertSeq(h.Insert, vs)
+}
+
+// DeleteAll removes vs from any histogram; see InsertAll.
+func DeleteAll(h Histogram, vs []float64) error {
+	if bw, ok := h.(BatchWriter); ok {
+		return bw.DeleteBatch(vs)
+	}
+	return insertSeq(h.Delete, vs)
+}

@@ -204,9 +204,45 @@ func BenchmarkIngest8WritersSharded(b *testing.B) {
 	benchParallelIngest(b, s.Insert)
 }
 
-func BenchmarkIngest8WritersShardedBatch(b *testing.B) {
+// BenchmarkInsertBatchDADO measures the native batch write path of a
+// single DADO: counter increments applied per value, the split-merge
+// settle once per 256-value batch. One op is one batch; compare
+// ns/op ÷ 256 against BenchmarkInsertDADO's ns/op to read the
+// deferred-maintenance win (the "value/ns" metric reports throughput
+// directly).
+func BenchmarkInsertBatchDADO(b *testing.B) {
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := h.(dynahist.BatchWriter)
+	values := make([]float64, 1<<16)
+	rng := rand.New(rand.NewSource(5))
+	for i := range values {
+		values[i] = float64(rng.Intn(5001))
+	}
+	const batch = 256
+	off := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if err := bw.InsertBatch(values[off : off+batch]); err != nil {
+			b.Fatal(err)
+		}
+		off = (off + batch) & (len(values) - 1)
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "value/ns")
+}
+
+// BenchmarkInsertBatchSharded is the batch-first acceptance benchmark:
+// the 8-writer sharded engine fed 256-value batches, each batch one
+// striping pass, at most one lock hold per shard, and the members' own
+// deferred-maintenance batch path. One op is one batch; compare
+// ns/op ÷ 256 against BenchmarkIngest8WritersSharded's per-value
+// ns/op.
+func BenchmarkInsertBatchSharded(b *testing.B) {
 	s, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
-		return dynahist.NewDADOMemory(8192 / benchShardWriters)
+		return dynahist.New(dynahist.KindDADO, dynahist.WithMemory(8192/benchShardWriters))
 	}, dynahist.WithShards(benchShardWriters))
 	if err != nil {
 		b.Fatal(err)
@@ -232,17 +268,21 @@ func BenchmarkIngest8WritersShardedBatch(b *testing.B) {
 			}
 		}
 	})
+	b.ReportMetric(float64(batch)*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "value/ns")
 }
 
 // Ingest-over-HTTP benchmarks: the full serving stack — client
 // encoding, loopback HTTP, server decoding, registry lookup, sharded
 // InsertBatch — at 8 concurrent clients, for both wire encodings. One
-// op is one 512-value batch, so compare ns/op ÷ 512 against the
-// in-process 8-writer benchmarks above to read the network+codec tax.
+// op is one batchSize-value request, so compare ns/op ÷ batchSize
+// against the in-process 8-writer benchmarks above to read the
+// network+codec tax, and the PerValue variant (batchSize 1) against
+// the batched ones to read why the serving path is batch-first: every
+// value shipped alone pays the whole HTTP round trip.
 
 const benchHTTPBatch = 512
 
-func benchHTTPIngest(b *testing.B, binary bool) {
+func benchHTTPIngest(b *testing.B, binary bool, batchSize int) {
 	srv, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
 	if err != nil {
 		b.Fatal(err)
@@ -268,9 +308,9 @@ func benchHTTPIngest(b *testing.B, binary bool) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		c := client.New(ts.URL, ts.Client())
-		off := (int(goroutineSeed.Add(1)) * 7919) % (len(values) - benchHTTPBatch)
+		off := (int(goroutineSeed.Add(1)) * 7919) % (len(values) - batchSize)
 		for pb.Next() {
-			chunk := values[off : off+benchHTTPBatch]
+			chunk := values[off : off+batchSize]
 			var err error
 			if binary {
 				_, err = c.InsertBinary(ctx, "bench", chunk)
@@ -283,10 +323,16 @@ func benchHTTPIngest(b *testing.B, binary bool) {
 			}
 		}
 	})
+	b.ReportMetric(float64(batchSize)*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "value/ns")
 }
 
-func BenchmarkHTTPIngest8ClientsBinary(b *testing.B) { benchHTTPIngest(b, true) }
-func BenchmarkHTTPIngest8ClientsJSON(b *testing.B)   { benchHTTPIngest(b, false) }
+func BenchmarkHTTPIngest8ClientsBinary(b *testing.B) { benchHTTPIngest(b, true, benchHTTPBatch) }
+func BenchmarkHTTPIngest8ClientsJSON(b *testing.B)   { benchHTTPIngest(b, false, benchHTTPBatch) }
+
+// BenchmarkHTTPIngest8ClientsPerValue ships one value per request —
+// what a non-batching client costs on the serving path. Its value/ns
+// throughput sits orders of magnitude under the batched variants.
+func BenchmarkHTTPIngest8ClientsPerValue(b *testing.B) { benchHTTPIngest(b, true, 1) }
 
 func BenchmarkServing(b *testing.B) { benchFigure(b, "serving") }
 

@@ -128,18 +128,15 @@ func main() {
 }
 
 func buildHistogram(algo string, mem int, seed int64) (dynahist.Histogram, error) {
-	switch algo {
-	case "dado":
-		return dynahist.NewDADOMemory(mem)
-	case "dvo":
-		return dynahist.NewDVOMemory(mem)
-	case "dc":
-		return dynahist.NewDCMemory(mem)
-	case "ac":
-		return dynahist.NewAC(mem, dynahist.ACDefaultDiskFactor, seed)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	kind, err := dynahist.ParseKind(algo)
+	if err != nil || !kind.Maintained() {
+		return nil, fmt.Errorf("unknown algorithm %q (want dado, dvo, dc or ac)", algo)
 	}
+	opts := []dynahist.Option{dynahist.WithMemory(mem)}
+	if kind == dynahist.KindAC {
+		opts = append(opts, dynahist.WithSeed(seed))
+	}
+	return dynahist.New(kind, opts...)
 }
 
 func parseRange(s string) (lo, hi float64, err error) {

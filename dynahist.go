@@ -11,34 +11,41 @@
 // every insert and delete updates the summary in microseconds — while
 // staying close to the best static constructions in accuracy.
 //
-// The package provides:
+// Every histogram is built through one front door — a Kind plus
+// functional options:
 //
-//   - DADO — the Dynamic Average-Deviation Optimal histogram, the
+//   - KindDADO — the Dynamic Average-Deviation Optimal histogram, the
 //     paper's best performer and the recommended default.
-//   - DVO — the Dynamic V-Optimal variant (variance-driven).
-//   - DC — the Dynamic Compressed histogram with a chi-square
+//   - KindDVO — the Dynamic V-Optimal variant (variance-driven; the
+//     same split-merge machinery, shared type Dynamic).
+//   - KindDC — the Dynamic Compressed histogram with a chi-square
 //     repartitioning trigger.
-//   - AC — the Approximate Compressed histogram of Gibbons, Matias and
-//     Poosala (VLDB'97), backed by a reservoir sample; the baseline the
-//     paper compares against.
-//   - Static constructions (Equi-Width, Equi-Depth, Compressed,
-//     V-Optimal, SADO, SSBM) built from complete data.
-//   - Shared-nothing utilities: lossless superposition of per-site
-//     histograms and SSBM reduction (paper §8).
-//   - Binary serialization for catalog persistence and a thread-safe
-//     wrapper for concurrent use.
-//   - A sharded concurrent ingest engine (Sharded) that stripes writes
-//     across per-shard histograms and serves reads from an epoch-cached
-//     lossless union — the §8 superposition applied to many-writer
-//     serving.
+//   - KindAC — the Approximate Compressed histogram of Gibbons, Matias
+//     and Poosala (VLDB'97), backed by a reservoir sample; the baseline
+//     the paper compares against.
+//   - KindEquiWidth … KindSSBM — the static constructions (Equi-Width,
+//     Equi-Depth, Compressed, V-Optimal, SADO, SSBM) built from
+//     complete data supplied with WithValues.
+//
+// Around them the package provides shared-nothing utilities (lossless
+// superposition and SSBM reduction, paper §8), a sharded concurrent
+// ingest engine (Sharded) that stripes writes across per-shard
+// histograms and serves reads from an epoch-cached lossless union, a
+// single-mutex wrapper (Concurrent), a batch-first write path
+// (BatchWriter, implemented by everything here), and self-describing
+// snapshots: every Snapshot wraps its payload in a kind-tagged
+// envelope that the one Restore door rebuilds, so persistence never
+// records a histogram's family out of band.
 //
 // Quickstart:
 //
-//	h, _ := dynahist.NewDADOMemory(1024) // 1 KB budget
-//	for _, v := range values {
-//	    _ = h.Insert(v)
-//	}
+//	h, _ := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024)) // 1 KB budget
+//	_ = dynahist.InsertAll(h, values)
 //	sel := h.EstimateRange(100, 200) / h.Total()
+//
+// Errors throughout classify with errors.Is against the typed
+// sentinels (ErrEmptyHistogram, ErrBadBudget, ErrBadKind,
+// ErrBadOption, ErrBadSnapshot).
 package dynahist
 
 import (

@@ -17,105 +17,134 @@ const (
 	AbsDeviation
 )
 
-// DADO is a dynamic split-merge histogram: DADO or DVO depending on the
-// deviation kind it was created with. It is not safe for concurrent
-// use; wrap it with NewConcurrent if needed.
-type DADO struct {
+// Dynamic is the paper's split-merge histogram family: one maintenance
+// machinery whose deviation measure makes it a DADO (absolute
+// deviation) or a DVO (variance). Build one with New(KindDADO, …) or
+// New(KindDVO, …); KindOf reports which variant an instance is. It is
+// not safe for concurrent use; wrap it with NewConcurrent or shard it
+// with NewSharded if needed.
+type Dynamic struct {
 	inner *core.DVO
 }
 
+// DADO names the Dynamic family under the paper's headline variant.
+// Both variants share the one maintenance machinery, so this is an
+// alias, not a distinct type.
+type DADO = Dynamic
+
+// DVO names the Dynamic family under its V-optimal variant. It exists
+// so the variance-driven histogram is not advertised under the DADO
+// name: NewDVO returns a *DVO, which is the same type as *DADO because
+// the paper's two variants differ only in their deviation measure
+// (inspect it with Kind, or compare KindOf against KindDVO).
+type DVO = Dynamic
+
 // NewDADO returns a Dynamic Average-Deviation Optimal histogram with
 // the given bucket budget (at least 2) and two sub-buckets per bucket.
+//
+// Deprecated: use New(KindDADO, WithBuckets(buckets)).
 func NewDADO(buckets int) (*DADO, error) {
 	h, err := core.NewDADO(buckets)
 	if err != nil {
 		return nil, err
 	}
-	return &DADO{inner: h}, nil
+	return &Dynamic{inner: h}, nil
 }
 
 // NewDADOMemory returns a DADO sized for a byte budget using the
 // paper's accounting (§4.4): (n+1) borders plus 2n counters of 4 bytes.
+//
+// Deprecated: use New(KindDADO, WithMemory(memBytes)).
 func NewDADOMemory(memBytes int) (*DADO, error) {
 	h, err := core.NewDADOMemory(memBytes)
 	if err != nil {
 		return nil, err
 	}
-	return &DADO{inner: h}, nil
+	return &Dynamic{inner: h}, nil
 }
 
 // NewDVO returns a Dynamic V-Optimal histogram with the given bucket
 // budget.
-func NewDVO(buckets int) (*DADO, error) {
+//
+// Deprecated: use New(KindDVO, WithBuckets(buckets)).
+func NewDVO(buckets int) (*DVO, error) {
 	h, err := core.NewDVO(buckets)
 	if err != nil {
 		return nil, err
 	}
-	return &DADO{inner: h}, nil
+	return &Dynamic{inner: h}, nil
 }
 
 // NewDVOMemory returns a DVO sized for a byte budget.
-func NewDVOMemory(memBytes int) (*DADO, error) {
+//
+// Deprecated: use New(KindDVO, WithMemory(memBytes)).
+func NewDVOMemory(memBytes int) (*DVO, error) {
 	h, err := core.NewDVOMemory(memBytes)
 	if err != nil {
 		return nil, err
 	}
-	return &DADO{inner: h}, nil
+	return &Dynamic{inner: h}, nil
 }
 
 // NewDynamic returns a split-merge histogram with an explicit deviation
 // kind and per-bucket sub-bucket count (the paper's §4 ablation knob;
 // the paper found 2–3 comparable and finer subdivisions worse).
-func NewDynamic(kind DeviationKind, buckets, subBuckets int) (*DADO, error) {
+//
+// Deprecated: use New(KindDADO or KindDVO, WithBuckets(buckets),
+// WithSubBuckets(subBuckets)).
+func NewDynamic(kind DeviationKind, buckets, subBuckets int) (*Dynamic, error) {
 	h, err := core.NewDynamic(core.Deviation(kind), buckets, subBuckets)
 	if err != nil {
 		return nil, err
 	}
-	return &DADO{inner: h}, nil
+	return &Dynamic{inner: h}, nil
 }
 
 // NewDynamicMemory is NewDynamic with a byte budget instead of a bucket
 // count.
-func NewDynamicMemory(kind DeviationKind, memBytes, subBuckets int) (*DADO, error) {
+//
+// Deprecated: use New(KindDADO or KindDVO, WithMemory(memBytes),
+// WithSubBuckets(subBuckets)).
+func NewDynamicMemory(kind DeviationKind, memBytes, subBuckets int) (*Dynamic, error) {
 	h, err := core.NewDynamicMemory(core.Deviation(kind), memBytes, subBuckets)
 	if err != nil {
 		return nil, err
 	}
-	return &DADO{inner: h}, nil
+	return &Dynamic{inner: h}, nil
 }
 
 // Insert adds one occurrence of v.
-func (h *DADO) Insert(v float64) error { return h.inner.Insert(v) }
+func (h *Dynamic) Insert(v float64) error { return h.inner.Insert(v) }
 
 // Delete removes one occurrence of v.
-func (h *DADO) Delete(v float64) error { return h.inner.Delete(v) }
+func (h *Dynamic) Delete(v float64) error { return h.inner.Delete(v) }
 
 // Total returns the number of points currently summarised.
-func (h *DADO) Total() float64 { return h.inner.Total() }
+func (h *Dynamic) Total() float64 { return h.inner.Total() }
 
 // CDF returns the approximate fraction of points ≤ x.
-func (h *DADO) CDF(x float64) float64 { return h.inner.CDF(x) }
+func (h *Dynamic) CDF(x float64) float64 { return h.inner.CDF(x) }
 
 // EstimateRange returns the approximate number of points with integer
 // value in [lo, hi] inclusive.
-func (h *DADO) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+func (h *Dynamic) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
 
 // Buckets returns a copy of the current bucket list.
-func (h *DADO) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
+func (h *Dynamic) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
 
 // MaxBuckets returns the bucket budget.
-func (h *DADO) MaxBuckets() int { return h.inner.MaxBuckets() }
+func (h *Dynamic) MaxBuckets() int { return h.inner.MaxBuckets() }
 
 // Kind returns the deviation measure in use.
-func (h *DADO) Kind() DeviationKind { return DeviationKind(h.inner.Kind()) }
+func (h *Dynamic) Kind() DeviationKind { return DeviationKind(h.inner.Kind()) }
 
 // Reorganisations returns the number of split-merge pairs performed so
 // far — a diagnostic for maintenance churn.
-func (h *DADO) Reorganisations() int { return h.inner.Reorganisations() }
+func (h *Dynamic) Reorganisations() int { return h.inner.Reorganisations() }
 
 // TotalDeviation returns the quantity the split-merge machinery
 // greedily minimises (Eq. 3 or Eq. 5 of the paper, depending on Kind).
-func (h *DADO) TotalDeviation() float64 { return h.inner.TotalDeviation() }
+func (h *Dynamic) TotalDeviation() float64 { return h.inner.TotalDeviation() }
 
 // DC is a Dynamic Compressed histogram (paper §3): contiguous buckets,
 // singular buckets for heavy values, and chi-square-triggered
@@ -126,6 +155,8 @@ type DC struct {
 }
 
 // NewDC returns a DC histogram with the given bucket budget.
+//
+// Deprecated: use New(KindDC, WithBuckets(buckets)).
 func NewDC(buckets int) (*DC, error) {
 	h, err := core.NewDC(buckets)
 	if err != nil {
@@ -136,6 +167,8 @@ func NewDC(buckets int) (*DC, error) {
 
 // NewDCMemory returns a DC sized for a byte budget using the paper's
 // accounting (§3.1): (n+1) borders plus n counters of 4 bytes.
+//
+// Deprecated: use New(KindDC, WithMemory(memBytes)).
 func NewDCMemory(memBytes int) (*DC, error) {
 	h, err := core.NewDCMemory(memBytes)
 	if err != nil {

@@ -1,0 +1,32 @@
+package dynahist
+
+import "dynahist/internal/histerr"
+
+// Typed sentinel errors. Every layer of the package wraps these, so a
+// caller can classify a failure with errors.Is no matter which layer
+// produced it:
+//
+//	if errors.Is(err, dynahist.ErrEmptyHistogram) { ... }
+var (
+	// ErrEmptyHistogram reports an operation that needs at least one
+	// summarised point: deleting from an empty histogram, or asking an
+	// empty histogram for a quantile.
+	ErrEmptyHistogram = histerr.ErrEmpty
+
+	// ErrBadBudget reports an unusable bucket or memory budget — too
+	// small to hold a single bucket, negative, or (in New) specified
+	// both as buckets and as bytes, or not at all.
+	ErrBadBudget = histerr.ErrBudget
+
+	// ErrBadKind reports a Kind that New or ParseKind does not know.
+	ErrBadKind = histerr.ErrKind
+
+	// ErrBadOption reports a New option that is invalid or does not
+	// apply to the kind being built (WithGamma on a DC, say).
+	ErrBadOption = histerr.ErrOption
+
+	// ErrBadSnapshot reports a snapshot or envelope blob that Restore
+	// rejected: truncated, foreign magic, unknown kind, or an internal
+	// inconsistency.
+	ErrBadSnapshot = histerr.ErrSnapshot
+)

@@ -6,10 +6,10 @@ import (
 	"dynahist"
 )
 
-// ExampleNewDADOMemory shows the core workflow: size a histogram for a
-// memory budget, stream values, estimate a range predicate.
-func ExampleNewDADOMemory() {
-	h, err := dynahist.NewDADOMemory(1024) // 1 KB ≈ 85 buckets
+// ExampleNew shows the core workflow: pick a kind, size the histogram
+// for a memory budget, stream values, estimate a range predicate.
+func ExampleNew() {
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024)) // 1 KB ≈ 85 buckets
 	if err != nil {
 		panic(err)
 	}
@@ -21,24 +21,49 @@ func ExampleNewDADOMemory() {
 	// Output: selectivity of [0,49]: 0.50
 }
 
-// ExampleBuildStatic builds the paper's SSBM static histogram from a
-// complete data set.
-func ExampleBuildStatic() {
+// ExampleNew_static builds the paper's SSBM static histogram from a
+// complete data set through the same front door.
+func ExampleNew_static() {
 	values := make([]int, 0, 1000)
 	for v := range 1000 {
 		values = append(values, v%50)
 	}
-	h, err := dynahist.BuildStatic(dynahist.SSBM, values, 10)
+	h, err := dynahist.New(dynahist.KindSSBM,
+		dynahist.WithValues(values), dynahist.WithBuckets(10))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("%d buckets summarising %.0f rows\n", h.NumBuckets(), h.Total())
+	fmt.Printf("%d buckets summarising %.0f rows\n",
+		len(h.Buckets()), h.Total())
 	// Output: 10 buckets summarising 1000 rows
+}
+
+// ExampleRestore round-trips a histogram through the self-describing
+// snapshot envelope: one restore door for every kind.
+func ExampleRestore() {
+	h, err := dynahist.New(dynahist.KindDC, dynahist.WithMemory(512))
+	if err != nil {
+		panic(err)
+	}
+	for v := range 1000 {
+		_ = h.Insert(float64(v % 40))
+	}
+	blob, err := h.(dynahist.Snapshotter).Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	restored, err := dynahist.Restore(blob) // no family named anywhere
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored a %v with %.0f rows\n",
+		dynahist.KindOf(restored), restored.Total())
+	// Output: restored a dc with 1000 rows
 }
 
 // ExampleQuantile computes percentiles from any histogram.
 func ExampleQuantile() {
-	h, err := dynahist.NewDADO(32)
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithBuckets(32))
 	if err != nil {
 		panic(err)
 	}
@@ -56,8 +81,8 @@ func ExampleQuantile() {
 // ExampleSuperpose combines per-node histograms into a global one
 // (paper §8).
 func ExampleSuperpose() {
-	node1, _ := dynahist.NewDADO(8)
-	node2, _ := dynahist.NewDADO(8)
+	node1, _ := dynahist.New(dynahist.KindDADO, dynahist.WithBuckets(8))
+	node2, _ := dynahist.New(dynahist.KindDADO, dynahist.WithBuckets(8))
 	for v := range 100 {
 		_ = node1.Insert(float64(v))
 		_ = node2.Insert(float64(v + 500))

@@ -33,7 +33,7 @@ func main() {
 	var members []dynahist.Histogram
 	var allValues []int
 	for n := range nodes {
-		h, err := dynahist.NewDADOMemory(mem)
+		h, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(mem))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -23,7 +23,7 @@ func main() {
 	defer os.Remove(catalog)
 
 	// ---- process 1: build statistics from the live update stream ----
-	h, err := dynahist.NewDADOMemory(1024)
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,8 +38,9 @@ func main() {
 		h.Total(), before)
 
 	// Checkpoint: the snapshot carries the full maintainable state
-	// (counters, borders, configuration), not just the approximation.
-	blob, err := h.Snapshot()
+	// (counters, borders, configuration), not just the approximation,
+	// inside a self-describing envelope that records the kind.
+	blob, err := h.(dynahist.Snapshotter).Snapshot()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,12 +54,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	restored, err := dynahist.RestoreDADO(raw)
+	// One Restore door for every family: the envelope's kind tag says
+	// what the blob is, so process 2 never records it out of band.
+	restored, err := dynahist.Restore(raw)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("process 2: restored %.0f rows, estimate[1000,1999] = %.0f (identical)\n",
-		restored.Total(), restored.EstimateRange(1000, 1999))
+	fmt.Printf("process 2: restored a %v: %.0f rows, estimate[1000,1999] = %.0f (identical)\n",
+		dynahist.KindOf(restored), restored.Total(), restored.EstimateRange(1000, 1999))
 
 	// The restored histogram is not a frozen copy — it keeps absorbing
 	// the update stream exactly where the old process stopped.
@@ -75,5 +78,5 @@ func main() {
 	fmt.Printf("after more updates: %.0f rows, estimate[0,999] = %.0f\n",
 		restored.Total(), restored.EstimateRange(0, 999))
 	fmt.Printf("reorganisations continued across the restart: %d\n",
-		restored.Reorganisations())
+		restored.(*dynahist.Dynamic).Reorganisations())
 }

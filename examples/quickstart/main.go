@@ -15,11 +15,13 @@ import (
 )
 
 func main() {
-	// A 1 KB summary of a million-row column.
-	h, err := dynahist.NewDADOMemory(1024)
+	// A 1 KB summary of a million-row column, built through the
+	// package's one front door: pick a kind, size the budget.
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
 	if err != nil {
 		log.Fatal(err)
 	}
+	dado := h.(*dynahist.Dynamic) // for the family-specific diagnostics
 
 	// Simulated column: order totals concentrated around two price
 	// bands, 0..999.
@@ -45,7 +47,7 @@ func main() {
 	}
 
 	fmt.Printf("summarised %.0f rows in %d buckets (%d-bucket budget)\n\n",
-		h.Total(), len(h.Buckets()), h.MaxBuckets())
+		h.Total(), len(h.Buckets()), dado.MaxBuckets())
 
 	// Range estimates vs the exact answer.
 	queries := [][2]int{{0, 300}, {200, 299}, {650, 750}, {900, 999}}
@@ -71,5 +73,5 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nKS statistic (max selectivity error): %.4f\n", ks)
-	fmt.Printf("split-merge reorganisations performed: %d\n", h.Reorganisations())
+	fmt.Printf("split-merge reorganisations performed: %d\n", dado.Reorganisations())
 }

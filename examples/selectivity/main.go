@@ -50,7 +50,7 @@ func (t *table) countRange(lo, hi int) int {
 }
 
 func main() {
-	h, err := dynahist.NewDADOMemory(1024)
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -70,7 +70,7 @@ func main() {
 	fmt.Printf("GOMAXPROCS = %d\n\n", runtime.GOMAXPROCS(0))
 
 	// Baseline: one DADO behind one mutex.
-	single, err := dynahist.NewDADOMemory(memTotal)
+	single, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(memTotal))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func main() {
 	// Sharded: same total budget split across GOMAXPROCS-defaulted
 	// shards, fed through the batched hot path.
 	sharded, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
-		return dynahist.NewDADOMemory(memTotal / writers)
+		return dynahist.New(dynahist.KindDADO, dynahist.WithMemory(memTotal/writers))
 	}, dynahist.WithShards(writers))
 	if err != nil {
 		log.Fatal(err)

@@ -25,15 +25,15 @@ const (
 )
 
 func main() {
-	dado, err := dynahist.NewDADOMemory(1024)
+	dado, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
 	if err != nil {
 		log.Fatal(err)
 	}
-	dc, err := dynahist.NewDCMemory(1024)
+	dc, err := dynahist.New(dynahist.KindDC, dynahist.WithMemory(1024))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ac, err := dynahist.NewAC(1024, dynahist.ACDefaultDiskFactor, 1)
+	ac, err := dynahist.New(dynahist.KindAC, dynahist.WithMemory(1024), dynahist.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,5 +93,5 @@ func main() {
 	fmt.Println("DADO and DC keep tracking the drift; AC decays because its reservoir")
 	fmt.Println("over-represents deleted history (the paper's Fig. 17 effect).")
 	fmt.Printf("DADO reorganisations: %d, DC border relocations: %d\n",
-		dado.Reorganisations(), dc.Repartitions())
+		dado.(*dynahist.Dynamic).Reorganisations(), dc.(*dynahist.DC).Repartitions())
 }

@@ -15,12 +15,12 @@
 package approx
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"dynahist/internal/dist"
+	"dynahist/internal/histerr"
 	"dynahist/internal/histogram"
 	"dynahist/internal/sample"
 	"dynahist/internal/static"
@@ -36,7 +36,7 @@ const DefaultDiskFactor = 20
 const RecomputeAlways = -1.0
 
 // ErrEmpty is returned when deleting from an empty histogram.
-var ErrEmpty = errors.New("approx: histogram is empty")
+var ErrEmpty = fmt.Errorf("approx: %w", histerr.ErrEmpty)
 
 // AC is an Approximate Compressed histogram backed by a reservoir
 // sample.
@@ -64,7 +64,7 @@ func New(memBytes, diskFactor int, seed int64) (*AC, error) {
 		return nil, err
 	}
 	if diskFactor < 1 {
-		return nil, fmt.Errorf("approx: disk factor %d < 1", diskFactor)
+		return nil, fmt.Errorf("approx: %w: disk factor %d < 1", histerr.ErrOption, diskFactor)
 	}
 	sampleCap := diskFactor * memBytes / 4 // one 4-byte value per slot
 	if sampleCap < 1 {
@@ -77,7 +77,7 @@ func New(memBytes, diskFactor int, seed int64) (*AC, error) {
 // capacities.
 func NewBuckets(nBuckets, sampleCap int, seed int64) (*AC, error) {
 	if nBuckets < 1 {
-		return nil, fmt.Errorf("approx: nBuckets %d < 1", nBuckets)
+		return nil, fmt.Errorf("approx: %w: nBuckets %d < 1", histerr.ErrBudget, nBuckets)
 	}
 	res, err := sample.NewReservoir(sampleCap, seed)
 	if err != nil {
@@ -92,7 +92,7 @@ func NewBuckets(nBuckets, sampleCap int, seed int64) (*AC, error) {
 // split-merge cannot restore the constraint.
 func (a *AC) SetGamma(g float64) error {
 	if math.IsNaN(g) || (g != RecomputeAlways && g < 0) {
-		return fmt.Errorf("approx: gamma %v must be -1 or ≥ 0", g)
+		return fmt.Errorf("approx: %w: gamma %v must be -1 or ≥ 0", histerr.ErrOption, g)
 	}
 	a.gamma = g
 	a.dirty = true

@@ -2,11 +2,11 @@ package approx
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 
 	"dynahist/internal/binenc"
+	"dynahist/internal/histerr"
 	"dynahist/internal/sample"
 )
 
@@ -32,7 +32,7 @@ const (
 )
 
 // ErrSnapshot reports a malformed AC snapshot blob.
-var ErrSnapshot = errors.New("approx: malformed snapshot")
+var ErrSnapshot = fmt.Errorf("approx: %w", histerr.ErrSnapshot)
 
 // Snapshot serializes the AC histogram's complete maintainable state.
 func (a *AC) Snapshot() ([]byte, error) {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"dynahist/internal/histerr"
 	"dynahist/internal/histogram"
 )
 
@@ -75,13 +76,13 @@ func NewDADO(maxBuckets int) (*DVO, error) {
 // have also tried … dividing each bucket into more than two parts").
 func NewDynamic(kind Deviation, maxBuckets, subBuckets int) (*DVO, error) {
 	if maxBuckets < 2 {
-		return nil, fmt.Errorf("core: maxBuckets %d < 2 (split-merge needs at least two buckets)", maxBuckets)
+		return nil, fmt.Errorf("core: %w: maxBuckets %d < 2 (split-merge needs at least two buckets)", histerr.ErrBudget, maxBuckets)
 	}
 	if subBuckets < 2 {
-		return nil, fmt.Errorf("core: subBuckets %d < 2 (deviation needs internal structure)", subBuckets)
+		return nil, fmt.Errorf("core: %w: subBuckets %d < 2 (deviation needs internal structure)", histerr.ErrOption, subBuckets)
 	}
 	if kind != Variance && kind != AbsDeviation {
-		return nil, fmt.Errorf("core: unknown deviation kind %d", int(kind))
+		return nil, fmt.Errorf("core: %w: unknown deviation kind %d", histerr.ErrKind, int(kind))
 	}
 	return &DVO{kind: kind, subBuckets: subBuckets, maxBuckets: maxBuckets}, nil
 }
@@ -195,6 +196,16 @@ func (h *DVO) Insert(v float64) error {
 // with positive count (§7.3). The split-merge check runs afterwards so
 // that emptied buckets are reclaimed by zero-cost merges.
 func (h *DVO) Delete(v float64) error {
+	if err := h.deleteNoSettle(v); err != nil {
+		return err
+	}
+	h.maybeSplitMerge()
+	return nil
+}
+
+// deleteNoSettle is Delete without the trailing split-merge check —
+// the batch path runs the check once per batch instead.
+func (h *DVO) deleteNoSettle(v float64) error {
 	if err := histogram.CheckFinite(v); err != nil {
 		return err
 	}
@@ -215,8 +226,69 @@ func (h *DVO) Delete(v float64) error {
 		}
 	}
 	h.total--
-	h.maybeSplitMerge()
 	return nil
+}
+
+// InsertBatch adds every value in vs — the native batch write path.
+// All counter increments are applied first and the split-merge
+// consideration runs once at the end, repeated to quiescence: the
+// per-insert trigger is two O(n) scans (bestSplit and bestMergePair)
+// that dominate the per-value insert cost, and a batch needs only one
+// settled structure, not one per intermediate state. The settle loop
+// is capped at one reorganisation per inserted value — exactly the
+// reorganisation budget the per-value path would have had — so a
+// batch can never churn more than the equivalent insert loop.
+//
+// A non-finite value stops the batch there; values before it stay
+// applied.
+func (h *DVO) InsertBatch(vs []float64) error {
+	for _, v := range vs {
+		if err := histogram.CheckFinite(v); err != nil {
+			h.settle(len(vs))
+			return err
+		}
+		h.total++
+		if i := histogram.FindBucket(h.buckets, v); i >= 0 {
+			b := &h.buckets[i]
+			b.Subs[b.SubIndex(v)]++
+			h.devs[i] = h.deviation(b)
+			h.refreshPairsAround(i)
+			continue
+		}
+		h.insertSingleton(v, 1)
+		if len(h.buckets) > h.maxBuckets {
+			m := h.bestMergePair(-1)
+			h.mergeAt(m)
+		}
+	}
+	h.settle(len(vs))
+	return nil
+}
+
+// DeleteBatch removes every value in vs with the same deferred
+// maintenance as InsertBatch. A value the summary cannot locate stops
+// the batch with ErrEmpty; values before it stay applied.
+func (h *DVO) DeleteBatch(vs []float64) error {
+	for _, v := range vs {
+		if err := h.deleteNoSettle(v); err != nil {
+			h.settle(len(vs))
+			return err
+		}
+	}
+	h.settle(len(vs))
+	return nil
+}
+
+// settle runs the split-merge consideration to quiescence, performing
+// at most maxReorgs reorganisations.
+func (h *DVO) settle(maxReorgs int) {
+	for range maxReorgs {
+		before := h.reorganisations
+		h.maybeSplitMerge()
+		if h.reorganisations == before {
+			return
+		}
+	}
 }
 
 // decrement removes one point from bucket i, preferring the sub-counter

@@ -6,11 +6,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"dynahist/internal/histerr"
 	"dynahist/internal/histogram"
 	"dynahist/internal/numeric"
 )
@@ -23,7 +23,7 @@ const DefaultAlphaMin = 1e-6
 
 // ErrEmpty is returned when deleting from a histogram that holds no
 // points.
-var ErrEmpty = errors.New("core: histogram is empty")
+var ErrEmpty = fmt.Errorf("core: %w", histerr.ErrEmpty)
 
 // DC is a Dynamic Compressed histogram (paper §3). Buckets are
 // contiguous and cover [min, max+1) of the values seen so far. Some
@@ -72,7 +72,7 @@ type dcSegment struct {
 // NewDC returns a DC histogram that keeps at most maxBuckets buckets.
 func NewDC(maxBuckets int) (*DC, error) {
 	if maxBuckets < 1 {
-		return nil, fmt.Errorf("core: maxBuckets %d < 1", maxBuckets)
+		return nil, fmt.Errorf("core: %w: maxBuckets %d < 1", histerr.ErrBudget, maxBuckets)
 	}
 	return &DC{
 		maxBuckets:  maxBuckets,
@@ -110,7 +110,7 @@ func (h *DC) SetDamping(on bool) {
 // repartitions after every insertion (§3).
 func (h *DC) SetAlphaMin(alpha float64) error {
 	if math.IsNaN(alpha) || alpha < 0 || alpha > 1 {
-		return fmt.Errorf("core: alphaMin %v outside [0,1]", alpha)
+		return fmt.Errorf("core: %w: alphaMin %v outside [0,1]", histerr.ErrOption, alpha)
 	}
 	h.alphaMin = alpha
 	h.cachedDF = -1

@@ -2,11 +2,11 @@ package core
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 
 	"dynahist/internal/binenc"
+	"dynahist/internal/histerr"
 	"dynahist/internal/histogram"
 )
 
@@ -27,7 +27,7 @@ const (
 )
 
 // ErrSnapshot reports a malformed snapshot blob.
-var ErrSnapshot = errors.New("core: malformed snapshot")
+var ErrSnapshot = fmt.Errorf("core: %w", histerr.ErrSnapshot)
 
 // Snapshot serializes the DC histogram's complete maintainable state.
 func (h *DC) Snapshot() ([]byte, error) {

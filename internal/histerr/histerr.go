@@ -1,0 +1,29 @@
+// Package histerr defines the sentinel errors shared by every layer of
+// the repository. The internal packages wrap these with their own
+// context (fmt.Errorf("core: %w: ...", histerr.ErrBudget)), and the
+// public dynahist package re-exports them under API names
+// (dynahist.ErrBadBudget = histerr.ErrBudget), so a caller can classify
+// any failure with errors.Is regardless of which layer produced it.
+package histerr
+
+import "errors"
+
+var (
+	// ErrEmpty reports an operation that needs at least one summarised
+	// point — deleting from or taking a quantile of an empty histogram.
+	ErrEmpty = errors.New("histogram is empty")
+
+	// ErrBudget reports an unusable bucket or memory budget: too small
+	// to hold a single bucket, negative, or over/under-specified.
+	ErrBudget = errors.New("invalid histogram budget")
+
+	// ErrKind reports an unknown or unusable histogram kind.
+	ErrKind = errors.New("unknown histogram kind")
+
+	// ErrOption reports a construction option that is invalid or does
+	// not apply to the kind being built.
+	ErrOption = errors.New("invalid option")
+
+	// ErrSnapshot reports a malformed snapshot or envelope blob.
+	ErrSnapshot = errors.New("malformed snapshot")
+)

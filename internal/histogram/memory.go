@@ -1,6 +1,10 @@
 package histogram
 
-import "fmt"
+import (
+	"fmt"
+
+	"dynahist/internal/histerr"
+)
 
 // The paper charges every histogram the same main-memory budget and
 // derives the affordable bucket count from the per-bucket footprint
@@ -21,16 +25,16 @@ const (
 // It returns an error if even one bucket does not fit.
 func BucketsForMemory(memBytes, subsPerBucket int) (int, error) {
 	if subsPerBucket < 1 {
-		return 0, fmt.Errorf("histogram: subsPerBucket %d < 1", subsPerBucket)
+		return 0, fmt.Errorf("histogram: %w: subsPerBucket %d < 1", histerr.ErrOption, subsPerBucket)
 	}
 	if memBytes <= 0 {
-		return 0, fmt.Errorf("histogram: memory budget %dB is not positive", memBytes)
+		return 0, fmt.Errorf("histogram: %w: memory budget %dB is not positive", histerr.ErrBudget, memBytes)
 	}
 	perBucket := BorderBytes + subsPerBucket*CounterBytes
 	n := (memBytes - BorderBytes) / perBucket
 	if n < 1 {
-		return 0, fmt.Errorf("histogram: %dB cannot hold a single bucket (%dB needed)",
-			memBytes, 2*BorderBytes+subsPerBucket*CounterBytes)
+		return 0, fmt.Errorf("histogram: %w: %dB cannot hold a single bucket (%dB needed)",
+			histerr.ErrBudget, memBytes, 2*BorderBytes+subsPerBucket*CounterBytes)
 	}
 	return n, nil
 }

@@ -1,6 +1,10 @@
 package histogram
 
-import "fmt"
+import (
+	"fmt"
+
+	"dynahist/internal/histerr"
+)
 
 // Piecewise is a read-mostly histogram over a fixed bucket list. Static
 // constructors (Equi-Width, Equi-Depth, SC, SVO, SADO, SSBM) return
@@ -71,7 +75,7 @@ func (p *Piecewise) Insert(v float64) error {
 	}
 	i := NearestBucket(p.buckets, v)
 	if i < 0 {
-		return fmt.Errorf("histogram: insert into empty piecewise histogram")
+		return fmt.Errorf("histogram: %w: insert into bucketless piecewise histogram", histerr.ErrEmpty)
 	}
 	b := &p.buckets[i]
 	x := v
@@ -96,17 +100,17 @@ func (p *Piecewise) Delete(v float64) error {
 		return err
 	}
 	if p.total <= 0 {
-		return fmt.Errorf("histogram: delete from empty histogram")
+		return fmt.Errorf("histogram: %w: delete from empty histogram", histerr.ErrEmpty)
 	}
 	i := NearestBucket(p.buckets, v)
 	if i < 0 {
-		return fmt.Errorf("histogram: delete from empty piecewise histogram")
+		return fmt.Errorf("histogram: %w: delete from bucketless piecewise histogram", histerr.ErrEmpty)
 	}
 	if !p.decrementAt(i, v) {
 		if j := nearestPositive(p.buckets, v); j >= 0 {
 			p.decrementAnySub(j)
 		} else {
-			return fmt.Errorf("histogram: no positive bucket to delete from")
+			return fmt.Errorf("histogram: %w: no positive bucket to delete from", histerr.ErrEmpty)
 		}
 	}
 	p.total--

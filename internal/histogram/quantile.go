@@ -1,9 +1,10 @@
 package histogram
 
 import (
-	"errors"
 	"fmt"
 	"math"
+
+	"dynahist/internal/histerr"
 )
 
 // Quantile returns the smallest x such that the bucket list's CDF at x
@@ -20,7 +21,7 @@ func Quantile(buckets []Bucket, q float64) (float64, error) {
 	}
 	total := TotalCount(buckets)
 	if total <= 0 {
-		return 0, errors.New("histogram: quantile of empty histogram")
+		return 0, fmt.Errorf("histogram: %w: no mass to take a quantile of", histerr.ErrEmpty)
 	}
 	target := q * total
 	acc := 0.0

@@ -15,83 +15,74 @@ import (
 
 // The catalog is the serving layer's recovery substrate: one file per
 // registered histogram, holding the entry's identity and configuration
-// plus one full-state snapshot blob per shard (the root Snapshot API's
-// output). Files are written atomically (temp + rename) so a crash
+// plus one self-describing snapshot envelope for the whole sharded
+// engine (the root (*Sharded).Snapshot output). The envelope's kind
+// tag says which family the shards belong to, so the catalog itself
+// carries no family code beside the blob — dynahist.Restore reads the
+// tag. Files are written atomically (temp + rename) so a crash
 // mid-checkpoint leaves the previous complete catalog intact, and the
 // whole registry is rebuilt from the directory at startup.
 //
 // File layout (all integers little-endian):
 //
 //	u32  magic 0x48434154 ("HCAT")
-//	u16  version (1)
-//	u8   family code (1=dado, 2=dvo, 3=dc, 4=ac)
+//	u16  version (2)
 //	u16  name length, then name bytes
 //	u32  per-shard mem_bytes
 //	u64  seed
-//	u32  shard count n
-//	n ×  (u32 blob length, blob bytes)
-
+//	u32  envelope length, then the envelope bytes
 const (
 	catMagic   = 0x48434154 // "HCAT"
-	catVersion = 1
+	catVersion = 2
+
+	// catVersionLegacy is the pre-envelope layout: a family code byte
+	// after the version, then name/config, then one raw snapshot blob
+	// per shard. Still decoded (dynahist.Restore accepts the raw
+	// blobs) so an upgraded server keeps the catalog it already has;
+	// the next checkpoint rewrites the file at the current version.
+	catVersionLegacy = 1
 
 	// CatalogExt is the catalog file suffix; the stem is the histogram
 	// name.
 	CatalogExt = ".hist"
 )
 
+// legacyFamilyKinds maps a v1 family code onto the member kind its
+// shards must restore to.
+var legacyFamilyKinds = map[byte]dynahist.Kind{
+	1: dynahist.KindDADO,
+	2: dynahist.KindDVO,
+	3: dynahist.KindDC,
+	4: dynahist.KindAC,
+}
+
 // ErrCatalog reports a malformed catalog file.
 var ErrCatalog = errors.New("server: malformed catalog entry")
 
-var familyCodes = map[string]byte{
-	FamilyDADO: 1,
-	FamilyDVO:  2,
-	FamilyDC:   3,
-	FamilyAC:   4,
-}
-
-var familyNames = map[byte]string{
-	1: FamilyDADO,
-	2: FamilyDVO,
-	3: FamilyDC,
-	4: FamilyAC,
-}
-
 // EncodeEntry serializes one registry entry: its configuration plus
-// one snapshot blob per shard.
+// the engine's self-describing snapshot envelope.
 func EncodeEntry(e *entry) ([]byte, error) {
-	code, ok := familyCodes[e.family]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrFamily, e.family)
-	}
-	blobs, err := e.h.SnapshotShards()
+	blob, err := e.h.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("server: snapshot %q: %w", e.name, err)
 	}
-	size := 32 + len(e.name)
-	for _, b := range blobs {
-		size += 4 + len(b)
-	}
-	out := make([]byte, 0, size)
+	out := make([]byte, 0, 28+len(e.name)+len(blob))
 	out = binary.LittleEndian.AppendUint32(out, catMagic)
 	out = binary.LittleEndian.AppendUint16(out, catVersion)
-	out = append(out, code)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.name)))
 	out = append(out, e.name...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(e.memBytes))
 	out = binary.LittleEndian.AppendUint64(out, uint64(e.seed))
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(blobs)))
-	for _, b := range blobs {
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
-		out = append(out, b...)
-	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
+	out = append(out, blob...)
 	return out, nil
 }
 
 // DecodeEntry rebuilds a registry entry from an EncodeEntry blob,
-// restoring every shard. Garbage of any kind — bad magic, truncated
-// input, unknown family, implausible sizes, corrupt shard blobs — is
-// rejected with ErrCatalog, never a panic.
+// restoring the whole engine through the dynahist.Restore door.
+// Garbage of any kind — bad magic, truncated input, implausible sizes,
+// corrupt envelopes, an envelope of a non-sharded or non-maintained
+// kind — is rejected with ErrCatalog, never a panic.
 func DecodeEntry(data []byte) (*entry, error) {
 	r := binenc.Reader{Data: data, Err: ErrCatalog}
 	magic, err := r.U32()
@@ -105,14 +96,81 @@ func DecodeEntry(data []byte) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != catVersion {
+	switch version {
+	case catVersion:
+	case catVersionLegacy:
+		return decodeEntryV1(&r)
+	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCatalog, version)
 	}
+	nameLen, err := r.U16()
+	if err != nil {
+		return nil, err
+	}
+	nameBytes, err := r.Bytes(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	name := string(nameBytes)
+	if !ValidName(name) {
+		return nil, fmt.Errorf("%w: invalid name %q", ErrCatalog, name)
+	}
+	memBytes, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if memBytes == 0 || memBytes > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible mem_bytes %d", ErrCatalog, memBytes)
+	}
+	seed, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	blobLen, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := r.Bytes(int(blobLen))
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCatalog, r.Remaining())
+	}
+	restored, err := dynahist.Restore(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCatalog, err)
+	}
+	h, ok := restored.(*dynahist.Sharded)
+	if !ok {
+		return nil, fmt.Errorf("%w: envelope holds a %v, not a sharded engine",
+			ErrCatalog, dynahist.KindOf(restored))
+	}
+	if !h.MemberKind().Maintained() {
+		return nil, fmt.Errorf("%w: shards hold %v members, not a maintained family",
+			ErrCatalog, h.MemberKind())
+	}
+	return &entry{
+		name:     name,
+		memBytes: int(memBytes),
+		shards:   h.NumShards(),
+		seed:     int64(seed),
+		h:        h,
+	}, nil
+}
+
+// decodeEntryV1 parses the rest of a version-1 catalog entry (the
+// cursor sits just past the version field): family code, name,
+// config, then one raw snapshot blob per shard. The per-shard blobs
+// go through the same dynahist.Restore door — it accepts the
+// pre-envelope raw format — and the family code is cross-checked
+// against what the blobs actually restore to.
+func decodeEntryV1(r *binenc.Reader) (*entry, error) {
 	code, err := r.U8()
 	if err != nil {
 		return nil, err
 	}
-	family, ok := familyNames[code]
+	wantKind, ok := legacyFamilyKinds[code]
 	if !ok {
 		return nil, fmt.Errorf("%w: unknown family code %d", ErrCatalog, code)
 	}
@@ -143,7 +201,7 @@ func DecodeEntry(data []byte) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nShards == 0 || uint64(nShards)*4 > uint64(len(data)) {
+	if nShards == 0 || uint64(nShards)*4 > uint64(r.Remaining()) {
 		return nil, fmt.Errorf("%w: implausible shard count %d", ErrCatalog, nShards)
 	}
 	blobs := make([][]byte, nShards)
@@ -160,17 +218,16 @@ func DecodeEntry(data []byte) (*entry, error) {
 	if r.Remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCatalog, r.Remaining())
 	}
-	restore, err := restorerFor(family)
+	h, err := dynahist.RestoreSharded(blobs, dynahist.Restore)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCatalog, err)
 	}
-	h, err := dynahist.RestoreSharded(blobs, restore)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCatalog, err)
+	if got := h.MemberKind(); got != wantKind {
+		return nil, fmt.Errorf("%w: family code says %v but shards restore as %v",
+			ErrCatalog, wantKind, got)
 	}
 	return &entry{
 		name:     name,
-		family:   family,
 		memBytes: int(memBytes),
 		shards:   int(nShards),
 		seed:     int64(seed),

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"dynahist/internal/core"
+)
+
+// encodeV1 frames per-shard blobs in the pre-envelope catalog layout.
+func encodeV1(familyCode byte, name string, memBytes uint32, seed uint64, blobs [][]byte) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, catMagic)
+	out = binary.LittleEndian.AppendUint16(out, catVersionLegacy)
+	out = append(out, familyCode)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(name)))
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint32(out, memBytes)
+	out = binary.LittleEndian.AppendUint64(out, seed)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(blobs)))
+	for _, b := range blobs {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestDecodeEntryV1 checks that a catalog file written by the
+// pre-envelope release — raw "DYNS" shard blobs behind a family code
+// — still restores, so an upgraded server keeps its persisted
+// statistics.
+func TestDecodeEntryV1(t *testing.T) {
+	blobs := make([][]byte, 2)
+	var want float64
+	for i := range blobs {
+		h, err := core.NewDADOMemory(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range 500 {
+			if err := h.Insert(float64(v % 90)); err != nil {
+				t.Fatal(err)
+			}
+			want++
+		}
+		blob, err := h.Snapshot() // raw core blob, exactly what v1 files hold
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[i] = blob
+	}
+	data := encodeV1(1, "legacy", 1024, 42, blobs)
+	e, err := DecodeEntry(data)
+	if err != nil {
+		t.Fatalf("DecodeEntry(v1): %v", err)
+	}
+	if e.name != "legacy" || e.memBytes != 1024 || e.seed != 42 || e.shards != 2 {
+		t.Fatalf("v1 entry config = %q/%d/%d/%d", e.name, e.memBytes, e.seed, e.shards)
+	}
+	if got := e.kind().String(); got != FamilyDADO {
+		t.Fatalf("v1 entry kind = %q, want %q", got, FamilyDADO)
+	}
+	if got := e.h.Total(); math.Abs(got-want) > 0.5 {
+		t.Fatalf("v1 entry total = %v, want %v", got, want)
+	}
+	// A family code that disagrees with what the blobs restore to is
+	// corruption, not a kind to trust.
+	if _, err := DecodeEntry(encodeV1(3, "liar", 1024, 0, blobs)); !errors.Is(err, ErrCatalog) {
+		t.Fatalf("mismatched v1 family code: %v, want ErrCatalog", err)
+	}
+	if _, err := DecodeEntry(encodeV1(9, "who", 1024, 0, blobs)); !errors.Is(err, ErrCatalog) {
+		t.Fatalf("unknown v1 family code: %v, want ErrCatalog", err)
+	}
+}

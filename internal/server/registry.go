@@ -20,7 +20,8 @@ import (
 	"dynahist/internal/wire"
 )
 
-// Families accepted by the registry.
+// Families accepted by the registry — the wire names of the maintained
+// kinds (dynahist.ParseKind parses them, Kind.String prints them).
 const (
 	FamilyDADO = "dado"
 	FamilyDVO  = "dvo"
@@ -60,20 +61,24 @@ func ValidName(name string) bool {
 }
 
 // entry is one registered histogram: its identity and configuration
-// plus the sharded engine serving it.
+// plus the sharded engine serving it. The family is not stored beside
+// the engine — it lives in the engine's own member kind, which the
+// self-describing snapshot envelope carries through the catalog.
 type entry struct {
 	name     string
-	family   string
 	memBytes int
 	shards   int
 	seed     int64
 	h        *dynahist.Sharded
 }
 
+// kind returns the maintained kind the entry's shards were built from.
+func (e *entry) kind() dynahist.Kind { return e.h.MemberKind() }
+
 func (e *entry) info() wire.Info {
 	return wire.Info{
 		Name:     e.name,
-		Family:   e.family,
+		Family:   e.kind().String(),
 		MemBytes: e.memBytes,
 		Shards:   e.shards,
 		Total:    e.h.Total(),
@@ -92,42 +97,35 @@ func NewRegistry() *Registry {
 	return &Registry{m: make(map[string]*entry)}
 }
 
-// newFamilyHistogram builds the Sharded engine for one registry entry.
-// memBytes is the per-shard budget; for AC each shard's reservoir is
-// seeded distinctly so the shards do not make identical sampling
-// decisions.
-func newFamilyHistogram(family string, memBytes, shards int, seed int64) (*dynahist.Sharded, error) {
+// newFamilyHistogram builds the Sharded engine for one registry entry
+// through the dynahist.New front door. memBytes is the per-shard
+// budget; for AC each shard's reservoir is seeded distinctly so the
+// shards do not make identical sampling decisions.
+func newFamilyHistogram(kind dynahist.Kind, memBytes, shards int, seed int64) (*dynahist.Sharded, error) {
+	if !kind.Maintained() {
+		return nil, fmt.Errorf("%w: %q", ErrFamily, kind.String())
+	}
 	var factory func() (dynahist.Histogram, error)
-	switch family {
-	case FamilyDADO:
-		factory = func() (dynahist.Histogram, error) { return dynahist.NewDADOMemory(memBytes) }
-	case FamilyDVO:
-		factory = func() (dynahist.Histogram, error) { return dynahist.NewDVOMemory(memBytes) }
-	case FamilyDC:
-		factory = func() (dynahist.Histogram, error) { return dynahist.NewDCMemory(memBytes) }
-	case FamilyAC:
+	if kind == dynahist.KindAC {
 		var shardSeq atomic.Int64
 		factory = func() (dynahist.Histogram, error) {
-			return dynahist.NewAC(memBytes, dynahist.ACDefaultDiskFactor, seed+shardSeq.Add(1))
+			return dynahist.New(kind, dynahist.WithMemory(memBytes), dynahist.WithSeed(seed+shardSeq.Add(1)))
 		}
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrFamily, family)
+	} else {
+		factory = func() (dynahist.Histogram, error) {
+			return dynahist.New(kind, dynahist.WithMemory(memBytes))
+		}
 	}
 	return dynahist.NewSharded(factory, dynahist.WithShards(shards))
 }
 
-// restorerFor returns the per-shard blob restorer for a family.
-func restorerFor(family string) (func([]byte) (dynahist.Histogram, error), error) {
-	switch family {
-	case FamilyDADO, FamilyDVO:
-		return func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreDADO(b) }, nil
-	case FamilyDC:
-		return func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreDC(b) }, nil
-	case FamilyAC:
-		return func(b []byte) (dynahist.Histogram, error) { return dynahist.RestoreAC(b) }, nil
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrFamily, family)
+// parseFamily maps a wire family name onto a maintained kind.
+func parseFamily(family string) (dynahist.Kind, error) {
+	kind, err := dynahist.ParseKind(family)
+	if err != nil || !kind.Maintained() {
+		return dynahist.KindUnknown, fmt.Errorf("%w: %q", ErrFamily, family)
 	}
+	return kind, nil
 }
 
 // Create registers a new histogram. Zero MemBytes defaults to 1024
@@ -143,13 +141,16 @@ func (r *Registry) Create(req wire.CreateRequest) (wire.Info, error) {
 	if req.MemBytes < 0 || req.Shards < 0 {
 		return wire.Info{}, fmt.Errorf("server: negative mem_bytes or shards")
 	}
-	h, err := newFamilyHistogram(req.Family, req.MemBytes, req.Shards, req.Seed)
+	kind, err := parseFamily(req.Family)
+	if err != nil {
+		return wire.Info{}, err
+	}
+	h, err := newFamilyHistogram(kind, req.MemBytes, req.Shards, req.Seed)
 	if err != nil {
 		return wire.Info{}, err
 	}
 	e := &entry{
 		name:     req.Name,
-		family:   req.Family,
 		memBytes: req.MemBytes,
 		shards:   h.NumShards(),
 		seed:     req.Seed,

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dynahist/internal/histerr"
 	"dynahist/internal/histogram"
 	"dynahist/internal/union"
 )
@@ -43,6 +44,16 @@ type Member interface {
 // SnapshotShards uses it to checkpoint every shard.
 type Snapshotter interface {
 	Snapshot() ([]byte, error)
+}
+
+// BatchMember is the optional capability a Member implements when it
+// has a native batch write path. InsertBatch/DeleteBatch hand each
+// shard's whole group to it under one lock hold, so a member that
+// amortises its own maintenance across a batch (the DVO/DADO deferred
+// split-merge settle) gets to.
+type BatchMember interface {
+	InsertBatch(vs []float64) error
+	DeleteBatch(vs []float64) error
 }
 
 // Policy selects how writes are striped across shards.
@@ -163,6 +174,12 @@ func NewFromMembers(cfg Config, members []Member) (*Engine, error) {
 // NumShards returns the number of shards.
 func (e *Engine) NumShards() int { return len(e.cells) }
 
+// Policy returns the striping policy the engine was built with.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// MergeBudget returns the merged-view bucket cap (0 = unlimited).
+func (e *Engine) MergeBudget() int { return e.budget }
+
 // shardOf returns the shard index for a write of v.
 func (e *Engine) shardOf(v float64) int {
 	if len(e.cells) == 1 {
@@ -227,16 +244,19 @@ func (e *Engine) Delete(v float64) error {
 	if firstErr != nil {
 		return firstErr
 	}
-	return errors.New("shard: delete from empty engine")
+	return fmt.Errorf("shard: %w: delete from empty engine", histerr.ErrEmpty)
 }
 
 // InsertBatch adds every value in vs, grouping values by shard so
-// each shard's lock is taken at most once per call. The epoch is
+// each shard's lock is taken at most once per call, and handing each
+// group to the member's own batch path when it has one. The epoch is
 // bumped once for the whole batch. Returns the first member error;
 // values after a failing value within the same shard are skipped,
 // other shards' values are still applied.
 func (e *Engine) InsertBatch(vs []float64) error {
-	return e.applyBatch(vs, func(m Member, v float64) error { return m.Insert(v) })
+	return e.applyBatch(vs,
+		func(m Member, v float64) error { return m.Insert(v) },
+		func(bm BatchMember, g []float64) error { return bm.InsertBatch(g) })
 }
 
 // DeleteBatch removes every value in vs with the same amortised
@@ -244,10 +264,12 @@ func (e *Engine) InsertBatch(vs []float64) error {
 // shards on a member miss; under ByValueHash the owning shard is the
 // only shard that ever held the value's inserts.
 func (e *Engine) DeleteBatch(vs []float64) error {
-	return e.applyBatch(vs, func(m Member, v float64) error { return m.Delete(v) })
+	return e.applyBatch(vs,
+		func(m Member, v float64) error { return m.Delete(v) },
+		func(bm BatchMember, g []float64) error { return bm.DeleteBatch(g) })
 }
 
-func (e *Engine) applyBatch(vs []float64, op func(Member, float64) error) error {
+func (e *Engine) applyBatch(vs []float64, op func(Member, float64) error, batchOp func(BatchMember, []float64) error) error {
 	if len(vs) == 0 {
 		return nil
 	}
@@ -269,14 +291,23 @@ func (e *Engine) applyBatch(vs []float64, op func(Member, float64) error) error 
 		}
 		c := &e.cells[s]
 		c.mu.Lock()
-		for _, v := range g {
-			if err := op(c.m, v); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				break
+		if bm, ok := c.m.(BatchMember); ok {
+			// The member owns the group's loop; on error some prefix of
+			// the group is applied, which still invalidates the view.
+			if err := batchOp(bm, g); err != nil && firstErr == nil {
+				firstErr = err
 			}
 			applied = true
+		} else {
+			for _, v := range g {
+				if err := op(c.m, v); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					break
+				}
+				applied = true
+			}
 		}
 		c.mu.Unlock()
 	}

@@ -60,6 +60,11 @@ func WithMergeBudget(n int) ShardOption {
 // cost.
 type Sharded struct {
 	e *shard.Engine
+	// memberKind is the kind of the histograms the shards maintain
+	// (KindUnknown when the factory produced a type this package does
+	// not know). The registry of the serving layer reports it as the
+	// histogram's family.
+	memberKind Kind
 }
 
 // memberAdapter presents a public Histogram as a shard.Member.
@@ -75,8 +80,8 @@ func (m memberAdapter) Buckets() []histogram.Bucket {
 }
 
 // Snapshot forwards to the wrapped histogram's Snapshot when it has
-// one (DC, DADO/DVO and AC all do), satisfying shard.Snapshotter so a
-// Sharded built over them can checkpoint.
+// one (every histogram in this package does), satisfying
+// shard.Snapshotter so a Sharded built over them can checkpoint.
 func (m memberAdapter) Snapshot() ([]byte, error) {
 	s, ok := m.h.(Snapshotter)
 	if !ok {
@@ -84,6 +89,14 @@ func (m memberAdapter) Snapshot() ([]byte, error) {
 	}
 	return s.Snapshot()
 }
+
+// InsertBatch forwards a shard's group to the member's native batch
+// path when it has one, so the engine's per-shard grouping composes
+// with the core histograms' deferred batch maintenance.
+func (m memberAdapter) InsertBatch(vs []float64) error { return InsertAll(m.h, vs) }
+
+// DeleteBatch is the delete side of InsertBatch.
+func (m memberAdapter) DeleteBatch(vs []float64) error { return DeleteAll(m.h, vs) }
 
 // NewSharded builds a sharded histogram whose shards are created by
 // factory — typically one of this package's constructors:
@@ -100,18 +113,28 @@ func NewSharded(factory func() (Histogram, error), opts ...ShardOption) (*Sharde
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	var memberKind Kind
 	e, err := shard.New(cfg, func() (shard.Member, error) {
 		h, err := factory()
 		if err != nil {
 			return nil, err
+		}
+		if memberKind == KindUnknown {
+			memberKind = KindOf(h)
 		}
 		return memberAdapter{h: h}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{e: e}, nil
+	return &Sharded{e: e, memberKind: memberKind}, nil
 }
+
+// MemberKind returns the kind of the histograms the shards maintain —
+// KindDADO for a Sharded built over New(KindDADO, …) factories, say —
+// or KindUnknown when the members came from outside this package.
+// (KindOf on the Sharded itself reports KindSharded.)
+func (s *Sharded) MemberKind() Kind { return s.memberKind }
 
 // Insert adds one occurrence of v, contending only on the owning
 // shard's lock.

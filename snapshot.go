@@ -2,91 +2,161 @@ package dynahist
 
 import (
 	"errors"
+	"fmt"
 
-	"dynahist/internal/approx"
-	"dynahist/internal/core"
 	"dynahist/internal/shard"
 )
 
 // Snapshotter is implemented by every histogram in this package whose
-// complete maintainable state can be serialized: DC, DADO/DVO and AC.
-// The serving layer's checkpoint loop feeds on it.
+// complete state can be serialized: the maintained families (DC,
+// DADO/DVO, AC), the static constructions, and the Sharded engine.
+// Every Snapshot produces a self-describing kind-tagged envelope that
+// the single Restore door rebuilds; the serving layer's checkpoint
+// loop feeds on it.
 type Snapshotter interface {
 	Snapshot() ([]byte, error)
 }
 
 // Snapshot serializes the histogram's complete maintainable state —
-// configuration, counters, singular flags and phase — so a database can
-// checkpoint its statistics and keep maintaining them after a restart.
+// configuration, counters, singular flags and phase — wrapped in the
+// package's kind-tagged envelope, so a database can checkpoint its
+// statistics and keep maintaining them after Restore.
 // (MarshalBuckets, by contrast, captures only the approximation.)
-func (h *DC) Snapshot() ([]byte, error) { return h.inner.Snapshot() }
-
-// RestoreDC rebuilds a DC histogram from a blob produced by
-// (*DC).Snapshot. The restored histogram continues exactly where the
-// snapshot left off.
-func RestoreDC(data []byte) (*DC, error) {
-	inner, err := core.RestoreDC(data)
+func (h *DC) Snapshot() ([]byte, error) {
+	payload, err := h.inner.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	return &DC{inner: inner}, nil
+	return encodeEnvelope(KindDC, payload), nil
 }
 
-// Snapshot serializes the histogram's complete maintainable state; see
-// (*DC).Snapshot.
-func (h *DADO) Snapshot() ([]byte, error) { return h.inner.Snapshot() }
-
-// RestoreDADO rebuilds a DADO/DVO histogram from a blob produced by
-// (*DADO).Snapshot.
-func RestoreDADO(data []byte) (*DADO, error) {
-	inner, err := core.RestoreDVO(data)
+// Snapshot serializes the histogram's complete maintainable state in
+// the kind-tagged envelope; the tag distinguishes DADO from DVO by the
+// deviation measure in use. See (*DC).Snapshot.
+func (h *Dynamic) Snapshot() ([]byte, error) {
+	payload, err := h.inner.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	return &DADO{inner: inner}, nil
+	return encodeEnvelope(KindOf(h), payload), nil
 }
 
 // Snapshot serializes the AC histogram's complete maintainable state:
-// its backing reservoir sample, live count and maintenance parameters.
-// The in-memory bucket list is recomputable from the sample and is not
-// stored; the reservoir's RNG stream is re-seeded on restore, so the
-// restored AC is a statistically equivalent continuation rather than a
-// bit-identical replay (Algorithm R's acceptance probability depends
-// only on the capacity and seen count, which round-trip exactly).
-func (h *AC) Snapshot() ([]byte, error) { return h.inner.Snapshot() }
-
-// RestoreAC rebuilds an AC histogram from a blob produced by
-// (*AC).Snapshot.
-func RestoreAC(data []byte) (*AC, error) {
-	inner, err := approx.Restore(data)
+// its backing reservoir sample, live count and maintenance parameters,
+// in the kind-tagged envelope. The in-memory bucket list is
+// recomputable from the sample and is not stored; the reservoir's RNG
+// stream is re-seeded on restore, so the restored AC is a
+// statistically equivalent continuation rather than a bit-identical
+// replay (Algorithm R's acceptance probability depends only on the
+// capacity and seen count, which round-trip exactly).
+func (h *AC) Snapshot() ([]byte, error) {
+	payload, err := h.inner.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	return &AC{inner: inner}, nil
+	return encodeEnvelope(KindAC, payload), nil
+}
+
+// Snapshot serializes the static histogram's bucket list in the
+// kind-tagged envelope; the tag records which construction built it,
+// so Restore returns a Static that KindOf still attributes correctly.
+func (h *Static) Snapshot() ([]byte, error) {
+	payload, err := MarshalBuckets(h.Buckets())
+	if err != nil {
+		return nil, err
+	}
+	kind := h.kind
+	if !kind.Valid() {
+		kind = KindStatic
+	}
+	return encodeEnvelope(kind, payload), nil
+}
+
+// Snapshot serializes the whole sharded engine — its striping policy,
+// merge budget, and every shard's own envelope — as one kind-tagged
+// blob that Restore rebuilds into a *Sharded. Shards are locked one at
+// a time, so under concurrent writes the checkpoint is fuzzy: each
+// shard internally consistent, the set not necessarily one global
+// instant — the right trade-off for statistics that tolerate being a
+// few inserts askew.
+func (s *Sharded) Snapshot() ([]byte, error) {
+	blobs, err := s.e.SnapshotShards()
+	if err != nil {
+		return nil, err
+	}
+	payload := encodeShardedPayload(ShardPolicy(s.e.Policy()), s.e.MergeBudget(), blobs)
+	return encodeEnvelope(KindSharded, payload), nil
+}
+
+// RestoreDC rebuilds a DC histogram from a blob produced by
+// (*DC).Snapshot.
+//
+// Deprecated: use Restore, which reads the envelope's kind tag and
+// works for every family.
+func RestoreDC(data []byte) (*DC, error) {
+	h, err := Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	dc, ok := h.(*DC)
+	if !ok {
+		return nil, fmt.Errorf("%w: blob holds a %v, not a %v", ErrBadSnapshot, KindOf(h), KindDC)
+	}
+	return dc, nil
+}
+
+// RestoreDADO rebuilds a DADO/DVO histogram from a blob produced by
+// (*Dynamic).Snapshot.
+//
+// Deprecated: use Restore, which reads the envelope's kind tag and
+// works for every family.
+func RestoreDADO(data []byte) (*Dynamic, error) {
+	h, err := Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := h.(*Dynamic)
+	if !ok {
+		return nil, fmt.Errorf("%w: blob holds a %v, not a %v or %v",
+			ErrBadSnapshot, KindOf(h), KindDADO, KindDVO)
+	}
+	return d, nil
+}
+
+// RestoreAC rebuilds an AC histogram from a blob produced by
+// (*AC).Snapshot.
+//
+// Deprecated: use Restore, which reads the envelope's kind tag and
+// works for every family.
+func RestoreAC(data []byte) (*AC, error) {
+	h, err := Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	ac, ok := h.(*AC)
+	if !ok {
+		return nil, fmt.Errorf("%w: blob holds a %v, not an %v", ErrBadSnapshot, KindOf(h), KindAC)
+	}
+	return ac, nil
 }
 
 // SnapshotShards serializes every shard of a Sharded histogram and
-// returns one blob per shard, in shard order. It errors if the shard
-// members were built from a constructor without snapshot support.
-// Shards are locked one at a time, so under concurrent writes the
-// checkpoint is fuzzy — each shard internally consistent, the set not
-// necessarily one global instant — which is the right trade-off for
-// statistics that tolerate being a few inserts askew.
+// returns one blob per shard, in shard order.
 //
-// Restore the result with RestoreSharded, passing the restorer that
-// matches the family the shards were built from.
+// Deprecated: use (*Sharded).Snapshot, which frames the shard blobs
+// and the engine configuration as one self-describing envelope that
+// Restore rebuilds without a caller-supplied restorer.
 func (s *Sharded) SnapshotShards() ([][]byte, error) { return s.e.SnapshotShards() }
 
 // RestoreSharded rebuilds a Sharded histogram from per-shard blobs
-// produced by SnapshotShards. restore is the family's blob restorer —
-// RestoreDC, RestoreDADO or RestoreAC, adapted to return a Histogram:
+// produced by SnapshotShards. restore is the family's blob restorer,
+// adapted to return a Histogram. The shard count is len(blobs);
+// WithShards options are ignored, the other options apply as in
+// NewSharded.
 //
-//	s, _ := dynahist.RestoreSharded(blobs, func(b []byte) (dynahist.Histogram, error) {
-//	    return dynahist.RestoreDADO(b)
-//	})
-//
-// The shard count is len(blobs); WithShards options are ignored, the
-// other options apply as in NewSharded.
+// Deprecated: snapshot with (*Sharded).Snapshot and rebuild with
+// Restore; the envelope carries the family and the engine
+// configuration, so no restorer argument is needed.
 func RestoreSharded(blobs [][]byte, restore func([]byte) (Histogram, error), opts ...ShardOption) (*Sharded, error) {
 	if restore == nil {
 		return nil, errors.New("dynahist: nil restore function")
@@ -96,6 +166,7 @@ func RestoreSharded(blobs [][]byte, restore func([]byte) (Histogram, error), opt
 		opt(&cfg)
 	}
 	members := make([]shard.Member, len(blobs))
+	var memberKind Kind
 	for i, blob := range blobs {
 		h, err := restore(blob)
 		if err != nil {
@@ -104,11 +175,14 @@ func RestoreSharded(blobs [][]byte, restore func([]byte) (Histogram, error), opt
 		if h == nil {
 			return nil, errors.New("dynahist: restore returned nil histogram")
 		}
+		if i == 0 {
+			memberKind = KindOf(h)
+		}
 		members[i] = memberAdapter{h: h}
 	}
 	e, err := shard.NewFromMembers(cfg, members)
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{e: e}, nil
+	return &Sharded{e: e, memberKind: memberKind}, nil
 }

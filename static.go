@@ -43,15 +43,22 @@ var staticKinds = map[StaticKind]static.Kind{
 
 // Static is an immutable-borders histogram produced by one of the
 // static constructions (or restored from a serialized bucket list).
-// Insert and Delete adjust counters without moving borders.
+// Insert and Delete adjust counters without moving borders. It
+// remembers which construction built it (KindOf reports it, and its
+// Snapshot carries it), defaulting to the generic KindStatic when
+// wrapped from an explicit bucket list.
 type Static struct {
 	inner *histogram.Piecewise
+	kind  Kind
 }
 
 // BuildStatic constructs a static histogram of the given kind over the
 // complete data set with at most n buckets. Values must be
 // non-negative integers (the paper's workloads are integer-valued;
 // real-valued data should be quantised first).
+//
+// Deprecated: use New with the matching static Kind, e.g.
+// New(KindSADO, WithValues(values), WithBuckets(n)).
 func BuildStatic(kind StaticKind, values []int, n int) (*Static, error) {
 	tr, err := trackerOf(values)
 	if err != nil {
@@ -65,11 +72,14 @@ func BuildStatic(kind StaticKind, values []int, n int) (*Static, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Static{inner: h}, nil
+	return &Static{inner: h, kind: kindOfStatic[kind]}, nil
 }
 
 // BuildStaticMemory is BuildStatic with a byte budget instead of a
 // bucket count.
+//
+// Deprecated: use New with the matching static Kind, e.g.
+// New(KindSADO, WithValues(values), WithMemory(memBytes)).
 func BuildStaticMemory(kind StaticKind, values []int, memBytes int) (*Static, error) {
 	n, err := histogram.BucketsForMemory(memBytes, 1)
 	if err != nil {
@@ -85,7 +95,7 @@ func NewStaticFromBuckets(buckets []Bucket) (*Static, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Static{inner: p}, nil
+	return &Static{inner: p, kind: KindStatic}, nil
 }
 
 func trackerOf(values []int) (*dist.Tracker, error) {
