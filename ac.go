@@ -2,6 +2,7 @@ package dynahist
 
 import (
 	"dynahist/internal/approx"
+	"dynahist/internal/histogram"
 )
 
 // AC is the Approximate Compressed histogram of Gibbons, Matias and
@@ -11,6 +12,9 @@ import (
 // NewConcurrent if needed.
 type AC struct {
 	inner *approx.AC
+	// rv is the cached read view; nil after any write (or a gamma
+	// change, which swaps the maintenance mode's current histogram).
+	rv *View
 }
 
 // ACDefaultDiskFactor is the default backing-sample budget relative to
@@ -49,29 +53,51 @@ func NewACBuckets(buckets, sampleCapacity int, seed int64) (*AC, error) {
 }
 
 // Insert adds one occurrence of v.
-func (h *AC) Insert(v float64) error { return h.inner.Insert(v) }
+func (h *AC) Insert(v float64) error { h.rv = nil; return h.inner.Insert(v) }
 
 // Delete removes one occurrence of v (also evicting it from the
 // backing sample when present; the sample is not refilled).
-func (h *AC) Delete(v float64) error { return h.inner.Delete(v) }
+func (h *AC) Delete(v float64) error { h.rv = nil; return h.inner.Delete(v) }
 
 // Total returns the number of points currently summarised.
 func (h *AC) Total() float64 { return h.inner.Total() }
 
+// View pins the current state as an immutable snapshot (triggering
+// the lazy rebuild from the backing sample when one is pending); see
+// Estimator. The view's Total is the rebuilt bucket mass — the count
+// AC's own CDF normalises by — which can sit a scaling hair away from
+// the live count Total() reports.
+func (h *AC) View() (*View, error) {
+	if h.rv == nil {
+		bs := h.inner.Buckets()
+		v, err := newViewOwned(bs, histogram.TotalCount(bs))
+		if err != nil {
+			return nil, err
+		}
+		h.rv = v
+	}
+	return h.rv, nil
+}
+
+// Quantile returns the smallest x with CDF(x) ≥ q, q in (0, 1].
+func (h *AC) Quantile(q float64) (float64, error) { return quantileOf(h, q) }
+
 // CDF returns the approximate fraction of points ≤ x.
-func (h *AC) CDF(x float64) float64 { return h.inner.CDF(x) }
+func (h *AC) CDF(x float64) float64 { return readView(h).CDF(x) }
 
 // EstimateRange returns the approximate number of points with integer
 // value in [lo, hi] inclusive.
-func (h *AC) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+func (h *AC) EstimateRange(lo, hi float64) float64 { return readView(h).EstimateRange(lo, hi) }
 
-// Buckets returns a copy of the current bucket list.
+// Buckets returns a copy of the current bucket list (possibly
+// rebuilding from the backing sample first), straight off the
+// maintained state (see Dynamic.Buckets).
 func (h *AC) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
 
 // SetGamma sets the maintenance threshold: ACRecomputeAlways (−1)
 // recomputes per update; γ > 0 maintains incrementally with a
 // recompute fallback.
-func (h *AC) SetGamma(gamma float64) error { return h.inner.SetGamma(gamma) }
+func (h *AC) SetGamma(gamma float64) error { h.rv = nil; return h.inner.SetGamma(gamma) }
 
 // SampleSize returns the current backing-sample size.
 func (h *AC) SampleSize() int { return h.inner.SampleSize() }

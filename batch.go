@@ -38,11 +38,11 @@ func insertSeq(ins func(float64) error, vs []float64) error {
 // quiescence and capped at one reorganisation per value. The settled
 // result tracks the per-value path's quality (the trigger sees the
 // same counters, just batched); it is the package's fast ingest path.
-func (h *Dynamic) InsertBatch(vs []float64) error { return h.inner.InsertBatch(vs) }
+func (h *Dynamic) InsertBatch(vs []float64) error { h.rv = nil; return h.inner.InsertBatch(vs) }
 
 // DeleteBatch removes every value in vs with the same deferred
 // maintenance as InsertBatch.
-func (h *Dynamic) DeleteBatch(vs []float64) error { return h.inner.DeleteBatch(vs) }
+func (h *Dynamic) DeleteBatch(vs []float64) error { h.rv = nil; return h.inner.DeleteBatch(vs) }
 
 // InsertBatch adds every value in vs.
 func (h *DC) InsertBatch(vs []float64) error { return insertSeq(h.Insert, vs) }

@@ -336,6 +336,111 @@ func BenchmarkHTTPIngest8ClientsPerValue(b *testing.B) { benchHTTPIngest(b, true
 
 func BenchmarkServing(b *testing.B) { benchFigure(b, "serving") }
 
+// Read-plane benchmarks: 10 quantiles per op against a warm 8-shard
+// engine with a ≥64-bucket merged view. ViewQuantiles pins one View
+// (an epoch-cache hit) and answers off its prefix sums in O(log n)
+// each; DirectQuantiles is the pre-redesign path — every call clones
+// the merged bucket list and walks it linearly. Their ratio is what
+// the TestPinnedViewSpeedupGate acceptance gate (≥3×) protects.
+
+func benchQuantileEngine(b *testing.B) *dynahist.Sharded {
+	b.Helper()
+	s, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
+		return dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
+	}, dynahist.WithShards(benchShardWriters))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(5001))
+	}
+	if err := s.InsertBatch(vals); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+var benchQuantileArgs = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9, 0.99}
+
+func BenchmarkViewQuantiles(b *testing.B) {
+	s := benchQuantileEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		v, err := s.View()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range benchQuantileArgs {
+			if _, err := v.Quantile(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDirectQuantiles(b *testing.B) {
+	s := benchQuantileEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		for _, q := range benchQuantileArgs {
+			if _, err := dynahist.Quantile(s, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHTTPBatchQuery measures the serving read path end to end:
+// one POST /v1/h/{name}/query answering a mixed batch (total + 10
+// quantiles + 5 CDF points + 2 ranges) from one pinned view, at 8
+// concurrent clients. Compare one op here against 18 round trips of
+// the per-statistic GETs to read the batch win.
+func BenchmarkHTTPBatchQuery(b *testing.B) {
+	srv, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := srv.Registry().Create(wire.CreateRequest{
+		Name: "bench", Family: server.FamilyDADO, MemBytes: 1024, Shards: benchShardWriters,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(5001))
+	}
+	seed := client.New(ts.URL, ts.Client())
+	if _, err := seed.InsertBinary(context.Background(), "bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	spec := client.QuerySpec{
+		Quantiles: benchQuantileArgs,
+		CDF:       []float64{500, 1500, 2500, 3500, 4500},
+		Ranges:    []client.Range{{Lo: 1000, Hi: 2000}, {Lo: 4000, Hi: 5000}},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.SetParallelism(benchShardWriters)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := client.New(ts.URL, ts.Client())
+		for pb.Next() {
+			if _, err := c.Query(ctx, "bench", spec); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkShardedRead measures the epoch-cached read path: after a
 // write-heavy warmup, every CDF call but the first is served from the
 // cached merged snapshot without touching any shard lock.

@@ -2,13 +2,15 @@
 // layer over this repository's dynamic histograms (cmd/histserved).
 // It covers the full /v1 API: histogram lifecycle (create, delete,
 // list, info), batched ingest — JSON for convenience, the
-// length-prefixed binary format for high-volume writers — and the
-// query endpoints (total, cdf, quantile, range, buckets).
+// length-prefixed binary format for high-volume writers — the batched
+// Query endpoint (many statistics from one pinned server-side view in
+// one round trip) and the per-statistic GET endpoints (total, cdf,
+// quantile, range, buckets).
 //
 //	c := client.New("http://localhost:8080", nil)
 //	_ = c.Create(ctx, client.CreateOptions{Name: "latency", Family: client.FamilyDADO})
 //	_ = c.InsertBinary(ctx, "latency", samples)
-//	p99, _ := c.Quantile(ctx, "latency", 0.99)
+//	sum, _ := c.Query(ctx, "latency", client.QuerySpec{Quantiles: []float64{0.5, 0.99}})
 package client
 
 import (
@@ -256,6 +258,82 @@ func (c *Client) Range(ctx context.Context, name string, lo, hi float64) (float6
 		return 0, err
 	}
 	return resp.Count, nil
+}
+
+// Range is one inclusive integer-value range query [Lo, Hi].
+type Range struct {
+	Lo, Hi float64
+}
+
+// QuerySpec names the statistics one batched Query answers — many
+// questions, one pinned server-side view, one round trip. Every field
+// is optional; the Summary always carries the total.
+type QuerySpec struct {
+	// Quantiles are q arguments, each in (0, 1].
+	Quantiles []float64
+	// CDF are x arguments of CDF curve points.
+	CDF []float64
+	// PDF are x arguments of density points.
+	PDF []float64
+	// Ranges are inclusive integer-value range-count queries.
+	Ranges []Range
+	// Buckets asks for the pinned bucket list itself.
+	Buckets bool
+}
+
+// Summary is a batched Query result: one answer per corresponding
+// QuerySpec argument, in order, all evaluated against the same pinned
+// view — no write lands between the total and the statistics it
+// normalises.
+type Summary struct {
+	Total     float64
+	Quantiles []float64
+	CDF       []float64
+	PDF       []float64
+	Ranges    []float64
+	Buckets   []Bucket
+}
+
+// Query answers a whole batch of statistics from one pinned view of
+// the histogram in one round trip — the read-side analogue of the
+// batched ingest path. A dashboard wanting 10 quantiles, a CDF curve
+// and a few range counts asks once instead of once per statistic.
+func (c *Client) Query(ctx context.Context, name string, spec QuerySpec) (Summary, error) {
+	req := wire.QueryRequest{
+		Quantiles: spec.Quantiles,
+		CDF:       spec.CDF,
+		PDF:       spec.PDF,
+		Buckets:   spec.Buckets,
+	}
+	if len(spec.Ranges) > 0 {
+		req.Ranges = make([]wire.RangeQuery, len(spec.Ranges))
+		for i, r := range spec.Ranges {
+			req.Ranges[i] = wire.RangeQuery{Lo: r.Lo, Hi: r.Hi}
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Summary{}, err
+	}
+	var resp wire.QueryResponse
+	path := "/v1/h/" + url.PathEscape(name) + "/query"
+	if err := c.do(ctx, "POST", path, "application/json", body, &resp); err != nil {
+		return Summary{}, err
+	}
+	sum := Summary{
+		Total:     resp.Total,
+		Quantiles: resp.Quantiles,
+		CDF:       resp.CDF,
+		PDF:       resp.PDF,
+		Ranges:    resp.Ranges,
+	}
+	if len(resp.Buckets) > 0 {
+		sum.Buckets = make([]Bucket, len(resp.Buckets))
+		for i, b := range resp.Buckets {
+			sum.Buckets[i] = Bucket{Left: b.Left, Right: b.Right, Counters: b.Counters}
+		}
+	}
+	return sum, nil
 }
 
 // Buckets returns the histogram's merged bucket list.

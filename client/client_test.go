@@ -100,6 +100,36 @@ func TestClientLifecycle(t *testing.T) {
 		t.Fatal("no buckets")
 	}
 
+	// The batched query answers the same questions in one round trip,
+	// off one pinned view — cross-check against the singles above.
+	sum, err := c.Query(ctx, "latency", QuerySpec{
+		Quantiles: []float64{0.5},
+		CDF:       []float64{499.5},
+		PDF:       []float64{500},
+		Ranges:    []Range{{Lo: 0, Hi: 999}},
+		Buckets:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Total-10000) > 1e-6 {
+		t.Fatalf("Query total = %v", sum.Total)
+	}
+	if sum.Quantiles[0] != median || sum.CDF[0] != cdf || sum.Ranges[0] != count {
+		t.Fatalf("Query answers %v/%v/%v diverge from single calls %v/%v/%v",
+			sum.Quantiles[0], sum.CDF[0], sum.Ranges[0], median, cdf, count)
+	}
+	if len(sum.Buckets) != len(buckets) {
+		t.Fatalf("Query buckets = %d, Buckets = %d", len(sum.Buckets), len(buckets))
+	}
+	if sum.PDF[0] <= 0 {
+		t.Fatalf("PDF(500) = %v, want > 0", sum.PDF[0])
+	}
+
+	if _, err := c.Query(ctx, "latency", QuerySpec{Quantiles: []float64{2}}); err == nil {
+		t.Fatal("Query with quantile 2: want error")
+	}
+
 	total, err = c.DeleteValues(ctx, "latency", vs[:100])
 	if err != nil {
 		t.Fatal(err)

@@ -6,13 +6,14 @@
 // Usage:
 //
 //	histcli [-algo dado|dvo|dc|ac] [-mem bytes] [-seed n]
-//	        [-query lo:hi ...] [-dump] [file]
+//	        [-query lo:hi ...] [-quantile q ...] [-dump] [file]
 //
 // Input: one value per line; lines beginning with '-' delete the value
 // instead of inserting it (e.g. "-42" deletes one occurrence of 42).
-// After the stream ends, the tool prints the summary statistics, the
-// answers to the -query ranges, and with -dump the serialized bucket
-// list in hex.
+// After the stream ends the tool pins one read View of the summary and
+// answers everything from it — the summary statistics, the -query
+// ranges, the -quantile percentiles, and with -dump the serialized
+// bucket list in hex.
 package main
 
 import (
@@ -35,13 +36,15 @@ func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
 
 func main() {
 	var (
-		algo    = flag.String("algo", "dado", "histogram: dado, dvo, dc or ac")
-		mem     = flag.Int("mem", 1024, "memory budget in bytes")
-		seed    = flag.Int64("seed", 1, "seed for the AC backing sample")
-		dump    = flag.Bool("dump", false, "print the serialized bucket list in hex")
-		queries queryList
+		algo      = flag.String("algo", "dado", "histogram: dado, dvo, dc or ac")
+		mem       = flag.Int("mem", 1024, "memory budget in bytes")
+		seed      = flag.Int64("seed", 1, "seed for the AC backing sample")
+		dump      = flag.Bool("dump", false, "print the serialized bucket list in hex")
+		queries   queryList
+		quantiles queryList
 	)
 	flag.Var(&queries, "query", "range query lo:hi (repeatable)")
+	flag.Var(&quantiles, "quantile", "quantile q in (0,1] (repeatable)")
 	flag.Parse()
 
 	h, err := buildHistogram(*algo, *mem, *seed)
@@ -95,6 +98,14 @@ func main() {
 		fatal(err)
 	}
 
+	// Everything after the stream answers off one pinned read view:
+	// the summary line, every range query and every quantile see the
+	// same consistent state.
+	view, err := h.View()
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("algorithm   %s\n", *algo)
 	fmt.Printf("memory      %d bytes\n", *mem)
 	fmt.Printf("inserted    %d\n", inserted)
@@ -102,24 +113,36 @@ func main() {
 	if skipped > 0 {
 		fmt.Printf("skipped     %d (unparseable or failed)\n", skipped)
 	}
-	fmt.Printf("total       %.0f\n", h.Total())
-	fmt.Printf("buckets     %d\n", len(h.Buckets()))
+	fmt.Printf("total       %.0f\n", view.Total())
+	fmt.Printf("buckets     %d\n", view.NumBuckets())
 
 	for _, q := range queries {
 		lo, hi, err := parseRange(q)
 		if err != nil {
 			fatal(err)
 		}
-		est := h.EstimateRange(lo, hi)
+		est := view.EstimateRange(lo, hi)
 		sel := 0.0
-		if h.Total() > 0 {
-			sel = est / h.Total()
+		if view.Total() > 0 {
+			sel = est / view.Total()
 		}
 		fmt.Printf("query [%g, %g]: estimate %.1f rows (selectivity %.4f)\n", lo, hi, est, sel)
 	}
 
+	for _, s := range quantiles {
+		q, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad quantile %q: %v", s, err))
+		}
+		v, err := view.Quantile(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("quantile %g: %.2f\n", q, v)
+	}
+
 	if *dump {
-		data, err := dynahist.MarshalBuckets(h.Buckets())
+		data, err := dynahist.MarshalBuckets(view.Buckets())
 		if err != nil {
 			fatal(err)
 		}
@@ -127,7 +150,7 @@ func main() {
 	}
 }
 
-func buildHistogram(algo string, mem int, seed int64) (dynahist.Histogram, error) {
+func buildHistogram(algo string, mem int, seed int64) (dynahist.Estimator, error) {
 	kind, err := dynahist.ParseKind(algo)
 	if err != nil || !kind.Maintained() {
 		return nil, fmt.Errorf("unknown algorithm %q (want dado, dvo, dc or ac)", algo)
@@ -136,7 +159,12 @@ func buildHistogram(algo string, mem int, seed int64) (dynahist.Histogram, error
 	if kind == dynahist.KindAC {
 		opts = append(opts, dynahist.WithSeed(seed))
 	}
-	return dynahist.New(kind, opts...)
+	h, err := dynahist.New(kind, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Every kind New builds implements the read plane.
+	return h.(dynahist.Estimator), nil
 }
 
 func parseRange(s string) (lo, hi float64, err error) {

@@ -18,6 +18,10 @@
 //	DELETE /v1/h/{name}             drop
 //	POST   /v1/h/{name}/insert      {"values":[...]} or binary batch
 //	POST   /v1/h/{name}/delete      same bodies as insert
+//	POST   /v1/h/{name}/query       batch: {"quantiles":[...],"cdf":[...],
+//	                                "pdf":[...],"ranges":[{"lo","hi"}...],
+//	                                "buckets":bool} — every statistic
+//	                                answered from one pinned view
 //	GET    /v1/h/{name}/total       point count
 //	GET    /v1/h/{name}/cdf?x=      fraction of points ≤ x
 //	GET    /v1/h/{name}/quantile?q= smallest x with CDF(x) ≥ q

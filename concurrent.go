@@ -38,6 +38,19 @@ func (c *Concurrent) Total() float64 {
 	return c.h.Total()
 }
 
+// View pins the current state as an immutable snapshot under one lock
+// acquisition; afterwards every statistic on the view runs lock-free,
+// so a batch of related questions pays the contended mutex once
+// instead of once per statistic. See Estimator.
+func (c *Concurrent) View() (*View, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return viewOf(c.h)
+}
+
+// Quantile returns the smallest x with CDF(x) ≥ q, q in (0, 1].
+func (c *Concurrent) Quantile(q float64) (float64, error) { return quantileOf(c, q) }
+
 // CDF returns the approximate fraction of points ≤ x.
 //
 // Estimation methods take the full write lock rather than a read lock:

@@ -37,11 +37,23 @@
 // envelope that the one Restore door rebuilds, so persistence never
 // records a histogram's family out of band.
 //
+// Reads have one plane too: every public histogram is an Estimator,
+// whose View method pins the current state as an immutable snapshot —
+// one lock acquisition on Concurrent, one merged-union
+// materialisation on Sharded — off which Total, CDF, PDF, Quantile,
+// EstimateRange, Buckets and the batch queries (Describe,
+// QuantileAll, CDFAll) answer lock-free, with prefix sums making CDF
+// and Quantile O(log n).
+//
 // Quickstart:
 //
 //	h, _ := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024)) // 1 KB budget
 //	_ = dynahist.InsertAll(h, values)
 //	sel := h.EstimateRange(100, 200) / h.Total()
+//
+//	v, _ := h.(dynahist.Estimator).View() // pin once …
+//	sum, _ := v.Describe(dynahist.QuerySpec{Quantiles: []float64{0.5, 0.99}})
+//	_ = sum // … answer many statistics consistently
 //
 // Errors throughout classify with errors.Is against the typed
 // sentinels (ErrEmptyHistogram, ErrBadBudget, ErrBadKind,

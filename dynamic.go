@@ -25,6 +25,8 @@ const (
 // with NewSharded if needed.
 type Dynamic struct {
 	inner *core.DVO
+	// rv is the cached read view; nil after any write.
+	rv *View
 }
 
 // DADO names the Dynamic family under the paper's headline variant.
@@ -114,22 +116,39 @@ func NewDynamicMemory(kind DeviationKind, memBytes, subBuckets int) (*Dynamic, e
 }
 
 // Insert adds one occurrence of v.
-func (h *Dynamic) Insert(v float64) error { return h.inner.Insert(v) }
+func (h *Dynamic) Insert(v float64) error { h.rv = nil; return h.inner.Insert(v) }
 
 // Delete removes one occurrence of v.
-func (h *Dynamic) Delete(v float64) error { return h.inner.Delete(v) }
+func (h *Dynamic) Delete(v float64) error { h.rv = nil; return h.inner.Delete(v) }
 
 // Total returns the number of points currently summarised.
 func (h *Dynamic) Total() float64 { return h.inner.Total() }
 
+// View pins the current state as an immutable snapshot; see Estimator.
+func (h *Dynamic) View() (*View, error) {
+	if h.rv == nil {
+		v, err := newViewOwned(h.inner.Buckets(), h.inner.Total())
+		if err != nil {
+			return nil, err
+		}
+		h.rv = v
+	}
+	return h.rv, nil
+}
+
+// Quantile returns the smallest x with CDF(x) ≥ q, q in (0, 1].
+func (h *Dynamic) Quantile(q float64) (float64, error) { return quantileOf(h, q) }
+
 // CDF returns the approximate fraction of points ≤ x.
-func (h *Dynamic) CDF(x float64) float64 { return h.inner.CDF(x) }
+func (h *Dynamic) CDF(x float64) float64 { return readView(h).CDF(x) }
 
 // EstimateRange returns the approximate number of points with integer
 // value in [lo, hi] inclusive.
-func (h *Dynamic) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+func (h *Dynamic) EstimateRange(lo, hi float64) float64 { return readView(h).EstimateRange(lo, hi) }
 
-// Buckets returns a copy of the current bucket list.
+// Buckets returns a copy of the current bucket list, straight off the
+// maintained state (no view pin: a bucket copy needs no prefix sums,
+// and the shard engine's merge path calls this per rebuild).
 func (h *Dynamic) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
 
 // MaxBuckets returns the bucket budget.
@@ -152,6 +171,8 @@ func (h *Dynamic) TotalDeviation() float64 { return h.inner.TotalDeviation() }
 // NewConcurrent if needed.
 type DC struct {
 	inner *core.DC
+	// rv is the cached read view; nil after any write.
+	rv *View
 }
 
 // NewDC returns a DC histogram with the given bucket budget.
@@ -178,22 +199,38 @@ func NewDCMemory(memBytes int) (*DC, error) {
 }
 
 // Insert adds one occurrence of v.
-func (h *DC) Insert(v float64) error { return h.inner.Insert(v) }
+func (h *DC) Insert(v float64) error { h.rv = nil; return h.inner.Insert(v) }
 
 // Delete removes one occurrence of v.
-func (h *DC) Delete(v float64) error { return h.inner.Delete(v) }
+func (h *DC) Delete(v float64) error { h.rv = nil; return h.inner.Delete(v) }
 
 // Total returns the number of points currently summarised.
 func (h *DC) Total() float64 { return h.inner.Total() }
 
+// View pins the current state as an immutable snapshot; see Estimator.
+func (h *DC) View() (*View, error) {
+	if h.rv == nil {
+		v, err := newViewOwned(h.inner.Buckets(), h.inner.Total())
+		if err != nil {
+			return nil, err
+		}
+		h.rv = v
+	}
+	return h.rv, nil
+}
+
+// Quantile returns the smallest x with CDF(x) ≥ q, q in (0, 1].
+func (h *DC) Quantile(q float64) (float64, error) { return quantileOf(h, q) }
+
 // CDF returns the approximate fraction of points ≤ x.
-func (h *DC) CDF(x float64) float64 { return h.inner.CDF(x) }
+func (h *DC) CDF(x float64) float64 { return readView(h).CDF(x) }
 
 // EstimateRange returns the approximate number of points with integer
 // value in [lo, hi] inclusive.
-func (h *DC) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+func (h *DC) EstimateRange(lo, hi float64) float64 { return readView(h).EstimateRange(lo, hi) }
 
-// Buckets returns a copy of the current bucket list.
+// Buckets returns a copy of the current bucket list, straight off the
+// maintained state (see Dynamic.Buckets).
 func (h *DC) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
 
 // MaxBuckets returns the bucket budget.

@@ -61,8 +61,9 @@ func ExampleRestore() {
 	// Output: restored a dc with 1000 rows
 }
 
-// ExampleQuantile computes percentiles from any histogram.
-func ExampleQuantile() {
+// ExampleEstimator computes percentiles from any histogram through
+// the read plane every public kind implements.
+func ExampleEstimator() {
 	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithBuckets(32))
 	if err != nil {
 		panic(err)
@@ -70,12 +71,39 @@ func ExampleQuantile() {
 	for v := range 1000 {
 		_ = h.Insert(float64(v))
 	}
-	median, err := dynahist.Quantile(h, 0.5)
+	e := h.(dynahist.Estimator)
+	median, err := e.Quantile(0.5)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("median ≈ %.0f\n", median)
 	// Output: median ≈ 500
+}
+
+// ExampleView answers a whole batch of statistics from one pinned,
+// mutually consistent snapshot.
+func ExampleView() {
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithBuckets(32))
+	if err != nil {
+		panic(err)
+	}
+	for v := range 1000 {
+		_ = h.Insert(float64(v))
+	}
+	view, err := h.(dynahist.Estimator).View()
+	if err != nil {
+		panic(err)
+	}
+	sum, err := view.Describe(dynahist.QuerySpec{
+		Quantiles: []float64{0.5, 0.9},
+		Ranges:    []dynahist.Range{{Lo: 0, Hi: 499}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%.0f p50≈%.0f p90≈%.0f rows[0,499]≈%.0f\n",
+		sum.Total, sum.Quantiles[0], sum.Quantiles[1], sum.Ranges[0])
+	// Output: n=1000 p50≈500 p90≈900 rows[0,499]≈500
 }
 
 // ExampleSuperpose combines per-node histograms into a global one

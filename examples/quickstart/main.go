@@ -46,14 +46,22 @@ func main() {
 		}
 	}
 
+	// Reads go through the pinned read plane: one View captures a
+	// consistent snapshot, then every statistic — range estimates,
+	// quantiles, the whole Describe batch — answers off it without
+	// touching the maintained state again.
+	view, err := dado.View()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("summarised %.0f rows in %d buckets (%d-bucket budget)\n\n",
-		h.Total(), len(h.Buckets()), dado.MaxBuckets())
+		view.Total(), view.NumBuckets(), dado.MaxBuckets())
 
 	// Range estimates vs the exact answer.
 	queries := [][2]int{{0, 300}, {200, 299}, {650, 750}, {900, 999}}
 	fmt.Printf("%-14s %12s %12s %10s\n", "range", "estimate", "exact", "rel.err")
 	for _, q := range queries {
-		est := h.EstimateRange(float64(q[0]), float64(q[1]))
+		est := view.EstimateRange(float64(q[0]), float64(q[1]))
 		exact := 0
 		for _, v := range values {
 			if v >= q[0] && v <= q[1] {
@@ -65,6 +73,18 @@ func main() {
 			relErr = (est - float64(exact)) / float64(exact)
 		}
 		fmt.Printf("[%4d, %4d]   %12.0f %12d %9.2f%%\n", q[0], q[1], est, exact, 100*relErr)
+	}
+
+	// Percentiles of the summarised distribution, batched off the same
+	// pinned view.
+	ps := []float64{0.25, 0.5, 0.75, 0.95}
+	qv, err := view.QuantileAll(ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for i, p := range ps {
+		fmt.Printf("p%-3.0f ≈ %4.0f\n", p*100, qv[i])
 	}
 
 	// The paper's quality metric: max CDF error against the data.

@@ -2,7 +2,8 @@
 // recovery. This walkthrough runs the histserved serving layer
 // in-process, drives it purely through the public client package —
 // create a histogram, stream batches over the wire (JSON and the
-// binary batch format), query total/CDF/quantile/range — then kills
+// binary batch format), answer a dashboard's whole statistics panel
+// with one batched query against one pinned view — then kills
 // the server and restarts it from its catalog directory to show the
 // registry recover with its statistics intact and keep maintaining.
 //
@@ -55,23 +56,23 @@ func boot(dir string) (*client.Client, func()) {
 }
 
 func report(ctx context.Context, c *client.Client, header string) {
-	total, err := c.Total(ctx, histName)
+	// One batched query answers everything the dashboard shows — the
+	// total, three percentiles and a range count — from one pinned
+	// server-side view in one round trip, instead of five GETs that
+	// each rebuild the read state.
+	ps := []float64{0.5, 0.9, 0.99}
+	sum, err := c.Query(ctx, histName, client.QuerySpec{
+		Quantiles: ps,
+		Ranges:    []client.Range{{Lo: 10_000, Hi: 50_000}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s: %.0f points\n", header, total)
-	for _, p := range []float64{0.5, 0.9, 0.99} {
-		v, err := c.Quantile(ctx, histName, p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  p%-4.0f ≈ %7.0f µs\n", p*100, v)
+	fmt.Printf("%s: %.0f points\n", header, sum.Total)
+	for i, p := range ps {
+		fmt.Printf("  p%-4.0f ≈ %7.0f µs\n", p*100, sum.Quantiles[i])
 	}
-	slow, err := c.Range(ctx, histName, 10_000, 50_000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  requests in [10ms, 50ms]: ≈%.0f\n", slow)
+	fmt.Printf("  requests in [10ms, 50ms]: ≈%.0f\n", sum.Ranges[0])
 }
 
 func main() {

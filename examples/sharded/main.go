@@ -96,10 +96,15 @@ func main() {
 
 	fmt.Printf("\nspeedup: %.1fx\n", tMutex.Seconds()/tSharded.Seconds())
 
-	// Reads come from the union-superposed merged view (cached until
-	// the next write).
+	// Reads pin the union-superposed merged view once (View also
+	// surfaces any merge error directly — no MergeErr polling) and
+	// answer every statistic lock-free off the pinned snapshot.
+	view, err := sharded.View()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nmerged view: %d buckets over %d shards, %.0f points\n",
-		len(sharded.Buckets()), sharded.NumShards(), sharded.Total())
+		view.NumBuckets(), sharded.NumShards(), view.Total())
 	fmt.Printf("shard balance: ")
 	for _, tot := range sharded.ShardTotals() {
 		fmt.Printf("%.0f ", tot)
@@ -108,13 +113,14 @@ func main() {
 
 	for _, q := range [][2]float64{{0, 999}, {2000, 2199}, {4000, 5000}} {
 		fmt.Printf("rows in [%4.0f, %4.0f]: sharded %8.0f, mutex-wrapped %8.0f\n",
-			q[0], q[1], sharded.EstimateRange(q[0], q[1]), conc.EstimateRange(q[0], q[1]))
+			q[0], q[1], view.EstimateRange(q[0], q[1]), conc.EstimateRange(q[0], q[1]))
 	}
-	for _, p := range []float64{0.25, 0.5, 0.9, 0.99} {
-		qs, err := dynahist.Quantile(sharded, p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("p%-4.0f ≈ %6.0f\n", p*100, qs)
+	ps := []float64{0.25, 0.5, 0.9, 0.99}
+	qs, err := view.QuantileAll(ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range ps {
+		fmt.Printf("p%-4.0f ≈ %6.0f\n", p*100, qs[i])
 	}
 }

@@ -51,6 +51,14 @@ func (h *EDDado) EstimateRange(lo, hi float64) float64 { return h.inner.Estimate
 // bucket's two unequal halves appear as separate buckets).
 func (h *EDDado) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
 
+// View pins the current state as an immutable snapshot; see Estimator.
+func (h *EDDado) View() (*View, error) {
+	return newViewOwned(h.inner.Buckets(), h.inner.Total())
+}
+
+// Quantile returns the smallest x with CDF(x) ≥ q, q in (0, 1].
+func (h *EDDado) Quantile(q float64) (float64, error) { return quantileOf(h, q) }
+
 // MaxBuckets returns the bucket budget.
 func (h *EDDado) MaxBuckets() int { return h.inner.MaxBuckets() }
 

@@ -7,6 +7,58 @@ import (
 	"dynahist/internal/histerr"
 )
 
+// quantileEps returns the tolerance used when matching the cumulative
+// mass against the quantile target. It is relative to the total mass:
+// an absolute epsilon either vanishes at large totals (at 1e15 points
+// the old 1e-12 was below one ulp, so boundary targets tie-broke on
+// rounding noise) or dominates at tiny fractional totals (merged and
+// scaled histograms can hold e-13-sized counts, where 1e-12 swallowed
+// whole buckets).
+func quantileEps(total float64) float64 {
+	return total * 1e-12
+}
+
+// checkQuantileArg validates q in (0, 1].
+func checkQuantileArg(q float64) error {
+	if math.IsNaN(q) || q <= 0 || q > 1 {
+		return fmt.Errorf("histogram: quantile %v outside (0,1]", q)
+	}
+	return nil
+}
+
+// errNoMass is the empty-histogram quantile error.
+func errNoMass() error {
+	return fmt.Errorf("histogram: %w: no mass to take a quantile of", histerr.ErrEmpty)
+}
+
+// quantileInBucket walks the sub-buckets of b for the smallest x whose
+// cumulative mass (starting from acc, the mass before b) reaches
+// target, linearly interpolating within the matching sub-bucket
+// (uniform assumption).
+func quantileInBucket(b *Bucket, acc, target, eps float64) float64 {
+	k := len(b.Subs)
+	subW := b.Width() / float64(k)
+	for s, sc := range b.Subs {
+		if acc+sc < target-eps {
+			acc += sc
+			continue
+		}
+		lo := b.Left + float64(s)*subW
+		if sc <= 0 {
+			return lo
+		}
+		frac := (target - acc) / sc
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + frac*subW
+	}
+	return b.Right
+}
+
 // Quantile returns the smallest x such that the bucket list's CDF at x
 // is at least q, for q in (0, 1]. Within a sub-bucket the position is
 // linearly interpolated (uniform assumption). The bucket list must hold
@@ -14,46 +66,28 @@ import (
 //
 // Quantiles are the building block of equi-depth repartitioning and a
 // useful API in their own right: a query optimizer uses them for
-// percentile statistics and histogram-based sampling.
+// percentile statistics and histogram-based sampling. This is the
+// linear-walk form for ad-hoc bucket lists; a pinned View answers the
+// same question in O(log n) off its prefix sums.
 func Quantile(buckets []Bucket, q float64) (float64, error) {
-	if math.IsNaN(q) || q <= 0 || q > 1 {
-		return 0, fmt.Errorf("histogram: quantile %v outside (0,1]", q)
+	if err := checkQuantileArg(q); err != nil {
+		return 0, err
 	}
 	total := TotalCount(buckets)
 	if total <= 0 {
-		return 0, fmt.Errorf("histogram: %w: no mass to take a quantile of", histerr.ErrEmpty)
+		return 0, errNoMass()
 	}
 	target := q * total
+	eps := quantileEps(total)
 	acc := 0.0
 	for i := range buckets {
 		b := &buckets[i]
 		c := b.Count()
-		if acc+c < target-1e-12 {
+		if acc+c < target-eps {
 			acc += c
 			continue
 		}
-		// The target falls inside this bucket; walk its sub-buckets.
-		k := len(b.Subs)
-		subW := b.Width() / float64(k)
-		for s, sc := range b.Subs {
-			if acc+sc < target-1e-12 {
-				acc += sc
-				continue
-			}
-			lo := b.Left + float64(s)*subW
-			if sc <= 0 {
-				return lo, nil
-			}
-			frac := (target - acc) / sc
-			if frac < 0 {
-				frac = 0
-			}
-			if frac > 1 {
-				frac = 1
-			}
-			return lo + frac*subW, nil
-		}
-		return b.Right, nil
+		return quantileInBucket(b, acc, target, eps), nil
 	}
 	return buckets[len(buckets)-1].Right, nil
 }

@@ -1,0 +1,218 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomBuckets builds a contiguous random bucket list with k subs per
+// bucket and counts scaled by mag (so extreme magnitudes can be
+// exercised).
+func randomBuckets(rng *rand.Rand, n, k int, mag float64) []Bucket {
+	bs := make([]Bucket, n)
+	left := 0.0
+	for i := range bs {
+		width := 1 + rng.Float64()*10
+		b := NewBucket(left, left+width, k)
+		for s := range b.Subs {
+			b.Subs[s] = rng.Float64() * mag
+		}
+		bs[i] = b
+		left += width
+	}
+	return bs
+}
+
+// TestViewMatchesLinearWalks pins views over random bucket lists and
+// checks every statistic against the linear-walk implementations it
+// replaces. The prefix sums accumulate in the same order as MassBelow,
+// so the agreement is exact, not approximate.
+func TestViewMatchesLinearWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(80)
+		k := 1 + rng.Intn(3)
+		mag := math.Pow(10, float64(rng.Intn(7)-3))
+		bs := randomBuckets(rng, n, k, mag)
+		total := TotalCount(bs)
+		v, err := NewView(CloneBuckets(bs), total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Total(); got != total {
+			t.Fatalf("Total = %v, want %v", got, total)
+		}
+		if got := v.Mass(); math.Abs(got-total) > 1e-9*total {
+			t.Fatalf("Mass = %v, want %v", got, total)
+		}
+		span := bs[n-1].Right - bs[0].Left
+		for probe := 0; probe < 40; probe++ {
+			x := bs[0].Left - 1 + rng.Float64()*(span+2)
+			if got, want := v.MassBelow(x), MassBelow(bs, x); got != want {
+				t.Fatalf("MassBelow(%v) = %v, want %v", x, got, want)
+			}
+			lo := bs[0].Left + rng.Float64()*span
+			hi := lo + rng.Float64()*span/2
+			want := MassBelow(bs, hi+1) - MassBelow(bs, lo)
+			if got := v.EstimateRange(lo, hi); got != want {
+				t.Fatalf("EstimateRange(%v,%v) = %v, want %v", lo, hi, got, want)
+			}
+			q := rng.Float64()
+			if q == 0 {
+				q = 0.5
+			}
+			gotQ, err1 := v.Quantile(q)
+			wantQ, err2 := Quantile(bs, q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("Quantile(%v) err mismatch: %v vs %v", q, err1, err2)
+			}
+			if err1 == nil && gotQ != wantQ {
+				t.Fatalf("Quantile(%v) = %v, want %v", q, gotQ, wantQ)
+			}
+		}
+	}
+}
+
+func TestViewEmpty(t *testing.T) {
+	for _, v := range []*View{EmptyView(), mustView(t, nil, 0)} {
+		if got := v.Total(); got != 0 {
+			t.Errorf("Total = %v, want 0", got)
+		}
+		if got := v.CDF(10); got != 0 {
+			t.Errorf("CDF = %v, want 0", got)
+		}
+		if got := v.PDF(10); got != 0 {
+			t.Errorf("PDF = %v, want 0", got)
+		}
+		if got := v.EstimateRange(0, 10); got != 0 {
+			t.Errorf("EstimateRange = %v, want 0", got)
+		}
+		if _, err := v.Quantile(0.5); err == nil {
+			t.Error("Quantile on empty view: want error")
+		}
+		if got := v.NumBuckets(); got != 0 {
+			t.Errorf("NumBuckets = %v, want 0", got)
+		}
+	}
+}
+
+func mustView(t *testing.T, bs []Bucket, total float64) *View {
+	t.Helper()
+	v, err := NewView(bs, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestViewRejectsInvalid(t *testing.T) {
+	bad := []Bucket{{Left: 1, Right: 0, Subs: []float64{1}}}
+	if _, err := NewView(bad, 1); err == nil {
+		t.Fatal("NewView(invalid): want error")
+	}
+}
+
+// TestViewPDF checks the density definition: sub-bucket count over
+// sub-width over total, zero outside every bucket.
+func TestViewPDF(t *testing.T) {
+	bs := []Bucket{
+		{Left: 0, Right: 10, Subs: []float64{4, 6}},
+		{Left: 20, Right: 30, Subs: []float64{10}},
+	}
+	v := mustView(t, bs, 20)
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{2, 4.0 / 5 / 20},
+		{7, 6.0 / 5 / 20},
+		{25, 10.0 / 10 / 20},
+		{15, 0}, // gap
+		{-1, 0}, // before
+		{40, 0}, // after
+		{30, 0}, // right border exclusive
+	}
+	for _, c := range cases {
+		if got := v.PDF(c.x); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("PDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// TestViewBucketsIsolated checks Buckets returns a deep copy: mutating
+// it must not affect the pinned state.
+func TestViewBucketsIsolated(t *testing.T) {
+	v := mustView(t, []Bucket{{Left: 0, Right: 1, Subs: []float64{5}}}, 5)
+	got := v.Buckets()
+	got[0].Subs[0] = 999
+	if mass := v.MassBelow(2); mass != 5 {
+		t.Fatalf("pinned mass changed to %v after mutating Buckets() copy", mass)
+	}
+}
+
+// TestQuantileTinyCounts is the regression test for the
+// scale-dependent epsilon: with counts of ~1e-13 the old absolute
+// 1e-12 tolerance exceeded the whole bucket masses, so the walk never
+// advanced past the first bucket and q=1 answered from the wrong end
+// of the domain.
+func TestQuantileTinyCounts(t *testing.T) {
+	bs := []Bucket{
+		{Left: 0, Right: 1, Subs: []float64{1e-13}},
+		{Left: 5, Right: 6, Subs: []float64{1e-13}},
+	}
+	got, err := Quantile(bs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("Quantile(1) over tiny counts = %v, want 6 (right edge of last bucket)", got)
+	}
+	// The median must land in the first bucket, not be dragged right.
+	got, err = Quantile(bs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || got > 1 {
+		t.Fatalf("Quantile(0.5) over tiny counts = %v, want inside [0,1]", got)
+	}
+	v := mustView(t, CloneBuckets(bs), TotalCount(bs))
+	if gotV, err := v.Quantile(1); err != nil || gotV != 6 {
+		t.Fatalf("View.Quantile(1) = %v, %v; want 6, nil", gotV, err)
+	}
+}
+
+// TestQuantileExtremeTotals checks that at very large totals (where an
+// absolute epsilon is below one ulp of the target) quantiles stay
+// monotone and inside the domain, and boundary targets resolve to the
+// bucket border.
+func TestQuantileExtremeTotals(t *testing.T) {
+	bs := []Bucket{
+		{Left: 0, Right: 100, Subs: []float64{1e15}},
+		{Left: 100, Right: 200, Subs: []float64{1e15}},
+		{Left: 200, Right: 300, Subs: []float64{2e15}},
+	}
+	prev := math.Inf(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		got, err := Quantile(bs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 0 || got > 300 {
+			t.Fatalf("Quantile(%v) = %v outside domain", q, got)
+		}
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v: not monotone", q, got, prev)
+		}
+		prev = got
+	}
+	// q = 0.25 is exactly the first bucket's share: the smallest x with
+	// CDF(x) ≥ 0.25 is its right border.
+	got, err := Quantile(bs, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1e-6 {
+		t.Fatalf("Quantile(0.25) = %v, want 100", got)
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	"dynahist/internal/wire"
+)
+
+// queryJSON POSTs a batch query and decodes the response.
+func queryJSON(t *testing.T, base, name string, req wire.QueryRequest, wantStatus int) wire.QueryResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	var resp wire.QueryResponse
+	out := any(&resp)
+	if wantStatus != http.StatusOK {
+		out = nil
+	}
+	do(t, "POST", base+"/v1/h/"+name+"/query", "application/json", body, wantStatus, out)
+	return resp
+}
+
+// TestQueryEndpoint exercises the mixed batch of the acceptance
+// criteria — total + 10 quantiles + CDF points + ranges (+ PDF and
+// buckets) in one round trip — and cross-checks every answer against
+// the per-statistic GET endpoints.
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustCreate(t, ts.URL, "q", FamilyDADO, 1024, 4)
+	vs := make([]float64, 5000)
+	for i := range vs {
+		vs[i] = float64(i % 1000)
+	}
+	mustInsertJSON(t, ts.URL, "q", vs)
+
+	qs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9, 0.99}
+	xs := []float64{100, 250, 500, 900}
+	req := wire.QueryRequest{
+		Quantiles: qs,
+		CDF:       xs,
+		PDF:       []float64{500},
+		Ranges:    []wire.RangeQuery{{Lo: 100, Hi: 200}, {Lo: 0, Hi: 999}},
+		Buckets:   true,
+	}
+	resp := queryJSON(t, ts.URL, "q", req, http.StatusOK)
+
+	// The merged-union total carries float summation drift.
+	if math.Abs(resp.Total-5000) > 1e-6 {
+		t.Errorf("Total = %v, want 5000", resp.Total)
+	}
+	if len(resp.Quantiles) != len(qs) || len(resp.CDF) != len(xs) ||
+		len(resp.PDF) != 1 || len(resp.Ranges) != 2 {
+		t.Fatalf("answer counts = %d/%d/%d/%d, want %d/%d/1/2",
+			len(resp.Quantiles), len(resp.CDF), len(resp.PDF), len(resp.Ranges), len(qs), len(xs))
+	}
+	if len(resp.Buckets) == 0 {
+		t.Fatal("no buckets in response")
+	}
+
+	// Quantiles must be monotone and inside the domain.
+	prev := math.Inf(-1)
+	for i, v := range resp.Quantiles {
+		if v < prev || v < 0 || v > 1000 {
+			t.Errorf("quantile %v = %v: not monotone in-domain (prev %v)", qs[i], v, prev)
+		}
+		prev = v
+	}
+
+	// Every batched answer matches its single-statistic GET wrapper
+	// (both run through the same pinned-view evaluation).
+	for i, x := range xs {
+		var single wire.CDFResponse
+		do(t, "GET", fmt.Sprintf("%s/v1/h/q/cdf?x=%g", ts.URL, x), "", nil, http.StatusOK, &single)
+		if single.CDF != resp.CDF[i] {
+			t.Errorf("GET cdf(%v) = %v, batch = %v", x, single.CDF, resp.CDF[i])
+		}
+	}
+	for i, q := range qs {
+		var single wire.QuantileResponse
+		do(t, "GET", fmt.Sprintf("%s/v1/h/q/quantile?q=%g", ts.URL, q), "", nil, http.StatusOK, &single)
+		if single.Value != resp.Quantiles[i] {
+			t.Errorf("GET quantile(%v) = %v, batch = %v", q, single.Value, resp.Quantiles[i])
+		}
+	}
+	var rng wire.RangeResponse
+	do(t, "GET", ts.URL+"/v1/h/q/range?lo=100&hi=200", "", nil, http.StatusOK, &rng)
+	if rng.Count != resp.Ranges[0] {
+		t.Errorf("GET range = %v, batch = %v", rng.Count, resp.Ranges[0])
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustCreate(t, ts.URL, "q", FamilyDC, 1024, 2)
+
+	// Unknown histogram.
+	queryJSON(t, ts.URL, "nope", wire.QueryRequest{}, http.StatusNotFound)
+	// Quantile argument outside (0,1].
+	queryJSON(t, ts.URL, "q", wire.QueryRequest{Quantiles: []float64{1.5}}, http.StatusBadRequest)
+	queryJSON(t, ts.URL, "q", wire.QueryRequest{Quantiles: []float64{0}}, http.StatusBadRequest)
+	// Quantile of an empty histogram.
+	queryJSON(t, ts.URL, "q", wire.QueryRequest{Quantiles: []float64{0.5}}, http.StatusUnprocessableEntity)
+	// Malformed body.
+	do(t, "POST", ts.URL+"/v1/h/q/query", "application/json", []byte("{"), http.StatusBadRequest, nil)
+	// Over the statistics cap.
+	big := make([]float64, maxQueryStats+1)
+	for i := range big {
+		big[i] = 0.5
+	}
+	queryJSON(t, ts.URL, "q", wire.QueryRequest{Quantiles: big}, http.StatusBadRequest)
+	// An empty histogram still answers the statistics that are total
+	// functions.
+	resp := queryJSON(t, ts.URL, "q", wire.QueryRequest{CDF: []float64{5}, Ranges: []wire.RangeQuery{{Lo: 0, Hi: 10}}}, http.StatusOK)
+	if resp.Total != 0 || resp.CDF[0] != 0 || resp.Ranges[0] != 0 {
+		t.Errorf("empty-histogram batch = %+v, want zeros", resp)
+	}
+}

@@ -1,8 +1,10 @@
 // Package server implements histserved, the HTTP serving layer over
 // this repository's dynamic histograms: a named-histogram registry
 // whose entries are Sharded engines (one per histogram, for write
-// scaling), JSON and binary-batch ingest endpoints, query endpoints
-// (total, cdf, quantile, range, buckets), and snapshot-backed recovery
+// scaling), JSON and binary-batch ingest endpoints, a batched query
+// endpoint answering many statistics from one pinned view plus
+// per-statistic GET wrappers (total, cdf, quantile, range, buckets),
+// and snapshot-backed recovery
 // — a checkpoint loop that periodically serializes every registered
 // histogram to a catalog directory so a restarted server keeps
 // maintaining where it left off.

@@ -160,6 +160,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/h/{name}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/h/{name}/insert", s.handleUpdate(insertOp))
 	s.mux.HandleFunc("POST /v1/h/{name}/delete", s.handleUpdate(deleteOp))
+	s.mux.HandleFunc("POST /v1/h/{name}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/h/{name}/total", s.handleTotal)
 	s.mux.HandleFunc("GET /v1/h/{name}/cdf", s.handleCDF)
 	s.mux.HandleFunc("GET /v1/h/{name}/quantile", s.handleQuantile)
@@ -307,59 +308,146 @@ func queryFloat(r *http.Request, key string) (float64, error) {
 	return v, nil
 }
 
-func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
-	h, err := s.reg.Histogram(r.PathValue("name"))
+// maxQueryStats bounds the number of statistics one batch query may
+// request, so a single request cannot ask for unbounded work.
+const maxQueryStats = 10000
+
+// evaluate answers a batch query from one pinned view of the named
+// histogram. Every read endpoint — the batch POST and the per-statistic
+// GET wrappers — funnels through here, so the whole read API shares
+// one evaluation path and one consistency story. On failure it writes
+// the HTTP error itself and reports false.
+func (s *Server) evaluate(w http.ResponseWriter, name string, req wire.QueryRequest) (wire.QueryResponse, bool) {
+	h, err := s.reg.Histogram(name)
 	if err != nil {
 		writeErr(w, statusOf(err), "%v", err)
+		return wire.QueryResponse{}, false
+	}
+	if n := len(req.Quantiles) + len(req.CDF) + len(req.PDF) + len(req.Ranges); n > maxQueryStats {
+		writeErr(w, http.StatusBadRequest, "query asks for %d statistics, limit %d", n, maxQueryStats)
+		return wire.QueryResponse{}, false
+	}
+	for i, q := range req.Quantiles {
+		if math.IsNaN(q) || q <= 0 || q > 1 {
+			writeErr(w, http.StatusBadRequest, "quantile %v (index %d) outside (0,1]", q, i)
+			return wire.QueryResponse{}, false
+		}
+	}
+	for _, xs := range [][]float64{req.CDF, req.PDF} {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				writeErr(w, http.StatusBadRequest, "non-finite query point at index %d", i)
+				return wire.QueryResponse{}, false
+			}
+		}
+	}
+	for i, rr := range req.Ranges {
+		if math.IsNaN(rr.Lo) || math.IsInf(rr.Lo, 0) || math.IsNaN(rr.Hi) || math.IsInf(rr.Hi, 0) {
+			writeErr(w, http.StatusBadRequest, "non-finite range bound at index %d", i)
+			return wire.QueryResponse{}, false
+		}
+	}
+	v, err := h.View()
+	if err != nil {
+		// Only reachable when a shard member produced an unmergeable
+		// bucket list — impossible for registry-built histograms, but
+		// surfaced honestly rather than served as a silent zero.
+		writeErr(w, http.StatusInternalServerError, "merged view unavailable: %v", err)
+		return wire.QueryResponse{}, false
+	}
+	spec := dynahist.QuerySpec{
+		Quantiles: req.Quantiles,
+		CDF:       req.CDF,
+		PDF:       req.PDF,
+		Buckets:   req.Buckets,
+	}
+	if len(req.Ranges) > 0 {
+		spec.Ranges = make([]dynahist.Range, len(req.Ranges))
+		for i, rr := range req.Ranges {
+			spec.Ranges[i] = dynahist.Range{Lo: rr.Lo, Hi: rr.Hi}
+		}
+	}
+	sum, err := v.Describe(spec)
+	if err != nil {
+		// Arguments were validated above; what remains is quantiles of
+		// an empty histogram.
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return wire.QueryResponse{}, false
+	}
+	resp := wire.QueryResponse{
+		Total:     sum.Total,
+		Quantiles: sum.Quantiles,
+		CDF:       sum.CDF,
+		PDF:       sum.PDF,
+		Ranges:    sum.Ranges,
+	}
+	if req.Buckets {
+		resp.Buckets = toWireBuckets(sum.Buckets)
+	}
+	return resp, true
+}
+
+func toWireBuckets(bs []dynahist.Bucket) []wire.Bucket {
+	out := make([]wire.Bucket, len(bs))
+	for i, b := range bs {
+		out[i] = wire.Bucket{Left: b.Left, Right: b.Right, Counters: b.Counters}
+	}
+	return out
+}
+
+// handleQuery serves POST /v1/h/{name}/query: many statistics, one
+// pinned view, one round trip.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.TotalResponse{Total: h.Total()})
+	resp, ok := s.evaluate(w, r.PathValue("name"), req)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// The per-statistic GET endpoints are thin wrappers over the same
+// batch evaluation, kept for curl-ability and compatibility.
+
+func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
+	resp, ok := s.evaluate(w, r.PathValue("name"), wire.QueryRequest{})
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.TotalResponse{Total: resp.Total})
 }
 
 func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
-	h, err := s.reg.Histogram(r.PathValue("name"))
-	if err != nil {
-		writeErr(w, statusOf(err), "%v", err)
-		return
-	}
 	x, err := queryFloat(r, "x")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.CDFResponse{X: x, CDF: h.CDF(x)})
+	resp, ok := s.evaluate(w, r.PathValue("name"), wire.QueryRequest{CDF: []float64{x}})
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CDFResponse{X: x, CDF: resp.CDF[0]})
 }
 
 func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
-	h, err := s.reg.Histogram(r.PathValue("name"))
-	if err != nil {
-		writeErr(w, statusOf(err), "%v", err)
-		return
-	}
 	q, err := queryFloat(r, "q")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if q <= 0 || q > 1 {
-		writeErr(w, http.StatusBadRequest, "quantile %v outside (0,1]", q)
+	resp, ok := s.evaluate(w, r.PathValue("name"), wire.QueryRequest{Quantiles: []float64{q}})
+	if !ok {
 		return
 	}
-	v, err := dynahist.Quantile(h, q)
-	if err != nil {
-		// The only non-parameter failure is an empty histogram.
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, wire.QuantileResponse{Q: q, Value: v})
+	writeJSON(w, http.StatusOK, wire.QuantileResponse{Q: q, Value: resp.Quantiles[0]})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	h, err := s.reg.Histogram(r.PathValue("name"))
-	if err != nil {
-		writeErr(w, statusOf(err), "%v", err)
-		return
-	}
 	lo, err := queryFloat(r, "lo")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -370,19 +458,21 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.RangeResponse{Lo: lo, Hi: hi, Count: h.EstimateRange(lo, hi)})
+	resp, ok := s.evaluate(w, r.PathValue("name"), wire.QueryRequest{Ranges: []wire.RangeQuery{{Lo: lo, Hi: hi}}})
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.RangeResponse{Lo: lo, Hi: hi, Count: resp.Ranges[0]})
 }
 
 func (s *Server) handleBuckets(w http.ResponseWriter, r *http.Request) {
-	h, err := s.reg.Histogram(r.PathValue("name"))
-	if err != nil {
-		writeErr(w, statusOf(err), "%v", err)
+	resp, ok := s.evaluate(w, r.PathValue("name"), wire.QueryRequest{Buckets: true})
+	if !ok {
 		return
 	}
-	bs := h.Buckets()
-	out := make([]wire.Bucket, len(bs))
-	for i, b := range bs {
-		out[i] = wire.Bucket{Left: b.Left, Right: b.Right, Counters: b.Counters}
+	bs := resp.Buckets
+	if bs == nil {
+		bs = []wire.Bucket{}
 	}
-	writeJSON(w, http.StatusOK, wire.BucketsResponse{Buckets: out})
+	writeJSON(w, http.StatusOK, wire.BucketsResponse{Buckets: bs})
 }

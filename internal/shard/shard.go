@@ -91,10 +91,12 @@ type cell struct {
 }
 
 // snapshot is an immutable merged view of all shards at some epoch.
+// The merged state is kept as a histogram.View, so the merge pays the
+// prefix-sum build once and every read off the snapshot — including
+// pinned views handed to callers — runs O(log n) without copying.
 type snapshot struct {
-	epoch   uint64
-	buckets []histogram.Bucket
-	total   float64
+	epoch uint64
+	view  *histogram.View
 }
 
 // Engine stripes writes across per-shard member histograms and serves
@@ -317,21 +319,26 @@ func (e *Engine) applyBatch(vs []float64, op func(Member, float64) error, batchO
 	return firstErr
 }
 
-// view returns the current merged snapshot, rebuilding it if any
+// view returns the current merged snapshot and the error of the merge
+// attempt that produced (or failed to refresh) it, rebuilding if any
 // write has landed since it was cached. The epoch is sampled before
 // the per-shard bucket lists are collected, so a write that races the
 // collection leaves the stored snapshot already stale and the next
-// read rebuilds — the cache can lag but never sticks.
-func (e *Engine) view() *snapshot {
+// read rebuilds — the cache can lag but never sticks. On a merge
+// failure the last successfully merged snapshot is returned alongside
+// the error (never nil: an empty view stands in before the first
+// successful merge), so callers choose between failing soft (the
+// legacy read methods) and surfacing the error (View).
+func (e *Engine) view() (*snapshot, error) {
 	cur := e.epoch.Load()
 	if s := e.snap.Load(); s != nil && s.epoch == cur {
-		return s
+		return s, nil
 	}
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
 	cur = e.epoch.Load()
 	if s := e.snap.Load(); s != nil && s.epoch == cur {
-		return s
+		return s, nil
 	}
 	lists := make([][]histogram.Bucket, 0, len(e.cells))
 	for i := range e.cells {
@@ -343,35 +350,55 @@ func (e *Engine) view() *snapshot {
 			lists = append(lists, bs)
 		}
 	}
-	s := &snapshot{epoch: cur}
+	var merged []histogram.Bucket
+	var err error
 	if len(lists) > 0 {
-		merged, err := union.Superpose(lists...)
+		merged, err = union.Superpose(lists...)
 		if err == nil && e.budget > 0 && len(merged) > e.budget {
 			merged, err = union.Reduce(merged, e.budget)
 		}
-		if err != nil {
-			// A member produced an unmergeable bucket list (only possible
-			// with a misbehaving user-supplied Member). Keep serving the
-			// last good view rather than silently reporting an empty
-			// histogram; the stale epoch stamp means the next read
-			// retries the merge.
-			e.mergeErr.Store(&err)
-			if prev := e.snap.Load(); prev != nil {
-				return prev
-			}
-			return s
-		}
-		s.buckets = merged
-		s.total = histogram.TotalCount(merged)
 	}
+	var v *histogram.View
+	if err == nil {
+		v, err = histogram.NewView(merged, histogram.TotalCount(merged))
+	}
+	if err != nil {
+		// A member produced an unmergeable bucket list (only possible
+		// with a misbehaving user-supplied Member). Keep serving the
+		// last good view rather than silently reporting an empty
+		// histogram; the stale epoch stamp means the next read retries
+		// the merge.
+		e.mergeErr.Store(&err)
+		if prev := e.snap.Load(); prev != nil {
+			return prev, err
+		}
+		return &snapshot{epoch: cur, view: histogram.EmptyView()}, err
+	}
+	s := &snapshot{epoch: cur, view: v}
 	e.mergeErr.Store(nil)
 	e.snap.Store(s)
-	return s
+	return s, nil
+}
+
+// View pins the current merged state as an immutable histogram.View:
+// one merge (cached under the epoch counter, so usually free) and then
+// every statistic answered lock-free off the pinned snapshot. Unlike
+// the fail-soft read methods it returns the merge error directly —
+// callers never have to poll MergeErr after a suspicious zero answer.
+func (e *Engine) View() (*histogram.View, error) {
+	s, err := e.view()
+	if err != nil {
+		return nil, err
+	}
+	return s.view, nil
 }
 
 // MergeErr returns the error from the most recent failed merged-view
 // rebuild, or nil if the last rebuild succeeded. While non-nil, reads
 // serve the last successfully merged snapshot.
+//
+// Deprecated: pin the merged state with View, which returns the merge
+// error directly instead of requiring this side-channel poll.
 func (e *Engine) MergeErr() error {
 	if p := e.mergeErr.Load(); p != nil {
 		return *p
@@ -379,31 +406,29 @@ func (e *Engine) MergeErr() error {
 	return nil
 }
 
+// read returns the merged view for the fail-soft read methods: the
+// freshly merged state normally, the last good (possibly stale) state
+// while a misbehaving member keeps the merge failing.
+func (e *Engine) read() *histogram.View {
+	s, _ := e.view()
+	return s.view
+}
+
 // Total returns the point count of the merged view.
-func (e *Engine) Total() float64 { return e.view().total }
+func (e *Engine) Total() float64 { return e.read().Total() }
 
 // CDF returns the merged view's approximate fraction of mass ≤ x.
-func (e *Engine) CDF(x float64) float64 {
-	s := e.view()
-	if s.total <= 0 {
-		return 0
-	}
-	return histogram.MassBelow(s.buckets, x) / s.total
-}
+func (e *Engine) CDF(x float64) float64 { return e.read().CDF(x) }
 
 // EstimateRange returns the merged view's approximate number of
 // points with integer value in [lo, hi] inclusive.
 func (e *Engine) EstimateRange(lo, hi float64) float64 {
-	if hi < lo {
-		return 0
-	}
-	s := e.view()
-	return histogram.MassBelow(s.buckets, hi+1) - histogram.MassBelow(s.buckets, lo)
+	return e.read().EstimateRange(lo, hi)
 }
 
 // Buckets returns a deep copy of the merged view's bucket list.
 func (e *Engine) Buckets() []histogram.Bucket {
-	return histogram.CloneBuckets(e.view().buckets)
+	return e.read().Buckets()
 }
 
 // SnapshotShards serializes every shard's member via its Snapshotter

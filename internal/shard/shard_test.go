@@ -272,6 +272,51 @@ func TestMergeFailureKeepsLastGoodView(t *testing.T) {
 	if err := e.MergeErr(); err == nil {
 		t.Fatal("MergeErr = nil after failed merge")
 	}
+	// View surfaces the merge error directly — no side-channel poll.
+	if _, err := e.View(); err == nil {
+		t.Fatal("View after failed merge: want error")
+	}
+}
+
+// TestEngineView checks the pinned merged view: consistent statistics
+// at pin time, stability under later writes, and cache reuse while no
+// write lands.
+func TestEngineView(t *testing.T) {
+	e := mustEngine(t, Config{Shards: 4})
+	for i := range 1000 {
+		if err := e.Insert(float64(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := e.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Total(); got != 1000 {
+		t.Fatalf("view Total = %v, want 1000", got)
+	}
+	v2, err := e.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v {
+		t.Fatal("View while no write landed: want the cached view, got a rebuild")
+	}
+	for i := range 500 {
+		if err := e.Insert(float64(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.Total(); got != 1000 {
+		t.Fatalf("pinned view Total moved to %v after writes, want 1000", got)
+	}
+	v3, err := e.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v3.Total(); got != 1500 {
+		t.Fatalf("fresh view Total = %v, want 1500", got)
+	}
 }
 
 // TestConcurrentStress hammers the engine with parallel writers,

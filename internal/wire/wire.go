@@ -146,6 +146,43 @@ type RangeResponse struct {
 	Count float64 `json:"count"`
 }
 
+// RangeQuery is one inclusive integer-value range [lo, hi] inside a
+// QueryRequest.
+type RangeQuery struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// QueryRequest is the body of POST /v1/h/{name}/query: a batch of
+// statistics answered from one pinned view of the histogram, in one
+// round trip. Every field is optional; the response always carries the
+// total.
+type QueryRequest struct {
+	// Quantiles are q arguments, each in (0, 1].
+	Quantiles []float64 `json:"quantiles,omitempty"`
+	// CDF are the x arguments of CDF curve points.
+	CDF []float64 `json:"cdf,omitempty"`
+	// PDF are the x arguments of density points.
+	PDF []float64 `json:"pdf,omitempty"`
+	// Ranges are inclusive integer-value range-count queries.
+	Ranges []RangeQuery `json:"ranges,omitempty"`
+	// Buckets asks for the pinned bucket list itself.
+	Buckets bool `json:"buckets,omitempty"`
+}
+
+// QueryResponse is the body of POST /v1/h/{name}/query: one answer per
+// corresponding request argument, in order, all evaluated against the
+// same pinned view (no write lands between the total and the
+// statistics it normalises).
+type QueryResponse struct {
+	Total     float64   `json:"total"`
+	Quantiles []float64 `json:"quantiles,omitempty"`
+	CDF       []float64 `json:"cdf,omitempty"`
+	PDF       []float64 `json:"pdf,omitempty"`
+	Ranges    []float64 `json:"ranges,omitempty"`
+	Buckets   []Bucket  `json:"buckets,omitempty"`
+}
+
 // Bucket is the JSON form of one histogram bucket.
 type Bucket struct {
 	Left     float64   `json:"left"`

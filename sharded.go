@@ -152,6 +152,24 @@ func (s *Sharded) InsertBatch(vs []float64) error { return s.e.InsertBatch(vs) }
 // DeleteBatch removes every value in vs with batched locking.
 func (s *Sharded) DeleteBatch(vs []float64) error { return s.e.DeleteBatch(vs) }
 
+// View pins the current merged state as an immutable snapshot: one
+// merged-union materialisation (a cache hit when no write landed since
+// the last one), then every statistic lock-free off the pinned state.
+// Unlike the fail-soft per-statistic reads it returns the merge error
+// directly — a caller never gets a zero answer and then has to poll
+// MergeErr to learn the view could not be rebuilt. See Estimator.
+func (s *Sharded) View() (*View, error) {
+	iv, err := s.e.View()
+	if err != nil {
+		return nil, err
+	}
+	return &View{v: iv}, nil
+}
+
+// Quantile returns the smallest x with CDF(x) ≥ q, q in (0, 1],
+// answered from the merged view.
+func (s *Sharded) Quantile(q float64) (float64, error) { return quantileOf(s, q) }
+
 // Total returns the point count of the merged view.
 func (s *Sharded) Total() float64 { return s.e.Total() }
 
@@ -176,4 +194,8 @@ func (s *Sharded) ShardTotals() []float64 { return s.e.ShardTotals() }
 // rebuild, or nil. A merge can only fail when a user-supplied member
 // produces an invalid bucket list; while it does, reads keep serving
 // the last successfully merged snapshot.
+//
+// Deprecated: pin the merged state with View, which returns the merge
+// error directly instead of requiring this side-channel poll after a
+// suspicious answer.
 func (s *Sharded) MergeErr() error { return s.e.MergeErr() }

@@ -50,6 +50,9 @@ var staticKinds = map[StaticKind]static.Kind{
 type Static struct {
 	inner *histogram.Piecewise
 	kind  Kind
+	// rv is the cached read view; nil after any write. All reads go
+	// through it, so repeated statistics pay the pin once.
+	rv *View
 }
 
 // BuildStatic constructs a static histogram of the given kind over the
@@ -122,22 +125,38 @@ func trackerOf(values []int) (*dist.Tracker, error) {
 
 // Insert adds one occurrence of v to the containing (or nearest)
 // bucket without moving borders.
-func (h *Static) Insert(v float64) error { return h.inner.Insert(v) }
+func (h *Static) Insert(v float64) error { h.rv = nil; return h.inner.Insert(v) }
 
 // Delete removes one occurrence of v.
-func (h *Static) Delete(v float64) error { return h.inner.Delete(v) }
+func (h *Static) Delete(v float64) error { h.rv = nil; return h.inner.Delete(v) }
 
 // Total returns the number of points currently summarised.
 func (h *Static) Total() float64 { return h.inner.Total() }
 
+// View pins the current state as an immutable snapshot; see Estimator.
+func (h *Static) View() (*View, error) {
+	if h.rv == nil {
+		v, err := newViewOwned(h.inner.Buckets(), h.inner.Total())
+		if err != nil {
+			return nil, err
+		}
+		h.rv = v
+	}
+	return h.rv, nil
+}
+
+// Quantile returns the smallest x with CDF(x) ≥ q, q in (0, 1].
+func (h *Static) Quantile(q float64) (float64, error) { return quantileOf(h, q) }
+
 // CDF returns the approximate fraction of points ≤ x.
-func (h *Static) CDF(x float64) float64 { return h.inner.CDF(x) }
+func (h *Static) CDF(x float64) float64 { return readView(h).CDF(x) }
 
 // EstimateRange returns the approximate number of points with integer
 // value in [lo, hi] inclusive.
-func (h *Static) EstimateRange(lo, hi float64) float64 { return h.inner.EstimateRange(lo, hi) }
+func (h *Static) EstimateRange(lo, hi float64) float64 { return readView(h).EstimateRange(lo, hi) }
 
-// Buckets returns a copy of the bucket list.
+// Buckets returns a copy of the bucket list, straight off the
+// maintained state (see Dynamic.Buckets).
 func (h *Static) Buckets() []Bucket { return toPublic(h.inner.Buckets()) }
 
 // NumBuckets returns the number of buckets.
@@ -167,11 +186,4 @@ func KS(h Histogram, values []int) (float64, error) {
 		prev = exact
 	}
 	return d, nil
-}
-
-// Quantile returns the smallest value x such that approximately a
-// fraction q of the summarised points are ≤ x, for q in (0, 1].
-// It works for any histogram in this package via its bucket list.
-func Quantile(h Histogram, q float64) (float64, error) {
-	return histogram.Quantile(toInternal(h.Buckets()), q)
 }
