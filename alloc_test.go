@@ -1,0 +1,119 @@
+package dynahist_test
+
+// Allocation gates on the ingest spine. The flat-storage rewrite's
+// contract is that steady-state ingest — once every arena and scratch
+// buffer has grown to its working size — allocates nothing per value:
+// binary decode into a warm buffer, shard routing through pooled
+// groups, and the DVO/DADO batch maintenance all run on reused memory.
+// These tests pin that with testing.AllocsPerRun so a future change
+// that quietly puts an allocation back on the per-value path fails
+// loudly instead of showing up as a GC regression in production.
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynahist"
+	"dynahist/internal/wire"
+)
+
+// warmDADO returns a DADO that has already ingested enough data for
+// its arenas to be at their steady-state size.
+func warmDADO(t testing.TB) dynahist.BatchWriter {
+	t.Helper()
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := h.(dynahist.BatchWriter)
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]float64, 256)
+	for r := 0; r < 40; r++ {
+		for j := range batch {
+			batch[j] = float64(rng.Intn(5001))
+		}
+		if err := bw.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bw
+}
+
+// TestInsertBatchAllocs gates the core batch path: after warm-up,
+// DVO.InsertBatch must not allocate. The bound is exact zero — the
+// flat store's split/merge shuffles within grown capacity and the
+// deferred pair cache reuses its arrays.
+func TestInsertBatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector's own bookkeeping allocates")
+	}
+	bw := warmDADO(t)
+	rng := rand.New(rand.NewSource(8))
+	batch := make([]float64, 256)
+	allocs := testing.AllocsPerRun(50, func() {
+		for j := range batch {
+			batch[j] = float64(rng.Intn(5001))
+		}
+		if err := bw.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DADO InsertBatch allocated %.1f times per batch after warm-up, want 0", allocs)
+	}
+}
+
+// TestBinaryIngestSpineAllocs gates the decode→route→apply chain that
+// backs the server's binary ingest endpoint: wire.DecodeBatchInto into
+// a warm buffer, then the sharded engine's batch path over pooled
+// per-shard groups. Allowed allocations per batch: zero, amortised —
+// the shard scratch lives in a sync.Pool whose entries the GC may
+// reclaim between runs, so the gate tolerates a small fractional
+// residue rather than flaking on a collection landing mid-measurement.
+func TestBinaryIngestSpineAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector's own bookkeeping allocates")
+	}
+	eng, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
+		return dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
+	}, dynahist.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	vs := make([]float64, 256)
+	for j := range vs {
+		vs[j] = float64(rng.Intn(5001))
+	}
+	data, err := wire.EncodeBatch(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 0, len(vs))
+
+	// Warm up arenas, pools and pair caches.
+	for r := 0; r < 40; r++ {
+		out, err := wire.DecodeBatchInto(buf, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.InsertBatch(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(50, func() {
+		out, err := wire.DecodeBatchInto(buf, data)
+		if err != nil || len(out) != len(vs) {
+			t.Fatalf("decode: len %d err %v", len(out), err)
+		}
+		if err := eng.InsertBatch(out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 256 values per batch: anything at or above one alloc per batch is
+	// a real per-batch allocation; below that is pool-reclaim residue.
+	if allocs >= 1 {
+		t.Errorf("binary ingest spine allocated %.2f times per batch after warm-up, want ~0", allocs)
+	}
+}

@@ -205,7 +205,11 @@ func (c *Client) update(ctx context.Context, name, op string, values []float64, 
 		err  error
 	)
 	if binary {
-		body, ct = wire.EncodeBatch(values), wire.BatchContentType
+		body, err = wire.EncodeBatch(values)
+		ct = wire.BatchContentType
+		if err != nil {
+			return 0, err
+		}
 	} else {
 		body, err = json.Marshal(wire.ValuesRequest{Values: values})
 		ct = "application/json"

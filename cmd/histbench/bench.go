@@ -1,0 +1,196 @@
+package main
+
+// The -json / -compare modes: a fixed micro-benchmark smoke suite over
+// the ingest spine, emitted as machine-readable JSON so CI can record
+// one point per PR of the performance trajectory and diff a fresh run
+// against the committed baseline (BENCH_PR6.json at the repo root).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"dynahist"
+	"dynahist/internal/wire"
+)
+
+// BenchPoint is one benchmark's result in the trajectory file.
+type BenchPoint struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the whole trajectory point: the suite's results plus
+// enough provenance to interpret them.
+type BenchReport struct {
+	Suite      string       `json:"suite"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Benchmarks []BenchPoint `json:"benchmarks"`
+}
+
+// benchSuite is the fixed smoke suite. Names are stable identifiers:
+// the compare mode matches baseline to fresh run by name, so renaming
+// one breaks the trajectory for that series.
+var benchSuite = []struct {
+	name string
+	run  func(b *testing.B)
+}{
+	{"dado_insert_batch_256", benchDADOInsertBatch},
+	{"dc_insert", benchDCInsert},
+	{"wire_decode_batch_512", benchWireDecode},
+	{"sharded_insert_batch_256", benchShardedInsertBatch},
+}
+
+func benchDADOInsertBatch(b *testing.B) {
+	hh, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := hh.(dynahist.BatchWriter)
+	rng := rand.New(rand.NewSource(1))
+	batch := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = float64(rng.Intn(5001))
+		}
+		if err := h.InsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDCInsert(b *testing.B) {
+	h, err := dynahist.New(dynahist.KindDC, dynahist.WithMemory(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Insert(float64(rng.Intn(5001))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireDecode(b *testing.B) {
+	vs := make([]float64, 512)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vs {
+		vs[i] = rng.Float64() * 1000
+	}
+	data, err := wire.EncodeBatch(vs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, 0, len(vs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := wire.DecodeBatchInto(buf, data)
+		if err != nil || len(out) != len(vs) {
+			b.Fatalf("decode: len %d err %v", len(out), err)
+		}
+	}
+}
+
+func benchShardedInsertBatch(b *testing.B) {
+	h, err := dynahist.NewSharded(func() (dynahist.Histogram, error) {
+		return dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
+	}, dynahist.WithShards(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	batch := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = float64(rng.Intn(5001))
+		}
+		if err := h.InsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runBenchSuite executes the smoke suite once and collects the report.
+func runBenchSuite() BenchReport {
+	rep := BenchReport{
+		Suite:     "ingest-smoke-v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, bench := range benchSuite {
+		r := testing.Benchmark(bench.run)
+		rep.Benchmarks = append(rep.Benchmarks, BenchPoint{
+			Name:        bench.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return rep
+}
+
+// writeBenchJSON runs the suite and writes the JSON report.
+func writeBenchJSON(stdout io.Writer) error {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(runBenchSuite())
+}
+
+// compareBench runs the suite and diffs it against the baseline file,
+// benchstat-style. Slowdowns beyond warnFactor print a WARN line; the
+// comparison never fails the build (micro-benchmarks on shared CI
+// runners are too noisy for a hard gate), it exists to make a real
+// regression loud in the log.
+func compareBench(baselinePath string, stdout, stderr io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseBy := make(map[string]BenchPoint, len(base.Benchmarks))
+	for _, p := range base.Benchmarks {
+		baseBy[p.Name] = p
+	}
+
+	const warnFactor = 1.20
+	fresh := runBenchSuite()
+	fmt.Fprintf(stdout, "%-28s %14s %14s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
+	for _, p := range fresh.Benchmarks {
+		b, ok := baseBy[p.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-28s %14s %14.1f %8s\n", p.Name, "(new)", p.NsPerOp, "")
+			continue
+		}
+		delta := p.NsPerOp/b.NsPerOp - 1
+		fmt.Fprintf(stdout, "%-28s %14.1f %14.1f %+7.1f%%\n", p.Name, b.NsPerOp, p.NsPerOp, delta*100)
+		if p.NsPerOp > b.NsPerOp*warnFactor {
+			fmt.Fprintf(stderr, "WARN: %s slowed by %.1f%% (>%.0f%% threshold)\n",
+				p.Name, delta*100, (warnFactor-1)*100)
+		}
+		if b.AllocsPerOp == 0 && p.AllocsPerOp > 0 {
+			fmt.Fprintf(stderr, "WARN: %s now allocates (%d allocs/op, baseline 0)\n",
+				p.Name, p.AllocsPerOp)
+		}
+	}
+	return nil
+}

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	histbench [-fig id] [-seeds n] [-points n] [-quick] [-list] [-format table|csv]
+//	histbench -json                 # ingest bench smoke suite as JSON
+//	histbench -compare BENCH.json   # diff a fresh run against a baseline (warn-only)
 //
 // Without -fig it runs every registered experiment in order. IDs match
 // the paper's figure numbers (fig5 … fig23) plus sec731, the ablations
@@ -40,8 +42,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seeds  = fs.Int("seeds", 10, "random seeds averaged per configuration")
 		points = fs.Int("points", 100000, "data points per run")
 		quick  = fs.Bool("quick", false, "cap seeds and points for a fast smoke run")
-		list   = fs.Bool("list", false, "list available figure IDs and exit")
-		format = fs.String("format", "table", "output format: table or csv")
+		list    = fs.Bool("list", false, "list available figure IDs and exit")
+		format  = fs.String("format", "table", "output format: table or csv")
+		jsonOut = fs.Bool("json", false, "run the ingest bench smoke suite and emit JSON (the perf-trajectory format)")
+		compare = fs.String("compare", "", "run the bench smoke suite and diff against a baseline JSON file (warn-only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -53,6 +57,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	}
+
+	if *jsonOut {
+		if err := writeBenchJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *compare != "" {
+		if err := compareBench(*compare, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
+			return 1
 		}
 		return 0
 	}

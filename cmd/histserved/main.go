@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	histserved [-addr :8080] [-catalog DIR] [-checkpoint 30s]
+//	histserved [-addr :8080] [-catalog DIR] [-checkpoint 30s] [-pprof]
 //
 // API sketch (see docs/ARCHITECTURE.md for the full contract):
 //
@@ -38,6 +38,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +62,7 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		addr       = fs.String("addr", ":8080", "listen address")
 		catalog    = fs.String("catalog", "", "catalog directory for snapshot-backed recovery (empty: no persistence)")
 		checkpoint = fs.Duration("checkpoint", 30*time.Second, "checkpoint period (requires -catalog)")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling the live ingest path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,7 +82,21 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		return 1
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The profiler shares the serving mux-tree but is mounted on a
+		// wrapper, so the API handler itself stays profiler-free when
+		// the flag is off.
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	ln, err := newListener(*addr)
 	if err != nil {
 		fmt.Fprintf(errOut, "histserved: %v\n", err)

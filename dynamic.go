@@ -127,11 +127,7 @@ func (h *Dynamic) Total() float64 { return h.inner.Total() }
 // View pins the current state as an immutable snapshot; see Estimator.
 func (h *Dynamic) View() (*View, error) {
 	if h.rv == nil {
-		v, err := newViewOwned(h.inner.Buckets(), h.inner.Total())
-		if err != nil {
-			return nil, err
-		}
-		h.rv = v
+		h.rv = newViewOfStore(h.inner.Store(), h.inner.Total())
 	}
 	return h.rv, nil
 }
@@ -210,11 +206,7 @@ func (h *DC) Total() float64 { return h.inner.Total() }
 // View pins the current state as an immutable snapshot; see Estimator.
 func (h *DC) View() (*View, error) {
 	if h.rv == nil {
-		v, err := newViewOwned(h.inner.Buckets(), h.inner.Total())
-		if err != nil {
-			return nil, err
-		}
-		h.rv = v
+		h.rv = newViewOfStore(h.inner.Store(), h.inner.Total())
 	}
 	return h.rv, nil
 }

@@ -1,0 +1,154 @@
+package dynahist_test
+
+// Flat-vs-reference equivalence: the goldens under
+// testdata/flat_equiv were produced by replaying these exact
+// workloads through the pre-rewrite per-bucket storage implementation
+// (the tree as of the commit before the flat-arena Store landed). The
+// rewrite moved every histogram family onto contiguous arrays but was
+// required to preserve the maintenance semantics bit-for-bit up to
+// float reassociation, so the current implementation must reproduce
+// the same bucket lists and CDF curves within 1e-9.
+//
+// The workload generation here must stay byte-identical to the
+// generator that produced the goldens; changing it (or the golden
+// files) silently voids the equivalence claim. Regenerate goldens only
+// from a known-good reference build.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynahist"
+)
+
+type equivDump struct {
+	Family   string      `json:"family"`
+	Workload string      `json:"workload"`
+	Total    float64     `json:"total"`
+	Buckets  [][]float64 `json:"buckets"`
+	Probes   []float64   `json:"probes"`
+	CDF      []float64   `json:"cdf"`
+}
+
+func equivValues(wl string, n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	vs := make([]float64, n)
+	switch wl {
+	case "uniform":
+		for i := range vs {
+			vs[i] = float64(rng.Intn(5001))
+		}
+	case "normal":
+		for i := range vs {
+			vs[i] = math.Round(2500 + 400*rng.NormFloat64())
+		}
+	case "zipf":
+		z := rand.NewZipf(rng, 1.3, 1, 4000)
+		for i := range vs {
+			vs[i] = float64(z.Uint64())
+		}
+	case "drift":
+		for i := range vs {
+			vs[i] = math.Round(float64(i)/4 + 200*rng.NormFloat64())
+		}
+	default:
+		panic("unknown workload " + wl)
+	}
+	return vs
+}
+
+func equivBuild(f string) (dynahist.Histogram, error) {
+	switch f {
+	case "dado":
+		return dynahist.New(dynahist.KindDADO, dynahist.WithMemory(1024))
+	case "dvo":
+		return dynahist.New(dynahist.KindDVO, dynahist.WithMemory(1024))
+	case "dc":
+		return dynahist.New(dynahist.KindDC, dynahist.WithMemory(1024))
+	case "eddado":
+		return dynahist.NewEDDado(dynahist.AbsDeviation, 40)
+	}
+	return nil, fmt.Errorf("unknown family %s", f)
+}
+
+func equivReplay(h dynahist.Histogram, vs []float64) error {
+	i := 0
+	for ; i < 1000 && i < len(vs); i++ {
+		if err := h.Insert(vs[i]); err != nil {
+			return err
+		}
+	}
+	for ; i < len(vs); i += 137 {
+		end := i + 137
+		if end > len(vs) {
+			end = len(vs)
+		}
+		if err := dynahist.InsertAll(h, vs[i:end]); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < 500; j += 2 {
+		if err := h.Delete(vs[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestFlatStoreMatchesReference(t *testing.T) {
+	const tol = 1e-9
+	for _, f := range []string{"dado", "dvo", "dc", "eddado"} {
+		for _, wl := range []string{"uniform", "normal", "zipf", "drift"} {
+			t.Run(f+"/"+wl, func(t *testing.T) {
+				raw, err := os.ReadFile(filepath.Join("testdata", "flat_equiv", f+"_"+wl+".json"))
+				if err != nil {
+					t.Fatalf("reading golden: %v", err)
+				}
+				var want equivDump
+				if err := json.Unmarshal(raw, &want); err != nil {
+					t.Fatalf("parsing golden: %v", err)
+				}
+
+				h, err := equivBuild(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := equivReplay(h, equivValues(wl, 20000)); err != nil {
+					t.Fatal(err)
+				}
+
+				if got := h.Total(); math.Abs(got-want.Total) > tol {
+					t.Errorf("total = %v, reference %v", got, want.Total)
+				}
+				bs := h.Buckets()
+				if len(bs) != len(want.Buckets) {
+					t.Fatalf("%d buckets, reference has %d", len(bs), len(want.Buckets))
+				}
+				for i, b := range bs {
+					ref := want.Buckets[i]
+					if len(ref) != 2+len(b.Counters) {
+						t.Fatalf("bucket %d: %d counters, reference row has %d fields", i, len(b.Counters), len(ref))
+					}
+					if math.Abs(b.Left-ref[0]) > tol || math.Abs(b.Right-ref[1]) > tol {
+						t.Errorf("bucket %d range [%v,%v), reference [%v,%v)", i, b.Left, b.Right, ref[0], ref[1])
+					}
+					for j, c := range b.Counters {
+						if math.Abs(c-ref[2+j]) > tol {
+							t.Errorf("bucket %d counter %d = %v, reference %v", i, j, c, ref[2+j])
+						}
+					}
+				}
+				for i, x := range want.Probes {
+					if got := h.CDF(x); math.Abs(got-want.CDF[i]) > tol {
+						t.Errorf("CDF(%v) = %v, reference %v", x, got, want.CDF[i])
+					}
+				}
+			})
+		}
+	}
+}

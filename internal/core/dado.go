@@ -47,14 +47,26 @@ const DefaultSubBuckets = 2
 // deviation, and perform both exactly when that strictly reduces the
 // overall deviation (minΔV < 0, the paper's most aggressive upper
 // bound of 0).
+//
+// The bucket state lives in a flat histogram.Store arena — one
+// contiguous borders array, one contiguous sub-counter array and an
+// incrementally maintained per-bucket count array — so the hot insert
+// path does a binary search over one dense array, touches one counter
+// row, and updates the cached deviations in O(K) with no Count()
+// re-sums and no per-bucket heap allocations.
 type DVO struct {
 	kind       Deviation
 	subBuckets int
 	maxBuckets int
-	buckets    []histogram.Bucket // sorted by Left; gaps allowed
-	devs       []float64          // cached per-bucket deviation
-	pairDevs   []float64          // cached merged deviation of (i, i+1)
+	st         *histogram.Store // sorted by Left; gaps allowed
+	devs       []float64        // cached per-bucket deviation
+	pairDevs   []float64        // cached merged deviation of (i, i+1)
+	pairsStale bool             // batch mode defers pair upkeep to settle
 	total      float64
+
+	// scratch holds 2·K floats for split/merge row construction, so
+	// reorganisations allocate nothing in steady state.
+	scratch []float64
 
 	reorganisations int
 }
@@ -84,7 +96,13 @@ func NewDynamic(kind Deviation, maxBuckets, subBuckets int) (*DVO, error) {
 	if kind != Variance && kind != AbsDeviation {
 		return nil, fmt.Errorf("core: %w: unknown deviation kind %d", histerr.ErrKind, int(kind))
 	}
-	return &DVO{kind: kind, subBuckets: subBuckets, maxBuckets: maxBuckets}, nil
+	return &DVO{
+		kind:       kind,
+		subBuckets: subBuckets,
+		maxBuckets: maxBuckets,
+		st:         histogram.NewStore(subBuckets),
+		scratch:    make([]float64, 2*subBuckets),
+	}, nil
 }
 
 // NewDVOMemory returns a DVO sized for a byte budget using the paper's
@@ -132,7 +150,11 @@ func (h *DVO) Total() float64 { return h.total }
 func (h *DVO) Reorganisations() int { return h.reorganisations }
 
 // Buckets returns a deep copy of the current bucket list.
-func (h *DVO) Buckets() []histogram.Bucket { return histogram.CloneBuckets(h.buckets) }
+func (h *DVO) Buckets() []histogram.Bucket { return h.st.Buckets() }
+
+// Store exposes the flat bucket arena for read-only consumers (views,
+// equivalence tests); callers must not mutate it.
+func (h *DVO) Store() *histogram.Store { return h.st }
 
 // TotalDeviation returns the current overall deviation Σ V_i — the
 // quantity the split-merge machinery greedily minimises.
@@ -149,7 +171,7 @@ func (h *DVO) CDF(x float64) float64 {
 	if h.total <= 0 {
 		return 0
 	}
-	return histogram.MassBelow(h.buckets, x) / h.total
+	return h.st.MassBelowAll(x) / h.total
 }
 
 // EstimateRange returns the approximate number of points with integer
@@ -158,7 +180,7 @@ func (h *DVO) EstimateRange(lo, hi float64) float64 {
 	if hi < lo {
 		return 0
 	}
-	return histogram.MassBelow(h.buckets, hi+1) - histogram.MassBelow(h.buckets, lo)
+	return h.st.MassBelowAll(hi+1) - h.st.MassBelowAll(lo)
 }
 
 // Insert adds one occurrence of v. Values inside an existing bucket
@@ -170,16 +192,15 @@ func (h *DVO) Insert(v float64) error {
 		return err
 	}
 	h.total++
-	if i := histogram.FindBucket(h.buckets, v); i >= 0 {
-		b := &h.buckets[i]
-		b.Subs[b.SubIndex(v)]++
-		h.devs[i] = h.deviation(b)
+	if i := h.st.Find(v); i >= 0 {
+		h.st.AddAt(i, v, 1)
+		h.devs[i] = h.devAt(i)
 		h.refreshPairsAround(i)
 		h.maybeSplitMerge()
 		return nil
 	}
 	h.insertSingleton(v, 1)
-	if len(h.buckets) > h.maxBuckets {
+	if h.st.Len() > h.maxBuckets {
 		m := h.bestMergePair(-1)
 		h.mergeAt(m)
 	}
@@ -212,7 +233,7 @@ func (h *DVO) deleteNoSettle(v float64) error {
 	if h.total < 1 {
 		return ErrEmpty
 	}
-	i := histogram.FindBucket(h.buckets, v)
+	i := h.st.Find(v)
 	if i < 0 {
 		i = h.nearestPositive(v)
 		if i < 0 {
@@ -242,23 +263,25 @@ func (h *DVO) deleteNoSettle(v float64) error {
 // A non-finite value stops the batch there; values before it stay
 // applied.
 func (h *DVO) InsertBatch(vs []float64) error {
+	h.pairsStale = true
 	for _, v := range vs {
 		if err := histogram.CheckFinite(v); err != nil {
 			h.settle(len(vs))
 			return err
 		}
 		h.total++
-		if i := histogram.FindBucket(h.buckets, v); i >= 0 {
-			b := &h.buckets[i]
-			b.Subs[b.SubIndex(v)]++
-			h.devs[i] = h.deviation(b)
-			h.refreshPairsAround(i)
+		if i := h.st.Find(v); i >= 0 {
+			h.st.AddAt(i, v, 1)
+			h.devs[i] = h.devAt(i)
 			continue
 		}
 		h.insertSingleton(v, 1)
-		if len(h.buckets) > h.maxBuckets {
+		if h.st.Len() > h.maxBuckets {
+			// bestMergePair rebuilds the pair cache (clearing the stale
+			// mark); re-mark it so the rest of the batch stays deferred.
 			m := h.bestMergePair(-1)
 			h.mergeAt(m)
+			h.pairsStale = true
 		}
 	}
 	h.settle(len(vs))
@@ -269,6 +292,7 @@ func (h *DVO) InsertBatch(vs []float64) error {
 // maintenance as InsertBatch. A value the summary cannot locate stops
 // the batch with ErrEmpty; values before it stay applied.
 func (h *DVO) DeleteBatch(vs []float64) error {
+	h.pairsStale = true
 	for _, v := range vs {
 		if err := h.deleteNoSettle(v); err != nil {
 			h.settle(len(vs))
@@ -294,26 +318,27 @@ func (h *DVO) settle(maxReorgs int) {
 // decrement removes one point from bucket i, preferring the sub-counter
 // covering v. Reports whether a decrement happened.
 func (h *DVO) decrement(i int, v float64) bool {
-	b := &h.buckets[i]
+	st := h.st
 	x := v
-	if !b.Contains(x) {
-		if x < b.Left {
-			x = b.Left
+	if !st.Contains(i, x) {
+		if x < st.Left(i) {
+			x = st.Left(i)
 		} else {
-			x = b.Right - 1e-9
+			x = st.Right(i) - 1e-9
 		}
 	}
-	s := b.SubIndex(x)
-	if b.Subs[s] >= 1 {
-		b.Subs[s]--
-		h.devs[i] = h.deviation(b)
+	s := st.SubIndex(i, x)
+	row := st.Row(i)
+	if row[s] >= 1 {
+		st.Add(i, s, -1)
+		h.devs[i] = h.devAt(i)
 		h.refreshPairsAround(i)
 		return true
 	}
-	for j := range b.Subs {
-		if b.Subs[j] >= 1 {
-			b.Subs[j]--
-			h.devs[i] = h.deviation(b)
+	for j := range row {
+		if row[j] >= 1 {
+			st.Add(i, j, -1)
+			h.devs[i] = h.devAt(i)
 			h.refreshPairsAround(i)
 			return true
 		}
@@ -321,12 +346,9 @@ func (h *DVO) decrement(i int, v float64) bool {
 	// Split and merge produce fractional counters, so the bucket may
 	// hold ≥ 1 point without any single counter reaching 1; remove the
 	// point proportionally.
-	if c := b.Count(); c >= 1 {
-		scale := (c - 1) / c
-		for j := range b.Subs {
-			b.Subs[j] *= scale
-		}
-		h.devs[i] = h.deviation(b)
+	if c := st.Count(i); c >= 1 {
+		st.Scale(i, (c-1)/c)
+		h.devs[i] = h.devAt(i)
 		h.refreshPairsAround(i)
 		return true
 	}
@@ -334,49 +356,88 @@ func (h *DVO) decrement(i int, v float64) bool {
 }
 
 // refreshPairsAround recomputes the cached merged deviation of the
-// pairs touching bucket i.
+// pairs touching bucket i. While the cache is marked stale (batch
+// mode) this is a no-op: settle rebuilds the whole cache once, which
+// costs one O(n) pass per batch instead of two merged-deviation
+// evaluations per value.
 func (h *DVO) refreshPairsAround(i int) {
+	if h.pairsStale {
+		return
+	}
 	h.ensurePairCache()
 	if i > 0 {
-		h.pairDevs[i-1] = h.mergedDeviation(&h.buckets[i-1], &h.buckets[i])
+		h.pairDevs[i-1] = h.mergedDevAt(i - 1)
 	}
-	if i+1 < len(h.buckets) {
-		h.pairDevs[i] = h.mergedDeviation(&h.buckets[i], &h.buckets[i+1])
+	if i+1 < h.st.Len() {
+		h.pairDevs[i] = h.mergedDevAt(i)
 	}
 }
 
-// ensurePairCache (re)builds the pair-deviation cache when its length
-// no longer matches the bucket list — which happens when tests or
-// restore paths assemble bucket state directly.
+// ensurePairCache (re)builds the pair-deviation cache when it is stale
+// (deferred batch upkeep) or its length no longer matches the bucket
+// list — which happens when restore paths assemble bucket state
+// directly.
 func (h *DVO) ensurePairCache() {
-	want := len(h.buckets) - 1
+	want := h.st.Len() - 1
 	if want < 0 {
 		want = 0
 	}
-	if len(h.pairDevs) == want {
+	if !h.pairsStale && len(h.pairDevs) == want {
 		return
 	}
-	h.pairDevs = make([]float64, want)
-	for m := range h.pairDevs {
-		h.pairDevs[m] = h.mergedDeviation(&h.buckets[m], &h.buckets[m+1])
+	if cap(h.pairDevs) < want {
+		h.pairDevs = make([]float64, want)
+	} else {
+		h.pairDevs = h.pairDevs[:want]
 	}
+	for m := range h.pairDevs {
+		h.pairDevs[m] = h.mergedDevAt(m)
+	}
+	h.pairsStale = false
 }
 
 // nearestPositive returns the bucket with count ≥ 1 nearest to v.
 func (h *DVO) nearestPositive(v float64) int {
+	st := h.st
 	best, bestDist := -1, 0.0
-	for i := range h.buckets {
-		if h.buckets[i].Count() < 1 {
+	for i := 0; i < st.Len(); i++ {
+		if st.Count(i) < 1 {
 			continue
 		}
 		d := 0.0
 		switch {
-		case v < h.buckets[i].Left:
-			d = h.buckets[i].Left - v
-		case v >= h.buckets[i].Right:
-			d = v - h.buckets[i].Right
+		case v < st.Left(i):
+			d = st.Left(i) - v
+		case v >= st.Right(i):
+			d = v - st.Right(i)
 		}
 		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// nearestAny returns the bucket whose range is closest to v (the
+// containing bucket if any), or -1 for an empty store.
+func (h *DVO) nearestAny(v float64) int {
+	st := h.st
+	if st.Len() == 0 {
+		return -1
+	}
+	if i := st.Find(v); i >= 0 {
+		return i
+	}
+	best, bestDist := -1, math.Inf(1)
+	for i := 0; i < st.Len(); i++ {
+		d := 0.0
+		switch {
+		case v < st.Left(i):
+			d = st.Left(i) - v
+		case v >= st.Right(i):
+			d = v - st.Right(i)
+		}
+		if d < bestDist {
 			best, bestDist = i, d
 		}
 	}
@@ -386,41 +447,36 @@ func (h *DVO) nearestPositive(v float64) int {
 // insertSingleton adds a width-one bucket [v, v+1) holding count points
 // spread across its sub-buckets, keeping the list sorted.
 func (h *DVO) insertSingleton(v, count float64) {
+	st := h.st
 	left := math.Floor(v)
 	right := left + 1
 	// Clip against neighbours so buckets never overlap (a point can
 	// land in a sub-unit gap between buckets).
-	pos := sort.Search(len(h.buckets), func(j int) bool { return h.buckets[j].Left > v })
-	if pos > 0 && h.buckets[pos-1].Right > left {
-		left = h.buckets[pos-1].Right
+	pos := sort.Search(st.Len(), func(j int) bool { return st.Left(j) > v })
+	if pos > 0 && st.Right(pos-1) > left {
+		left = st.Right(pos - 1)
 	}
-	if pos < len(h.buckets) && h.buckets[pos].Left < right {
-		right = h.buckets[pos].Left
+	if pos < st.Len() && st.Left(pos) < right {
+		right = st.Left(pos)
 	}
 	if right <= left {
 		// No room: the value sits flush between two buckets; widen
 		// nothing and attribute the point to the nearest bucket instead.
-		i := histogram.NearestBucket(h.buckets, v)
-		b := &h.buckets[i]
-		x := math.Min(math.Max(v, b.Left), b.Right-1e-9)
-		b.Subs[b.SubIndex(x)] += count
-		h.devs[i] = h.deviation(b)
+		i := h.nearestAny(v)
+		x := math.Min(math.Max(v, st.Left(i)), st.Right(i)-1e-9)
+		st.AddAt(i, x, count)
+		h.devs[i] = h.devAt(i)
 		h.refreshPairsAround(i)
 		return
 	}
-	nb := histogram.NewBucket(left, right, h.subBuckets)
-	for j := range nb.Subs {
-		nb.Subs[j] = count / float64(h.subBuckets)
-	}
-	h.buckets = append(h.buckets, histogram.Bucket{})
-	copy(h.buckets[pos+1:], h.buckets[pos:])
-	h.buckets[pos] = nb
+	st.Insert(pos, left, right)
+	st.FillUniform(pos, count)
 	h.devs = append(h.devs, 0)
 	copy(h.devs[pos+1:], h.devs[pos:])
-	h.devs[pos] = h.deviation(&h.buckets[pos])
+	h.devs[pos] = h.devAt(pos)
 	// One more pair slot; the new bucket participates in up to two
 	// pairs.
-	if len(h.buckets) > 1 {
+	if st.Len() > 1 {
 		h.pairDevs = append(h.pairDevs, 0)
 		if pos < len(h.pairDevs) {
 			copy(h.pairDevs[pos+1:], h.pairDevs[pos:])
@@ -429,22 +485,43 @@ func (h *DVO) insertSingleton(v, count float64) {
 	h.refreshPairsAround(pos)
 }
 
-// deviation returns the bucket's internal deviation under the
+// devAt returns bucket i's internal deviation under the
 // continuous-value and uniform-within-sub-bucket assumptions: the
 // integral over the bucket of |density − mean density| (AbsDeviation)
-// or (density − mean density)² (Variance). For two sub-buckets these
-// reduce to |cL − cR| and (cL − cR)²/W, the closed forms behind the
-// paper's Figure 4 discussion.
-func (h *DVO) deviation(b *histogram.Bucket) float64 {
-	w := b.Width()
+// or (density − mean density)² (Variance). For two sub-buckets the
+// loop is unrolled, preserving the exact operation order (and hence
+// bit-identical results — split/merge decisions compare these values
+// at near-ties, so the arithmetic is part of the observable
+// behaviour). The bucket count is re-summed from the row rather than
+// read off the store's running total for the same reason: the
+// maintained total drifts from the fresh sum by ulps.
+func (h *DVO) devAt(i int) float64 {
+	st := h.st
+	w := st.Width(i)
 	if w <= 0 {
 		return 0
 	}
-	k := float64(len(b.Subs))
+	if h.subBuckets == 2 {
+		row := st.Row(i)
+		subW := w / 2
+		mean := (row[0] + row[1]) / w
+		d0 := row[0]/subW - mean
+		d1 := row[1]/subW - mean
+		if h.kind == Variance {
+			return subW*d0*d0 + subW*d1*d1
+		}
+		return subW*math.Abs(d0) + subW*math.Abs(d1)
+	}
+	row := st.Row(i)
+	k := float64(h.subBuckets)
 	subW := w / k
-	mean := b.Count() / w
+	c := 0.0
+	for _, v := range row {
+		c += v
+	}
+	mean := c / w
 	dev := 0.0
-	for _, c := range b.Subs {
+	for _, c := range row {
 		d := c/subW - mean
 		if h.kind == Variance {
 			dev += subW * d * d
@@ -455,32 +532,68 @@ func (h *DVO) deviation(b *histogram.Bucket) float64 {
 	return dev
 }
 
-// mergedDeviation returns the deviation the merged bucket [a.Left,
-// b.Right) would have, computed against the full piecewise profile of
-// both buckets (and the zero-density gap between them, if any) — the
-// V_M of the paper's Eq. (4).
-func (h *DVO) mergedDeviation(a, b *histogram.Bucket) float64 {
-	w := b.Right - a.Left
+// devOf returns the deviation a hypothetical bucket [left, right) with
+// the given counters would carry.
+func (h *DVO) devOf(left, right float64, row []float64) float64 {
+	w := right - left
 	if w <= 0 {
 		return 0
 	}
-	mean := (a.Count() + b.Count()) / w
+	k := float64(len(row))
+	subW := w / k
+	total := 0.0
+	for _, c := range row {
+		total += c
+	}
+	mean := total / w
 	dev := 0.0
-	addSegs := func(bk *histogram.Bucket) {
-		subW := bk.Width() / float64(len(bk.Subs))
-		for _, c := range bk.Subs {
+	for _, c := range row {
+		d := c/subW - mean
+		if h.kind == Variance {
+			dev += subW * d * d
+		} else {
+			dev += subW * math.Abs(d)
+		}
+	}
+	return dev
+}
+
+// mergedDevAt returns the deviation the merged bucket over the pair
+// (m, m+1) would have, computed against the full piecewise profile of
+// both buckets (and the zero-density gap between them, if any) — the
+// V_M of the paper's Eq. (4).
+func (h *DVO) mergedDevAt(m int) float64 {
+	st := h.st
+	la, rb := st.Left(m), st.Right(m+1)
+	w := rb - la
+	if w <= 0 {
+		return 0
+	}
+	// Fresh row sums, not the maintained running totals: near-tie
+	// merge decisions compare these values, so ulp drift matters.
+	ca, cb := 0.0, 0.0
+	for _, v := range st.Row(m) {
+		ca += v
+	}
+	for _, v := range st.Row(m + 1) {
+		cb += v
+	}
+	mean := (ca + cb) / w
+	variance := h.kind == Variance
+	dev := 0.0
+	for b := m; b <= m+1; b++ {
+		subW := st.Width(b) / float64(h.subBuckets)
+		for _, c := range st.Row(b) {
 			d := c/subW - mean
-			if h.kind == Variance {
+			if variance {
 				dev += subW * d * d
 			} else {
 				dev += subW * math.Abs(d)
 			}
 		}
 	}
-	addSegs(a)
-	addSegs(b)
-	if gap := b.Left - a.Right; gap > 0 {
-		if h.kind == Variance {
+	if gap := st.Left(m+1) - st.Right(m); gap > 0 {
+		if variance {
 			dev += gap * mean * mean
 		} else {
 			dev += gap * mean
@@ -495,8 +608,8 @@ func (h *DVO) mergedDeviation(a, b *histogram.Bucket) float64 {
 // histogram cannot resolve below one integer value.
 func (h *DVO) bestSplit() int {
 	best, bestDev := -1, 0.0
-	for i := range h.buckets {
-		if h.buckets[i].Width() <= 1+1e-9 {
+	for i := 0; i < h.st.Len(); i++ {
+		if h.st.Width(i) <= 1+1e-9 {
 			continue
 		}
 		if h.devs[i] > bestDev {
@@ -515,7 +628,7 @@ func (h *DVO) bestSplit() int {
 func (h *DVO) bestMergePair(exclude int) int {
 	h.ensurePairCache()
 	best, bestDev := -1, math.Inf(1)
-	for m := 0; m+1 < len(h.buckets); m++ {
+	for m := 0; m+1 < h.st.Len(); m++ {
 		if m == exclude || m+1 == exclude {
 			continue
 		}
@@ -529,7 +642,7 @@ func (h *DVO) bestMergePair(exclude int) int {
 // maybeSplitMerge performs one split-merge pair when it strictly
 // reduces the overall deviation (paper Figure 3): ΔV = V_M − V_S < 0.
 func (h *DVO) maybeSplitMerge() {
-	if len(h.buckets) < 3 {
+	if h.st.Len() < 3 {
 		return
 	}
 	s := h.bestSplit()
@@ -565,17 +678,18 @@ func (h *DVO) splitChildDeviation(s int) float64 {
 	if h.subBuckets == 2 {
 		return 0
 	}
-	old := &h.buckets[s]
-	mid := (old.Left + old.Right) / 2
+	st := h.st
+	mid := (st.Left(s) + st.Right(s)) / 2
+	k := h.subBuckets
+	row := h.scratch[:k]
 	dev := 0.0
-	for _, half := range [][2]float64{{old.Left, mid}, {mid, old.Right}} {
-		child := histogram.NewBucket(half[0], half[1], h.subBuckets)
-		subW := child.Width() / float64(h.subBuckets)
-		for j := range child.Subs {
-			lo := child.Left + float64(j)*subW
-			child.Subs[j] = old.Mass(lo, lo+subW)
+	for _, half := range [2][2]float64{{st.Left(s), mid}, {mid, st.Right(s)}} {
+		subW := (half[1] - half[0]) / float64(k)
+		for j := 0; j < k; j++ {
+			lo := half[0] + float64(j)*subW
+			row[j] = st.Mass(s, lo, lo+subW)
 		}
-		dev += h.deviation(&child)
+		dev += h.devOf(half[0], half[1], row)
 	}
 	return dev
 }
@@ -584,20 +698,23 @@ func (h *DVO) splitChildDeviation(s int) float64 {
 // sub-counters are read off the old piecewise profile (paper §4:
 // "calculated based on the counts and ranges of the original buckets").
 func (h *DVO) mergeAt(m int) {
-	a, b := &h.buckets[m], &h.buckets[m+1]
-	nb := histogram.NewBucket(a.Left, b.Right, h.subBuckets)
-	subW := nb.Width() / float64(h.subBuckets)
-	for j := range nb.Subs {
-		lo := nb.Left + float64(j)*subW
+	st := h.st
+	left, right := st.Left(m), st.Right(m+1)
+	k := h.subBuckets
+	subW := (right - left) / float64(k)
+	row := h.scratch[:k]
+	for j := 0; j < k; j++ {
+		lo := left + float64(j)*subW
 		hi := lo + subW
-		nb.Subs[j] = a.Mass(lo, hi) + b.Mass(lo, hi)
+		row[j] = st.Mass(m, lo, hi) + st.Mass(m+1, lo, hi)
 	}
-	h.buckets[m] = nb
-	h.buckets = append(h.buckets[:m+1], h.buckets[m+2:]...)
-	h.devs[m] = h.deviation(&h.buckets[m])
+	st.Remove(m + 1)
+	st.SetBorders(m, left, right)
+	st.SetRow(m, row)
+	h.devs[m] = h.devAt(m)
 	h.devs = append(h.devs[:m+1], h.devs[m+2:]...)
 	// The pair (m, m+1) disappears; neighbours change.
-	if len(h.pairDevs) == len(h.buckets) { // cache was sized pre-merge
+	if len(h.pairDevs) == st.Len() { // cache was sized pre-merge
 		h.pairDevs = append(h.pairDevs[:m], h.pairDevs[m+1:]...)
 	}
 	h.refreshPairsAround(m)
@@ -608,32 +725,51 @@ func (h *DVO) mergeAt(m int) {
 // sub-buckets this yields children with equal counters and hence zero
 // deviation (paper §4: "splitting never increases V").
 func (h *DVO) splitAt(s int) {
-	old := h.buckets[s].Clone()
-	mid := (old.Left + old.Right) / 2
-	left := histogram.NewBucket(old.Left, mid, h.subBuckets)
-	right := histogram.NewBucket(mid, old.Right, h.subBuckets)
-	fill := func(nb *histogram.Bucket) {
-		subW := nb.Width() / float64(h.subBuckets)
-		for j := range nb.Subs {
-			lo := nb.Left + float64(j)*subW
-			nb.Subs[j] = old.Mass(lo, lo+subW)
-		}
+	st := h.st
+	left, right := st.Left(s), st.Right(s)
+	mid := (left + right) / 2
+	k := h.subBuckets
+	lrow := h.scratch[:k]
+	rrow := h.scratch[k : 2*k]
+	lsubW := (mid - left) / float64(k)
+	rsubW := (right - mid) / float64(k)
+	for j := 0; j < k; j++ {
+		lo := left + float64(j)*lsubW
+		lrow[j] = st.Mass(s, lo, lo+lsubW)
+		ro := mid + float64(j)*rsubW
+		rrow[j] = st.Mass(s, ro, ro+rsubW)
 	}
-	fill(&left)
-	fill(&right)
-	h.buckets[s] = left
-	h.buckets = append(h.buckets, histogram.Bucket{})
-	copy(h.buckets[s+2:], h.buckets[s+1:])
-	h.buckets[s+1] = right
-	h.devs[s] = h.deviation(&h.buckets[s])
+	st.SetBorders(s, left, mid)
+	st.SetRow(s, lrow)
+	st.Insert(s+1, mid, right)
+	st.SetRow(s+1, rrow)
+	h.devs[s] = h.devAt(s)
 	h.devs = append(h.devs, 0)
 	copy(h.devs[s+2:], h.devs[s+1:])
-	h.devs[s+1] = h.deviation(&h.buckets[s+1])
+	h.devs[s+1] = h.devAt(s + 1)
 	// One new pair between the children; both edge pairs change.
-	if len(h.pairDevs) == len(h.buckets)-2 { // cache was sized pre-split
+	if len(h.pairDevs) == st.Len()-2 { // cache was sized pre-split
 		h.pairDevs = append(h.pairDevs, 0)
 		copy(h.pairDevs[s+1:], h.pairDevs[s:])
 	}
 	h.refreshPairsAround(s)
 	h.refreshPairsAround(s + 1)
+}
+
+// loadBuckets replaces the histogram's bucket state wholesale — the
+// restore path (and the tests' state-assembly helper). Deviation and
+// pair caches are rebuilt from scratch.
+func (h *DVO) loadBuckets(buckets []histogram.Bucket) error {
+	st, err := histogram.StoreOfBuckets(buckets, h.subBuckets)
+	if err != nil {
+		return err
+	}
+	h.st = st
+	h.devs = make([]float64, st.Len())
+	for i := range h.devs {
+		h.devs[i] = h.devAt(i)
+	}
+	h.pairDevs = nil
+	h.ensurePairCache()
+	return nil
 }

@@ -57,17 +57,30 @@ func TestDeviationClosedForms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := histogram.Bucket{Left: 0, Right: 8, Subs: []float64{6, 2}}
+	subs := []float64{6, 2}
 	// DADO: |cL − cR| = 4; DVO: (cL−cR)²/W = 16/8 = 2.
-	if got := dado.deviation(&b); math.Abs(got-4) > 1e-12 {
+	if got := dado.devOf(0, 8, subs); math.Abs(got-4) > 1e-12 {
 		t.Errorf("DADO deviation = %v, want 4", got)
 	}
-	if got := dvo.deviation(&b); math.Abs(got-2) > 1e-12 {
+	if got := dvo.devOf(0, 8, subs); math.Abs(got-2) > 1e-12 {
 		t.Errorf("DVO deviation = %v, want 2", got)
 	}
-	flat := histogram.Bucket{Left: 0, Right: 8, Subs: []float64{3, 3}}
-	if dado.deviation(&flat) != 0 || dvo.deviation(&flat) != 0 {
+	flat := []float64{3, 3}
+	if dado.devOf(0, 8, flat) != 0 || dvo.devOf(0, 8, flat) != 0 {
 		t.Error("balanced bucket must have zero deviation")
+	}
+	// The closed-form hot path (devAt) must agree with the generic form.
+	if err := dado.loadBuckets([]histogram.Bucket{{Left: 0, Right: 8, Subs: subs}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dado.devAt(0); math.Abs(got-4) > 1e-12 {
+		t.Errorf("DADO devAt = %v, want 4", got)
+	}
+	if err := dvo.loadBuckets([]histogram.Bucket{{Left: 0, Right: 8, Subs: subs}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dvo.devAt(0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("DVO devAt = %v, want 2", got)
 	}
 }
 
@@ -83,10 +96,11 @@ func TestSplitNeverIncreasesDeviation(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		h.buckets = []histogram.Bucket{
+		if err := h.loadBuckets([]histogram.Bucket{
 			{Left: 0, Right: 16, Subs: []float64{float64(cl), float64(cr)}},
+		}); err != nil {
+			return false
 		}
-		h.devs = []float64{h.deviation(&h.buckets[0])}
 		before := h.devs[0]
 		h.splitAt(0)
 		after := h.devs[0] + h.devs[1]
@@ -109,10 +123,14 @@ func TestMergeNeverDecreasesDeviation(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		a := histogram.Bucket{Left: 0, Right: 8, Subs: []float64{float64(a1), float64(a2)}}
-		b := histogram.Bucket{Left: 8, Right: 24, Subs: []float64{float64(b1), float64(b2)}}
-		sum := h.deviation(&a) + h.deviation(&b)
-		return h.mergedDeviation(&a, &b) >= sum-1e-9
+		if err := h.loadBuckets([]histogram.Bucket{
+			{Left: 0, Right: 8, Subs: []float64{float64(a1), float64(a2)}},
+			{Left: 8, Right: 24, Subs: []float64{float64(b1), float64(b2)}},
+		}); err != nil {
+			return false
+		}
+		sum := h.devs[0] + h.devs[1]
+		return h.mergedDevAt(0) >= sum-1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -124,16 +142,17 @@ func TestMergePreservesMassAndProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.buckets = []histogram.Bucket{
+	if err := h.loadBuckets([]histogram.Bucket{
 		{Left: 0, Right: 8, Subs: []float64{6, 2}},
 		{Left: 8, Right: 16, Subs: []float64{4, 4}},
+	}); err != nil {
+		t.Fatal(err)
 	}
-	h.devs = []float64{h.deviation(&h.buckets[0]), h.deviation(&h.buckets[1])}
 	h.mergeAt(0)
-	if len(h.buckets) != 1 {
-		t.Fatalf("merge left %d buckets", len(h.buckets))
+	if h.st.Len() != 1 {
+		t.Fatalf("merge left %d buckets", h.st.Len())
 	}
-	m := h.buckets[0]
+	m := h.Buckets()[0]
 	if m.Left != 0 || m.Right != 16 {
 		t.Fatalf("merged range [%v,%v)", m.Left, m.Right)
 	}
@@ -151,13 +170,14 @@ func TestMergeAcrossGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.buckets = []histogram.Bucket{
+	if err := h.loadBuckets([]histogram.Bucket{
 		{Left: 0, Right: 4, Subs: []float64{2, 2}},
 		{Left: 12, Right: 16, Subs: []float64{3, 3}},
+	}); err != nil {
+		t.Fatal(err)
 	}
-	h.devs = []float64{0, 0}
 	h.mergeAt(0)
-	m := h.buckets[0]
+	m := h.Buckets()[0]
 	if m.Left != 0 || m.Right != 16 {
 		t.Fatalf("merged range [%v,%v), want [0,16)", m.Left, m.Right)
 	}
@@ -179,18 +199,16 @@ func TestDADOExampleFromPaper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.buckets = []histogram.Bucket{
+	if err := h.loadBuckets([]histogram.Bucket{
 		{Left: 0, Right: 2, Subs: []float64{10, 10}},
 		{Left: 2, Right: 4, Subs: []float64{100, 4}}, // high variance
 		{Left: 4, Right: 6, Subs: []float64{8, 8}},   // low variance
 		{Left: 6, Right: 8, Subs: []float64{8, 8}},   // low variance
 		{Left: 8, Right: 10, Subs: []float64{12, 10}},
+	}); err != nil {
+		t.Fatal(err)
 	}
-	h.devs = make([]float64, 5)
-	for i := range h.buckets {
-		h.devs[i] = h.deviation(&h.buckets[i])
-	}
-	h.total = histogram.TotalCount(h.buckets)
+	h.total = h.st.TotalMass()
 
 	before := h.TotalDeviation()
 	if err := h.Insert(2.5); err != nil {
@@ -199,8 +217,8 @@ func TestDADOExampleFromPaper(t *testing.T) {
 	if h.Reorganisations() != 1 {
 		t.Fatalf("expected one split-merge, got %d", h.Reorganisations())
 	}
-	if len(h.buckets) != 5 {
-		t.Fatalf("bucket count changed: %d", len(h.buckets))
+	if h.st.Len() != 5 {
+		t.Fatalf("bucket count changed: %d", h.st.Len())
 	}
 	if h.TotalDeviation() >= before {
 		t.Errorf("split-merge did not reduce deviation: %v -> %v", before, h.TotalDeviation())
@@ -451,15 +469,17 @@ func TestPairCacheConsistency(t *testing.T) {
 			}
 		}
 		h.ensurePairCache()
-		for m := 0; m+1 < len(h.buckets); m++ {
-			want := h.mergedDeviation(&h.buckets[m], &h.buckets[m+1])
+		for m := 0; m+1 < h.st.Len(); m++ {
+			want := h.mergedDevAt(m)
 			if math.Abs(h.pairDevs[m]-want) > 1e-9*(1+want) {
 				return false
 			}
 		}
-		// Per-bucket deviations too.
-		for i := range h.buckets {
-			want := h.deviation(&h.buckets[i])
+		// Per-bucket deviations too, checked against the generic
+		// hypothetical-bucket form (independent of the closed-form hot
+		// path and the running totals).
+		for i := 0; i < h.st.Len(); i++ {
+			want := h.devOf(h.st.Left(i), h.st.Right(i), h.st.Row(i))
 			if math.Abs(h.devs[i]-want) > 1e-9*(1+want) {
 				return false
 			}

@@ -31,10 +31,14 @@ var ErrEmpty = fmt.Errorf("core: %w", histerr.ErrEmpty)
 // while the remaining regular buckets aim for equal counts; when the
 // chi-square test rejects the equal-count null hypothesis, the
 // histogram repartitions using only the counts it already maintains.
+//
+// The bucket state lives in a flat histogram.Store arena with one
+// counter per bucket, so the hot insert path is a binary search over
+// one contiguous border array plus one counter bump.
 type DC struct {
 	maxBuckets int
 	alphaMin   float64
-	buckets    []histogram.Bucket // 1 sub-bucket each, contiguous
+	st         *histogram.Store // k=1, contiguous coverage
 	singular   []bool
 	total      float64
 
@@ -77,6 +81,7 @@ func NewDC(maxBuckets int) (*DC, error) {
 	return &DC{
 		maxBuckets:  maxBuckets,
 		alphaMin:    DefaultAlphaMin,
+		st:          histogram.NewStore(1),
 		loadingSeen: make(map[float64]bool),
 		cachedDF:    -1,
 	}, nil
@@ -132,7 +137,11 @@ func (h *DC) Repartitions() int { return h.repartitions }
 func (h *DC) Loading() bool { return !h.loaded }
 
 // Buckets returns a deep copy of the current bucket list.
-func (h *DC) Buckets() []histogram.Bucket { return histogram.CloneBuckets(h.buckets) }
+func (h *DC) Buckets() []histogram.Bucket { return h.st.Buckets() }
+
+// Store exposes the flat bucket arena for read-only consumers; callers
+// must not mutate it.
+func (h *DC) Store() *histogram.Store { return h.st }
 
 // SingularCount returns the number of buckets currently marked
 // singular.
@@ -151,7 +160,7 @@ func (h *DC) CDF(x float64) float64 {
 	if h.total <= 0 {
 		return 0
 	}
-	return histogram.MassBelow(h.buckets, x) / h.total
+	return h.st.MassBelowAll(x) / h.total
 }
 
 // EstimateRange returns the approximate number of points with integer
@@ -160,7 +169,7 @@ func (h *DC) EstimateRange(lo, hi float64) float64 {
 	if hi < lo {
 		return 0
 	}
-	return histogram.MassBelow(h.buckets, hi+1) - histogram.MassBelow(h.buckets, lo)
+	return h.st.MassBelowAll(hi+1) - h.st.MassBelowAll(lo)
 }
 
 // Insert adds one occurrence of v.
@@ -171,7 +180,7 @@ func (h *DC) Insert(v float64) error {
 	if !h.loaded && h.loadingInsert(v) {
 		return nil
 	}
-	i := histogram.FindBucket(h.buckets, v)
+	i := h.st.Find(v)
 	if i < 0 {
 		i = h.extendRange(v)
 	}
@@ -191,8 +200,8 @@ func (h *DC) Delete(v float64) error {
 	if h.total < 1 {
 		return ErrEmpty
 	}
-	i := histogram.FindBucket(h.buckets, v)
-	if i < 0 || h.buckets[i].Subs[0] < 1 {
+	i := h.st.Find(v)
+	if i < 0 || h.st.Count(i) < 1 {
 		i = h.nearestPositive(v)
 		if i < 0 {
 			return ErrEmpty
@@ -215,8 +224,9 @@ func (h *DC) Delete(v float64) error {
 // insert was absorbed; false means the loading phase just ended and
 // the caller must run the normal insert path.
 func (h *DC) loadingInsert(v float64) bool {
+	st := h.st
 	if h.loadingSeen[v] {
-		i := histogram.FindBucket(h.buckets, v)
+		i := st.Find(v)
 		h.addCount(i, 1)
 		h.total++
 		return true
@@ -228,18 +238,18 @@ func (h *DC) loadingInsert(v float64) bool {
 	// never exceed the budget mid-operation.
 	needed := 1
 	switch {
-	case len(h.buckets) == 0:
-	case right <= h.buckets[0].Left:
-		if right < h.buckets[0].Left {
+	case st.Len() == 0:
+	case right <= st.Left(0):
+		if right < st.Left(0) {
 			needed = 2 // value + leading gap
 		}
-	case left >= h.buckets[len(h.buckets)-1].Right:
-		if left > h.buckets[len(h.buckets)-1].Right {
+	case left >= st.Right(st.Len()-1):
+		if left > st.Right(st.Len()-1) {
 			needed = 2 // trailing gap + value
 		}
 	default:
-		i := histogram.FindBucket(h.buckets, v)
-		if i >= 0 && h.buckets[i].Subs[0] > 0 {
+		i := st.Find(v)
+		if i >= 0 && st.Count(i) > 0 {
 			// v falls inside an existing populated unit bucket (a
 			// different float rounding to the same integer): no new
 			// bucket needed.
@@ -250,7 +260,7 @@ func (h *DC) loadingInsert(v float64) bool {
 		}
 		needed = 3 // gap may split into gap + value + gap
 	}
-	if len(h.buckets)+needed > h.maxBuckets {
+	if st.Len()+needed > h.maxBuckets {
 		h.loaded = true
 		h.loadingSeen = nil
 		return false // caller runs the normal insert path
@@ -259,23 +269,23 @@ func (h *DC) loadingInsert(v float64) bool {
 	h.loadingSeen[v] = true
 	h.total++
 	switch {
-	case len(h.buckets) == 0:
+	case st.Len() == 0:
 		h.insertBucketAt(0, left, right, 1)
-	case right <= h.buckets[0].Left:
-		if right < h.buckets[0].Left {
-			h.insertBucketAt(0, right, h.buckets[0].Left, 0)
+	case right <= st.Left(0):
+		if right < st.Left(0) {
+			h.insertBucketAt(0, right, st.Left(0), 0)
 		}
 		h.insertBucketAt(0, left, right, 1)
-	case left >= h.buckets[len(h.buckets)-1].Right:
-		if prevRight := h.buckets[len(h.buckets)-1].Right; left > prevRight {
-			h.insertBucketAt(len(h.buckets), prevRight, left, 0)
+	case left >= st.Right(st.Len()-1):
+		if prevRight := st.Right(st.Len() - 1); left > prevRight {
+			h.insertBucketAt(st.Len(), prevRight, left, 0)
 		}
-		h.insertBucketAt(len(h.buckets), left, right, 1)
+		h.insertBucketAt(st.Len(), left, right, 1)
 	default:
 		// v sits inside a zero-count gap bucket: carve the unit value
 		// bucket out of it.
-		i := histogram.FindBucket(h.buckets, v)
-		a, b := h.buckets[i].Left, h.buckets[i].Right
+		i := st.Find(v)
+		a, b := st.Left(i), st.Right(i)
 		if left < a {
 			left = a
 		}
@@ -295,7 +305,7 @@ func (h *DC) loadingInsert(v float64) bool {
 			h.insertBucketAt(pos, right, b, 0)
 		}
 	}
-	if len(h.buckets) >= h.maxBuckets {
+	if st.Len() >= h.maxBuckets {
 		h.loaded = true
 		h.loadingSeen = nil
 	}
@@ -305,9 +315,10 @@ func (h *DC) loadingInsert(v float64) bool {
 
 // insertBucketAt inserts a single-counter bucket at index pos.
 func (h *DC) insertBucketAt(pos int, left, right, count float64) {
-	h.buckets = append(h.buckets, histogram.Bucket{})
-	copy(h.buckets[pos+1:], h.buckets[pos:])
-	h.buckets[pos] = histogram.Bucket{Left: left, Right: right, Subs: []float64{count}}
+	h.st.Insert(pos, left, right)
+	if count != 0 {
+		h.st.Add(pos, 0, count)
+	}
 	h.singular = append(h.singular, false)
 	copy(h.singular[pos+1:], h.singular[pos:])
 	h.singular[pos] = false
@@ -315,7 +326,7 @@ func (h *DC) insertBucketAt(pos int, left, right, count float64) {
 
 // removeBucketAt deletes the bucket at index pos.
 func (h *DC) removeBucketAt(pos int) {
-	h.buckets = append(h.buckets[:pos], h.buckets[pos+1:]...)
+	h.st.Remove(pos)
 	h.singular = append(h.singular[:pos], h.singular[pos+1:]...)
 }
 
@@ -324,13 +335,14 @@ func (h *DC) removeBucketAt(pos int) {
 // bucket was singular it becomes regular, since it no longer has width
 // one. Returns the index of the bucket now containing v.
 func (h *DC) extendRange(v float64) int {
-	if v < h.buckets[0].Left {
-		h.buckets[0].Left = v
+	st := h.st
+	if v < st.Left(0) {
+		st.SetBorders(0, v, st.Right(0))
 		h.makeRegular(0)
 		return 0
 	}
-	last := len(h.buckets) - 1
-	h.buckets[last].Right = v + 1
+	last := st.Len() - 1
+	st.SetBorders(last, st.Left(last), v+1)
 	h.makeRegular(last)
 	return last
 }
@@ -345,12 +357,12 @@ func (h *DC) makeRegular(i int) {
 // addCount adjusts bucket i's counter and the incremental chi-square
 // sums.
 func (h *DC) addCount(i int, delta float64) {
-	old := h.buckets[i].Subs[0]
+	old := h.st.Count(i)
 	nw := old + delta
 	if nw < 0 {
 		nw = 0
 	}
-	h.buckets[i].Subs[0] = nw
+	h.st.Add(i, 0, nw-old)
 	if !h.singular[i] {
 		h.regSum += nw - old
 		h.regSum2 += nw*nw - old*old
@@ -360,17 +372,18 @@ func (h *DC) addCount(i int, delta float64) {
 // nearestPositive returns the bucket with count ≥ 1 nearest to v, or
 // -1 if none exists.
 func (h *DC) nearestPositive(v float64) int {
+	st := h.st
 	best, bestDist := -1, 0.0
-	for i := range h.buckets {
-		if h.buckets[i].Subs[0] < 1 {
+	for i := 0; i < st.Len(); i++ {
+		if st.Count(i) < 1 {
 			continue
 		}
 		d := 0.0
 		switch {
-		case v < h.buckets[i].Left:
-			d = h.buckets[i].Left - v
-		case v >= h.buckets[i].Right:
-			d = v - h.buckets[i].Right
+		case v < st.Left(i):
+			d = st.Left(i) - v
+		case v >= st.Right(i):
+			d = v - st.Right(i)
 		}
 		if best == -1 || d < bestDist {
 			best, bestDist = i, d
@@ -382,11 +395,11 @@ func (h *DC) nearestPositive(v float64) int {
 // rebuildChiState recomputes the chi-square sums from scratch.
 func (h *DC) rebuildChiState() {
 	h.regSum, h.regSum2, h.regCount = 0, 0, 0
-	for i := range h.buckets {
+	for i := 0; i < h.st.Len(); i++ {
 		if h.singular[i] {
 			continue
 		}
-		c := h.buckets[i].Subs[0]
+		c := h.st.Count(i)
 		h.regSum += c
 		h.regSum2 += c * c
 		h.regCount++
@@ -453,9 +466,11 @@ func (h *DC) maybeRepartition() {
 // piecewise-uniform approximation (§3, Figure 2): demote light singular
 // buckets, re-cut the regular regions at equal-count quantiles, then
 // promote heavy width-one regular buckets to singular. Total area and
-// bucket count are preserved.
+// bucket count are preserved. This is the cold path — it materialises a
+// bucket list, rebuilds it, and reloads the arena.
 func (h *DC) repartition() {
-	n := len(h.buckets)
+	st := h.st
+	n := st.Len()
 	if n < 2 || h.total <= 0 {
 		return
 	}
@@ -464,7 +479,7 @@ func (h *DC) repartition() {
 	// Step 1: demote singular buckets whose count no longer justifies a
 	// singleton.
 	for i := range h.singular {
-		if h.singular[i] && h.buckets[i].Subs[0] <= threshold {
+		if h.singular[i] && st.Count(i) <= threshold {
 			h.singular[i] = false
 		}
 	}
@@ -480,14 +495,17 @@ func (h *DC) repartition() {
 			current = nil
 		}
 	}
-	for i := range h.buckets {
-		b := &h.buckets[i]
+	for i := 0; i < n; i++ {
 		if h.singular[i] {
 			flush()
-			singulars = append(singulars, b.Clone())
+			singulars = append(singulars, histogram.Bucket{
+				Left:  st.Left(i),
+				Right: st.Right(i),
+				Subs:  []float64{st.Count(i)},
+			})
 			continue
 		}
-		current = append(current, dcSegment{left: b.Left, right: b.Right, count: b.Subs[0]})
+		current = append(current, dcSegment{left: st.Left(i), right: st.Right(i), count: st.Count(i)})
 	}
 	flush()
 
@@ -544,10 +562,26 @@ func (h *DC) repartition() {
 		}
 	}
 
-	h.buckets = rebuilt
+	ns, err := histogram.StoreOfBuckets(rebuilt, 1)
+	if err != nil {
+		return // keep the current partition rather than corrupt state
+	}
+	h.st = ns
 	h.singular = rebuiltSingular
 	h.rebuildChiState()
 	h.repartitions++
+}
+
+// loadBuckets replaces the bucket state wholesale — the restore path.
+func (h *DC) loadBuckets(buckets []histogram.Bucket, singular []bool) error {
+	st, err := histogram.StoreOfBuckets(buckets, 1)
+	if err != nil {
+		return err
+	}
+	h.st = st
+	h.singular = singular
+	h.rebuildChiState()
+	return nil
 }
 
 // allocateWithCaps distributes budget units across bins in proportion

@@ -19,42 +19,22 @@ import (
 //
 // The reorganisation machinery mirrors DVO/DADO: one split-merge pair
 // per update when it strictly reduces the total deviation.
+//
+// State lives in the shared flat histogram.Store arena (K = 2: the two
+// half counters) plus a parallel splits array holding each bucket's
+// interior split position; the store's equal-width mass helpers do not
+// apply here, so the equi-depth math reads the arrays directly.
 type EDDado struct {
 	kind       Deviation
 	maxBuckets int
-	buckets    []edBucket
+	st         *histogram.Store // k=2: counters left/right of the split
+	splits     []float64        // interior split position per bucket
 	devs       []float64
 	total      float64
 
+	scratch [2]float64 // row staging for merge/split, alloc-free
+
 	reorganisations int
-}
-
-// edBucket is [Left, Right) with an interior split at Split and counts
-// CL in [Left, Split), CR in [Split, Right).
-type edBucket struct {
-	Left, Split, Right float64
-	CL, CR             float64
-}
-
-func (b *edBucket) count() float64 { return b.CL + b.CR }
-
-func (b *edBucket) massBelow(x float64) float64 {
-	switch {
-	case x <= b.Left:
-		return 0
-	case x >= b.Right:
-		return b.count()
-	case x <= b.Split:
-		if b.Split == b.Left {
-			return b.CL
-		}
-		return b.CL * (x - b.Left) / (b.Split - b.Left)
-	default:
-		if b.Right == b.Split {
-			return b.CL + b.CR
-		}
-		return b.CL + b.CR*(x-b.Split)/(b.Right-b.Split)
-	}
 }
 
 // NewEDDado returns an equi-depth-subdivision dynamic histogram.
@@ -65,7 +45,7 @@ func NewEDDado(kind Deviation, maxBuckets int) (*EDDado, error) {
 	if kind != Variance && kind != AbsDeviation {
 		return nil, fmt.Errorf("core: unknown deviation kind %d", int(kind))
 	}
-	return &EDDado{kind: kind, maxBuckets: maxBuckets}, nil
+	return &EDDado{kind: kind, maxBuckets: maxBuckets, st: histogram.NewStore(2)}, nil
 }
 
 // NewEDDadoMemory sizes the histogram for a byte budget. An equi-depth
@@ -90,23 +70,52 @@ func (h *EDDado) Total() float64 { return h.total }
 // Reorganisations returns the number of split-merge pairs performed.
 func (h *EDDado) Reorganisations() int { return h.reorganisations }
 
+// count returns bucket i's total point count.
+func (h *EDDado) count(i int) float64 { return h.st.Count(i) }
+
+// massBelow returns bucket i's mass in (-∞, x] under the
+// uniform-within-half assumption around the stored split.
+func (h *EDDado) massBelow(i int, x float64) float64 {
+	st := h.st
+	left, right, split := st.Left(i), st.Right(i), h.splits[i]
+	row := st.Row(i)
+	switch {
+	case x <= left:
+		return 0
+	case x >= right:
+		return st.Count(i)
+	case x <= split:
+		if split == left {
+			return row[0]
+		}
+		return row[0] * (x - left) / (split - left)
+	default:
+		if right == split {
+			return st.Count(i)
+		}
+		return row[0] + row[1]*(x-split)/(right-split)
+	}
+}
+
 // Buckets exposes the state as ordinary histogram buckets: each
 // equi-depth bucket appears with its true sub-division by splitting the
 // counters at the stored split position (two unequal-width sub-buckets
 // are approximated by the matching piecewise densities).
 func (h *EDDado) Buckets() []histogram.Bucket {
-	out := make([]histogram.Bucket, 0, len(h.buckets))
-	for i := range h.buckets {
-		b := &h.buckets[i]
+	st := h.st
+	out := make([]histogram.Bucket, 0, st.Len())
+	for i := 0; i < st.Len(); i++ {
+		left, right, split := st.Left(i), st.Right(i), h.splits[i]
+		row := st.Row(i)
 		// Represent the two unequal halves exactly as two buckets.
-		if b.Split > b.Left && b.Split < b.Right {
+		if split > left && split < right {
 			out = append(out,
-				histogram.Bucket{Left: b.Left, Right: b.Split, Subs: []float64{b.CL}},
-				histogram.Bucket{Left: b.Split, Right: b.Right, Subs: []float64{b.CR}},
+				histogram.Bucket{Left: left, Right: split, Subs: []float64{row[0]}},
+				histogram.Bucket{Left: split, Right: right, Subs: []float64{row[1]}},
 			)
 			continue
 		}
-		out = append(out, histogram.Bucket{Left: b.Left, Right: b.Right, Subs: []float64{b.count()}})
+		out = append(out, histogram.Bucket{Left: left, Right: right, Subs: []float64{st.Count(i)}})
 	}
 	return out
 }
@@ -117,11 +126,11 @@ func (h *EDDado) CDF(x float64) float64 {
 		return 0
 	}
 	mass := 0.0
-	for i := range h.buckets {
-		if h.buckets[i].Left >= x {
+	for i := 0; i < h.st.Len(); i++ {
+		if h.st.Left(i) >= x {
 			break
 		}
-		mass += h.buckets[i].massBelow(x)
+		mass += h.massBelow(i, x)
 	}
 	return mass / h.total
 }
@@ -133,10 +142,9 @@ func (h *EDDado) EstimateRange(lo, hi float64) float64 {
 		return 0
 	}
 	var below, above float64
-	for i := range h.buckets {
-		b := &h.buckets[i]
-		above += b.massBelow(hi + 1)
-		below += b.massBelow(lo)
+	for i := 0; i < h.st.Len(); i++ {
+		above += h.massBelow(i, hi+1)
+		below += h.massBelow(i, lo)
 	}
 	return above - below
 }
@@ -147,19 +155,18 @@ func (h *EDDado) Insert(v float64) error {
 		return err
 	}
 	h.total++
-	if i := h.find(v); i >= 0 {
-		b := &h.buckets[i]
-		if v < b.Split {
-			b.CL++
+	if i := h.st.Find(v); i >= 0 {
+		if v < h.splits[i] {
+			h.st.Add(i, 0, 1)
 		} else {
-			b.CR++
+			h.st.Add(i, 1, 1)
 		}
-		h.devs[i] = h.deviation(b)
+		h.devs[i] = h.deviation(i)
 		h.maybeSplitMerge()
 		return nil
 	}
 	h.insertSingleton(v, 1)
-	if len(h.buckets) > h.maxBuckets {
+	if h.st.Len() > h.maxBuckets {
 		if m := h.bestMergePair(-1); m >= 0 {
 			h.mergeAt(m)
 		}
@@ -176,7 +183,7 @@ func (h *EDDado) Delete(v float64) error {
 	if h.total < 1 {
 		return ErrEmpty
 	}
-	i := h.find(v)
+	i := h.st.Find(v)
 	if i < 0 || !h.decrement(i, v) {
 		i = h.nearestPositive(v)
 		if i < 0 || !h.decrement(i, v) {
@@ -189,47 +196,43 @@ func (h *EDDado) Delete(v float64) error {
 }
 
 func (h *EDDado) decrement(i int, v float64) bool {
-	b := &h.buckets[i]
-	x := math.Min(math.Max(v, b.Left), b.Right-1e-9)
-	if x < b.Split && b.CL >= 1 {
-		b.CL--
-	} else if x >= b.Split && b.CR >= 1 {
-		b.CR--
-	} else if b.CL >= 1 {
-		b.CL--
-	} else if b.CR >= 1 {
-		b.CR--
-	} else if c := b.count(); c >= 1 {
-		scale := (c - 1) / c
-		b.CL *= scale
-		b.CR *= scale
-	} else {
-		return false
+	st := h.st
+	x := math.Min(math.Max(v, st.Left(i)), st.Right(i)-1e-9)
+	row := st.Row(i)
+	split := h.splits[i]
+	switch {
+	case x < split && row[0] >= 1:
+		st.Add(i, 0, -1)
+	case x >= split && row[1] >= 1:
+		st.Add(i, 1, -1)
+	case row[0] >= 1:
+		st.Add(i, 0, -1)
+	case row[1] >= 1:
+		st.Add(i, 1, -1)
+	default:
+		c := st.Count(i)
+		if c < 1 {
+			return false
+		}
+		st.Scale(i, (c-1)/c)
 	}
-	h.devs[i] = h.deviation(b)
+	h.devs[i] = h.deviation(i)
 	return true
 }
 
-func (h *EDDado) find(v float64) int {
-	i := sort.Search(len(h.buckets), func(j int) bool { return h.buckets[j].Right > v })
-	if i < len(h.buckets) && v >= h.buckets[i].Left && v < h.buckets[i].Right {
-		return i
-	}
-	return -1
-}
-
 func (h *EDDado) nearestPositive(v float64) int {
+	st := h.st
 	best, bestDist := -1, 0.0
-	for i := range h.buckets {
-		if h.buckets[i].count() < 1 {
+	for i := 0; i < st.Len(); i++ {
+		if st.Count(i) < 1 {
 			continue
 		}
 		d := 0.0
 		switch {
-		case v < h.buckets[i].Left:
-			d = h.buckets[i].Left - v
-		case v >= h.buckets[i].Right:
-			d = v - h.buckets[i].Right
+		case v < st.Left(i):
+			d = st.Left(i) - v
+		case v >= st.Right(i):
+			d = v - st.Right(i)
 		}
 		if best == -1 || d < bestDist {
 			best, bestDist = i, d
@@ -239,53 +242,58 @@ func (h *EDDado) nearestPositive(v float64) int {
 }
 
 func (h *EDDado) insertSingleton(v, count float64) {
+	st := h.st
 	left := math.Floor(v)
 	right := left + 1
-	pos := sort.Search(len(h.buckets), func(j int) bool { return h.buckets[j].Left > v })
-	if pos > 0 && h.buckets[pos-1].Right > left {
-		left = h.buckets[pos-1].Right
+	pos := sort.Search(st.Len(), func(j int) bool { return st.Left(j) > v })
+	if pos > 0 && st.Right(pos-1) > left {
+		left = st.Right(pos - 1)
 	}
-	if pos < len(h.buckets) && h.buckets[pos].Left < right {
-		right = h.buckets[pos].Left
+	if pos < st.Len() && st.Left(pos) < right {
+		right = st.Left(pos)
 	}
 	if right <= left {
 		if i := h.nearestPositive(v); i >= 0 {
-			b := &h.buckets[i]
-			if v < b.Split {
-				b.CL += count
+			if v < h.splits[i] {
+				st.Add(i, 0, count)
 			} else {
-				b.CR += count
+				st.Add(i, 1, count)
 			}
-			h.devs[i] = h.deviation(b)
+			h.devs[i] = h.deviation(i)
 		}
 		return
 	}
-	nb := edBucket{Left: left, Split: (left + right) / 2, Right: right, CL: count / 2, CR: count / 2}
-	h.buckets = append(h.buckets, edBucket{})
-	copy(h.buckets[pos+1:], h.buckets[pos:])
-	h.buckets[pos] = nb
+	st.Insert(pos, left, right)
+	st.Add(pos, 0, count/2)
+	st.Add(pos, 1, count/2)
+	h.splits = append(h.splits, 0)
+	copy(h.splits[pos+1:], h.splits[pos:])
+	h.splits[pos] = (left + right) / 2
 	h.devs = append(h.devs, 0)
 	copy(h.devs[pos+1:], h.devs[pos:])
-	h.devs[pos] = h.deviation(&h.buckets[pos])
+	h.devs[pos] = h.deviation(pos)
 }
 
 // deviation integrates |density − mean| (or its square) over the two
-// unequal-width halves.
-func (h *EDDado) deviation(b *edBucket) float64 {
-	w := b.Right - b.Left
+// unequal-width halves of bucket i.
+func (h *EDDado) deviation(i int) float64 {
+	st := h.st
+	left, right, split := st.Left(i), st.Right(i), h.splits[i]
+	w := right - left
 	if w <= 0 {
 		return 0
 	}
-	mean := b.count() / w
+	mean := st.Count(i) / w
+	row := st.Row(i)
 	dev := 0.0
-	for _, half := range [2][2]float64{{b.Left, b.Split}, {b.Split, b.Right}} {
-		hw := half[1] - half[0]
+	for half := 0; half < 2; half++ {
+		lo, hi, c := left, split, row[0]
+		if half == 1 {
+			lo, hi, c = split, right, row[1]
+		}
+		hw := hi - lo
 		if hw <= 0 {
 			continue
-		}
-		c := b.CL
-		if half[0] == b.Split {
-			c = b.CR
 		}
 		d := c/hw - mean
 		if h.kind == Variance {
@@ -297,15 +305,17 @@ func (h *EDDado) deviation(b *edBucket) float64 {
 	return dev
 }
 
-// mergedDeviation is the deviation the merged bucket would carry,
-// measured over the four original half-segments (plus any gap) against
-// the merged mean density.
-func (h *EDDado) mergedDeviation(a, b *edBucket) float64 {
-	w := b.Right - a.Left
+// mergedDeviation is the deviation the merged bucket over the pair
+// (a, a+1) would carry, measured over the four original half-segments
+// (plus any gap) against the merged mean density.
+func (h *EDDado) mergedDeviation(a int) float64 {
+	st := h.st
+	b := a + 1
+	w := st.Right(b) - st.Left(a)
 	if w <= 0 {
 		return 0
 	}
-	mean := (a.count() + b.count()) / w
+	mean := (st.Count(a) + st.Count(b)) / w
 	dev := 0.0
 	add := func(lo, hi, c float64) {
 		hw := hi - lo
@@ -319,11 +329,12 @@ func (h *EDDado) mergedDeviation(a, b *edBucket) float64 {
 			dev += hw * math.Abs(d)
 		}
 	}
-	add(a.Left, a.Split, a.CL)
-	add(a.Split, a.Right, a.CR)
-	add(b.Left, b.Split, b.CL)
-	add(b.Split, b.Right, b.CR)
-	if gap := b.Left - a.Right; gap > 0 {
+	rowA, rowB := st.Row(a), st.Row(b)
+	add(st.Left(a), h.splits[a], rowA[0])
+	add(h.splits[a], st.Right(a), rowA[1])
+	add(st.Left(b), h.splits[b], rowB[0])
+	add(h.splits[b], st.Right(b), rowB[1])
+	if gap := st.Left(b) - st.Right(a); gap > 0 {
 		if h.kind == Variance {
 			dev += gap * mean * mean
 		} else {
@@ -335,8 +346,8 @@ func (h *EDDado) mergedDeviation(a, b *edBucket) float64 {
 
 func (h *EDDado) bestSplit() int {
 	best, bestDev := -1, 0.0
-	for i := range h.buckets {
-		if h.buckets[i].Right-h.buckets[i].Left <= 1+1e-9 {
+	for i := 0; i < h.st.Len(); i++ {
+		if h.st.Width(i) <= 1+1e-9 {
 			continue
 		}
 		if h.devs[i] > bestDev {
@@ -348,11 +359,11 @@ func (h *EDDado) bestSplit() int {
 
 func (h *EDDado) bestMergePair(exclude int) int {
 	best, bestDev := -1, math.Inf(1)
-	for m := 0; m+1 < len(h.buckets); m++ {
+	for m := 0; m+1 < h.st.Len(); m++ {
 		if m == exclude || m+1 == exclude {
 			continue
 		}
-		d := h.mergedDeviation(&h.buckets[m], &h.buckets[m+1])
+		d := h.mergedDeviation(m)
 		if d < bestDev {
 			best, bestDev = m, d
 		}
@@ -361,7 +372,7 @@ func (h *EDDado) bestMergePair(exclude int) int {
 }
 
 func (h *EDDado) maybeSplitMerge() {
-	if len(h.buckets) < 3 {
+	if h.st.Len() < 3 {
 		return
 	}
 	s := h.bestSplit()
@@ -372,7 +383,7 @@ func (h *EDDado) maybeSplitMerge() {
 	if m < 0 {
 		return
 	}
-	vm := h.mergedDeviation(&h.buckets[m], &h.buckets[m+1])
+	vm := h.mergedDeviation(m)
 	if vm >= h.devs[s]-1e-12 {
 		return
 	}
@@ -388,15 +399,18 @@ func (h *EDDado) maybeSplitMerge() {
 // mass median of the combined piecewise profile, re-establishing the
 // equi-depth sub-division.
 func (h *EDDado) mergeAt(m int) {
-	a, b := h.buckets[m], h.buckets[m+1]
-	total := a.count() + b.count()
-	nb := edBucket{Left: a.Left, Right: b.Right}
-	nb.Split = massMedian(&a, &b, total)
-	nb.CL = a.massBelow(nb.Split) + b.massBelow(nb.Split)
-	nb.CR = total - nb.CL
-	h.buckets[m] = nb
-	h.buckets = append(h.buckets[:m+1], h.buckets[m+2:]...)
-	h.devs[m] = h.deviation(&h.buckets[m])
+	st := h.st
+	left, right := st.Left(m), st.Right(m+1)
+	total := st.Count(m) + st.Count(m+1)
+	split := h.massMedian(m, total)
+	cl := h.massBelow(m, split) + h.massBelow(m+1, split)
+	st.Remove(m + 1)
+	st.SetBorders(m, left, right)
+	h.scratch[0], h.scratch[1] = cl, total-cl
+	st.SetRow(m, h.scratch[:])
+	h.splits[m] = split
+	h.splits = append(h.splits[:m+1], h.splits[m+2:]...)
+	h.devs[m] = h.deviation(m)
 	h.devs = append(h.devs[:m+1], h.devs[m+2:]...)
 }
 
@@ -404,37 +418,42 @@ func (h *EDDado) mergeAt(m int) {
 // equi-depth interior split of its own (mass median under the uniform
 // assumption = geometric midpoint, since each half is uniform).
 func (h *EDDado) splitAt(s int) {
-	old := h.buckets[s]
-	left := edBucket{
-		Left: old.Left, Right: old.Split,
-		Split: (old.Left + old.Split) / 2,
-		CL:    old.CL / 2, CR: old.CL / 2,
-	}
-	right := edBucket{
-		Left: old.Split, Right: old.Right,
-		Split: (old.Split + old.Right) / 2,
-		CL:    old.CR / 2, CR: old.CR / 2,
-	}
-	h.buckets[s] = left
-	h.buckets = append(h.buckets, edBucket{})
-	copy(h.buckets[s+2:], h.buckets[s+1:])
-	h.buckets[s+1] = right
-	h.devs[s] = h.deviation(&h.buckets[s])
+	st := h.st
+	left, right, split := st.Left(s), st.Right(s), h.splits[s]
+	row := st.Row(s)
+	cl, cr := row[0], row[1]
+
+	st.SetBorders(s, left, split)
+	h.scratch[0], h.scratch[1] = cl/2, cl/2
+	st.SetRow(s, h.scratch[:])
+	h.splits[s] = (left + split) / 2
+
+	st.Insert(s+1, split, right)
+	h.scratch[0], h.scratch[1] = cr/2, cr/2
+	st.SetRow(s+1, h.scratch[:])
+	h.splits = append(h.splits, 0)
+	copy(h.splits[s+2:], h.splits[s+1:])
+	h.splits[s+1] = (split + right) / 2
+
+	h.devs[s] = h.deviation(s)
 	h.devs = append(h.devs, 0)
 	copy(h.devs[s+2:], h.devs[s+1:])
-	h.devs[s+1] = h.deviation(&h.buckets[s+1])
+	h.devs[s+1] = h.deviation(s + 1)
 }
 
-// massMedian returns the position where half of the combined mass of a
-// and b lies.
-func massMedian(a, b *edBucket, total float64) float64 {
+// massMedian returns the position where half of the combined mass of
+// buckets m and m+1 lies.
+func (h *EDDado) massMedian(m int, total float64) float64 {
+	st := h.st
 	target := total / 2
+	rowA, rowB := st.Row(m), st.Row(m+1)
 	segs := [4][3]float64{
-		{a.Left, a.Split, a.CL},
-		{a.Split, a.Right, a.CR},
-		{b.Left, b.Split, b.CL},
-		{b.Split, b.Right, b.CR},
+		{st.Left(m), h.splits[m], rowA[0]},
+		{h.splits[m], st.Right(m), rowA[1]},
+		{st.Left(m + 1), h.splits[m+1], rowB[0]},
+		{h.splits[m+1], st.Right(m + 1), rowB[1]},
 	}
+	first, last := st.Left(m), st.Right(m+1)
 	acc := 0.0
 	for _, seg := range segs {
 		lo, hi, c := seg[0], seg[1], seg[2]
@@ -442,15 +461,15 @@ func massMedian(a, b *edBucket, total float64) float64 {
 			frac := (target - acc) / c
 			x := lo + frac*(hi-lo)
 			// Keep the split strictly interior.
-			if x <= a.Left {
-				x = math.Nextafter(a.Left, math.Inf(1))
+			if x <= first {
+				x = math.Nextafter(first, math.Inf(1))
 			}
-			if x >= b.Right {
-				x = math.Nextafter(b.Right, math.Inf(-1))
+			if x >= last {
+				x = math.Nextafter(last, math.Inf(-1))
 			}
 			return x
 		}
 		acc += c
 	}
-	return (a.Left + b.Right) / 2
+	return (first + last) / 2
 }

@@ -33,13 +33,36 @@ func TestNewEDDadoValidation(t *testing.T) {
 	}
 }
 
+// edLoad replaces h's state with the given buckets, each entry being
+// (left, split, right, cl, cr) — the tests' state-assembly helper for
+// the flat-store layout.
+func edLoad(h *EDDado, entries ...[5]float64) {
+	h.st.Reset()
+	h.splits = h.splits[:0]
+	h.devs = h.devs[:0]
+	for i, e := range entries {
+		h.st.Insert(i, e[0], e[2])
+		h.st.Add(i, 0, e[3])
+		h.st.Add(i, 1, e[4])
+		h.splits = append(h.splits, e[1])
+		h.devs = append(h.devs, 0)
+	}
+	for i := range entries {
+		h.devs[i] = h.deviation(i)
+	}
+}
+
 func TestEDBucketMassBelow(t *testing.T) {
-	b := edBucket{Left: 0, Split: 2, Right: 10, CL: 4, CR: 4}
+	h, err := NewEDDado(AbsDeviation, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edLoad(h, [5]float64{0, 2, 10, 4, 4})
 	cases := []struct{ x, want float64 }{
 		{-1, 0}, {0, 0}, {1, 2}, {2, 4}, {6, 6}, {10, 8}, {12, 8},
 	}
 	for _, c := range cases {
-		if got := b.massBelow(c.x); math.Abs(got-c.want) > 1e-12 {
+		if got := h.massBelow(0, c.x); math.Abs(got-c.want) > 1e-12 {
 			t.Errorf("massBelow(%v) = %v, want %v", c.x, got, c.want)
 		}
 	}
@@ -51,14 +74,14 @@ func TestEDDadoDeviation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Split at the geometric midpoint with equal counts: zero deviation.
-	balanced := edBucket{Left: 0, Split: 5, Right: 10, CL: 4, CR: 4}
-	if got := h.deviation(&balanced); got > 1e-12 {
+	edLoad(h, [5]float64{0, 5, 10, 4, 4})
+	if got := h.deviation(0); got > 1e-12 {
 		t.Errorf("balanced deviation = %v, want 0", got)
 	}
 	// Split far off-center with equal counts: halves have different
 	// densities, so deviation is positive.
-	skewed := edBucket{Left: 0, Split: 2, Right: 10, CL: 4, CR: 4}
-	if got := h.deviation(&skewed); got <= 0 {
+	edLoad(h, [5]float64{0, 2, 10, 4, 4})
+	if got := h.deviation(0); got <= 0 {
 		t.Errorf("skewed deviation = %v, want > 0", got)
 	}
 }
@@ -130,8 +153,8 @@ func TestEDDadoBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(h.buckets) > 6 {
-		t.Fatalf("%d buckets over budget 6", len(h.buckets))
+	if h.st.Len() > 6 {
+		t.Fatalf("%d buckets over budget 6", h.st.Len())
 	}
 }
 
@@ -156,22 +179,21 @@ func TestEDDadoMergeRestoresEquiDepth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.buckets = []edBucket{
-		{Left: 0, Split: 5, Right: 10, CL: 2, CR: 2},
-		{Left: 10, Split: 15, Right: 20, CL: 10, CR: 10},
-	}
-	h.devs = []float64{0, 0}
+	edLoad(h,
+		[5]float64{0, 5, 10, 2, 2},
+		[5]float64{10, 15, 20, 10, 10},
+	)
 	h.mergeAt(0)
-	b := h.buckets[0]
-	if math.Abs(b.CL-b.CR) > 1e-9 {
-		t.Errorf("merged counts not equi-depth: %v vs %v", b.CL, b.CR)
+	row := h.st.Row(0)
+	if math.Abs(row[0]-row[1]) > 1e-9 {
+		t.Errorf("merged counts not equi-depth: %v vs %v", row[0], row[1])
 	}
-	if math.Abs(b.count()-24) > 1e-9 {
-		t.Errorf("merged count %v, want 24", b.count())
+	if math.Abs(h.count(0)-24) > 1e-9 {
+		t.Errorf("merged count %v, want 24", h.count(0))
 	}
 	// Mass median lies inside the heavy second bucket.
-	if b.Split <= 10 || b.Split >= 20 {
-		t.Errorf("split %v should be inside (10,20)", b.Split)
+	if h.splits[0] <= 10 || h.splits[0] >= 20 {
+		t.Errorf("split %v should be inside (10,20)", h.splits[0])
 	}
 }
 

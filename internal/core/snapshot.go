@@ -31,7 +31,7 @@ var ErrSnapshot = fmt.Errorf("core: %w", histerr.ErrSnapshot)
 
 // Snapshot serializes the DC histogram's complete maintainable state.
 func (h *DC) Snapshot() ([]byte, error) {
-	bucketBlob, err := histogram.MarshalBuckets(h.buckets)
+	bucketBlob, err := histogram.MarshalBuckets(h.st.Buckets())
 	if err != nil {
 		return nil, err
 	}
@@ -126,22 +126,22 @@ func RestoreDC(data []byte) (*DC, error) {
 	if mass := histogram.TotalCount(buckets); math.Abs(mass-total) > 1e-6*(1+total) {
 		return nil, fmt.Errorf("%w: bucket mass %v disagrees with total %v", ErrSnapshot, mass, total)
 	}
-	h.buckets = buckets
-	h.singular = singular
+	if err := h.loadBuckets(buckets, singular); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
 	h.total = total
 	h.loaded = loadedB != 0
 	h.repartitions = int(repartitions)
 	if h.loaded {
 		h.loadingSeen = nil
 	}
-	h.rebuildChiState()
 	return h, nil
 }
 
 // Snapshot serializes the DVO/DADO histogram's complete maintainable
 // state.
 func (h *DVO) Snapshot() ([]byte, error) {
-	bucketBlob, err := histogram.MarshalBuckets(h.buckets)
+	bucketBlob, err := histogram.MarshalBuckets(h.st.Buckets())
 	if err != nil {
 		return nil, err
 	}
@@ -208,13 +208,11 @@ func RestoreDVO(data []byte) (*DVO, error) {
 				ErrSnapshot, i, len(buckets[i].Subs), subBuckets)
 		}
 	}
-	h.buckets = buckets
+	if err := h.loadBuckets(buckets); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
 	h.total = total
 	h.reorganisations = int(reorgs)
-	h.devs = make([]float64, len(buckets))
-	for i := range buckets {
-		h.devs[i] = h.deviation(&h.buckets[i])
-	}
 	return h, nil
 }
 

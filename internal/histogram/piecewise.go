@@ -30,11 +30,27 @@ func NewPiecewise(buckets []Bucket) (*Piecewise, error) {
 	return &Piecewise{buckets: cp, total: TotalCount(cp)}, nil
 }
 
-// CloneBuckets deep-copies a bucket list.
+// CloneBuckets deep-copies a bucket list. The Subs slices of the copy
+// share one flat backing array (two allocations regardless of bucket
+// count), matching the arena layout of histogram.Store: cloned lists
+// read with the same cache behaviour as the stores they came from.
+// Each Subs slice is capacity-limited to its own row, so an append on
+// one bucket can never bleed into its neighbour.
 func CloneBuckets(buckets []Bucket) []Bucket {
 	out := make([]Bucket, len(buckets))
+	nSubs := 0
 	for i := range buckets {
-		out[i] = buckets[i].Clone()
+		nSubs += len(buckets[i].Subs)
+	}
+	flat := make([]float64, 0, nSubs)
+	for i := range buckets {
+		start := len(flat)
+		flat = append(flat, buckets[i].Subs...)
+		out[i] = Bucket{
+			Left:  buckets[i].Left,
+			Right: buckets[i].Right,
+			Subs:  flat[start:len(flat):len(flat)],
+		}
 	}
 	return out
 }

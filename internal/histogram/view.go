@@ -47,6 +47,24 @@ func NewView(buckets []Bucket, total float64) (*View, error) {
 	return &View{buckets: buckets, prefix: prefix, total: total}, nil
 }
 
+// ViewOfStore pins a snapshot of a flat bucket arena as a View. The
+// store maintains the view invariants (sorted non-overlapping borders,
+// running totals consistent with the rows) incrementally, so no O(n·K)
+// re-validation runs, and the prefix-sum table is built straight off
+// the store's running totals instead of re-summing every row. The
+// bucket list is materialised once (flat, two allocations) so the view
+// stays immutable while the source store keeps mutating.
+func ViewOfStore(s *Store, total float64) *View {
+	n := s.Len()
+	prefix := make([]float64, n+1)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += s.Count(i)
+		prefix[i+1] = acc
+	}
+	return &View{buckets: s.Buckets(), prefix: prefix, total: total}
+}
+
 // EmptyView returns the canonical zero-mass view: every statistic on
 // it answers as an empty histogram does.
 func EmptyView() *View {

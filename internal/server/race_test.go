@@ -48,7 +48,7 @@ func TestConcurrentClients(t *testing.T) {
 				ct := "application/json"
 				if i%2 == 0 {
 					ct = wire.BatchContentType
-					body = wire.EncodeBatch(vs)
+					body, _ = wire.EncodeBatch(vs)
 				} else {
 					body, _ = json.Marshal(wire.ValuesRequest{Values: vs})
 				}

@@ -243,9 +243,51 @@ const (
 	deleteOp
 )
 
+// ingestBuf is the per-request scratch of the ingest endpoints: the
+// raw body bytes and the decoded values. Both slices are recycled
+// through ingestPool, so a steady stream of same-sized binary batches
+// reads and decodes with no per-request allocation at all.
+type ingestBuf struct {
+	body []byte
+	vals []float64
+}
+
+// ingestPool recycles ingest scratch across requests. Buffers that
+// grew past poolBufLimit are dropped instead of pooled, so one huge
+// batch does not pin its footprint forever.
+var ingestPool = sync.Pool{New: func() any { return new(ingestBuf) }}
+
+// poolBufLimit caps the body capacity a pooled buffer may retain
+// (1 MiB ≈ 128k values — far above the common batch sizes).
+const poolBufLimit = 1 << 20
+
+// readBody reads r to EOF into dst's backing array, growing it only
+// when capacity runs out — io.ReadAll without the guaranteed
+// allocation.
+func readBody(r io.Reader, dst []byte) ([]byte, error) {
+	dst = dst[:0]
+	for {
+		if len(dst) == cap(dst) {
+			grown := make([]byte, len(dst), 2*cap(dst)+4096)
+			copy(grown, dst)
+			dst = grown
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
 // handleUpdate serves the two ingest endpoints. The body is either a
 // JSON ValuesRequest or, under wire.BatchContentType, the binary batch
-// format.
+// format. The binary path runs on pooled buffers end to end: body
+// bytes and decoded values both come from ingestPool, so steady-state
+// binary ingest allocates nothing per request in this handler.
 func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		h, err := s.reg.Histogram(r.PathValue("name"))
@@ -253,7 +295,14 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 			writeErr(w, statusOf(err), "%v", err)
 			return
 		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		buf := ingestPool.Get().(*ingestBuf)
+		defer func() {
+			if cap(buf.body) <= poolBufLimit && cap(buf.vals)*8 <= poolBufLimit {
+				ingestPool.Put(buf)
+			}
+		}()
+		buf.body, err = readBody(http.MaxBytesReader(w, r.Body, maxBodyBytes), buf.body)
+		body := buf.body
 		if err != nil {
 			writeErr(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
 			return
@@ -263,10 +312,13 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 		// the JSON ValuesRequest.
 		var vs []float64
 		if r.Header.Get("Content-Type") == wire.BatchContentType {
-			vs, err = wire.DecodeBatch(body)
+			vs, err = wire.DecodeBatchInto(buf.vals[:0], body)
 			if err != nil {
 				writeErr(w, http.StatusBadRequest, "%v", err)
 				return
+			}
+			if cap(vs) > cap(buf.vals) {
+				buf.vals = vs[:0]
 			}
 		} else {
 			var req wire.ValuesRequest

@@ -237,7 +237,11 @@ func TestBinaryIngest(t *testing.T) {
 
 	vs := seqValues(5000)
 	var resp wire.UpdateResponse
-	do(t, "POST", ts.URL+"/v1/h/b/insert", wire.BatchContentType, wire.EncodeBatch(vs), http.StatusOK, &resp)
+	batch, err := wire.EncodeBatch(vs)
+	if err != nil {
+		t.Fatalf("encoding batch: %v", err)
+	}
+	do(t, "POST", ts.URL+"/v1/h/b/insert", wire.BatchContentType, batch, http.StatusOK, &resp)
 	if resp.Applied != len(vs) || !near(resp.Total, float64(len(vs))) {
 		t.Fatalf("binary insert response = %+v", resp)
 	}
@@ -260,7 +264,10 @@ func TestIngestErrors(t *testing.T) {
 	do(t, "POST", ts.URL+"/v1/h/h/insert", "application/json", []byte(`{"values":[`), http.StatusBadRequest, nil)
 
 	// Malformed binary batches.
-	good := wire.EncodeBatch([]float64{1, 2, 3})
+	good, err := wire.EncodeBatch([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("encoding batch: %v", err)
+	}
 	for name, bad := range map[string][]byte{
 		"empty":     {},
 		"truncated": good[:len(good)-2],

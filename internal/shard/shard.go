@@ -113,6 +113,11 @@ type Engine struct {
 	snapMu   sync.Mutex // serialises snapshot rebuilds
 	snap     atomic.Pointer[snapshot]
 	mergeErr atomic.Pointer[error]
+
+	// scratch recycles the per-shard value groups of the batch paths,
+	// so steady-state batch ingest routes without allocating: the
+	// grouping slices keep their grown capacity between calls.
+	scratch sync.Pool
 }
 
 // New builds an engine over freshly created members, one per shard.
@@ -276,10 +281,26 @@ func (e *Engine) applyBatch(vs []float64, op func(Member, float64) error, batchO
 		return nil
 	}
 	n := len(e.cells)
-	groups := make([][]float64, n)
+	// Group values by owning shard through pooled scratch so the
+	// routing step allocates nothing once the group slices have grown.
+	// The scratch travels as a *[][]float64 so no per-call local has
+	// its address taken (that would heap-allocate it every call).
+	p, _ := e.scratch.Get().(*[][]float64)
+	if p == nil {
+		p = new([][]float64)
+	}
+	if len(*p) != n {
+		*p = make([][]float64, n)
+	}
+	groups := *p
 	if n == 1 {
+		// Single shard: route the caller's slice directly; it is
+		// cleared from the scratch below so the pool never retains it.
 		groups[0] = vs
 	} else {
+		for i := range groups {
+			groups[i] = groups[i][:0]
+		}
 		for _, v := range vs {
 			s := e.shardOf(v)
 			groups[s] = append(groups[s], v)
@@ -313,6 +334,11 @@ func (e *Engine) applyBatch(vs []float64, op func(Member, float64) error, batchO
 		}
 		c.mu.Unlock()
 	}
+	if n == 1 {
+		groups[0] = nil
+	}
+	*p = groups
+	e.scratch.Put(p)
 	if applied {
 		e.epoch.Add(1)
 	}

@@ -39,25 +39,56 @@ const batchHeaderSize = 8
 // ErrBatch reports a malformed binary batch.
 var ErrBatch = errors.New("wire: malformed batch")
 
+// ErrBatchTooLarge reports a batch whose value count does not fit the
+// format's 32-bit count field. Encoding such a batch used to silently
+// truncate the count to uint32 and produce a body the decoder rejects;
+// now the encoder refuses it up front.
+var ErrBatchTooLarge = errors.New("wire: batch exceeds 2^32-1 values")
+
 // AppendBatch appends the binary batch encoding of vs to dst and
-// returns the extended slice.
-func AppendBatch(dst []byte, vs []float64) []byte {
+// returns the extended slice. It errors with ErrBatchTooLarge when
+// len(vs) does not fit the format's 32-bit count field (in which case
+// dst is returned unmodified).
+func AppendBatch(dst []byte, vs []float64) ([]byte, error) {
+	if err := checkBatchCount(len(vs)); err != nil {
+		return dst, err
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, BatchMagic)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vs)))
 	for _, v := range vs {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return dst
+	return dst, nil
 }
 
-// EncodeBatch returns the binary batch encoding of vs.
-func EncodeBatch(vs []float64) []byte {
+// checkBatchCount is AppendBatch's count-field guard, factored out so
+// the 2^32 boundary is testable without allocating a 32 GiB slice.
+func checkBatchCount(n int) error {
+	if uint64(n) > math.MaxUint32 {
+		return fmt.Errorf("%w: %d values", ErrBatchTooLarge, n)
+	}
+	return nil
+}
+
+// EncodeBatch returns the binary batch encoding of vs; see AppendBatch
+// for the count-field limit.
+func EncodeBatch(vs []float64) ([]byte, error) {
 	return AppendBatch(make([]byte, 0, batchHeaderSize+8*len(vs)), vs)
 }
 
 // DecodeBatch parses a binary batch, rejecting bad magic, truncated or
 // oversized bodies, count mismatches and non-finite values.
 func DecodeBatch(data []byte) ([]float64, error) {
+	return DecodeBatchInto(nil, data)
+}
+
+// DecodeBatchInto parses a binary batch like DecodeBatch but decodes
+// into dst's backing array, growing it only when the batch exceeds its
+// capacity — the allocation-free form for callers that recycle their
+// decode buffers (the server's binary ingest path). It returns the
+// filled slice, which aliases dst when capacity sufficed; dst's
+// previous contents are discarded. On error the returned slice is nil.
+func DecodeBatchInto(dst []float64, data []byte) ([]float64, error) {
 	if len(data) < batchHeaderSize {
 		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBatch, len(data), batchHeaderSize)
 	}
@@ -68,7 +99,12 @@ func DecodeBatch(data []byte) ([]float64, error) {
 	if want := batchHeaderSize + 8*uint64(n); uint64(len(data)) != want {
 		return nil, fmt.Errorf("%w: count %d implies %d bytes, got %d", ErrBatch, n, want, len(data))
 	}
-	vs := make([]float64, n)
+	var vs []float64
+	if uint64(cap(dst)) >= uint64(n) {
+		vs = dst[:n]
+	} else {
+		vs = make([]float64, n)
+	}
 	for i := range vs {
 		v := math.Float64frombits(binary.LittleEndian.Uint64(data[batchHeaderSize+8*i:]))
 		if math.IsNaN(v) || math.IsInf(v, 0) {

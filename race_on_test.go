@@ -1,0 +1,7 @@
+//go:build race
+
+package dynahist_test
+
+// raceEnabled reports whether this binary was built with the race
+// detector; timing and allocation gates skip themselves under it.
+const raceEnabled = true

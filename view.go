@@ -39,6 +39,13 @@ func newViewOwned(bs []histogram.Bucket, total float64) (*View, error) {
 	return &View{v: iv}, nil
 }
 
+// newViewOfStore pins a view straight off a flat bucket arena — no
+// re-validation, prefix sums off the running totals (see
+// histogram.ViewOfStore).
+func newViewOfStore(st *histogram.Store, total float64) *View {
+	return &View{v: histogram.ViewOfStore(st, total)}
+}
+
 // Total returns the number of points the histogram summarised at pin
 // time.
 func (v *View) Total() float64 { return v.v.Total() }
