@@ -1,9 +1,10 @@
 package dynahist_test
 
 // The API-surface snapshot: a golden file of every exported
-// declaration of package dynahist, so a PR that changes the public
-// surface — adds, removes or re-signatures anything — has to commit
-// the diff visibly in testdata/api_surface.txt. Regenerate with
+// declaration of the public packages — dynahist itself and the HTTP
+// client — so a PR that changes the public surface (adds, removes or
+// re-signatures anything) has to commit the diff visibly in
+// testdata/api_surface.txt. Regenerate with
 //
 //	go test -run TestAPISurface -update .
 
@@ -27,7 +28,8 @@ var updateAPISurface = flag.Bool("update", false, "rewrite testdata/api_surface.
 const apiSurfaceFile = "testdata/api_surface.txt"
 
 func TestAPISurface(t *testing.T) {
-	got := exportedSurface(t, ".")
+	got := "# package dynahist\n" + exportedSurface(t, ".", "dynahist") +
+		"\n# package dynahist/client\n" + exportedSurface(t, "client", "client")
 	if *updateAPISurface {
 		if err := os.MkdirAll(filepath.Dir(apiSurfaceFile), 0o755); err != nil {
 			t.Fatal(err)
@@ -71,9 +73,9 @@ func TestAPISurface(t *testing.T) {
 	}
 }
 
-// exportedSurface renders every exported declaration of the package in
-// dir as one sorted line-per-declaration string.
-func exportedSurface(t *testing.T, dir string) string {
+// exportedSurface renders every exported declaration of the named
+// package in dir as one sorted line-per-declaration string.
+func exportedSurface(t *testing.T, dir, pkgName string) string {
 	t.Helper()
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
@@ -82,9 +84,9 @@ func exportedSurface(t *testing.T, dir string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, ok := pkgs["dynahist"]
+	pkg, ok := pkgs[pkgName]
 	if !ok {
-		t.Fatalf("package dynahist not found in %s", dir)
+		t.Fatalf("package %s not found in %s", pkgName, dir)
 	}
 	var lines []string
 	add := func(node any) {

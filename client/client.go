@@ -353,6 +353,46 @@ func (c *Client) Buckets(ctx context.Context, name string) ([]Bucket, error) {
 	return out, nil
 }
 
+// WALStatus describes the server's durable-ingest state. When Enabled
+// is false the server runs without a write-ahead log and every other
+// field is zero. AppendedLSN counts acknowledged records, DigestedLSN
+// those folded into the in-memory histograms (reads lag ingest by the
+// difference), CheckpointLSN those covered by the last catalog
+// snapshot; everything past CheckpointLSN replays on restart.
+type WALStatus struct {
+	Enabled            bool
+	Dir                string
+	SyncPolicy         string
+	AppendedLSN        uint64
+	DigestedLSN        uint64
+	CheckpointLSN      uint64
+	LagRecords         uint64
+	Segments           int
+	ActiveSegmentBytes int64
+	TotalBytes         int64
+}
+
+// WALStatus reports the server's write-ahead-log watermarks — how far
+// ingest, digestion and checkpointing have each advanced.
+func (c *Client) WALStatus(ctx context.Context) (WALStatus, error) {
+	var resp wire.WALStatusResponse
+	if err := c.do(ctx, "GET", "/v1/wal/status", "", nil, &resp); err != nil {
+		return WALStatus{}, err
+	}
+	return WALStatus{
+		Enabled:            resp.Enabled,
+		Dir:                resp.Dir,
+		SyncPolicy:         resp.SyncPolicy,
+		AppendedLSN:        resp.AppendedLSN,
+		DigestedLSN:        resp.DigestedLSN,
+		CheckpointLSN:      resp.CheckpointLSN,
+		LagRecords:         resp.LagRecords,
+		Segments:           resp.Segments,
+		ActiveSegmentBytes: resp.ActiveSegmentBytes,
+		TotalBytes:         resp.TotalBytes,
+	}, nil
+}
+
 // Healthy reports whether the server answers its health check.
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.do(ctx, "GET", "/healthz", "", nil, nil)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"dynahist/internal/server"
+	"dynahist/internal/wal"
 )
 
 // newPair wires a Client to a real in-process histserved handler.
@@ -185,6 +186,56 @@ func TestClientAPIErrors(t *testing.T) {
 	}
 	if _, err := c.Quantile(ctx, "ok", 2); err == nil {
 		t.Fatal("out-of-range quantile: want error")
+	}
+}
+
+func TestClientWALStatus(t *testing.T) {
+	ctx := context.Background()
+
+	// Without a WAL the endpoint still answers, with Enabled false.
+	c, _ := newPair(t)
+	st, err := c.WALStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled {
+		t.Fatalf("WALStatus on a WAL-less server = %+v", st)
+	}
+
+	walDir := t.TempDir()
+	s, err := server.New(server.Config{
+		Logger:     log.New(io.Discard, "", 0),
+		CatalogDir: t.TempDir(),
+		WAL:        wal.Options{Dir: walDir, Sync: wal.SyncAlways},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = s.Close() })
+	cw := New(ts.URL, ts.Client())
+
+	if _, err := cw.Create(ctx, CreateOptions{Name: "w", Family: FamilyDVO, MemBytes: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.InsertBinary(ctx, "w", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = cw.WALStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.Dir != walDir || st.SyncPolicy != "always" {
+		t.Fatalf("WALStatus = %+v", st)
+	}
+	// The create and the insert were both logged; watermarks must be
+	// internally consistent whatever the digester has reached.
+	if st.AppendedLSN < 2 || st.Segments < 1 || st.TotalBytes <= 0 {
+		t.Fatalf("WALStatus watermarks = %+v", st)
+	}
+	if st.DigestedLSN > st.AppendedLSN || st.LagRecords != st.AppendedLSN-st.DigestedLSN {
+		t.Fatalf("WALStatus lag inconsistent: %+v", st)
 	}
 }
 

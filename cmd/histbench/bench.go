@@ -3,7 +3,7 @@ package main
 // The -json / -compare modes: a fixed micro-benchmark smoke suite over
 // the ingest spine, emitted as machine-readable JSON so CI can record
 // one point per PR of the performance trajectory and diff a fresh run
-// against the committed baseline (BENCH_PR6.json at the repo root).
+// against the committed baseline (BENCH_PR7.json at the repo root).
 
 import (
 	"encoding/json"
@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"dynahist"
+	"dynahist/internal/wal"
 	"dynahist/internal/wire"
 )
 
@@ -47,6 +48,7 @@ var benchSuite = []struct {
 	{"dc_insert", benchDCInsert},
 	{"wire_decode_batch_512", benchWireDecode},
 	{"sharded_insert_batch_256", benchShardedInsertBatch},
+	{"wal_append_256", benchWALAppend},
 }
 
 func benchDADOInsertBatch(b *testing.B) {
@@ -121,6 +123,34 @@ func benchShardedInsertBatch(b *testing.B) {
 			batch[j] = float64(rng.Intn(5001))
 		}
 		if err := h.InsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWALAppend measures the durable-ingest append path: framing,
+// CRC and the file write for a 256-value batch. SyncNone keeps fsync
+// latency (pure device cost, wildly machine-dependent) out of the
+// series; the huge segment threshold keeps rotation out of the loop.
+func benchWALAppend(b *testing.B) {
+	l, err := wal.Open(wal.Options{Dir: b.TempDir(), Sync: wal.SyncNone, SegmentBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	vs := make([]float64, 256)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vs {
+		vs[i] = float64(rng.Intn(5001))
+	}
+	data, err := wire.EncodeBatch(vs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(wal.OpInsert, "bench", data); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -38,10 +38,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("histbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		figID  = fs.String("fig", "", "single figure to run (default: all)")
-		seeds  = fs.Int("seeds", 10, "random seeds averaged per configuration")
-		points = fs.Int("points", 100000, "data points per run")
-		quick  = fs.Bool("quick", false, "cap seeds and points for a fast smoke run")
+		figID   = fs.String("fig", "", "single figure to run (default: all)")
+		seeds   = fs.Int("seeds", 10, "random seeds averaged per configuration")
+		points  = fs.Int("points", 100000, "data points per run")
+		quick   = fs.Bool("quick", false, "cap seeds and points for a fast smoke run")
 		list    = fs.Bool("list", false, "list available figure IDs and exit")
 		format  = fs.String("format", "table", "output format: table or csv")
 		jsonOut = fs.Bool("json", false, "run the ingest bench smoke suite and emit JSON (the perf-trajectory format)")

@@ -1,0 +1,230 @@
+package main
+
+// The kill-and-replay matrix: a real histserved process per family,
+// SIGKILLed mid-ingest at a randomized point, restarted against the
+// same catalog and WAL directories, and audited against an exact
+// internal/dist tracker. The durability contract under test is the
+// batch-ack boundary: every acknowledged batch survives the kill
+// (totals are exact counts, so loss shows up exactly), while batches
+// in flight at the kill may or may not land. The process is this test
+// binary re-executing itself in a child mode wired up by TestMain.
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dynahist/client"
+	"dynahist/internal/dist"
+)
+
+const (
+	childEnv     = "HISTSERVED_CHILD"
+	childArgsEnv = "HISTSERVED_ARGS"
+	childAddrEnv = "HISTSERVED_ADDR_FILE"
+	// argSep joins child args in the environment; no flag value
+	// contains it.
+	argSep = "\x1f"
+)
+
+// TestMain re-executes this test binary as a real histserved process
+// when the child environment is set: the parent test SIGKILLs it, which
+// an in-process goroutine could never survive realistically.
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		ready := make(chan string, 1)
+		go func() {
+			// The bound address reaches the parent through a file; the
+			// child's stdout belongs to the test framework.
+			_ = os.WriteFile(os.Getenv(childAddrEnv), []byte(<-ready), 0o644)
+		}()
+		os.Exit(run(strings.Split(os.Getenv(childArgsEnv), argSep), os.Stderr, ready))
+	}
+	os.Exit(m.Run())
+}
+
+// startServed boots a child histserved with args and waits for its
+// address.
+func startServed(t *testing.T, args []string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		childEnv+"=1",
+		childArgsEnv+"="+strings.Join(args, argSep),
+		childAddrEnv+"="+addrFile,
+	)
+	if testing.Verbose() {
+		cmd.Stderr = os.Stderr
+	} else {
+		cmd.Stderr = io.Discard
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		data, err := os.ReadFile(addrFile)
+		if err == nil && len(data) > 0 {
+			return cmd, string(data)
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("child server never reported its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestKillAndReplayMatrix runs the kill-and-replay audit for every
+// maintained family.
+func TestKillAndReplayMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process kill matrix skipped in -short mode")
+	}
+	for _, family := range []string{client.FamilyDADO, client.FamilyDVO, client.FamilyDC, client.FamilyAC} {
+		t.Run(family, func(t *testing.T) {
+			t.Parallel()
+			runKillAndReplay(t, family)
+		})
+	}
+}
+
+func runKillAndReplay(t *testing.T, family string) {
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+	catDir, walDir := t.TempDir(), t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-catalog", catDir,
+		"-checkpoint", "75ms", // live checkpoints race the ingest and the kill
+		"-wal-dir", walDir,
+		"-wal-sync", "always",
+	}
+
+	cmd, addr := startServed(t, args)
+	c := client.New("http://"+addr, nil)
+	const maxV, batches, per = 499, 40, 64
+	if _, err := c.Create(ctx, client.CreateOptions{
+		Name: "kill", Family: family, MemBytes: 4096, Shards: 2, Seed: seed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial ingest with an exact tracker of the acked batches. The kill
+	// fires from a goroutine at a randomized point, so some trailing
+	// requests race it: only error-free acks count.
+	tracker := dist.New(maxV)
+	sent := int64(0)
+	killAfter := 3 + rng.Intn(batches-8)
+	killDelay := time.Duration(rng.Intn(4)) * time.Millisecond
+	killed := make(chan struct{})
+	for i := 0; i < batches; i++ {
+		vs := make([]float64, per)
+		for j := range vs {
+			vs[j] = float64(rng.Intn(maxV + 1))
+		}
+		if i == killAfter {
+			go func() {
+				time.Sleep(killDelay)
+				_ = cmd.Process.Kill()
+				close(killed)
+			}()
+		}
+		sent += per
+		if _, err := c.InsertBinary(ctx, "kill", vs); err != nil {
+			break // unacked: the kill landed under this request
+		}
+		for _, v := range vs {
+			if err := tracker.Insert(int(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	<-killed
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("child exited cleanly despite SIGKILL")
+	}
+	if tracker.Total() == 0 {
+		t.Fatalf("kill landed before any ack (killAfter=%d); nothing to audit", killAfter)
+	}
+
+	// Restart on the same directories: recovery restores the catalog and
+	// replays the WAL tail.
+	cmd2, addr2 := startServed(t, args)
+	c2 := client.New("http://"+addr2, nil)
+	total, err := c2.Total(ctx, "kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero acked-batch loss, and nothing invented: the recovered count
+	// sits between the acked floor and everything ever sent (in-flight
+	// unacked batches may legitimately have landed).
+	if int64(total) < tracker.Total() {
+		t.Fatalf("recovered total %v < acked total %d: an acknowledged batch was lost", total, tracker.Total())
+	}
+	if int64(total) > sent {
+		t.Fatalf("recovered total %v > %d values ever sent: replay double-applied", total, sent)
+	}
+
+	// Distribution audit: the recovered CDF must track the exact
+	// distribution of the acked data. The tolerance covers the paper
+	// families' bucket approximation, AC's sampling error, and the few
+	// unacked in-flight values (drawn from the same distribution).
+	const tol = 0.15
+	for _, x := range []int{100, 250, 400} {
+		got, err := c2.CDF(ctx, "kill", float64(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(tracker.RangeCount(0, x)) / float64(tracker.Total())
+		if diff := got - want; diff < -tol || diff > tol {
+			t.Errorf("recovered CDF(%d) = %.3f, exact tracker says %.3f (|diff| > %v)", x, got, want, tol)
+		}
+	}
+
+	// The recovered server must serve ingest and survive a graceful
+	// shutdown (final checkpoint + WAL truncation) with exit code 0.
+	if _, err := c2.InsertBinary(ctx, "kill", []float64{1, 2, 3}); err != nil {
+		t.Fatalf("post-recovery ingest: %v", err)
+	}
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd2.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown after recovery: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		_ = cmd2.Process.Kill()
+		t.Fatal("recovered server did not shut down")
+	}
+
+	// Third boot: the graceful shutdown's checkpoint must hold the full
+	// state (replay after truncation finds nothing missing).
+	cmd3, addr3 := startServed(t, args)
+	defer func() {
+		_ = cmd3.Process.Signal(syscall.SIGTERM)
+		_, _ = cmd3.Process.Wait()
+	}()
+	c3 := client.New("http://"+addr3, nil)
+	total3, err := c3.Total(ctx, "kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total3 != total+3 {
+		t.Fatalf("post-checkpoint total = %v, want %v", total3, total+3)
+	}
+}

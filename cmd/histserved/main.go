@@ -9,6 +9,15 @@
 // Usage:
 //
 //	histserved [-addr :8080] [-catalog DIR] [-checkpoint 30s] [-pprof]
+//	           [-wal-dir DIR] [-wal-sync always|interval|none]
+//	           [-wal-sync-interval 100ms] [-wal-segment-bytes N]
+//
+// With -wal-dir set, ingest is durable: every mutating request is
+// appended to a segmented write-ahead log and acknowledged once the
+// append is durable per -wal-sync, a background digester folds the
+// batches into the histograms, and startup recovery replays the log
+// tail past the last checkpoint (tolerating a torn final record from
+// a crash mid-append). GET /v1/wal/status reports the watermarks.
 //
 // API sketch (see docs/ARCHITECTURE.md for the full contract):
 //
@@ -45,6 +54,7 @@ import (
 	"time"
 
 	"dynahist/internal/server"
+	"dynahist/internal/wal"
 )
 
 func main() {
@@ -63,6 +73,10 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		catalog    = fs.String("catalog", "", "catalog directory for snapshot-backed recovery (empty: no persistence)")
 		checkpoint = fs.Duration("checkpoint", 30*time.Second, "checkpoint period (requires -catalog)")
 		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling the live ingest path)")
+		walDir     = fs.String("wal-dir", "", "write-ahead log directory for durable ingest (empty: ingest applies in-memory only)")
+		walSync    = fs.String("wal-sync", "always", "WAL durability policy: always (fsync per append), interval, none")
+		walEvery   = fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync interval")
+		walSegment = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -72,11 +86,30 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 	}
 
 	logger := log.New(errOut, "histserved: ", log.LstdFlags)
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		CatalogDir:      *catalog,
 		CheckpointEvery: *checkpoint,
 		Logger:          logger,
-	})
+	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintf(errOut, "histserved: %v\n", err)
+			return 2
+		}
+		cfg.WAL = wal.Options{
+			Dir:          *walDir,
+			Sync:         policy,
+			SyncEvery:    *walEvery,
+			SegmentBytes: *walSegment,
+		}
+		if *catalog == "" {
+			// Legal but worth flagging: without catalog checkpoints the
+			// log is never truncated and every restart replays it all.
+			logger.Printf("warning: -wal-dir without -catalog never truncates the log")
+		}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintf(errOut, "histserved: %v\n", err)
 		return 1
@@ -102,7 +135,7 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		fmt.Fprintf(errOut, "histserved: %v\n", err)
 		return 1
 	}
-	logger.Printf("listening on %s (catalog: %s)", ln.Addr(), orNone(*catalog))
+	logger.Printf("listening on %s (catalog: %s, wal: %s)", ln.Addr(), orNone(*catalog), orNone(*walDir))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -1,0 +1,279 @@
+// Package fsfault abstracts the handful of filesystem operations the
+// durability layers need (create, append, sync, rename, remove, list)
+// behind an interface with two implementations: OS, the passthrough to
+// the real filesystem, and Injector, a wrapper that injects the
+// failures disks actually produce — write errors, short writes,
+// failed fsyncs, ENOSPC during file creation — so the write-ahead log
+// and its tests can prove fail-soft behaviour without a real broken
+// disk.
+package fsfault
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrNoSpace is the canonical injected "disk full" failure, standing
+// in for syscall.ENOSPC in tests.
+var ErrNoSpace = errors.New("fsfault: no space left on device")
+
+// File is the writable-file subset the WAL needs: append writes, an
+// explicit barrier, and close.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the durability layers run on. The
+// production implementation is OS; tests wrap it in an Injector.
+type FS interface {
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// Create creates (truncating) a file for writing.
+	Create(name string) (File, error)
+	// ReadFile returns a file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making renames and creates in it
+	// durable.
+	SyncDir(name string) error
+}
+
+// OS is the passthrough FS backed by package os.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some filesystems; a sync error
+	// still matters (it is the rename barrier), a close error does not.
+	serr := d.Sync()
+	_ = d.Close()
+	return serr
+}
+
+// Stats counts the operations that flowed through an Injector, so
+// tests can assert how a sync policy actually behaved (e.g. "one Sync
+// per Append under SyncAlways, zero under SyncNone").
+type Stats struct {
+	Creates      int
+	Writes       int
+	BytesWritten int64
+	Syncs        int
+	Renames      int
+	Removes      int
+}
+
+// Injector wraps an FS and injects failures on demand. The zero value
+// is not usable; construct with NewInjector. All methods are safe for
+// concurrent use; fault arming applies to operations that start after
+// the arming call.
+type Injector struct {
+	inner FS
+
+	mu         sync.Mutex
+	stats      Stats
+	createErr  error
+	renameErr  error
+	removeErr  error
+	syncErr    error
+	writeErr   error
+	budget     int64 // bytes writable before writeErr fires; <0 = unlimited
+	budgetArm  bool
+	syncDirErr error
+}
+
+// NewInjector wraps inner (OS when nil) with no faults armed.
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Injector{inner: inner, budget: -1}
+}
+
+// Stats returns a snapshot of the operation counters.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// Reset clears every armed fault (counters are kept).
+func (i *Injector) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.createErr, i.renameErr, i.removeErr, i.syncErr, i.writeErr, i.syncDirErr = nil, nil, nil, nil, nil, nil
+	i.budget, i.budgetArm = -1, false
+}
+
+// FailCreates makes every subsequent Create fail with err.
+func (i *Injector) FailCreates(err error) { i.set(func() { i.createErr = err }) }
+
+// FailRenames makes every subsequent Rename fail with err.
+func (i *Injector) FailRenames(err error) { i.set(func() { i.renameErr = err }) }
+
+// FailRemoves makes every subsequent Remove fail with err.
+func (i *Injector) FailRemoves(err error) { i.set(func() { i.removeErr = err }) }
+
+// FailSyncs makes every subsequent File.Sync and SyncDir fail with err.
+func (i *Injector) FailSyncs(err error) {
+	i.set(func() { i.syncErr, i.syncDirErr = err, err })
+}
+
+// LimitWrites allows n more bytes across all open files, then fails
+// writes with err (ErrNoSpace when nil). A write that crosses the
+// boundary is short: the in-budget prefix is written and the error
+// returned with the partial count — a torn record, exactly what a
+// full disk produces.
+func (i *Injector) LimitWrites(n int64, err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	i.set(func() { i.budget, i.budgetArm, i.writeErr = n, true, err })
+}
+
+func (i *Injector) set(f func()) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	f()
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return i.inner.MkdirAll(path, perm)
+}
+
+func (i *Injector) Create(name string) (File, error) {
+	i.mu.Lock()
+	err := i.createErr
+	if err == nil {
+		i.stats.Creates++
+	}
+	i.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("create %s: %w", name, err)
+	}
+	f, ferr := i.inner.Create(name)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return &faultFile{inj: i, f: f, name: name}, nil
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) { return i.inner.ReadFile(name) }
+
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return i.inner.ReadDir(name) }
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	i.mu.Lock()
+	err := i.renameErr
+	if err == nil {
+		i.stats.Renames++
+	}
+	i.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("rename %s: %w", oldpath, err)
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	i.mu.Lock()
+	err := i.removeErr
+	if err == nil {
+		i.stats.Removes++
+	}
+	i.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("remove %s: %w", name, err)
+	}
+	return i.inner.Remove(name)
+}
+
+func (i *Injector) SyncDir(name string) error {
+	i.mu.Lock()
+	err := i.syncDirErr
+	i.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("syncdir %s: %w", name, err)
+	}
+	return i.inner.SyncDir(name)
+}
+
+// faultFile applies the injector's write budget and sync fault to one
+// open file.
+type faultFile struct {
+	inj  *Injector
+	f    File
+	name string
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	i := ff.inj
+	i.mu.Lock()
+	allowed := len(p)
+	var injected error
+	if i.budgetArm {
+		if int64(allowed) > i.budget {
+			allowed = int(i.budget)
+			injected = i.writeErr
+		}
+		i.budget -= int64(allowed)
+	}
+	i.stats.Writes++
+	i.stats.BytesWritten += int64(allowed)
+	i.mu.Unlock()
+	n := 0
+	var err error
+	if allowed > 0 {
+		n, err = ff.f.Write(p[:allowed])
+	}
+	if err != nil {
+		return n, err
+	}
+	if injected != nil {
+		return n, fmt.Errorf("write %s: %w", ff.name, injected)
+	}
+	if n < len(p) {
+		return n, fmt.Errorf("write %s: %w", ff.name, ErrNoSpace)
+	}
+	return n, nil
+}
+
+func (ff *faultFile) Sync() error {
+	i := ff.inj
+	i.mu.Lock()
+	err := i.syncErr
+	if err == nil {
+		i.stats.Syncs++
+	}
+	i.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("sync %s: %w", ff.name, err)
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

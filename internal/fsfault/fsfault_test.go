@@ -1,0 +1,184 @@
+package fsfault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSPassthrough sanity-checks the production FS: create, write,
+// sync, rename, read back, remove, and the directory barrier.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	f, err := fs.Create(filepath.Join(dir, "a.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a.tmp"), filepath.Join(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	des, err := fs.ReadDir(dir)
+	if err != nil || len(des) != 1 || des[0].Name() != "a" {
+		t.Fatalf("ReadDir = %v, %v", des, err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "x/y"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorShortWrite proves the write-budget semantics: a write
+// crossing the boundary lands its in-budget prefix on disk and returns
+// the partial count with the armed error — a torn record, which is what
+// the WAL's torn-tail handling is built on.
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil)
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.LimitWrites(3, nil)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 {
+		t.Fatalf("short write wrote %d bytes, want 3", n)
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write error = %v, want ErrNoSpace", err)
+	}
+	// The budget is spent: the next write makes no progress at all.
+	n, err = f.Write([]byte("gh"))
+	if n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("post-budget write = %d, %v; want 0, ErrNoSpace", n, err)
+	}
+	data, rerr := os.ReadFile(filepath.Join(dir, "f"))
+	if rerr != nil || string(data) != "abc" {
+		t.Fatalf("on-disk bytes = %q, %v; want the in-budget prefix \"abc\"", data, rerr)
+	}
+	// Reset clears the budget; writes flow again.
+	inj.Reset()
+	if n, err := f.Write([]byte("rest")); err != nil || n != 4 {
+		t.Fatalf("post-Reset write = %d, %v", n, err)
+	}
+}
+
+// TestInjectorCustomWriteError checks LimitWrites with a caller-chosen
+// error.
+func TestInjectorCustomWriteError(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil)
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	inj.LimitWrites(0, boom)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped boom", err)
+	}
+}
+
+// TestInjectorFaults checks the per-operation fault switches and that
+// Reset disarms them.
+func TestInjectorFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil)
+	boom := errors.New("boom")
+
+	inj.FailCreates(boom)
+	if _, err := inj.Create(filepath.Join(dir, "f")); !errors.Is(err, boom) {
+		t.Fatalf("Create error = %v, want boom", err)
+	}
+	inj.Reset()
+
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.FailSyncs(boom)
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync error = %v, want boom", err)
+	}
+	if err := inj.SyncDir(dir); !errors.Is(err, boom) {
+		t.Fatalf("SyncDir error = %v, want boom", err)
+	}
+	inj.Reset()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after Reset: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.FailRenames(boom)
+	if err := inj.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); !errors.Is(err, boom) {
+		t.Fatalf("Rename error = %v, want boom", err)
+	}
+	inj.FailRemoves(boom)
+	if err := inj.Remove(filepath.Join(dir, "f")); !errors.Is(err, boom) {
+		t.Fatalf("Remove error = %v, want boom", err)
+	}
+	inj.Reset()
+	if err := inj.Remove(filepath.Join(dir, "f")); err != nil {
+		t.Fatalf("Remove after Reset: %v", err)
+	}
+}
+
+// TestInjectorStats checks the operation counters tests use to assert
+// sync-policy behaviour.
+func TestInjectorStats(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil)
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Remove(filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	st := inj.Stats()
+	want := Stats{Creates: 1, Writes: 1, BytesWritten: 5, Syncs: 1, Renames: 1, Removes: 1}
+	if st != want {
+		t.Fatalf("Stats = %+v, want %+v", st, want)
+	}
+	// Failed operations are not counted as successes.
+	inj.FailSyncs(errors.New("x"))
+	f2, _ := inj.Create(filepath.Join(dir, "h"))
+	_ = f2.Sync()
+	_ = f2.Close()
+	if got := inj.Stats().Syncs; got != 1 {
+		t.Fatalf("failed sync was counted: Syncs = %d, want 1", got)
+	}
+}

@@ -26,4 +26,9 @@ var (
 
 	// ErrSnapshot reports a malformed snapshot or envelope blob.
 	ErrSnapshot = errors.New("malformed snapshot")
+
+	// ErrWALCorrupt reports a corrupt, torn or otherwise unreadable
+	// write-ahead-log record or segment. Replay treats it as the end of
+	// the readable prefix, never as a fatal condition.
+	ErrWALCorrupt = errors.New("write-ahead log corrupt")
 )

@@ -26,14 +26,27 @@ import (
 // File layout (all integers little-endian):
 //
 //	u32  magic 0x48434154 ("HCAT")
-//	u16  version (2)
+//	u16  version (3)
 //	u16  name length, then name bytes
 //	u32  per-shard mem_bytes
 //	u64  seed
+//	u64  covered WAL LSN (version ≥ 3)
 //	u32  envelope length, then the envelope bytes
+//
+// The covered WAL LSN is the durability linchpin: it says exactly
+// which write-ahead-log records this snapshot already contains, and it
+// travels in the same atomically-renamed file as the snapshot itself.
+// Recovery filters replay per entry against it, so a crash landing
+// between the catalog write and the WAL's own position update can
+// never double-apply the overlap.
 const (
 	catMagic   = 0x48434154 // "HCAT"
-	catVersion = 2
+	catVersion = 3
+
+	// catVersionV2 is the pre-WAL envelope layout without the covered
+	// LSN; decoded with a zero position (replay everything, correct for
+	// catalogs written before the WAL existed).
+	catVersionV2 = 2
 
 	// catVersionLegacy is the pre-envelope layout: a family code byte
 	// after the version, then name/config, then one raw snapshot blob
@@ -59,20 +72,22 @@ var legacyFamilyKinds = map[byte]dynahist.Kind{
 // ErrCatalog reports a malformed catalog file.
 var ErrCatalog = errors.New("server: malformed catalog entry")
 
-// EncodeEntry serializes one registry entry: its configuration plus
-// the engine's self-describing snapshot envelope.
-func EncodeEntry(e *entry) ([]byte, error) {
+// EncodeEntry serializes one registry entry: its configuration, the
+// WAL position the snapshot covers (0 when the server runs without a
+// WAL), and the engine's self-describing snapshot envelope.
+func EncodeEntry(e *entry, coveredLSN uint64) ([]byte, error) {
 	blob, err := e.h.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("server: snapshot %q: %w", e.name, err)
 	}
-	out := make([]byte, 0, 28+len(e.name)+len(blob))
+	out := make([]byte, 0, 36+len(e.name)+len(blob))
 	out = binary.LittleEndian.AppendUint32(out, catMagic)
 	out = binary.LittleEndian.AppendUint16(out, catVersion)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.name)))
 	out = append(out, e.name...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(e.memBytes))
 	out = binary.LittleEndian.AppendUint64(out, uint64(e.seed))
+	out = binary.LittleEndian.AppendUint64(out, coveredLSN)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
 	out = append(out, blob...)
 	return out, nil
@@ -97,7 +112,7 @@ func DecodeEntry(data []byte) (*entry, error) {
 		return nil, err
 	}
 	switch version {
-	case catVersion:
+	case catVersion, catVersionV2:
 	case catVersionLegacy:
 		return decodeEntryV1(&r)
 	default:
@@ -125,6 +140,12 @@ func DecodeEntry(data []byte) (*entry, error) {
 	seed, err := r.U64()
 	if err != nil {
 		return nil, err
+	}
+	var walLSN uint64
+	if version >= catVersion {
+		if walLSN, err = r.U64(); err != nil {
+			return nil, err
+		}
 	}
 	blobLen, err := r.U32()
 	if err != nil {
@@ -155,6 +176,7 @@ func DecodeEntry(data []byte) (*entry, error) {
 		memBytes: int(memBytes),
 		shards:   h.NumShards(),
 		seed:     int64(seed),
+		walLSN:   walLSN,
 		h:        h,
 	}, nil
 }
@@ -240,14 +262,12 @@ func catalogPath(dir, name string) string {
 	return filepath.Join(dir, name+CatalogExt)
 }
 
-// writeEntryFile atomically persists one entry: encode, write to a
-// temp file in the same directory, fsync, rename over the target.
-func writeEntryFile(dir string, e *entry) error {
-	data, err := EncodeEntry(e)
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, e.name+".tmp*")
+// writeCatalogFile atomically replaces name's catalog file with data
+// (temp + fsync + rename). Split from the encode step so the WAL-aware
+// checkpoint can encode every snapshot under the digest lock and do
+// the file I/O after releasing it.
+func writeCatalogFile(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {
 		return err
 	}
@@ -266,7 +286,7 @@ func writeEntryFile(dir string, e *entry) error {
 		os.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, catalogPath(dir, e.name)); err != nil {
+	if err := os.Rename(tmpName, catalogPath(dir, name)); err != nil {
 		os.Remove(tmpName)
 		return err
 	}

@@ -71,7 +71,14 @@ type entry struct {
 	memBytes int
 	shards   int
 	seed     int64
-	h        *dynahist.Sharded
+	// walLSN is the write-ahead-log position the entry's restored
+	// snapshot already covers (0 for live-created entries and pre-WAL
+	// catalogs). Replay skips this entry's records at or below it, so a
+	// crash between the catalog write and the WAL's own position update
+	// cannot double-apply the overlap. It is a recovery-time fact only:
+	// live digestion always carries strictly larger LSNs.
+	walLSN uint64
+	h      *dynahist.Sharded
 }
 
 // kind returns the maintained kind the entry's shards were built from.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dynahist"
+	"dynahist/internal/wal"
 	"dynahist/internal/wire"
 )
 
@@ -33,6 +34,12 @@ type Config struct {
 	// Logger receives recovery and checkpoint diagnostics; nil logs to
 	// the standard logger.
 	Logger *log.Logger
+	// WAL, when WAL.Dir is non-empty, enables durable ingest: mutating
+	// requests are appended to a segmented write-ahead log and acked
+	// once durable per WAL.Sync, a background digester folds them into
+	// the histograms, and recovery replays the tail past the last
+	// checkpoint. See internal/wal.Options.
+	WAL wal.Options
 }
 
 // Server is the histserved HTTP serving layer: a histogram registry,
@@ -49,6 +56,20 @@ type Server struct {
 	// deletes, so a checkpoint pass cannot resurrect a file removed by
 	// a concurrent DELETE.
 	catMu sync.Mutex
+
+	// Durable-ingest state (nil/zero when Config.WAL.Dir is empty).
+	wal        *wal.Log
+	digestCh   chan wal.Record
+	digestDone chan struct{}
+	// digestMu is held by the digester across each record fold and by
+	// CheckpointNow while it snapshots, so a checkpoint can never
+	// observe a half-applied record or misstate the WAL position its
+	// snapshots cover.
+	digestMu   sync.Mutex
+	digestVals []float64 // digester's decode scratch (serialised by digestMu)
+	// walMu guards ingest appends against shutdown closing digestCh.
+	walMu      sync.RWMutex
+	walStopped bool
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -81,6 +102,11 @@ func New(cfg Config) (*Server, error) {
 			s.log.Printf("recovered %d histogram(s) from %s", n, cfg.CatalogDir)
 		}
 	}
+	if cfg.WAL.Dir != "" {
+		if err := s.startWAL(); err != nil {
+			return nil, fmt.Errorf("server: wal: %w", err)
+		}
+	}
 	s.routes()
 	if cfg.CatalogDir != "" && cfg.CheckpointEvery > 0 {
 		go s.checkpointLoop()
@@ -97,16 +123,27 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Handler returns the HTTP handler serving the /v1 API and /healthz.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the checkpoint loop and takes a final checkpoint so no
-// acknowledged write older than the last catalog write is lost beyond
-// the snapshot's own approximation.
+// Close stops the checkpoint loop, drains the WAL digester, and takes
+// a final checkpoint so no acknowledged write older than the last
+// catalog write is lost beyond the snapshot's own approximation. Call
+// it after the HTTP listener has shut down — in-flight ingest requests
+// racing a Close may be refused with a shutdown error.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.loopDone
-	if s.cfg.CatalogDir == "" {
-		return nil
+	if s.wal != nil {
+		s.stopWAL()
 	}
-	return s.CheckpointNow()
+	var firstErr error
+	if s.cfg.CatalogDir != "" {
+		firstErr = s.CheckpointNow()
+	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // checkpointLoop periodically persists every registered histogram.
@@ -130,19 +167,67 @@ func (s *Server) checkpointLoop() {
 // directory, one atomically replaced file per histogram. Entries
 // deleted while the pass runs are skipped. Returns the first error,
 // after attempting every entry.
+//
+// With the WAL enabled, the pass pauses the digester between records
+// while it encodes the snapshots, so the catalog captures a consistent
+// fold state and — the part a crash cares about — the exact WAL
+// position that state covers. Only after every file is durably written
+// is that position recorded and the fully-digested segments truncated;
+// any file failure keeps the log intact so recovery can still replay.
 func (s *Server) CheckpointNow() error {
 	if s.cfg.CatalogDir == "" {
 		return errors.New("server: no catalog directory configured")
 	}
 	s.catMu.Lock()
 	defer s.catMu.Unlock()
-	var firstErr error
+
+	// Freeze the fold: no record is mid-apply while digestMu is held,
+	// and the digested LSN is exactly what the snapshots will contain.
+	// Appends (and acks) continue — only digestion stalls.
+	var cover uint64
+	if s.wal != nil {
+		s.digestMu.Lock()
+		// Read the position first: it is frozen while digestMu is held,
+		// and stamping it into every entry file makes snapshot and
+		// position one atomic unit per histogram.
+		cover = s.wal.DigestedLSN()
+	}
+	type pending struct {
+		name string
+		data []byte
+	}
+	var (
+		blobs    []pending
+		firstErr error
+	)
 	for _, e := range s.reg.entries() {
 		if !s.reg.Has(e.name) {
 			continue
 		}
-		if err := writeEntryFile(s.cfg.CatalogDir, e); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("checkpoint %q: %w", e.name, err)
+		data, err := EncodeEntry(e, cover)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("checkpoint %q: %w", e.name, err)
+			}
+			continue
+		}
+		blobs = append(blobs, pending{e.name, data})
+	}
+	if s.wal != nil {
+		s.digestMu.Unlock()
+	}
+
+	for _, p := range blobs {
+		if !s.reg.Has(p.name) {
+			continue
+		}
+		if err := writeCatalogFile(s.cfg.CatalogDir, p.name, p.data); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("checkpoint %q: %w", p.name, err)
+		}
+	}
+	if s.wal != nil && firstErr == nil {
+		if err := s.wal.Checkpoint(cover); err != nil {
+			firstErr = err
 		}
 	}
 	return firstErr
@@ -166,6 +251,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/h/{name}/quantile", s.handleQuantile)
 	s.mux.HandleFunc("GET /v1/h/{name}/range", s.handleRange)
 	s.mux.HandleFunc("GET /v1/h/{name}/buckets", s.handleBuckets)
+	s.mux.HandleFunc("GET /v1/wal/status", s.handleWALStatus)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -203,6 +289,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusOf(err), "%v", err)
 		return
 	}
+	if s.wal != nil {
+		// The create must be in the log before it is acknowledged, or a
+		// crash before the next checkpoint would forget the histogram
+		// while replaying batches logged for it.
+		body, merr := json.Marshal(req)
+		if merr == nil {
+			_, merr = s.appendControl(wal.OpCreate, req.Name, body)
+		}
+		if merr != nil {
+			_ = s.reg.Delete(req.Name)
+			writeErr(w, http.StatusInternalServerError, "logging create: %v", merr)
+			return
+		}
+	}
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -231,6 +331,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.catMu.Unlock()
 		if err != nil && !os.IsNotExist(err) {
 			s.log.Printf("delete %q: removing catalog file: %v", name, err)
+		}
+	}
+	if s.wal != nil {
+		if _, err := s.appendControl(wal.OpDrop, name, nil); err != nil {
+			// The in-memory drop stands, but replay may resurrect the
+			// histogram from earlier records; tell the caller.
+			writeErr(w, http.StatusInternalServerError, "logging delete: %v", err)
+			return
 		}
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -333,6 +441,32 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 				writeErr(w, http.StatusBadRequest, "non-finite value at index %d", i)
 				return
 			}
+		}
+		if s.wal != nil {
+			// Durable path: log the batch (a binary body verbatim, a
+			// JSON one re-encoded into the same wire batch format) and
+			// ack once the append is durable per the sync policy. The
+			// digester folds it in asynchronously, so the reported
+			// total lags by the digest queue.
+			walOp := wal.OpInsert
+			if op == deleteOp {
+				walOp = wal.OpDelete
+			}
+			batch := body
+			if r.Header.Get("Content-Type") != wire.BatchContentType {
+				batch, err = wire.EncodeBatch(vs)
+				if err != nil {
+					writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+					return
+				}
+			}
+			lsn, err := s.appendAndEnqueue(walOp, r.PathValue("name"), batch)
+			if err != nil {
+				writeErr(w, http.StatusServiceUnavailable, "durable append: %v", err)
+				return
+			}
+			writeJSON(w, http.StatusOK, wire.UpdateResponse{Applied: len(vs), Total: h.Total(), LSN: lsn})
+			return
 		}
 		if op == insertOp {
 			err = h.InsertBatch(vs)

@@ -1,0 +1,204 @@
+package server
+
+// Durable ingest: the server's write-ahead-log integration. With
+// Config.WAL.Dir set, every mutating request is appended to a
+// segmented WAL (internal/wal) and acknowledged the moment the append
+// is durable per the sync policy; a single background digester then
+// folds the logged batches into the registry's Sharded engines. The
+// hot ingest path is therefore a pure append — completely decoupled
+// from DADO/DVO split-merge settling — and a crash loses nothing that
+// was acked: recovery restores the catalog, then replays the WAL tail
+// past the position the last checkpoint recorded.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+
+	"dynahist/internal/wal"
+	"dynahist/internal/wire"
+)
+
+// digestChanCap bounds the append-to-digest queue; a full queue
+// back-pressures ingest acks rather than growing without bound.
+const digestChanCap = 4096
+
+// startWAL opens the log, replays the undigested tail into the
+// freshly restored registry, and starts the digester. Called from New
+// after the catalog restore.
+func (s *Server) startWAL() error {
+	opts := s.cfg.WAL
+	if opts.Logger == nil {
+		opts.Logger = s.log
+	}
+	w, err := wal.Open(opts)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	from := w.CheckpointLSN()
+	stats, err := w.Replay(from, func(rec wal.Record) error {
+		s.applyRecord(rec)
+		return nil
+	})
+	if err != nil {
+		// applyRecord never errors; keep the guard honest anyway.
+		s.log.Printf("wal: replay: %v", err)
+	}
+	w.MarkDigested(w.LastLSN())
+	if stats.Records > 0 || stats.CorruptSegments > 0 {
+		s.log.Printf("wal: replayed %d record(s) after LSN %d (%d corrupt segment tail(s) skipped)",
+			stats.Records, from, stats.CorruptSegments)
+	}
+	s.digestCh = make(chan wal.Record, digestChanCap)
+	s.digestDone = make(chan struct{})
+	go s.digestLoop()
+	return nil
+}
+
+// digestLoop is the single background digester: it folds logged
+// records into the histograms in LSN order and advances the digested
+// position. digestMu is held across each fold+advance pair, so a
+// checkpoint that grabs the mutex sees a frozen, consistent fold state
+// and the exact WAL position its snapshots cover.
+func (s *Server) digestLoop() {
+	defer close(s.digestDone)
+	for rec := range s.digestCh {
+		s.digestMu.Lock()
+		s.applyRecord(rec)
+		s.wal.MarkDigested(rec.LSN)
+		s.digestMu.Unlock()
+	}
+}
+
+// applyRecord folds one WAL record into the registry. It is fail-soft
+// end to end — a record for a dropped histogram, a duplicate create, a
+// batch the engine rejects are all logged and skipped — because replay
+// must always get through the log. Serialised by the caller (the
+// digester loop or startup replay), never concurrent with itself.
+func (s *Server) applyRecord(rec wal.Record) {
+	switch rec.Op {
+	case wal.OpCreate:
+		var req wire.CreateRequest
+		if err := json.Unmarshal(rec.Payload, &req); err != nil {
+			s.log.Printf("wal: LSN %d: bad create payload: %v", rec.LSN, err)
+			return
+		}
+		if _, err := s.reg.Create(req); err != nil && !errors.Is(err, ErrExists) {
+			s.log.Printf("wal: LSN %d: create %q: %v", rec.LSN, req.Name, err)
+		}
+	case wal.OpDrop:
+		if err := s.reg.Delete(rec.Name); err != nil && !errors.Is(err, ErrNotFound) {
+			s.log.Printf("wal: LSN %d: drop %q: %v", rec.LSN, rec.Name, err)
+		}
+		// Without this, a catalog file checkpointed before the drop
+		// would resurrect the histogram on the restart after next.
+		if s.cfg.CatalogDir != "" {
+			s.catMu.Lock()
+			err := os.Remove(catalogPath(s.cfg.CatalogDir, rec.Name))
+			s.catMu.Unlock()
+			if err != nil && !os.IsNotExist(err) {
+				s.log.Printf("wal: LSN %d: removing catalog file for %q: %v", rec.LSN, rec.Name, err)
+			}
+		}
+	case wal.OpInsert, wal.OpDelete:
+		e, err := s.reg.get(rec.Name)
+		if err != nil {
+			s.log.Printf("wal: LSN %d: %v", rec.LSN, err)
+			return
+		}
+		if rec.LSN <= e.walLSN {
+			// The entry's catalog snapshot already contains this record —
+			// the crash landed between the catalog write and the WAL's
+			// position update. Replaying it would double-count.
+			return
+		}
+		h := e.h
+		vs, err := wire.DecodeBatchInto(s.digestVals[:0], rec.Payload)
+		if err != nil {
+			s.log.Printf("wal: LSN %d: bad batch for %q: %v", rec.LSN, rec.Name, err)
+			return
+		}
+		if cap(vs) > cap(s.digestVals) {
+			s.digestVals = vs[:0]
+		}
+		if rec.Op == wal.OpInsert {
+			err = h.InsertBatch(vs)
+		} else {
+			err = h.DeleteBatch(vs)
+		}
+		if err != nil {
+			s.log.Printf("wal: LSN %d: applying batch to %q: %v", rec.LSN, rec.Name, err)
+		}
+	default:
+		s.log.Printf("wal: LSN %d: unknown op %d skipped", rec.LSN, rec.Op)
+	}
+}
+
+// appendAndEnqueue logs one mutating operation and hands it to the
+// digester. It returns the acked LSN. The returned error is nil
+// exactly when the record is durable per the sync policy — the
+// handler's signal that it may acknowledge.
+func (s *Server) appendAndEnqueue(op byte, name string, body []byte) (uint64, error) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.walStopped {
+		return 0, errors.New("server: shutting down")
+	}
+	lsn, err := s.wal.Append(op, name, body)
+	if err != nil {
+		return 0, err
+	}
+	// The digester owns its copy: body aliases pooled request scratch
+	// that is recycled the moment the handler returns.
+	owned := make([]byte, len(body))
+	copy(owned, body)
+	s.digestCh <- wal.Record{LSN: lsn, Op: op, Name: name, Payload: owned}
+	return lsn, nil
+}
+
+// appendControl logs a create/drop record (already applied to the
+// in-memory registry by the handler, so it is not enqueued for
+// digestion — it only matters for replay).
+func (s *Server) appendControl(op byte, name string, body []byte) (uint64, error) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.walStopped {
+		return 0, errors.New("server: shutting down")
+	}
+	return s.wal.Append(op, name, body)
+}
+
+// stopWAL drains the digester (so a final checkpoint can cover every
+// acked record) and is called from Close before the final checkpoint.
+func (s *Server) stopWAL() {
+	s.walMu.Lock()
+	if s.walStopped {
+		s.walMu.Unlock()
+		return
+	}
+	s.walStopped = true
+	close(s.digestCh)
+	s.walMu.Unlock()
+	<-s.digestDone
+}
+
+// handleWALStatus serves GET /v1/wal/status: segment shape, the three
+// LSN watermarks and the append→digest lag.
+func (s *Server) handleWALStatus(w http.ResponseWriter, r *http.Request) {
+	resp := wire.WALStatusResponse{Enabled: s.wal != nil}
+	if s.wal != nil {
+		st := s.wal.Status()
+		resp.Dir = st.Dir
+		resp.SyncPolicy = st.SyncPolicy
+		resp.AppendedLSN = st.AppendedLSN
+		resp.DigestedLSN = st.DigestedLSN
+		resp.CheckpointLSN = st.CheckpointLSN
+		resp.LagRecords = st.AppendedLSN - st.DigestedLSN
+		resp.Segments = st.Segments
+		resp.ActiveSegmentBytes = st.ActiveSegmentBytes
+		resp.TotalBytes = st.TotalBytes
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynahist/internal/wire"
+)
+
+// fuzzSeedSegment builds a real segment image (header + a few framed
+// records) for the seed corpus.
+func fuzzSeedSegment(f *testing.F) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	l := openLog(f, dir, nil)
+	b, err := wire.EncodeBatch([]float64{1, 2, 3, 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ops := []struct {
+		op   byte
+		name string
+		body []byte
+	}{
+		{OpCreate, "fz", []byte(`{"name":"fz","family":"dvo"}`)},
+		{OpInsert, "fz", b},
+		{OpDelete, "fz", b},
+		{OpDrop, "fz", nil},
+	}
+	for _, o := range ops {
+		if _, err := l.Append(o.op, o.name, o.body); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzWALReplay is the recovery fuzzer: a segment file holding
+// arbitrary bytes — truncated tails, flipped bits, hostile lengths,
+// pure garbage — must never panic Open or Replay. Corrupt tails are
+// detected via CRC/framing and skipped; whatever records do come out
+// must be well-formed (bounded names, intact payload slices).
+func FuzzWALReplay(f *testing.F) {
+	seg := fuzzSeedSegment(f)
+	f.Add(seg)
+	f.Add(seg[:len(seg)/2])
+	f.Add(seg[:len(seg)-3])
+	for _, off := range []int{0, 5, 9, segHeaderSize, segHeaderSize + 2, len(seg) - 1} {
+		flipped := append([]byte(nil), seg...)
+		flipped[off] ^= 0x20
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("HWL1"))
+	f.Add(make([]byte, segHeaderSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Open scans (and counts) the hostile segment; Replay walks it.
+		// Neither may panic, whatever the bytes.
+		l, err := Open(Options{Dir: dir, Sync: SyncNone})
+		if err != nil {
+			return
+		}
+		defer l.Close()
+		var lastLSN uint64
+		_, err = l.Replay(0, func(rec Record) error {
+			if rec.LSN == 0 || (lastLSN != 0 && rec.LSN <= lastLSN) {
+				t.Fatalf("replay emitted non-monotonic LSN %d after %d", rec.LSN, lastLSN)
+			}
+			lastLSN = rec.LSN
+			if len(rec.Name) > maxNameLen {
+				t.Fatalf("replay emitted oversized name (%d bytes)", len(rec.Name))
+			}
+			if len(rec.Payload) > maxRecordBytes {
+				t.Fatalf("replay emitted oversized payload (%d bytes)", len(rec.Payload))
+			}
+			// Touch the payload: a mis-sliced record would fault here
+			// under the race/asan builders.
+			for _, b := range rec.Payload {
+				_ = b
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Replay returned %v for a nil-error callback", err)
+		}
+		// The accepted-record count feeds LSN continuation; appending
+		// after hostile input must still work and stay monotonic.
+		lsn, err := l.Append(OpInsert, "h", []byte{1})
+		if err != nil {
+			t.Fatalf("Append after hostile replay: %v", err)
+		}
+		if lsn <= lastLSN {
+			t.Fatalf("post-replay append LSN %d not past replayed %d", lsn, lastLSN)
+		}
+	})
+}

@@ -1,0 +1,791 @@
+// Package wal implements histserved's segmented write-ahead log: the
+// durability layer that lets ingest be acknowledged the moment a batch
+// is appended (and, per policy, fsynced), with the expensive fold into
+// the histograms happening asynchronously. Records are length-prefixed
+// and CRC-framed; payloads reuse internal/wire's batch codec, so an
+// ingest request's binary body is logged byte-for-byte.
+//
+// Segment file layout (all integers little-endian):
+//
+//	u32  magic 0x48574C31 ("HWL1")
+//	u16  version (1)
+//	u64  first LSN of the segment
+//	then records, each:
+//	u32  payload length
+//	u32  CRC-32 (IEEE) of the payload
+//	     payload bytes
+//
+// A record's payload is
+//
+//	u8   op (OpInsert, OpDelete, OpCreate, OpDrop)
+//	u16  name length, then name bytes
+//	     body: a wire batch for OpInsert/OpDelete, the create request
+//	     JSON for OpCreate, empty for OpDrop
+//
+// LSNs are implicit: a segment's n-th record has LSN firstLSN+n. The
+// log rolls to a new segment when the active one passes SegmentBytes,
+// always starts a fresh segment on Open (so recovery never appends
+// after a possibly-torn tail), and truncates fully-digested sealed
+// segments when Checkpoint records the position a catalog snapshot
+// covers. Replay verifies every CRC and treats the first bad frame of
+// a segment as its end — a torn tail is skipped with a logged offset,
+// never a panic and never an error that blocks the records before it.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynahist/internal/binenc"
+	"dynahist/internal/fsfault"
+	"dynahist/internal/histerr"
+)
+
+const (
+	segMagic   = 0x48574C31 // "HWL1"
+	segVersion = 1
+
+	// SegmentExt is the segment file suffix; the stem is the 20-digit
+	// zero-padded first LSN, so lexical order is LSN order.
+	SegmentExt = ".wal"
+
+	// posFile records the checkpoint LSN (the position the last catalog
+	// snapshot covers); replay starts after it.
+	posFile = "wal.pos"
+
+	posMagic = 0x48504F53 // "HPOS"
+
+	segHeaderSize   = 14
+	frameHeaderSize = 8
+
+	// maxRecordBytes bounds a replayed payload length; anything larger
+	// is treated as corruption rather than allocated.
+	maxRecordBytes = 1 << 28
+)
+
+// Record operations.
+const (
+	// OpInsert's body is a wire batch of values to insert.
+	OpInsert byte = 1
+	// OpDelete's body is a wire batch of values to delete.
+	OpDelete byte = 2
+	// OpCreate's body is the JSON wire.CreateRequest that registered
+	// the histogram.
+	OpCreate byte = 3
+	// OpDrop has no body; the named histogram was deleted.
+	OpDrop byte = 4
+)
+
+// ErrCorrupt reports a corrupt, torn or unreadable record or segment.
+// It is histerr.ErrWALCorrupt, so errors.Is classification works
+// across layers per the internal/histerr convention.
+var ErrCorrupt = histerr.ErrWALCorrupt
+
+// maxNameLen mirrors the server's histogram-name bound.
+const maxNameLen = 128
+
+// Record is one logged operation.
+type Record struct {
+	// LSN is the record's log sequence number (1-based, monotonic).
+	LSN uint64
+	// Op is one of the Op constants.
+	Op byte
+	// Name is the histogram the operation targets.
+	Name string
+	// Payload is the op-specific body. During replay it aliases the
+	// segment read buffer: copy it before retaining.
+	Payload []byte
+}
+
+// SyncPolicy says when Append makes records durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append acknowledges — no acked
+	// record is ever lost to a crash.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Options.SyncEvery);
+	// a crash can lose up to one interval of acked records.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; durability is whatever the OS
+	// page cache provides. (Process kills still lose nothing — the
+	// page cache survives them — only machine crashes lose data.)
+	SyncNone
+)
+
+// String returns the flag spelling of p.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return SyncAlways, fmt.Errorf("wal: unknown sync policy %q (want always, interval or none)", s)
+	}
+}
+
+// Options parameterise Open.
+type Options struct {
+	// Dir holds the segments and the position file; created if absent.
+	Dir string
+	// FS is the filesystem to run on; nil means the real one. Tests
+	// inject faults through an fsfault.Injector here.
+	FS fsfault.FS
+	// SegmentBytes is the rotation threshold; zero defaults to 4 MiB.
+	SegmentBytes int64
+	// Sync is the durability policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period; zero defaults to
+	// 100ms.
+	SyncEvery time.Duration
+	// Logger receives replay-corruption and rotation diagnostics; nil
+	// discards them.
+	Logger *log.Logger
+}
+
+// Status is a point-in-time description of the log, served by
+// /v1/wal/status.
+type Status struct {
+	Dir           string
+	SyncPolicy    string
+	AppendedLSN   uint64
+	DigestedLSN   uint64
+	CheckpointLSN uint64
+	// Segments counts segment files on disk, the active one included.
+	Segments int
+	// ActiveSegmentBytes is the size of the segment being appended to.
+	ActiveSegmentBytes int64
+	// TotalBytes sums every segment file.
+	TotalBytes int64
+}
+
+type segmentInfo struct {
+	name     string // base name
+	firstLSN uint64
+	size     int64
+}
+
+// Log is a segmented write-ahead log. Append/MarkDigested/Checkpoint
+// are safe for concurrent use; Replay is meant for recovery, before
+// concurrent appends start.
+type Log struct {
+	dir  string
+	fs   fsfault.FS
+	opts Options
+	logf *log.Logger
+
+	mu         sync.Mutex
+	segs       []segmentInfo // sorted by firstLSN; last entry is active
+	active     fsfault.File
+	activeSize int64
+	dirty      bool // unsynced bytes in active (SyncInterval bookkeeping)
+	lastLSN    uint64
+	checkpoint uint64
+	torn       bool // active tail is torn; rotate before the next append
+	closed     bool
+	buf        []byte // frame scratch, reused across appends
+
+	digested atomic.Uint64
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open scans dir for existing segments, determines the last LSN ever
+// appended, and starts a fresh active segment after it (recovery never
+// appends into a segment with a possibly-torn tail). The existing
+// records stay replayable via Replay until Checkpoint truncates them.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: no directory configured")
+	}
+	l := &Log{
+		dir:  opts.Dir,
+		fs:   opts.FS,
+		opts: opts,
+		logf: opts.Logger,
+	}
+	if l.fs == nil {
+		l.fs = fsfault.OS{}
+	}
+	if l.logf == nil {
+		l.logf = log.New(io.Discard, "", 0)
+	}
+	if l.opts.SegmentBytes <= 0 {
+		l.opts.SegmentBytes = 4 << 20
+	}
+	if l.opts.SyncEvery <= 0 {
+		l.opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := l.fs.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: dir: %w", err)
+	}
+	l.checkpoint = l.readPos()
+	l.digested.Store(l.checkpoint)
+	if err := l.scanSegments(); err != nil {
+		return nil, err
+	}
+	if err := l.openSegment(l.lastLSN + 1); err != nil {
+		return nil, fmt.Errorf("wal: opening active segment: %w", err)
+	}
+	if l.opts.Sync == SyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// readPos loads the checkpoint position; a missing or corrupt file
+// means replay-from-zero (fail-soft, logged).
+func (l *Log) readPos() uint64 {
+	data, err := l.fs.ReadFile(filepath.Join(l.dir, posFile))
+	if err != nil {
+		return 0
+	}
+	if len(data) != 16 || binary.LittleEndian.Uint32(data) != posMagic {
+		l.logf.Printf("wal: %s malformed, replaying from the beginning", posFile)
+		return 0
+	}
+	lsn := binary.LittleEndian.Uint64(data[4:])
+	if crc := binary.LittleEndian.Uint32(data[12:]); crc != crc32.ChecksumIEEE(data[:12]) {
+		l.logf.Printf("wal: %s CRC mismatch, replaying from the beginning", posFile)
+		return 0
+	}
+	return lsn
+}
+
+// scanSegments lists dir, sweeps stale temp files, and derives lastLSN
+// from the newest segment's valid-record count.
+func (l *Log) scanSegments() error {
+	des, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.Contains(name, ".tmp") {
+			if err := l.fs.Remove(filepath.Join(l.dir, name)); err != nil {
+				l.logf.Printf("wal: removing stale temp %s: %v", name, err)
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, SegmentExt) {
+			continue
+		}
+		first, perr := strconv.ParseUint(strings.TrimSuffix(name, SegmentExt), 10, 64)
+		if perr != nil || first == 0 {
+			l.logf.Printf("wal: ignoring unparseable segment name %s", name)
+			continue
+		}
+		info, ierr := de.Info()
+		size := int64(0)
+		if ierr == nil {
+			size = info.Size()
+		}
+		l.segs = append(l.segs, segmentInfo{name: name, firstLSN: first, size: size})
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].firstLSN < l.segs[j].firstLSN })
+	l.lastLSN = l.checkpoint
+	if n := len(l.segs); n > 0 {
+		last := l.segs[n-1]
+		count, _ := l.countRecords(last)
+		if end := last.firstLSN - 1 + count; end > l.lastLSN {
+			l.lastLSN = end
+		}
+		if last.firstLSN-1 > l.lastLSN {
+			// Empty or unreadable newest segment: its name still proves
+			// every earlier LSN was handed out.
+			l.lastLSN = last.firstLSN - 1
+		}
+	}
+	return nil
+}
+
+// countRecords walks one segment's frames, stopping at the first bad
+// one, and returns how many valid records it holds.
+func (l *Log) countRecords(seg segmentInfo) (uint64, error) {
+	data, err := l.fs.ReadFile(filepath.Join(l.dir, seg.name))
+	if err != nil {
+		return 0, err
+	}
+	n := uint64(0)
+	walkSegment(data, seg.firstLSN, func(Record) error { n++; return nil }, func(off int, why error) {
+		l.logf.Printf("wal: %s: scan stopped at offset %d: %v", seg.name, off, why)
+	})
+	return n, nil
+}
+
+// segName returns the base file name of the segment starting at lsn.
+func segName(lsn uint64) string {
+	return fmt.Sprintf("%020d%s", lsn, SegmentExt)
+}
+
+// openSegment creates and headers a fresh active segment whose first
+// record will be firstLSN. Callers hold no lock during Open; Append
+// holds l.mu.
+func (l *Log) openSegment(firstLSN uint64) error {
+	name := segName(firstLSN)
+	f, err := l.fs.Create(filepath.Join(l.dir, name))
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, segHeaderSize)
+	hdr = binary.LittleEndian.AppendUint32(hdr, segMagic)
+	hdr = binary.LittleEndian.AppendUint16(hdr, segVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, firstLSN)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		l.logf.Printf("wal: dir sync: %v", err)
+	}
+	l.active = f
+	l.activeSize = segHeaderSize
+	l.torn = false
+	l.dirty = false
+	// A predecessor with the same first LSN holds no complete record
+	// (empty, or fully torn) — Create just truncated its file, so
+	// replace its entry rather than tracking one file twice. A
+	// duplicate entry would make Replay walk the file twice and could
+	// let Checkpoint remove the active segment's own file.
+	if n := len(l.segs); n > 0 && l.segs[n-1].firstLSN == firstLSN {
+		l.segs = l.segs[:n-1]
+	}
+	l.segs = append(l.segs, segmentInfo{name: name, firstLSN: firstLSN, size: segHeaderSize})
+	return nil
+}
+
+// rotate seals the active segment and opens the next one. Callers hold
+// l.mu.
+func (l *Log) rotate() error {
+	if l.active != nil {
+		if l.opts.Sync != SyncNone && !l.torn {
+			if err := l.active.Sync(); err != nil {
+				l.logf.Printf("wal: seal sync: %v", err)
+			}
+		}
+		if err := l.active.Close(); err != nil {
+			l.logf.Printf("wal: seal close: %v", err)
+		}
+		l.active = nil
+		if n := len(l.segs); n > 0 {
+			l.segs[n-1].size = l.activeSize
+		}
+	}
+	return l.openSegment(l.lastLSN + 1)
+}
+
+// EncodePayload builds a record payload from its parts. For
+// OpInsert/OpDelete, body is the wire batch encoding of the values —
+// an ingest request's binary body can be logged without re-encoding.
+func EncodePayload(dst []byte, op byte, name string, body []byte) []byte {
+	dst = append(dst, op)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	return append(dst, body...)
+}
+
+// decodePayload splits a CRC-valid payload back into its parts.
+func decodePayload(data []byte) (op byte, name string, body []byte, err error) {
+	r := binenc.Reader{Data: data, Err: ErrCorrupt}
+	if op, err = r.U8(); err != nil {
+		return 0, "", nil, err
+	}
+	nameLen, err := r.U16()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if int(nameLen) > maxNameLen {
+		return 0, "", nil, fmt.Errorf("%w: record name length %d", ErrCorrupt, nameLen)
+	}
+	nameBytes, err := r.Bytes(int(nameLen))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return op, string(nameBytes), data[r.Pos:], nil
+}
+
+// Append frames one record, writes it to the active segment and (per
+// policy) fsyncs before returning its LSN — the moment Append returns
+// nil the record is safe to acknowledge. A write or sync failure
+// returns an error wrapping ErrCorrupt (the active tail may be torn);
+// the log stays replayable up to the last good record, and the next
+// Append seals the damaged segment and starts a fresh one. A rotation
+// failure (e.g. disk full while creating the next segment) surfaces
+// the underlying error — fsfault.ErrNoSpace stays classifiable — and
+// leaves the log untouched.
+func (l *Log) Append(op byte, name string, body []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	// active can be nil after a failed rotation (the old segment is
+	// sealed, the new one never opened); retrying the rotation is what
+	// heals it.
+	if l.torn || l.active == nil || l.activeSize >= l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			if l.torn {
+				return 0, fmt.Errorf("wal: rotating away from torn segment: %w: %w", ErrCorrupt, err)
+			}
+			return 0, fmt.Errorf("wal: rotating segment: %w", err)
+		}
+	}
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	l.buf = EncodePayload(l.buf, op, name, body)
+	payload := l.buf[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(l.buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:], crc32.ChecksumIEEE(payload))
+	n, err := l.active.Write(l.buf)
+	l.activeSize += int64(n)
+	if err != nil || n < len(l.buf) {
+		// A zero-progress write leaves the tail clean; any partial
+		// frame tears it, and the next append must roll past.
+		l.torn = n > 0
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return 0, fmt.Errorf("wal: append: %w: %w", ErrCorrupt, err)
+	}
+	l.dirty = true
+	if l.opts.Sync == SyncAlways {
+		if err := l.active.Sync(); err != nil {
+			// The frame is fully written but its durability is unknown:
+			// it may replay after a crash even though it was never acked
+			// (at-least-once past the ack boundary). Burn its LSN so no
+			// later append can collide with the on-disk frame, and treat
+			// the segment as damaged so the next append rolls past it.
+			l.lastLSN++
+			l.torn = true
+			return 0, fmt.Errorf("wal: sync: %w: %w", ErrCorrupt, err)
+		}
+		l.dirty = false
+	}
+	l.lastLSN++
+	if n := len(l.segs); n > 0 {
+		l.segs[n-1].size = l.activeSize
+	}
+	return l.lastLSN, nil
+}
+
+// flushLoop is the SyncInterval background fsync.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && l.active != nil && !l.torn {
+				if err := l.active.Sync(); err != nil {
+					l.logf.Printf("wal: interval sync: %v", err)
+				} else {
+					l.dirty = false
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// MarkDigested records that every record up to lsn has been folded
+// into the in-memory histograms. It only ever advances.
+func (l *Log) MarkDigested(lsn uint64) {
+	for {
+		cur := l.digested.Load()
+		if lsn <= cur || l.digested.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// DigestedLSN returns the newest digested position.
+func (l *Log) DigestedLSN() uint64 { return l.digested.Load() }
+
+// LastLSN returns the newest appended position.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// Checkpoint durably records that a catalog snapshot covers every
+// record up to lsn (write-temp, fsync, rename — like the catalog
+// itself) and then removes sealed segments that hold no later record.
+// After a crash, replay resumes right after lsn.
+func (l *Log) Checkpoint(lsn uint64) error {
+	pos := make([]byte, 0, 16)
+	pos = binary.LittleEndian.AppendUint32(pos, posMagic)
+	pos = binary.LittleEndian.AppendUint64(pos, lsn)
+	pos = binary.LittleEndian.AppendUint32(pos, crc32.ChecksumIEEE(pos))
+	tmpPath := filepath.Join(l.dir, posFile+".tmp")
+	f, err := l.fs.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(pos); err != nil {
+		f.Close()
+		l.removeQuiet(tmpPath)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		l.removeQuiet(tmpPath)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		l.removeQuiet(tmpPath)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := l.fs.Rename(tmpPath, filepath.Join(l.dir, posFile)); err != nil {
+		l.removeQuiet(tmpPath)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		l.logf.Printf("wal: dir sync: %v", err)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.checkpoint {
+		l.checkpoint = lsn
+	}
+	// A sealed segment is fully covered when its successor starts at or
+	// before lsn+1; the active (last) segment is never removed.
+	var firstErr error
+	kept := l.segs[:0]
+	for i, seg := range l.segs {
+		if i+1 < len(l.segs) && l.segs[i+1].firstLSN <= lsn+1 {
+			if err := l.fs.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("wal: truncate %s: %w", seg.name, err)
+				}
+				kept = append(kept, seg)
+				continue
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	return firstErr
+}
+
+// CheckpointLSN returns the position the last checkpoint recorded.
+func (l *Log) CheckpointLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checkpoint
+}
+
+// Status reports the log's current shape.
+func (l *Log) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Status{
+		Dir:           l.dir,
+		SyncPolicy:    l.opts.Sync.String(),
+		AppendedLSN:   l.lastLSN,
+		DigestedLSN:   l.digested.Load(),
+		CheckpointLSN: l.checkpoint,
+		Segments:      len(l.segs),
+	}
+	for i, seg := range l.segs {
+		size := seg.size
+		if i == len(l.segs)-1 {
+			size = l.activeSize
+			st.ActiveSegmentBytes = l.activeSize
+		}
+		st.TotalBytes += size
+	}
+	return st
+}
+
+// Close seals the active segment. It does not checkpoint — that is the
+// server's job, after the digester drains.
+func (l *Log) Close() error {
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	var firstErr error
+	if l.opts.Sync != SyncNone && !l.torn {
+		if err := l.active.Sync(); err != nil {
+			firstErr = fmt.Errorf("wal: close sync: %w", err)
+		}
+	}
+	if err := l.active.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("wal: close: %w", err)
+	}
+	l.active = nil
+	return firstErr
+}
+
+func (l *Log) removeQuiet(path string) {
+	if err := l.fs.Remove(path); err != nil {
+		l.logf.Printf("wal: removing %s: %v", path, err)
+	}
+}
+
+// ReplayStats summarises one Replay pass.
+type ReplayStats struct {
+	// Records is how many records fn was called with.
+	Records int
+	// Skipped is how many records replay passed over because their LSN
+	// was at or below the replay start position.
+	Skipped int
+	// CorruptSegments counts segments whose scan stopped early at a
+	// bad frame (torn tail, CRC mismatch, implausible length).
+	CorruptSegments int
+}
+
+// Replay walks every segment in LSN order and calls fn for each
+// CRC-valid record with LSN > after. Corruption ends the affected
+// segment's scan (logged with its byte offset) and replay continues
+// with the next segment; a torn final record after a crash is the
+// normal case, not an error. Replay never panics on arbitrary segment
+// bytes. An fn error aborts and is returned.
+func (l *Log) Replay(after uint64, fn func(Record) error) (ReplayStats, error) {
+	l.mu.Lock()
+	segs := make([]segmentInfo, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+	var st ReplayStats
+	for _, seg := range segs {
+		data, err := l.fs.ReadFile(filepath.Join(l.dir, seg.name))
+		if err != nil {
+			l.logf.Printf("wal: replay: reading %s: %v", seg.name, err)
+			st.CorruptSegments++
+			continue
+		}
+		corrupt := false
+		err = walkSegment(data, seg.firstLSN, func(rec Record) error {
+			if rec.LSN <= after {
+				st.Skipped++
+				return nil
+			}
+			st.Records++
+			return fn(rec)
+		}, func(off int, why error) {
+			l.logf.Printf("wal: replay: %s: stopped at offset %d: %v", seg.name, off, why)
+			corrupt = true
+		})
+		if corrupt {
+			st.CorruptSegments++
+		}
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// walkSegment iterates a segment image's valid record prefix, calling
+// fn per record. The first framing problem stops the walk and is
+// reported to bad with its byte offset; fn errors abort the walk and
+// are returned. It tolerates arbitrary input without panicking.
+func walkSegment(data []byte, wantFirstLSN uint64, fn func(Record) error, bad func(off int, why error)) error {
+	if len(data) < segHeaderSize {
+		bad(0, fmt.Errorf("%w: segment shorter than header", ErrCorrupt))
+		return nil
+	}
+	if magic := binary.LittleEndian.Uint32(data); magic != segMagic {
+		bad(0, fmt.Errorf("%w: bad segment magic %#x", ErrCorrupt, magic))
+		return nil
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != segVersion {
+		bad(4, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, v))
+		return nil
+	}
+	firstLSN := binary.LittleEndian.Uint64(data[6:])
+	if wantFirstLSN != 0 && firstLSN != wantFirstLSN {
+		bad(6, fmt.Errorf("%w: header says first LSN %d, file name says %d", ErrCorrupt, firstLSN, wantFirstLSN))
+		return nil
+	}
+	off := segHeaderSize
+	lsn := firstLSN
+	for off < len(data) {
+		if len(data)-off < frameHeaderSize {
+			bad(off, fmt.Errorf("%w: truncated frame header", ErrCorrupt))
+			return nil
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxRecordBytes {
+			bad(off, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, plen))
+			return nil
+		}
+		if uint64(len(data)-off-frameHeaderSize) < uint64(plen) {
+			bad(off, fmt.Errorf("%w: torn record (%d payload bytes, %d available)",
+				ErrCorrupt, plen, len(data)-off-frameHeaderSize))
+			return nil
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+int(plen)]
+		if got := crc32.ChecksumIEEE(payload); got != crc {
+			bad(off, fmt.Errorf("%w: CRC mismatch (stored %#x, computed %#x)", ErrCorrupt, crc, got))
+			return nil
+		}
+		op, name, body, err := decodePayload(payload)
+		if err != nil {
+			bad(off, err)
+			return nil
+		}
+		if err := fn(Record{LSN: lsn, Op: op, Name: name, Payload: body}); err != nil {
+			return err
+		}
+		lsn++
+		off += frameHeaderSize + int(plen)
+	}
+	return nil
+}

@@ -1,0 +1,567 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dynahist/internal/fsfault"
+	"dynahist/internal/histerr"
+	"dynahist/internal/wire"
+)
+
+// openLog opens a log in dir with test-friendly defaults; mod tweaks
+// the options before Open.
+func openLog(t testing.TB, dir string, mod func(*Options)) *Log {
+	t.Helper()
+	opts := Options{Dir: dir, Sync: SyncNone}
+	if mod != nil {
+		mod(&opts)
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+// batch encodes values into the wire batch format records carry.
+func batch(t testing.TB, vs ...float64) []byte {
+	t.Helper()
+	b, err := wire.EncodeBatch(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// collect replays the log from after and returns records with copied
+// payloads (Replay's payloads alias the read buffer).
+func collect(t testing.TB, l *Log, after uint64) ([]Record, ReplayStats) {
+	t.Helper()
+	var out []Record
+	st, err := l.Replay(after, func(rec Record) error {
+		cp := rec
+		cp.Payload = append([]byte(nil), rec.Payload...)
+		out = append(out, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out, st
+}
+
+// segFiles lists the segment files in dir, sorted by name (= LSN
+// order).
+func segFiles(t testing.TB, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), SegmentExt) {
+			out = append(out, de.Name())
+		}
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, nil)
+	defer l.Close()
+
+	ins := batch(t, 1, 2, 3)
+	del := batch(t, 2)
+	appends := []struct {
+		op   byte
+		name string
+		body []byte
+	}{
+		{OpCreate, "lat", []byte(`{"name":"lat","family":"dado"}`)},
+		{OpInsert, "lat", ins},
+		{OpDelete, "lat", del},
+		{OpDrop, "lat", nil},
+	}
+	for i, a := range appends {
+		lsn, err := l.Append(a.op, a.name, a.body)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if want := uint64(i + 1); lsn != want {
+			t.Fatalf("Append %d returned LSN %d, want %d", i, lsn, want)
+		}
+	}
+	if got := l.LastLSN(); got != 4 {
+		t.Fatalf("LastLSN = %d, want 4", got)
+	}
+
+	recs, st := collect(t, l, 0)
+	if st.Records != 4 || st.Skipped != 0 || st.CorruptSegments != 0 {
+		t.Fatalf("ReplayStats = %+v", st)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		want := appends[i]
+		if rec.LSN != uint64(i+1) || rec.Op != want.op || rec.Name != want.name {
+			t.Fatalf("record %d = {LSN:%d Op:%d Name:%q}, want {%d %d %q}",
+				i, rec.LSN, rec.Op, rec.Name, i+1, want.op, want.name)
+		}
+		if string(rec.Payload) != string(want.body) {
+			t.Fatalf("record %d payload mismatch", i)
+		}
+	}
+	// The insert batch decodes back through the wire codec.
+	vs, err := wire.DecodeBatch(recs[1].Payload)
+	if err != nil || len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Fatalf("decoded batch = %v, %v", vs, err)
+	}
+
+	// Replay-after skips digested records.
+	recs, st = collect(t, l, 2)
+	if len(recs) != 2 || st.Skipped != 2 || recs[0].LSN != 3 {
+		t.Fatalf("Replay(2) = %d records (first LSN %d), skipped %d", len(recs), recs[0].LSN, st.Skipped)
+	}
+}
+
+func TestReopenContinuesLSNs(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(OpInsert, "h", batch(t, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: recovery starts a fresh segment, never appending into an
+	// old tail, and the next LSN continues where the log left off.
+	l2 := openLog(t, dir, nil)
+	defer l2.Close()
+	if got := l2.LastLSN(); got != 3 {
+		t.Fatalf("LastLSN after reopen = %d, want 3", got)
+	}
+	lsn, err := l2.Append(OpInsert, "h", batch(t, 9))
+	if err != nil || lsn != 4 {
+		t.Fatalf("Append after reopen = %d, %v; want 4", lsn, err)
+	}
+	recs, _ := collect(t, l2, 0)
+	if len(recs) != 4 || recs[3].LSN != 4 {
+		t.Fatalf("replayed %d records after reopen, want 4", len(recs))
+	}
+	if files := segFiles(t, dir); len(files) < 2 {
+		t.Fatalf("reopen did not start a fresh segment: %v", files)
+	}
+}
+
+// TestReopenAfterEmptyActive crashes (reopens) right after a rotation,
+// when the newest segment holds a header and nothing else. The reopen
+// re-creates that same segment name; the log must track one file, not
+// two, and a checkpoint must never remove the active segment.
+func TestReopenAfterEmptyActive(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, nil)
+	if _, err := l.Append(OpInsert, "h", batch(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The reopened log's fresh active segment (first LSN 2) is empty;
+	// reopening again re-creates 00000000000000000002.wal.
+	l2 := openLog(t, dir, nil)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openLog(t, dir, nil)
+	defer l3.Close()
+	if got := l3.Status().Segments; got != 2 {
+		t.Fatalf("Segments = %d, want 2 (no duplicate tracking of the re-created segment)", got)
+	}
+	if _, err := l3.Append(OpInsert, "h", batch(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l3.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, l3, 1)
+	if len(recs) != 1 || recs[0].LSN != 2 {
+		t.Fatalf("replay after checkpoint = %d records, want the single LSN-2 record", len(recs))
+	}
+}
+
+func TestRotationAndCheckpointTruncation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every append rotates, one record per segment.
+	l := openLog(t, dir, func(o *Options) { o.SegmentBytes = 1 })
+	defer l.Close()
+	for i := 1; i <= 6; i++ {
+		if _, err := l.Append(OpInsert, "h", batch(t, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Status()
+	if st.Segments < 6 {
+		t.Fatalf("Segments = %d, want >= 6 after forced rotations", st.Segments)
+	}
+
+	if err := l.Checkpoint(4); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if got := l.CheckpointLSN(); got != 4 {
+		t.Fatalf("CheckpointLSN = %d, want 4", got)
+	}
+	// Segments fully covered by the checkpoint are gone; records past
+	// it still replay.
+	recs, _ := collect(t, l, l.CheckpointLSN())
+	if len(recs) != 2 || recs[0].LSN != 5 || recs[1].LSN != 6 {
+		t.Fatalf("post-truncation replay = %+v, want LSNs 5,6", recs)
+	}
+	// With one record per segment, every sealed segment starting at or
+	// below LSN 4 is fully covered and must be gone; only segments
+	// holding records 5+ (and the fresh active one) survive.
+	files := segFiles(t, dir)
+	for _, f := range files[:len(files)-1] {
+		first, err := strconv.ParseUint(strings.TrimSuffix(f, SegmentExt), 10, 64)
+		if err != nil {
+			t.Fatalf("segment name %q: %v", f, err)
+		}
+		if first < 5 {
+			t.Fatalf("segment %s should have been truncated by Checkpoint(4)", f)
+		}
+	}
+
+	// The position survives a reopen: replay resumes after it.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, dir, nil)
+	defer l2.Close()
+	if got := l2.CheckpointLSN(); got != 4 {
+		t.Fatalf("CheckpointLSN after reopen = %d, want 4", got)
+	}
+	if got := l2.LastLSN(); got != 6 {
+		t.Fatalf("LastLSN after reopen = %d, want 6", got)
+	}
+}
+
+func TestTornTailSkippedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, nil)
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(OpInsert, "h", batch(t, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: chop a few bytes off the segment, the way a
+	// crash mid-write does.
+	seg := filepath.Join(dir, segFiles(t, dir)[0])
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, nil)
+	defer l2.Close()
+	// The torn record never made it; LSN 3 is reusable.
+	if got := l2.LastLSN(); got != 2 {
+		t.Fatalf("LastLSN after torn tail = %d, want 2", got)
+	}
+	recs, st := collect(t, l2, 0)
+	if len(recs) != 2 || recs[1].LSN != 2 {
+		t.Fatalf("replayed %d records, want the 2 intact ones", len(recs))
+	}
+	if st.CorruptSegments != 1 {
+		t.Fatalf("CorruptSegments = %d, want 1", st.CorruptSegments)
+	}
+	// New appends continue cleanly after the torn point.
+	if lsn, err := l2.Append(OpInsert, "h", batch(t, 9)); err != nil || lsn != 3 {
+		t.Fatalf("Append after torn recovery = %d, %v; want LSN 3", lsn, err)
+	}
+}
+
+func TestBitFlipDetectedByCRC(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, nil)
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(OpInsert, "h", batch(t, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segFiles(t, dir)[0])
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit in the second record. Record 1 starts at the
+	// segment header's end; its frame is header+payload.
+	plen1 := binary.LittleEndian.Uint32(data[segHeaderSize:])
+	rec2 := segHeaderSize + frameHeaderSize + int(plen1)
+	data[rec2+frameHeaderSize+2] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, nil)
+	defer l2.Close()
+	recs, st := collect(t, l2, 0)
+	// The scan stops at the flipped record: only record 1 survives.
+	if len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("replayed %v, want only LSN 1", recs)
+	}
+	if st.CorruptSegments != 1 {
+		t.Fatalf("CorruptSegments = %d, want 1", st.CorruptSegments)
+	}
+}
+
+// TestCorruptionLoggedWithOffset pins the diagnosability contract: a
+// skipped tail names the segment and the byte offset it died at.
+func TestCorruptionLoggedWithOffset(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, nil)
+	if _, err := l.Append(OpInsert, "h", batch(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segFiles(t, dir)[0])
+	fi, _ := os.Stat(seg)
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	l2 := openLog(t, dir, func(o *Options) { o.Logger = log.New(&buf, "", 0) })
+	defer l2.Close()
+	if _, err := l2.Replay(0, func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, segFiles(t, dir)[0]) || !strings.Contains(logged, fmt.Sprintf("offset %d", segHeaderSize)) {
+		t.Fatalf("corruption log lacks segment name or offset:\n%s", logged)
+	}
+}
+
+func TestPosFileCorruptionFailSoft(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, nil)
+	if _, err := l.Append(OpInsert, "h", batch(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, garbage := range [][]byte{nil, []byte("HPOS"), make([]byte, 16)} {
+		if err := os.WriteFile(filepath.Join(dir, posFile), garbage, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2 := openLog(t, dir, nil)
+		if got := l2.CheckpointLSN(); got != 0 {
+			t.Fatalf("corrupt pos file (%d bytes) yielded checkpoint %d, want 0 (replay everything)", len(garbage), got)
+		}
+		l2.Close()
+	}
+}
+
+func TestSyncPolicyBehaviour(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		inj := fsfault.NewInjector(nil)
+		l := openLog(t, t.TempDir(), func(o *Options) {
+			o.FS = inj
+			o.Sync = SyncAlways
+		})
+		defer l.Close()
+		before := inj.Stats().Syncs
+		for i := 0; i < 3; i++ {
+			if _, err := l.Append(OpInsert, "h", batch(t, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := inj.Stats().Syncs - before; got < 3 {
+			t.Fatalf("SyncAlways issued %d syncs across 3 appends, want >= 3", got)
+		}
+	})
+	t.Run("none", func(t *testing.T) {
+		inj := fsfault.NewInjector(nil)
+		l := openLog(t, t.TempDir(), func(o *Options) {
+			o.FS = inj
+			o.Sync = SyncNone
+		})
+		for i := 0; i < 3; i++ {
+			if _, err := l.Append(OpInsert, "h", batch(t, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Close()
+		if got := inj.Stats().Syncs; got != 0 {
+			t.Fatalf("SyncNone issued %d file syncs, want 0", got)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		inj := fsfault.NewInjector(nil)
+		l := openLog(t, t.TempDir(), func(o *Options) {
+			o.FS = inj
+			o.Sync = SyncInterval
+			o.SyncEvery = time.Millisecond
+		})
+		if _, err := l.Append(OpInsert, "h", batch(t, 1)); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for inj.Stats().Syncs == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("interval flusher never synced")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		l.Close()
+	})
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"none", SyncNone}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("SyncPolicy.String round trip: %q != %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+func TestAppendOnClosedLog(t *testing.T) {
+	l := openLog(t, t.TempDir(), nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpInsert, "h", batch(t, 1)); err == nil {
+		t.Fatal("Append on closed log succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestMarkDigestedOnlyAdvances(t *testing.T) {
+	l := openLog(t, t.TempDir(), nil)
+	defer l.Close()
+	l.MarkDigested(5)
+	l.MarkDigested(3)
+	if got := l.DigestedLSN(); got != 5 {
+		t.Fatalf("DigestedLSN = %d, want 5 (never regresses)", got)
+	}
+}
+
+func TestStatusShape(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, func(o *Options) { o.Sync = SyncAlways })
+	defer l.Close()
+	if _, err := l.Append(OpInsert, "h", batch(t, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	l.MarkDigested(1)
+	st := l.Status()
+	if st.Dir != dir || st.SyncPolicy != "always" {
+		t.Fatalf("Status identity = %q/%q", st.Dir, st.SyncPolicy)
+	}
+	if st.AppendedLSN != 1 || st.DigestedLSN != 1 || st.CheckpointLSN != 0 {
+		t.Fatalf("Status watermarks = %d/%d/%d", st.AppendedLSN, st.DigestedLSN, st.CheckpointLSN)
+	}
+	if st.Segments != 1 || st.ActiveSegmentBytes <= segHeaderSize || st.TotalBytes != st.ActiveSegmentBytes {
+		t.Fatalf("Status shape = %+v", st)
+	}
+}
+
+// BenchmarkWALAppend measures the durable ingest hot path: framing one
+// 256-value batch and appending it, without (none) and with (always)
+// the per-append fsync.
+func BenchmarkWALAppend(b *testing.B) {
+	vs := make([]float64, 256)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	body, err := wire.EncodeBatch(vs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []SyncPolicy{SyncNone, SyncAlways} {
+		b.Run(pol.String(), func(b *testing.B) {
+			l := openLog(b, b.TempDir(), func(o *Options) {
+				o.Sync = pol
+				o.SegmentBytes = 1 << 30 // no rotation inside the loop
+			})
+			defer l.Close()
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(OpInsert, "bench", body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+// TestReplayCallbackErrorAborts checks an fn error stops replay and
+// surfaces.
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	l := openLog(t, t.TempDir(), nil)
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(OpInsert, "h", batch(t, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := 0
+	_, err := l.Replay(0, func(Record) error {
+		calls++
+		return errSentinel
+	})
+	if !errors.Is(err, errSentinel) || calls != 1 {
+		t.Fatalf("Replay = %v after %d calls, want sentinel after 1", err, calls)
+	}
+}
+
+// TestErrCorruptIsHisterr pins the cross-layer error identity.
+func TestErrCorruptIsHisterr(t *testing.T) {
+	if !errors.Is(ErrCorrupt, histerr.ErrWALCorrupt) {
+		t.Fatal("wal.ErrCorrupt is not histerr.ErrWALCorrupt")
+	}
+}

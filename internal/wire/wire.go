@@ -156,6 +156,30 @@ type ValuesRequest struct {
 type UpdateResponse struct {
 	Applied int     `json:"applied"`
 	Total   float64 `json:"total"`
+	// LSN is the write-ahead-log sequence number the batch was logged
+	// under — present (non-zero) only when the server runs with durable
+	// ingest enabled. When set, Total may lag the batch: the ack means
+	// the batch is durable, and the background digester folds it into
+	// the histogram asynchronously.
+	LSN uint64 `json:"lsn,omitempty"`
+}
+
+// WALStatusResponse is the body of GET /v1/wal/status: the durable
+// ingest watermarks. AppendedLSN counts records acked, DigestedLSN
+// records folded into the in-memory histograms, CheckpointLSN records
+// covered by the last catalog snapshot (everything past it replays on
+// restart). Lag = appended - digested.
+type WALStatusResponse struct {
+	Enabled            bool   `json:"enabled"`
+	Dir                string `json:"dir,omitempty"`
+	SyncPolicy         string `json:"sync_policy,omitempty"`
+	AppendedLSN        uint64 `json:"appended_lsn"`
+	DigestedLSN        uint64 `json:"digested_lsn"`
+	CheckpointLSN      uint64 `json:"checkpoint_lsn"`
+	LagRecords         uint64 `json:"lag_records"`
+	Segments           int    `json:"segments"`
+	ActiveSegmentBytes int64  `json:"active_segment_bytes"`
+	TotalBytes         int64  `json:"total_bytes"`
 }
 
 // TotalResponse is the body of GET /v1/h/{name}/total.
