@@ -23,6 +23,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"dynahist/internal/wire"
 )
@@ -47,6 +48,21 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("histserved: %d: %s", e.StatusCode, e.Message)
 }
 
+// Retry policy for idempotent reads: a GET that dies on the wire or
+// bounces off a gateway (502/503/504) is retried up to retryAttempts
+// times total, with doubling backoff starting at retryBaseDelay.
+// Mutating requests are never retried — an insert whose ack was lost
+// may still have landed, and replaying it would double-count.
+const (
+	retryAttempts  = 3
+	retryBaseDelay = 100 * time.Millisecond
+)
+
+// defaultHTTPClient backs New(url, nil). Unlike http.DefaultClient it
+// has a timeout, so a hung server cannot wedge a caller that passed no
+// context deadline of its own.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
 // Client talks to one histserved server. It is safe for concurrent
 // use.
 type Client struct {
@@ -55,11 +71,13 @@ type Client struct {
 }
 
 // New returns a client for the server at baseURL (e.g.
-// "http://localhost:8080"). A nil httpClient uses
-// http.DefaultClient.
+// "http://localhost:8080"). A nil httpClient uses a shared default
+// with a 30-second timeout; pass your own *http.Client to control
+// timeouts, transport or proxies — caller-supplied clients are used
+// exactly as given.
 func New(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = defaultHTTPClient
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
 }
@@ -100,37 +118,114 @@ func infoFromWire(w wire.Info) Info {
 }
 
 // do issues one request and decodes the JSON response into out when
-// out is non-nil.
+// out is non-nil. GETs are retried per the package retry policy;
+// everything else gets exactly one attempt.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	attempts := 1
+	if method == http.MethodGet {
+		attempts = retryAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := retryBaseDelay << (attempt - 1)
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		data, status, _, err := c.doOnce(ctx, method, path, contentType, body)
+		switch {
+		case err != nil:
+			// Transport-level failure. Retryable for a GET — unless the
+			// caller's context is what killed it.
+			lastErr = err
+			if ctx.Err() != nil {
+				return err
+			}
+			continue
+		case status == http.StatusBadGateway || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
+			lastErr = apiError(status, data)
+			continue
+		case status < 200 || status > 299:
+			return apiError(status, data)
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("histserved: decoding response: %w", err)
+			}
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// doOnce is one request/response exchange: the body bytes, status and
+// headers, or a transport error.
+func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body []byte) ([]byte, int, http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, 0, nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return err
+		return nil, 0, nil, err
 	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var e wire.ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	return data, resp.StatusCode, resp.Header, nil
+}
+
+// getRaw is a retrying GET that returns the raw response body and
+// headers — the envelope fetch path, whose payload is a binary
+// snapshot envelope rather than JSON.
+func (c *Client) getRaw(ctx context.Context, path string) ([]byte, http.Header, error) {
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(retryBaseDelay << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, nil, ctx.Err()
+			case <-t.C:
+			}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
-	}
-	if out != nil {
-		if err := json.Unmarshal(data, out); err != nil {
-			return fmt.Errorf("histserved: decoding response: %w", err)
+		data, status, hdr, err := c.doOnce(ctx, http.MethodGet, path, "", nil)
+		switch {
+		case err != nil:
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, nil, err
+			}
+			continue
+		case status == http.StatusBadGateway || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
+			lastErr = apiError(status, data)
+			continue
+		case status < 200 || status > 299:
+			return nil, nil, apiError(status, data)
 		}
+		return data, hdr, nil
 	}
-	return nil
+	return nil, nil, lastErr
+}
+
+// apiError shapes a non-2xx body into an APIError.
+func apiError(status int, data []byte) error {
+	var e wire.ErrorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return &APIError{StatusCode: status, Message: e.Error}
+	}
+	return &APIError{StatusCode: status, Message: strings.TrimSpace(string(data))}
 }
 
 // Create registers a new histogram and returns its info.
@@ -180,9 +275,30 @@ func (c *Client) Info(ctx context.Context, name string) (Info, error) {
 	return infoFromWire(w), nil
 }
 
+// Ack is the server's acknowledgement of one ingest batch.
+type Ack struct {
+	// Total is the histogram's point count after the batch.
+	Total float64
+	// DigestedLSN is how far the server's write-ahead-log digester had
+	// folded records into the in-memory histograms when the batch was
+	// acknowledged. The batch itself is durable at ack time but becomes
+	// readable only once DigestedLSN passes its log position — writers
+	// that need read-your-writes can compare acks against WALStatus.
+	// Zero when the server runs without a WAL (then the batch is
+	// readable immediately).
+	DigestedLSN uint64
+}
+
 // Insert adds the values via the JSON ingest body and returns the
 // histogram's new total.
 func (c *Client) Insert(ctx context.Context, name string, values []float64) (float64, error) {
+	ack, err := c.update(ctx, name, "insert", values, false)
+	return ack.Total, err
+}
+
+// InsertAck is Insert returning the full acknowledgement, including
+// the server's digested WAL watermark.
+func (c *Client) InsertAck(ctx context.Context, name string, values []float64) (Ack, error) {
 	return c.update(ctx, name, "insert", values, false)
 }
 
@@ -190,15 +306,23 @@ func (c *Client) Insert(ctx context.Context, name string, values []float64) (flo
 // format — roughly 3× denser on the wire than JSON and parsed with a
 // single bounds check, the fast path for high-volume writers.
 func (c *Client) InsertBinary(ctx context.Context, name string, values []float64) (float64, error) {
+	ack, err := c.update(ctx, name, "insert", values, true)
+	return ack.Total, err
+}
+
+// InsertBinaryAck is InsertBinary returning the full acknowledgement,
+// including the server's digested WAL watermark.
+func (c *Client) InsertBinaryAck(ctx context.Context, name string, values []float64) (Ack, error) {
 	return c.update(ctx, name, "insert", values, true)
 }
 
 // DeleteValues removes the values from the histogram.
 func (c *Client) DeleteValues(ctx context.Context, name string, values []float64) (float64, error) {
-	return c.update(ctx, name, "delete", values, false)
+	ack, err := c.update(ctx, name, "delete", values, false)
+	return ack.Total, err
 }
 
-func (c *Client) update(ctx context.Context, name, op string, values []float64, binary bool) (float64, error) {
+func (c *Client) update(ctx context.Context, name, op string, values []float64, binary bool) (Ack, error) {
 	var (
 		body []byte
 		ct   string
@@ -208,20 +332,20 @@ func (c *Client) update(ctx context.Context, name, op string, values []float64, 
 		body, err = wire.EncodeBatch(values)
 		ct = wire.BatchContentType
 		if err != nil {
-			return 0, err
+			return Ack{}, err
 		}
 	} else {
 		body, err = json.Marshal(wire.ValuesRequest{Values: values})
 		ct = "application/json"
 		if err != nil {
-			return 0, err
+			return Ack{}, err
 		}
 	}
 	var resp wire.UpdateResponse
 	if err := c.do(ctx, "POST", "/v1/h/"+url.PathEscape(name)+"/"+op, ct, body, &resp); err != nil {
-		return 0, err
+		return Ack{}, err
 	}
-	return resp.Total, nil
+	return Ack{Total: resp.Total, DigestedLSN: resp.DigestedLSN}, nil
 }
 
 // Total returns the histogram's current point count.

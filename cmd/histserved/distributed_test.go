@@ -1,0 +1,308 @@
+package main
+
+// The multi-node e2e: three real histserved processes, each owning one
+// keyspace slice (value mod 3), full-mesh anti-entropy between them,
+// and a client-side Fanout answering global reads by superposing one
+// snapshot envelope per site — the paper's §8 union as a serving
+// architecture. The drill: ingest across all three, kill one with
+// SIGKILL and assert global reads degrade to a flagged partial result
+// (never an error), then restart the dead node on EMPTY directories —
+// simulated total disk loss — and assert it converges back to its full
+// pre-kill state purely via snapshot anti-entropy from the survivors,
+// without re-ingesting a single raw value. The recovered global
+// distribution is audited against an exact internal/dist tracker.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+
+	"dynahist/client"
+	"dynahist/internal/dist"
+	"dynahist/internal/wire"
+)
+
+// freePort reserves an ephemeral port and releases it for a child to
+// bind. Peers must be named in every node's flags before any of them
+// is up, so dynamic :0 addresses cannot work here.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// siteCatalog fetches one node's anti-entropy catalog.
+func siteCatalog(base string) (wire.SiteCatalogResponse, error) {
+	var cat wire.SiteCatalogResponse
+	resp, err := http.Get(base + "/v1/sites/catalog")
+	if err != nil {
+		return cat, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cat, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return cat, json.NewDecoder(resp.Body).Decode(&cat)
+}
+
+// ownWatermark returns the watermark a node advertises for its own
+// site.
+func ownWatermark(base, site string) (uint64, error) {
+	cat, err := siteCatalog(base)
+	if err != nil {
+		return 0, err
+	}
+	for _, row := range cat.Entries {
+		if row.Site == site {
+			return row.Watermark, nil
+		}
+	}
+	return 0, nil
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() (bool, error)) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		ok, err := cond()
+		if ok {
+			return
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s (last error: %v)", what, lastErr)
+}
+
+func TestDistributedKillAndRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node e2e skipped in -short mode")
+	}
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+
+	// Full mesh: every node names the other two as peers.
+	const n = 3
+	ports := make([]int, n)
+	urls := make([]string, n)
+	sites := make([]string, n)
+	for i := range ports {
+		ports[i] = freePort(t)
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", ports[i])
+		sites[i] = fmt.Sprintf("s%d", i)
+	}
+	nodeArgs := func(i int, catDir, walDir string) []string {
+		var peers string
+		for j, u := range urls {
+			if j != i {
+				if peers != "" {
+					peers += ","
+				}
+				peers += u
+			}
+		}
+		return []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-catalog", catDir,
+			"-checkpoint", "100ms",
+			"-wal-dir", walDir,
+			"-wal-sync", "always",
+			"-site-id", sites[i],
+			"-peers", peers,
+			"-anti-entropy", "50ms",
+			"-peer-timeout", "1s",
+		}
+	}
+	cmds := make([]*exec.Cmd, n)
+	for i := range cmds {
+		cmd, addr := startServed(t, nodeArgs(i, t.TempDir(), t.TempDir()))
+		if addr != fmt.Sprintf("127.0.0.1:%d", ports[i]) {
+			t.Fatalf("node %d bound %s, want port %d", i, addr, ports[i])
+		}
+		cmds[i] = cmd
+	}
+	t.Cleanup(func() {
+		for _, cmd := range cmds {
+			if cmd != nil && cmd.ProcessState == nil {
+				_ = cmd.Process.Kill()
+				_, _ = cmd.Process.Wait()
+			}
+		}
+	})
+
+	f := client.NewFanout(urls, nil)
+	if err := f.CreateAll(ctx, client.CreateOptions{Name: "lat", Family: client.FamilyDADO, MemBytes: 4096, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingest: each value goes to the site owning its keyspace slice
+	// (value mod 3), with an exact tracker alongside.
+	const maxV = 899
+	tracker := dist.New(maxV)
+	clients := make([]*client.Client, n)
+	for i, u := range urls {
+		clients[i] = client.New(u, nil)
+	}
+	ingest := func(count int, allowedSites func(int) bool) {
+		t.Helper()
+		batches := make([][]float64, n)
+		for k := 0; k < count; k++ {
+			v := rng.Intn(maxV + 1)
+			if !allowedSites(v % n) {
+				continue
+			}
+			batches[v%n] = append(batches[v%n], float64(v))
+		}
+		for i, vs := range batches {
+			if len(vs) == 0 {
+				continue
+			}
+			if _, err := clients[i].InsertBinary(ctx, "lat", vs); err != nil {
+				t.Fatalf("ingest to site %d: %v", i, err)
+			}
+			for _, v := range vs {
+				if err := tracker.Insert(int(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	ingest(3000, func(int) bool { return true })
+
+	// A healthy global read: all sites contribute, nothing partial, and
+	// the union's CDF tracks the exact distribution.
+	spec := client.QuerySpec{CDF: []float64{200, 450, 700}, Quantiles: []float64{0.5, 0.99}}
+	audit := func(g client.GlobalSummary) {
+		t.Helper()
+		if int64(g.Total) != tracker.Total() {
+			t.Fatalf("global total = %v, exact tracker says %d", g.Total, tracker.Total())
+		}
+		const tol = 0.15
+		for i, x := range spec.CDF {
+			want := float64(tracker.RangeCount(0, int(x))) / float64(tracker.Total())
+			if diff := g.CDF[i] - want; diff < -tol || diff > tol {
+				t.Errorf("global CDF(%v) = %.3f, exact tracker says %.3f (|diff| > %v)", x, g.CDF[i], want, tol)
+			}
+		}
+	}
+	g, err := f.Describe(ctx, "lat", spec, client.DescribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Partial {
+		t.Fatalf("healthy read flagged partial: %+v", g.Sites)
+	}
+	audit(g)
+
+	// Wait until a survivor's replica of the victim's site has caught
+	// up to the victim's own watermark, so the coming disk loss loses
+	// nothing.
+	const victim = 2
+	waitFor(t, "survivor replica to catch up", func() (bool, error) {
+		want, err := ownWatermark(urls[victim], sites[victim])
+		if err != nil || want == 0 {
+			return false, err
+		}
+		got, err := ownWatermark(urls[0], sites[victim])
+		return got >= want, err
+	})
+	victimTotal, err := clients[victim].Total(ctx, "lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL the victim. Global reads must degrade, not fail: the
+	// fanout answers from the survivors and flags the result.
+	if err := cmds[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmds[victim].Wait()
+	gp, err := f.Describe(ctx, "lat", spec, client.DescribeOptions{})
+	if err != nil {
+		t.Fatalf("read with a dead site: %v", err)
+	}
+	if !gp.Partial {
+		t.Fatal("read with a dead site not flagged partial")
+	}
+	if gp.Sites[victim].Err == nil {
+		t.Fatalf("dead site's result has no error: %+v", gp.Sites[victim])
+	}
+	if int64(gp.Total) != tracker.Total()-int64(victimTotal) {
+		t.Fatalf("partial total = %v, want %d (full %d minus victim %v)",
+			gp.Total, tracker.Total()-int64(victimTotal), tracker.Total(), victimTotal)
+	}
+
+	// The surviving sites keep ingesting their slices while the victim
+	// is down.
+	ingest(600, func(site int) bool { return site != victim })
+
+	// Rejoin on empty directories — total disk loss. The node must
+	// converge back to its full pre-kill state purely by adopting the
+	// survivors' replica of its site.
+	cmd, _ := startServed(t, nodeArgs(victim, t.TempDir(), t.TempDir()))
+	cmds[victim] = cmd
+	waitFor(t, "rejoined node to adopt its state", func() (bool, error) {
+		total, err := clients[victim].Total(ctx, "lat")
+		return err == nil && total == victimTotal, err
+	})
+
+	// Whole cluster healthy again: global reads are complete and match
+	// the exact tracker.
+	g2, err := f.Describe(ctx, "lat", spec, client.DescribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Partial {
+		t.Fatalf("post-rejoin read flagged partial: %+v", g2.Sites)
+	}
+	audit(g2)
+
+	// And the rejoined node serves fresh ingest on top of the adopted
+	// snapshot.
+	ingest(300, func(int) bool { return true })
+	g3, err := f.Describe(ctx, "lat", spec, client.DescribeOptions{MaxBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Partial {
+		t.Fatal("final read flagged partial")
+	}
+	audit(g3)
+
+	// Graceful shutdown everywhere: final checkpoints must succeed.
+	for i, cmd := range cmds {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	for i, cmd := range cmds {
+		waitErr := make(chan error, 1)
+		go func() { waitErr <- cmd.Wait() }()
+		select {
+		case err := <-waitErr:
+			if err != nil {
+				t.Fatalf("node %d graceful shutdown: %v", i, err)
+			}
+		case <-time.After(20 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Fatalf("node %d did not shut down", i)
+		}
+	}
+	cmds = nil
+}

@@ -11,6 +11,8 @@
 //	histserved [-addr :8080] [-catalog DIR] [-checkpoint 30s] [-pprof]
 //	           [-wal-dir DIR] [-wal-sync always|interval|none]
 //	           [-wal-sync-interval 100ms] [-wal-segment-bytes N]
+//	           [-site-id ID] [-peers URL,URL,...]
+//	           [-anti-entropy 1s] [-peer-timeout 2s]
 //
 // With -wal-dir set, ingest is durable: every mutating request is
 // appended to a segmented write-ahead log and acknowledged once the
@@ -18,6 +20,15 @@
 // batches into the histograms, and startup recovery replays the log
 // tail past the last checkpoint (tolerating a torn final record from
 // a crash mid-append). GET /v1/wal/status reports the watermarks.
+//
+// With -site-id and -peers set, the node takes the peer role in a
+// multi-node deployment: each node ingests its own slice of the
+// keyspace, serves its local snapshot envelope on
+// GET /v1/h/{name}/envelope (the client-side Fanout superposes one
+// envelope per site into the global answer — the paper's §8 union),
+// and runs snapshot anti-entropy against its peers so every node holds
+// replicas of the others' histograms and a rejoining node catches up
+// from a surviving peer without re-ingesting raw data.
 //
 // API sketch (see docs/ARCHITECTURE.md for the full contract):
 //
@@ -50,6 +61,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -77,6 +89,10 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		walSync    = fs.String("wal-sync", "always", "WAL durability policy: always (fsync per append), interval, none")
 		walEvery   = fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync interval")
 		walSegment = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
+		siteID     = fs.String("site-id", "", "this node's site identity in a multi-node deployment (required with -peers)")
+		peers      = fs.String("peers", "", "comma-separated peer base URLs for snapshot anti-entropy (e.g. http://host:8081,http://host:8082)")
+		antiEvery  = fs.Duration("anti-entropy", time.Second, "anti-entropy sync period (requires -peers)")
+		peerTO     = fs.Duration("peer-timeout", 2*time.Second, "per-peer request timeout during anti-entropy")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -87,9 +103,19 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 
 	logger := log.New(errOut, "histserved: ", log.LstdFlags)
 	cfg := server.Config{
-		CatalogDir:      *catalog,
-		CheckpointEvery: *checkpoint,
-		Logger:          logger,
+		CatalogDir:       *catalog,
+		CheckpointEvery:  *checkpoint,
+		Logger:           logger,
+		SiteID:           *siteID,
+		AntiEntropyEvery: *antiEvery,
+		PeerTimeout:      *peerTO,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, strings.TrimRight(p, "/"))
+			}
+		}
 	}
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walSync)

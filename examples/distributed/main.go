@@ -1,8 +1,12 @@
-// Distributed: global histograms in a shared-nothing system (paper
-// §8). Each node maintains its own histogram over its partition; a
-// coordinator superposes them losslessly and reduces the result back
-// to the memory budget, producing a global summary without ever
-// moving the data.
+// Distributed: multi-node scatter-gather serving on the paper's §8
+// superposition. Three live histserved nodes each ingest one keyspace
+// slice; a client-side Fanout answers global questions by fetching one
+// snapshot envelope per site, superposing them losslessly and reducing
+// back to a bucket budget — the data itself never moves. The demo then
+// kills a node (global reads degrade to a flagged partial answer, not
+// an error), boots a replacement on empty state, and watches snapshot
+// anti-entropy restore the lost slice from a surviving peer's replica
+// without re-ingesting a single raw value.
 //
 // Run with:
 //
@@ -10,100 +14,197 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	"time"
 
-	"dynahist"
+	"dynahist/client"
+	"dynahist/internal/dist"
+	"dynahist/internal/server"
 )
 
 const (
-	nodes   = 6
-	perNode = 50_000
-	domain  = 5000
-	mem     = 512 // bytes per histogram, local and global
+	nodes  = 3
+	rows   = 60_000
+	domain = 5000
 )
 
+// node is one in-process histserved peer.
+type node struct {
+	srv  *server.Server
+	http *http.Server
+	ln   net.Listener
+	url  string
+}
+
+// startNode boots a peer-role histserved on ln.
+func startNode(ln net.Listener, siteID string, peers []string) (*node, error) {
+	srv, err := server.New(server.Config{
+		SiteID:           siteID,
+		Peers:            peers,
+		AntiEntropyEvery: 50 * time.Millisecond,
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &node{
+		srv:  srv,
+		http: &http.Server{Handler: srv.Handler()},
+		ln:   ln,
+		url:  "http://" + ln.Addr().String(),
+	}
+	go func() { _ = n.http.Serve(ln) }()
+	return n, nil
+}
+
+func (n *node) stop() {
+	_ = n.http.Close()
+	_ = n.srv.Close()
+}
+
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(11))
 
-	// Each node owns a hash partition of the table, but its values
-	// concentrate on a node-specific range (think: regional shards with
-	// regional price levels).
-	var members []dynahist.Histogram
-	var allValues []int
-	for n := range nodes {
-		h, err := dynahist.New(dynahist.KindDADO, dynahist.WithMemory(mem))
+	// Reserve the listeners first: every node names its peers at boot,
+	// so all addresses must exist before any node does.
+	lns := make([]net.Listener, nodes)
+	urls := make([]string, nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
-		center := float64(domain) * (float64(n) + 0.5) / float64(nodes)
-		for range perNode {
-			v := int(rng.NormFloat64()*200 + center)
-			if v < 0 {
-				v = 0
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	cluster := make([]*node, nodes)
+	for i := range cluster {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
 			}
-			if v > domain {
-				v = domain
-			}
-			if err := h.Insert(float64(v)); err != nil {
-				log.Fatal(err)
-			}
-			allValues = append(allValues, v)
 		}
-		ksLocal, err := dynahist.KS(h, allValues[len(allValues)-perNode:])
+		n, err := startNode(lns[i], fmt.Sprintf("s%d", i), peers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("node %d: %6d rows, %2d buckets, local KS %.4f\n",
-			n, perNode, len(h.Buckets()), ksLocal)
-		members = append(members, h)
+		cluster[i] = n
+		fmt.Printf("node s%d serving %s\n", i, urls[i])
 	}
 
-	// Coordinator: superpose (lossless), then reduce to the budget.
-	super, err := dynahist.Superpose(members...)
-	if err != nil {
+	// One logical histogram, sharded by keyspace: value mod 3 picks the
+	// owning site. An exact tracker rides along for the audit.
+	f := client.NewFanout(urls, nil)
+	if err := f.CreateAll(ctx, client.CreateOptions{Name: "price", Family: client.FamilyDADO, MemBytes: 2048}); err != nil {
 		log.Fatal(err)
 	}
-	budget, err := dynahist.BucketsForMemory(mem, 1)
-	if err != nil {
-		log.Fatal(err)
+	tracker := dist.New(domain)
+	slices := make([][]float64, nodes)
+	for range rows {
+		v := int(rng.NormFloat64()*700 + float64(domain)/2)
+		if v < 0 {
+			v = 0
+		}
+		if v > domain {
+			v = domain
+		}
+		slices[v%nodes] = append(slices[v%nodes], float64(v))
+		if err := tracker.Insert(v); err != nil {
+			log.Fatal(err)
+		}
 	}
-	reduced, err := dynahist.Reduce(super, budget)
-	if err != nil {
-		log.Fatal(err)
-	}
-	global, err := dynahist.NewStaticFromBuckets(reduced)
-	if err != nil {
-		log.Fatal(err)
+	for i, vs := range slices {
+		if _, err := client.New(urls[i], nil).InsertBinary(ctx, "price", vs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node s%d ingested %d rows of its slice\n", i, len(vs))
 	}
 
-	fmt.Printf("\nsuperposed: %d buckets (lossless union of all members)\n", len(super))
-	fmt.Printf("reduced:    %d buckets (back under the %dB budget)\n", len(reduced), mem)
-
-	ks, err := dynahist.KS(global, allValues)
-	if err != nil {
-		log.Fatal(err)
+	// Global read: one envelope per site, superposed, reduced, answered.
+	spec := client.QuerySpec{
+		Quantiles: []float64{0.5, 0.99},
+		Ranges:    []client.Range{{Lo: 2000, Hi: 2999}},
 	}
-	fmt.Printf("global KS vs all %d rows: %.4f\n\n", len(allValues), ks)
-
-	// The global summary answers cross-partition questions no single
-	// node could.
-	for _, q := range [][2]float64{{0, 999}, {2000, 2999}, {4500, 5000}} {
-		est := global.EstimateRange(q[0], q[1])
-		exact := 0
-		for _, v := range allValues {
-			if float64(v) >= q[0] && float64(v) <= q[1] {
-				exact++
+	report := func(g client.GlobalSummary) {
+		status := "complete"
+		if g.Partial {
+			status = "PARTIAL"
+		}
+		exactMedian := 0
+		for cum, v := int64(0), 0; v <= domain; v++ {
+			cum += tracker.Count(v)
+			if cum*2 >= tracker.Total() {
+				exactMedian = v
+				break
 			}
 		}
-		fmt.Printf("rows in [%4.0f, %4.0f]: estimate %8.0f, exact %8d\n", q[0], q[1], est, exact)
+		fmt.Printf("  global total %8.0f (%s)  median ≈ %6.0f (exact %d)  p99 ≈ %6.0f  rows in [2000,2999] ≈ %8.0f (exact %d)\n",
+			g.Total, status, g.Quantiles[0], exactMedian, g.Quantiles[1],
+			g.Ranges[0], tracker.RangeCount(2000, 2999))
+		for _, sr := range g.Sites {
+			if sr.Err != nil {
+				fmt.Printf("  site %s: DOWN (%v)\n", sr.BaseURL, sr.Err)
+			}
+		}
 	}
 
-	// Persist the global histogram to the catalog.
-	blob, err := dynahist.MarshalBuckets(reduced)
+	fmt.Println("\nscatter-gather over 3 healthy sites (64-bucket budget):")
+	g, err := f.Describe(ctx, "price", spec, client.DescribeOptions{MaxBuckets: 64})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nserialized global histogram: %d bytes\n", len(blob))
+	report(g)
+
+	// Let anti-entropy replicate every slice across the mesh, then kill
+	// a node. Reads degrade, they do not fail.
+	time.Sleep(300 * time.Millisecond)
+	fmt.Println("\nkilling node s2 — reads degrade to a flagged partial answer:")
+	victimLn := cluster[2].ln.Addr().String()
+	cluster[2].stop()
+	g, err = f.Describe(ctx, "price", spec, client.DescribeOptions{MaxBuckets: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(g)
+
+	// A replacement node boots EMPTY on the same address and converges
+	// from a surviving peer's replica — no raw data is re-ingested.
+	fmt.Println("\nbooting an empty replacement on the same address — anti-entropy restores the slice:")
+	ln, err := net.Listen("tcp", victimLn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replacement, err := startNode(ln, "s2", []string{urls[0], urls[1]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster[2] = replacement
+	c2 := client.New(urls[2], nil)
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if total, err := c2.Total(ctx, "price"); err == nil && int(total) == len(slices[2]) {
+			fmt.Printf("  replacement adopted %d rows from a peer replica\n", int(total))
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("replacement never converged")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	g, err = f.Describe(ctx, "price", spec, client.DescribeOptions{MaxBuckets: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(g)
+
+	for _, n := range cluster {
+		n.stop()
+	}
 }

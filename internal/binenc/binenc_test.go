@@ -1,0 +1,113 @@
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+var errTest = errors.New("binenc test sentinel")
+
+// TestReadBackInOrder round-trips every accessor: a buffer written
+// with the standard little-endian encoders reads back value for value,
+// with the cursor landing exactly at the end.
+func TestReadBackInOrder(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 0xAB)
+	buf = binary.LittleEndian.AppendUint16(buf, 0xBEEF)
+	buf = binary.LittleEndian.AppendUint32(buf, 0xDEADBEEF)
+	buf = binary.LittleEndian.AppendUint64(buf, 0x0123456789ABCDEF)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(-273.15))
+	buf = append(buf, 'r', 'a', 'w')
+
+	r := Reader{Data: buf, Err: errTest}
+	if v, err := r.U8(); err != nil || v != 0xAB {
+		t.Fatalf("U8 = %#x, %v", v, err)
+	}
+	if v, err := r.U16(); err != nil || v != 0xBEEF {
+		t.Fatalf("U16 = %#x, %v", v, err)
+	}
+	if v, err := r.U32(); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x, %v", v, err)
+	}
+	if v, err := r.U64(); err != nil || v != 0x0123456789ABCDEF {
+		t.Fatalf("U64 = %#x, %v", v, err)
+	}
+	if v, err := r.F64(); err != nil || v != -273.15 {
+		t.Fatalf("F64 = %v, %v", v, err)
+	}
+	raw, err := r.Bytes(3)
+	if err != nil || string(raw) != "raw" {
+		t.Fatalf("Bytes(3) = %q, %v", raw, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after draining, want 0", r.Remaining())
+	}
+	if r.Pos != len(buf) {
+		t.Fatalf("Pos = %d, want %d", r.Pos, len(buf))
+	}
+}
+
+// TestTruncationWrapsSentinel pins the error contract: every accessor
+// that runs off the end fails with an error classifiable as the
+// embedding decoder's sentinel via errors.Is, and the cursor does not
+// advance past the failure.
+func TestTruncationWrapsSentinel(t *testing.T) {
+	tries := []struct {
+		name string
+		read func(r *Reader) error
+	}{
+		{"U8", func(r *Reader) error { _, err := r.U8(); return err }},
+		{"U16", func(r *Reader) error { _, err := r.U16(); return err }},
+		{"U32", func(r *Reader) error { _, err := r.U32(); return err }},
+		{"U64", func(r *Reader) error { _, err := r.U64(); return err }},
+		{"F64", func(r *Reader) error { _, err := r.F64(); return err }},
+		{"Bytes", func(r *Reader) error { _, err := r.Bytes(4); return err }},
+	}
+	for _, tc := range tries {
+		t.Run(tc.name, func(t *testing.T) {
+			// One byte short of what the accessor needs (Bytes asks for 4).
+			short := map[string]int{"U8": 0, "U16": 1, "U32": 3, "U64": 7, "F64": 7, "Bytes": 3}[tc.name]
+			r := Reader{Data: make([]byte, short), Err: errTest}
+			err := tc.read(&r)
+			if err == nil {
+				t.Fatalf("%s on %d bytes: want error", tc.name, short)
+			}
+			if !errors.Is(err, errTest) {
+				t.Fatalf("%s error %v does not wrap the sentinel", tc.name, err)
+			}
+			if r.Pos != 0 {
+				t.Fatalf("%s advanced Pos to %d on failure", tc.name, r.Pos)
+			}
+		})
+	}
+}
+
+// TestNeedRejectsNegative pins that a hostile negative length cannot
+// wrap the bounds check around.
+func TestNeedRejectsNegative(t *testing.T) {
+	r := Reader{Data: make([]byte, 8), Err: errTest}
+	if err := r.Need(-1); !errors.Is(err, errTest) {
+		t.Fatalf("Need(-1) = %v, want the sentinel", err)
+	}
+	if _, err := r.Bytes(-1); !errors.Is(err, errTest) {
+		t.Fatalf("Bytes(-1) = %v, want the sentinel", err)
+	}
+}
+
+// TestBytesAliasesData pins the documented no-copy contract: Bytes
+// returns a window into Data, not a copy — decoders that keep the
+// slice must copy it themselves.
+func TestBytesAliasesData(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	r := Reader{Data: data, Err: errTest}
+	got, err := r.Bytes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	if got[0] != 99 {
+		t.Fatal("Bytes returned a copy; the contract is a no-copy sub-slice")
+	}
+}

@@ -1,0 +1,65 @@
+package histerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// sentinels lists every shared error identity, by the name callers
+// classify on.
+var sentinels = map[string]error{
+	"ErrEmpty":      ErrEmpty,
+	"ErrBudget":     ErrBudget,
+	"ErrKind":       ErrKind,
+	"ErrOption":     ErrOption,
+	"ErrSnapshot":   ErrSnapshot,
+	"ErrWALCorrupt": ErrWALCorrupt,
+}
+
+// TestClassificationMatrix pins the whole point of the package: a
+// sentinel wrapped with layer context (the way internal packages
+// produce errors) classifies as itself and as nothing else, so
+// errors.Is dispatch can never confuse failure categories.
+func TestClassificationMatrix(t *testing.T) {
+	for wrapName, wrapErr := range sentinels {
+		wrapped := fmt.Errorf("core: %w: extra context", wrapErr)
+		for isName, isErr := range sentinels {
+			got := errors.Is(wrapped, isErr)
+			want := wrapName == isName
+			if got != want {
+				t.Errorf("errors.Is(wrapped %s, %s) = %v, want %v", wrapName, isName, got, want)
+			}
+		}
+	}
+}
+
+// TestDoubleWrapStillClassifies pins multi-layer wrapping: an error
+// that crossed two layers (internal package, then serving layer) still
+// classifies at the top.
+func TestDoubleWrapStillClassifies(t *testing.T) {
+	inner := fmt.Errorf("core: %w: bucket 3", ErrSnapshot)
+	outer := fmt.Errorf("server: catalog entry %q: %w", "lat", inner)
+	if !errors.Is(outer, ErrSnapshot) {
+		t.Fatalf("double-wrapped error %v lost its ErrSnapshot identity", outer)
+	}
+	if errors.Is(outer, ErrBudget) {
+		t.Fatalf("double-wrapped error %v gained a foreign identity", outer)
+	}
+}
+
+// TestMessagesDistinct pins that the sentinel messages stay distinct —
+// log lines must say which category fired without a stack trace.
+func TestMessagesDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for name, err := range sentinels {
+		msg := err.Error()
+		if msg == "" {
+			t.Errorf("%s has an empty message", name)
+		}
+		if prev, dup := seen[msg]; dup {
+			t.Errorf("%s and %s share the message %q", name, prev, msg)
+		}
+		seen[msg] = name
+	}
+}

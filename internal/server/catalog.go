@@ -26,11 +26,12 @@ import (
 // File layout (all integers little-endian):
 //
 //	u32  magic 0x48434154 ("HCAT")
-//	u16  version (3)
+//	u16  version (4)
 //	u16  name length, then name bytes
 //	u32  per-shard mem_bytes
 //	u64  seed
 //	u64  covered WAL LSN (version ≥ 3)
+//	u64  site watermark (version ≥ 4)
 //	u32  envelope length, then the envelope bytes
 //
 // The covered WAL LSN is the durability linchpin: it says exactly
@@ -39,9 +40,19 @@ import (
 // Recovery filters replay per entry against it, so a crash landing
 // between the catalog write and the WAL's own position update can
 // never double-apply the overlap.
+//
+// The site watermark (version 4) is the multi-node analogue: the
+// monotonic per-site ingest counter the snapshot covers, in the site's
+// logical sequence rather than the local WAL's. Peers compare it during
+// anti-entropy, and startup re-seeds the server's advertised watermark
+// from it so a restarted node never announces older data as newer.
 const (
 	catMagic   = 0x48434154 // "HCAT"
-	catVersion = 3
+	catVersion = 4
+
+	// catVersionV3 added the covered WAL LSN but predates the site
+	// watermark; decoded with a zero watermark.
+	catVersionV3 = 3
 
 	// catVersionV2 is the pre-WAL envelope layout without the covered
 	// LSN; decoded with a zero position (replay everything, correct for
@@ -74,13 +85,14 @@ var ErrCatalog = errors.New("server: malformed catalog entry")
 
 // EncodeEntry serializes one registry entry: its configuration, the
 // WAL position the snapshot covers (0 when the server runs without a
-// WAL), and the engine's self-describing snapshot envelope.
-func EncodeEntry(e *entry, coveredLSN uint64) ([]byte, error) {
+// WAL), the site watermark it covers (0 when the server has no peer
+// role), and the engine's self-describing snapshot envelope.
+func EncodeEntry(e *entry, coveredLSN, siteWM uint64) ([]byte, error) {
 	blob, err := e.h.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("server: snapshot %q: %w", e.name, err)
 	}
-	out := make([]byte, 0, 36+len(e.name)+len(blob))
+	out := make([]byte, 0, 44+len(e.name)+len(blob))
 	out = binary.LittleEndian.AppendUint32(out, catMagic)
 	out = binary.LittleEndian.AppendUint16(out, catVersion)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.name)))
@@ -88,6 +100,7 @@ func EncodeEntry(e *entry, coveredLSN uint64) ([]byte, error) {
 	out = binary.LittleEndian.AppendUint32(out, uint32(e.memBytes))
 	out = binary.LittleEndian.AppendUint64(out, uint64(e.seed))
 	out = binary.LittleEndian.AppendUint64(out, coveredLSN)
+	out = binary.LittleEndian.AppendUint64(out, siteWM)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
 	out = append(out, blob...)
 	return out, nil
@@ -112,7 +125,7 @@ func DecodeEntry(data []byte) (*entry, error) {
 		return nil, err
 	}
 	switch version {
-	case catVersion, catVersionV2:
+	case catVersion, catVersionV3, catVersionV2:
 	case catVersionLegacy:
 		return decodeEntryV1(&r)
 	default:
@@ -141,9 +154,14 @@ func DecodeEntry(data []byte) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	var walLSN uint64
-	if version >= catVersion {
+	var walLSN, siteWM uint64
+	if version >= catVersionV3 {
 		if walLSN, err = r.U64(); err != nil {
+			return nil, err
+		}
+	}
+	if version >= catVersion {
+		if siteWM, err = r.U64(); err != nil {
 			return nil, err
 		}
 	}
@@ -177,6 +195,7 @@ func DecodeEntry(data []byte) (*entry, error) {
 		shards:   h.NumShards(),
 		seed:     int64(seed),
 		walLSN:   walLSN,
+		siteWM:   siteWM,
 		h:        h,
 	}, nil
 }

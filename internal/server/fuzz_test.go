@@ -29,7 +29,7 @@ func fuzzSeedEntry(f *testing.F, family string) []byte {
 	if err != nil {
 		f.Fatal(err)
 	}
-	blob, err := EncodeEntry(e, 12345)
+	blob, err := EncodeEntry(e, 12345, 678)
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -1,0 +1,430 @@
+package server
+
+// Multi-node serving: the peer role. The paper's §8 superposition
+// result makes a histogram a mergeable unit — any site's histogram
+// unions losslessly into a global one — so scaling out needs no data
+// movement at all, only snapshot envelopes. This file implements the
+// server side of that contract:
+//
+//   - GET /v1/h/{name}/envelope serves the local histogram as one
+//     self-describing snapshot envelope (the scatter-gather read unit;
+//     client.Fanout superposes one envelope per site into a global
+//     answer).
+//   - GET /v1/sites/catalog and /v1/sites/entry serve the anti-entropy
+//     protocol: the catalog lists every (site, name, watermark) this
+//     node can hand out — its own histograms plus replicas it holds —
+//     and the entry endpoint returns the corresponding catalog-entry
+//     blob.
+//   - antiEntropyLoop pulls each peer's catalog on a timer (per-peer
+//     timeout, exponential backoff on failures), stores fresher
+//     replicas of other sites' histograms, and adopts a peer's replica
+//     of *this* site when it is ahead of local state — which is how a
+//     node that lost its disks catches up from a survivor without
+//     re-ingesting a single raw value.
+//
+// Consistency caveats: replicas are asynchronous snapshots, so a
+// replica is bounded-stale by the anti-entropy period; the watermark
+// comparison guarantees a node never adopts data older than what it
+// already serves, but concurrent ingest racing an adoption (only
+// possible when a peer's replica is genuinely ahead of local state,
+// i.e. during rejoin) may be superseded by the adopted snapshot.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"time"
+
+	"dynahist/internal/wire"
+)
+
+// replica is one held copy of another site's histogram: the catalog
+// entry blob (EncodeEntry format: identity + configuration + snapshot
+// envelope) and the origin's covered watermark.
+type replica struct {
+	data      []byte
+	watermark uint64
+	total     float64
+}
+
+// handleEnvelope serves GET /v1/h/{name}/envelope: the local
+// histogram's self-describing snapshot envelope, with the site ID,
+// covered watermark and total in response headers. This is the
+// scatter-gather read unit — a few kilobytes summarising the site's
+// whole slice, shipped instead of the data.
+func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
+	e, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	// Pair the snapshot with the watermark it covers: with a WAL the
+	// digester is frozen between records while both are taken.
+	if s.wal != nil {
+		s.digestMu.Lock()
+	}
+	wm := s.watermark()
+	total := e.h.Total()
+	blob, err := e.h.Snapshot()
+	if s.wal != nil {
+		s.digestMu.Unlock()
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", wire.EnvelopeContentType)
+	h.Set(wire.HeaderSite, s.cfg.SiteID)
+	h.Set(wire.HeaderWatermark, strconv.FormatUint(wm, 10))
+	h.Set(wire.HeaderTotal, strconv.FormatFloat(total, 'g', -1, 64))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
+}
+
+// handleSiteCatalog serves GET /v1/sites/catalog: everything this node
+// can hand to a peer — its own histograms under its site ID at the
+// current watermark, plus every replica it holds — sorted for stable
+// output.
+func (s *Server) handleSiteCatalog(w http.ResponseWriter, r *http.Request) {
+	wm := s.watermark()
+	resp := wire.SiteCatalogResponse{SiteID: s.cfg.SiteID, Watermark: wm, Peers: s.cfg.Peers, Entries: []wire.SiteEntry{}}
+	for _, e := range s.reg.entries() {
+		resp.Entries = append(resp.Entries, wire.SiteEntry{
+			Site: s.cfg.SiteID, Name: e.name, Watermark: wm, Total: e.h.Total(),
+		})
+	}
+	s.replMu.RLock()
+	for site, byName := range s.replicas {
+		for name, rep := range byName {
+			resp.Entries = append(resp.Entries, wire.SiteEntry{
+				Site: site, Name: name, Watermark: rep.watermark, Total: rep.total,
+			})
+		}
+	}
+	s.replMu.RUnlock()
+	sort.Slice(resp.Entries, func(i, j int) bool {
+		a, b := resp.Entries[i], resp.Entries[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Name < b.Name
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSiteEntry serves GET /v1/sites/entry?site=S&name=N: the
+// catalog-entry blob for one (site, histogram) pair — encoded fresh for
+// the local site, served from the replica store otherwise.
+func (s *Server) handleSiteEntry(w http.ResponseWriter, r *http.Request) {
+	site := r.URL.Query().Get("site")
+	name := r.URL.Query().Get("name")
+	if !ValidName(name) {
+		writeErr(w, http.StatusBadRequest, "invalid name %q", name)
+		return
+	}
+	var (
+		data  []byte
+		wm    uint64
+		total float64
+	)
+	if site != "" && site == s.cfg.SiteID {
+		e, err := s.reg.get(name)
+		if err != nil {
+			writeErr(w, statusOf(err), "%v", err)
+			return
+		}
+		if s.wal != nil {
+			s.digestMu.Lock()
+		}
+		wm = s.watermark()
+		total = e.h.Total()
+		// The covered-LSN field is local to this node's WAL sequence and
+		// meaningless to the peer (who overwrites it on adoption); only
+		// the site watermark travels.
+		data, err = EncodeEntry(e, 0, wm)
+		if s.wal != nil {
+			s.digestMu.Unlock()
+		}
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "encoding entry: %v", err)
+			return
+		}
+	} else {
+		s.replMu.RLock()
+		rep, ok := s.replicas[site][name]
+		s.replMu.RUnlock()
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no entry for site %q name %q", site, name)
+			return
+		}
+		data, wm, total = rep.data, rep.watermark, rep.total
+	}
+	h := w.Header()
+	h.Set("Content-Type", wire.SiteEntryContentType)
+	h.Set(wire.HeaderSite, site)
+	h.Set(wire.HeaderWatermark, strconv.FormatUint(wm, 10))
+	h.Set(wire.HeaderTotal, strconv.FormatFloat(total, 'g', -1, 64))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// peerState is the anti-entropy loop's per-peer failure bookkeeping.
+type peerState struct {
+	failures int
+	nextTry  time.Time
+}
+
+// maxBackoffShift caps the exponential backoff at 2^5 = 32 sync
+// periods.
+const maxBackoffShift = 5
+
+// antiEntropyLoop pulls every peer's catalog on a timer until Close. A
+// peer that fails is retried with exponential backoff (1, 2, 4, …
+// periods, capped) so a dead peer costs one timed-out request every
+// few seconds, not every tick.
+func (s *Server) antiEntropyLoop() {
+	defer close(s.aeDone)
+	state := make(map[string]*peerState, len(s.cfg.Peers))
+	for _, p := range s.cfg.Peers {
+		state[p] = &peerState{}
+	}
+	t := time.NewTicker(s.cfg.AntiEntropyEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			for _, peer := range s.cfg.Peers {
+				st := state[peer]
+				if now.Before(st.nextTry) {
+					continue
+				}
+				if err := s.syncPeer(peer); err != nil {
+					st.failures++
+					shift := st.failures
+					if shift > maxBackoffShift {
+						shift = maxBackoffShift
+					}
+					st.nextTry = now.Add(s.cfg.AntiEntropyEvery << shift)
+					s.log.Printf("anti-entropy: peer %s: %v (retry in %v)",
+						peer, err, s.cfg.AntiEntropyEvery<<shift)
+				} else {
+					st.failures = 0
+					st.nextTry = time.Time{}
+				}
+			}
+		}
+	}
+}
+
+// SyncPeersNow runs one synchronous anti-entropy round against every
+// configured peer, bypassing the loop's backoff (tests and operators
+// poking a node after a topology change). Errors are collected per
+// peer, not short-circuited.
+func (s *Server) SyncPeersNow() []error {
+	var errs []error
+	for _, peer := range s.cfg.Peers {
+		if err := s.syncPeer(peer); err != nil {
+			errs = append(errs, fmt.Errorf("peer %s: %w", peer, err))
+		}
+	}
+	return errs
+}
+
+// syncPeer pulls one peer's site catalog and reconciles: adopt own-site
+// rows that are ahead of local state, pull fresher replicas of other
+// sites, prune replicas the origin itself has dropped. A failed row
+// pull is logged and skipped — the next round retries it — while a
+// failed catalog pull fails the whole sync (that is what the loop's
+// backoff keys on).
+func (s *Server) syncPeer(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
+	defer cancel()
+	cat, err := s.fetchPeerCatalog(ctx, base)
+	if err != nil {
+		return err
+	}
+	// Rows under the peer's own site ID are authoritative for that
+	// site's live histogram set; collect them so replicas of dropped
+	// histograms can be pruned below.
+	peerOwn := map[string]bool{}
+	for _, row := range cat.Entries {
+		if row.Site == "" || !ValidName(row.Name) {
+			continue
+		}
+		if row.Site == cat.SiteID {
+			peerOwn[row.Name] = true
+		}
+		switch {
+		case row.Site == s.cfg.SiteID:
+			// A peer claims to hold a fresher copy of our own site than
+			// we do: the rejoin path. Pull and adopt it.
+			if row.Watermark > s.watermark() {
+				if err := s.pullAndAdopt(base, row); err != nil {
+					s.log.Printf("anti-entropy: adopting %s/%s from %s: %v", row.Site, row.Name, base, err)
+				}
+			}
+		default:
+			s.replMu.RLock()
+			cur, ok := s.replicas[row.Site][row.Name]
+			s.replMu.RUnlock()
+			if !ok || row.Watermark > cur.watermark {
+				if err := s.pullReplica(base, row); err != nil {
+					s.log.Printf("anti-entropy: replicating %s/%s from %s: %v", row.Site, row.Name, base, err)
+				}
+			}
+		}
+	}
+	if cat.SiteID != "" && cat.SiteID != s.cfg.SiteID {
+		s.pruneReplicas(cat.SiteID, cat.Watermark, peerOwn)
+	}
+	return nil
+}
+
+// pullAndAdopt fetches a peer's replica of this site's histogram and
+// installs it as local state — the catch-up step a rejoining node runs
+// instead of re-ingesting raw data.
+func (s *Server) pullAndAdopt(base string, row wire.SiteEntry) error {
+	data, wm, err := s.fetchPeerEntry(base, row)
+	if err != nil {
+		return err
+	}
+	e, err := DecodeEntry(data)
+	if err != nil {
+		return err
+	}
+	if e.name != row.Name {
+		return fmt.Errorf("entry blob holds %q, want %q", e.name, row.Name)
+	}
+	if s.wal != nil {
+		s.digestMu.Lock()
+		defer s.digestMu.Unlock()
+		// Local WAL records at or below the current digested position
+		// are superseded by the adopted snapshot; anything appended
+		// after it still folds in on top.
+		e.walLSN = s.wal.DigestedLSN()
+	}
+	// Re-check under the digest freeze: adoption must never replace
+	// local state that caught up while the blob was in flight.
+	if wm <= s.watermark() {
+		return nil
+	}
+	e.siteWM = wm
+	if err := s.reg.replace(e); err != nil {
+		return err
+	}
+	s.advanceWatermark(wm)
+	s.log.Printf("anti-entropy: adopted %q at watermark %d from %s (total %v)",
+		e.name, wm, base, e.h.Total())
+	return nil
+}
+
+// pullReplica fetches and stores one other-site catalog entry. The blob
+// is decode-checked before it is stored, so the replica store never
+// re-serves garbage to peers.
+func (s *Server) pullReplica(base string, row wire.SiteEntry) error {
+	data, wm, err := s.fetchPeerEntry(base, row)
+	if err != nil {
+		return err
+	}
+	e, err := DecodeEntry(data)
+	if err != nil {
+		return err
+	}
+	if e.name != row.Name {
+		return fmt.Errorf("entry blob holds %q, want %q", e.name, row.Name)
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	cur, ok := s.replicas[row.Site][row.Name]
+	if ok && cur.watermark >= wm {
+		return nil // a concurrent round already stored something fresher
+	}
+	if s.replicas[row.Site] == nil {
+		s.replicas[row.Site] = make(map[string]replica)
+	}
+	s.replicas[row.Site][row.Name] = replica{data: data, watermark: wm, total: e.h.Total()}
+	return nil
+}
+
+// pruneReplicas drops held replicas of origin-site histograms the
+// origin no longer lists — deletion propagates through the same pull
+// the data does, with the origin's own catalog as the authority. The
+// originWM guard distinguishes deletion from amnesia: a real deletion
+// bumps the origin's watermark past every replica of the deleted
+// histogram, while a node rebuilt on empty disks advertises an empty
+// catalog at a LOWER watermark than the replicas — those must survive,
+// they are exactly what the rejoining node is about to adopt back.
+func (s *Server) pruneReplicas(site string, originWM uint64, live map[string]bool) {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	for name, rep := range s.replicas[site] {
+		if !live[name] && originWM >= rep.watermark {
+			delete(s.replicas[site], name)
+		}
+	}
+}
+
+// fetchPeerCatalog GETs a peer's /v1/sites/catalog.
+func (s *Server) fetchPeerCatalog(ctx context.Context, base string) (wire.SiteCatalogResponse, error) {
+	var cat wire.SiteCatalogResponse
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/sites/catalog", nil)
+	if err != nil {
+		return cat, err
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return cat, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cat, fmt.Errorf("catalog: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return cat, err
+	}
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return cat, fmt.Errorf("catalog: %w", err)
+	}
+	return cat, nil
+}
+
+// fetchPeerEntry GETs one catalog-entry blob from a peer, returning the
+// blob and the watermark it was served at (the header value, which is
+// at least as fresh as the catalog row that prompted the pull).
+func (s *Server) fetchPeerEntry(base string, row wire.SiteEntry) ([]byte, uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
+	defer cancel()
+	u := base + "/v1/sites/entry?site=" + url.QueryEscape(row.Site) + "&name=" + url.QueryEscape(row.Name)
+	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("entry %s/%s: status %d", row.Site, row.Name, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, 0, err
+	}
+	wm := row.Watermark
+	if h := resp.Header.Get(wire.HeaderWatermark); h != "" {
+		if v, err := strconv.ParseUint(h, 10, 64); err == nil {
+			wm = v
+		}
+	}
+	return data, wm, nil
+}

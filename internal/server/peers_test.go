@@ -1,0 +1,214 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"dynahist"
+	"dynahist/internal/wire"
+)
+
+// peerCfg returns a Config for an in-memory peer-role node. The
+// anti-entropy period is set to an hour so tests drive every sync
+// explicitly through SyncPeersNow.
+func peerCfg(site string, peers ...string) Config {
+	return Config{SiteID: site, Peers: peers, AntiEntropyEvery: time.Hour, PeerTimeout: 2 * time.Second}
+}
+
+// TestPeersRequireSiteID pins the config contract: a peer list without
+// a site identity is a misconfiguration, not a default.
+func TestPeersRequireSiteID(t *testing.T) {
+	_, err := New(Config{Peers: []string{"http://localhost:1"}})
+	if err == nil {
+		t.Fatal("New with Peers but no SiteID: want error, got nil")
+	}
+}
+
+// TestEnvelopeEndpoint checks the scatter-gather read unit: the
+// envelope is publicly restorable, and the site/watermark/total
+// headers describe it.
+func TestEnvelopeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{SiteID: "s1"})
+	mustCreate(t, ts.URL, "lat", FamilyDADO, 1024, 2)
+	mustInsertJSON(t, ts.URL, "lat", seqValues(10))
+
+	resp, err := http.Get(ts.URL + "/v1/h/lat/envelope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.EnvelopeContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, wire.EnvelopeContentType)
+	}
+	if site := resp.Header.Get(wire.HeaderSite); site != "s1" {
+		t.Fatalf("%s = %q, want %q", wire.HeaderSite, site, "s1")
+	}
+	wm, err := strconv.ParseUint(resp.Header.Get(wire.HeaderWatermark), 10, 64)
+	if err != nil || wm == 0 {
+		t.Fatalf("%s = %q, want a positive integer", wire.HeaderWatermark, resp.Header.Get(wire.HeaderWatermark))
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := dynahist.Restore(blob)
+	if err != nil {
+		t.Fatalf("Restore(envelope): %v", err)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("restored total = %v, want 10", h.Total())
+	}
+
+	// Unknown names 404.
+	r2, err := http.Get(ts.URL + "/v1/h/nope/envelope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("envelope of unknown name: status %d, want 404", r2.StatusCode)
+	}
+}
+
+// TestAntiEntropyReplicationAdoptionPruning walks the whole peer
+// protocol on in-memory nodes: B ingests, A replicates B's histogram
+// via one sync round and re-serves it from its own catalog; a fresh
+// node claiming B's site identity adopts the replica from A (the
+// rejoin path) without re-ingesting anything; deleting on B prunes the
+// replica from A on the next round.
+func TestAntiEntropyReplicationAdoptionPruning(t *testing.T) {
+	bSrv, bTS := newTestServer(t, peerCfg("b"))
+	mustCreate(t, bTS.URL, "lat", FamilyDADO, 1024, 2)
+	mustInsertJSON(t, bTS.URL, "lat", seqValues(20))
+	bWM := bSrv.watermark()
+	if bWM == 0 {
+		t.Fatal("B watermark is 0 after create+insert")
+	}
+
+	aSrv, aTS := newTestServer(t, peerCfg("a", bTS.URL))
+	if errs := aSrv.SyncPeersNow(); len(errs) != 0 {
+		t.Fatalf("A sync: %v", errs)
+	}
+
+	// A now lists b/lat at B's watermark.
+	var cat wire.SiteCatalogResponse
+	do(t, "GET", aTS.URL+"/v1/sites/catalog", "", nil, http.StatusOK, &cat)
+	found := false
+	for _, row := range cat.Entries {
+		if row.Site == "b" && row.Name == "lat" {
+			found = true
+			if row.Watermark != bWM {
+				t.Fatalf("replica watermark = %d, want %d", row.Watermark, bWM)
+			}
+			if row.Total != 20 {
+				t.Fatalf("replica total = %v, want 20", row.Total)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("A's catalog misses b/lat: %+v", cat.Entries)
+	}
+
+	// A re-serves the replica blob, and it decodes to the real data.
+	resp, err := http.Get(aTS.URL + "/v1/sites/entry?site=b&name=lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("entry fetch: status %d err %v", resp.StatusCode, err)
+	}
+	e, err := DecodeEntry(blob)
+	if err != nil {
+		t.Fatalf("replica blob does not decode: %v", err)
+	}
+	if e.h.Total() != 20 {
+		t.Fatalf("replica decodes to total %v, want 20", e.h.Total())
+	}
+
+	// Rejoin: a fresh node claiming site "b" adopts A's replica and
+	// serves the data without a single ingest.
+	b2Srv, b2TS := newTestServer(t, peerCfg("b", aTS.URL))
+	if errs := b2Srv.SyncPeersNow(); len(errs) != 0 {
+		t.Fatalf("B2 sync: %v", errs)
+	}
+	var list wire.ListResponse
+	do(t, "GET", b2TS.URL+"/v1/h", "", nil, http.StatusOK, &list)
+	if len(list.Histograms) != 1 || list.Histograms[0].Name != "lat" || list.Histograms[0].Total != 20 {
+		t.Fatalf("B2 after adoption lists %+v, want lat with total 20", list.Histograms)
+	}
+	if got := b2Srv.watermark(); got < bWM {
+		t.Fatalf("B2 watermark %d after adoption, want >= %d", got, bWM)
+	}
+
+	// A second round is a no-op: the adoption lifted B2's watermark, so
+	// the replica is no longer ahead.
+	if errs := b2Srv.SyncPeersNow(); len(errs) != 0 {
+		t.Fatalf("B2 second sync: %v", errs)
+	}
+
+	// Rejoin safety: syncing against an EMPTY node claiming site "b"
+	// (a node rebuilt on lost disks, watermark zero) must NOT prune the
+	// replica — it is exactly what that node needs to adopt back.
+	_, emptyTS := newTestServer(t, peerCfg("b"))
+	if err := aSrv.syncPeer(emptyTS.URL); err != nil {
+		t.Fatalf("A sync against empty b: %v", err)
+	}
+	aSrv.replMu.RLock()
+	_, stillHeld := aSrv.replicas["b"]["lat"]
+	aSrv.replMu.RUnlock()
+	if !stillHeld {
+		t.Fatal("syncing against an empty watermark-zero node pruned the replica it needs back")
+	}
+
+	// Deletion propagates: B drops lat, A's next round prunes the
+	// replica instead of keeping a ghost.
+	do(t, "DELETE", bTS.URL+"/v1/h/lat", "", nil, http.StatusNoContent, nil)
+	if errs := aSrv.SyncPeersNow(); len(errs) != 0 {
+		t.Fatalf("A sync after delete: %v", errs)
+	}
+	var cat2 wire.SiteCatalogResponse
+	do(t, "GET", aTS.URL+"/v1/sites/catalog", "", nil, http.StatusOK, &cat2)
+	for _, row := range cat2.Entries {
+		if row.Site == "b" {
+			t.Fatalf("A still lists pruned replica %+v", row)
+		}
+	}
+}
+
+// TestAdoptionSkippedWhenLocalIsFresh pins the watermark guard: a
+// node whose local state is at or past the replica's watermark keeps
+// its own data.
+func TestAdoptionSkippedWhenLocalIsFresh(t *testing.T) {
+	bSrv, bTS := newTestServer(t, peerCfg("b"))
+	mustCreate(t, bTS.URL, "lat", FamilyDADO, 1024, 1)
+	mustInsertJSON(t, bTS.URL, "lat", seqValues(5))
+
+	aSrv, aTS := newTestServer(t, peerCfg("a", bTS.URL))
+	if errs := aSrv.SyncPeersNow(); len(errs) != 0 {
+		t.Fatalf("A sync: %v", errs)
+	}
+
+	// B keeps ingesting past the replicated snapshot.
+	mustInsertJSON(t, bTS.URL, "lat", seqValues(5))
+	freshTotal := bSrv.reg.entries()[0].h.Total()
+	if freshTotal != 10 {
+		t.Fatalf("B total = %v, want 10", freshTotal)
+	}
+
+	// B syncs against A, which holds the stale 5-value replica. B's
+	// watermark is ahead, so nothing is adopted.
+	if err := bSrv.syncPeer(aTS.URL); err != nil {
+		t.Fatalf("B sync: %v", err)
+	}
+	if got := bSrv.reg.entries()[0].h.Total(); got != freshTotal {
+		t.Fatalf("B total changed to %v after syncing a stale replica, want %v", got, freshTotal)
+	}
+}

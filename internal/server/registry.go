@@ -78,6 +78,12 @@ type entry struct {
 	// cannot double-apply the overlap. It is a recovery-time fact only:
 	// live digestion always carries strictly larger LSNs.
 	walLSN uint64
+	// siteWM is the site watermark the entry's restored snapshot covers
+	// (catalog v4; 0 for older files and live-created entries). Unlike
+	// walLSN it is in the site's logical-ingest sequence, not the local
+	// WAL's: peers compare it during anti-entropy, and startup seeds the
+	// server's watermark from the maximum over restored entries.
+	siteWM uint64
 	h      *dynahist.Sharded
 }
 
@@ -180,6 +186,23 @@ func (r *Registry) attach(e *entry) error {
 	defer r.mu.Unlock()
 	if err := r.checkCollision(e.name); err != nil {
 		return err
+	}
+	r.m[e.name] = e
+	return nil
+}
+
+// replace installs e, overwriting any existing entry of the same name —
+// the anti-entropy adoption path, where a peer's replica of this site's
+// histogram supersedes whatever (possibly nothing) is registered
+// locally. A case-insensitive collision with a *different* name is
+// still rejected, for the same catalog-file-stem reason as Create.
+func (r *Registry) replace(e *entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[e.name]; !ok {
+		if err := r.checkCollision(e.name); err != nil {
+			return err
+		}
 	}
 	r.m[e.name] = e
 	return nil

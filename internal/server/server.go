@@ -11,6 +11,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynahist"
@@ -40,6 +41,24 @@ type Config struct {
 	// the histograms, and recovery replays the tail past the last
 	// checkpoint. See internal/wal.Options.
 	WAL wal.Options
+
+	// SiteID names this node in a multi-node deployment (paper §8: each
+	// site maintains histograms over its own slice, and any reader can
+	// union them losslessly into a global view). Required when Peers is
+	// set; with no peers it merely tags the envelope endpoints.
+	SiteID string
+	// Peers are the base URLs ("http://host:port") of the other sites.
+	// When non-empty the server runs the anti-entropy loop: it
+	// periodically pulls each peer's site catalog, stores fresher
+	// replicas of other sites' histograms, and adopts a peer's replica
+	// of its *own* site when that replica is ahead of local state — the
+	// rejoin path, which catches a restarted node up from snapshot
+	// envelopes instead of re-ingested raw data.
+	Peers []string
+	// AntiEntropyEvery is the peer sync period; zero defaults to 1s.
+	AntiEntropyEvery time.Duration
+	// PeerTimeout bounds each HTTP call to a peer; zero defaults to 2s.
+	PeerTimeout time.Duration
 }
 
 // Server is the histserved HTTP serving layer: a histogram registry,
@@ -71,22 +90,54 @@ type Server struct {
 	walMu      sync.RWMutex
 	walStopped bool
 
+	// Site watermark: the monotonic counter peers use to decide whether
+	// one snapshot envelope of this site is fresher than another. On a
+	// WAL server the base is the digested LSN (persisted, replayed); on
+	// an in-memory server it is wmBase, bumped per applied mutation.
+	// wmOffset lifts the advertised watermark above the base after the
+	// node adopts a peer replica numbered in its pre-restart sequence —
+	// so post-adoption ingest keeps the watermark strictly increasing
+	// instead of stalling below the adopted value.
+	wmBase   atomic.Uint64
+	wmOffset atomic.Uint64
+
+	// Replica store: catalog-entry blobs of other sites' histograms,
+	// pulled by the anti-entropy loop and re-served to peers (which is
+	// what lets a rejoining third node catch up from either survivor).
+	replMu   sync.RWMutex
+	replicas map[string]map[string]replica
+
+	peerHTTP *http.Client
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	loopDone chan struct{}
+	aeDone   chan struct{}
 }
 
 // New builds a server, restoring the registry from cfg.CatalogDir when
 // set (corrupt catalog files are skipped and logged, never fatal) and
 // starting the periodic checkpoint loop when cfg.CheckpointEvery > 0.
 func New(cfg Config) (*Server, error) {
+	if len(cfg.Peers) > 0 && cfg.SiteID == "" {
+		return nil, errors.New("server: peers configured without a site ID")
+	}
+	if cfg.AntiEntropyEvery <= 0 {
+		cfg.AntiEntropyEvery = time.Second
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 2 * time.Second
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(),
 		mux:      http.NewServeMux(),
 		log:      cfg.Logger,
+		replicas: make(map[string]map[string]replica),
+		peerHTTP: &http.Client{Timeout: cfg.PeerTimeout},
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
+		aeDone:   make(chan struct{}),
 	}
 	if s.log == nil {
 		s.log = log.New(os.Stderr, "histserved: ", log.LstdFlags)
@@ -107,13 +158,72 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: wal: %w", err)
 		}
 	}
+	s.seedWatermark()
 	s.routes()
 	if cfg.CatalogDir != "" && cfg.CheckpointEvery > 0 {
 		go s.checkpointLoop()
 	} else {
 		close(s.loopDone)
 	}
+	if len(cfg.Peers) > 0 {
+		go s.antiEntropyLoop()
+	} else {
+		close(s.aeDone)
+	}
 	return s, nil
+}
+
+// seedWatermark re-seeds the advertised site watermark from the
+// restored catalog: the maximum watermark any surviving entry covers.
+// On a WAL server the base (digested LSN) usually already exceeds it —
+// the offset only lifts the watermark when a previous adoption pushed
+// it past the local sequence. Called after catalog restore and WAL
+// replay, before any endpoint is mounted.
+func (s *Server) seedWatermark() {
+	var maxWM uint64
+	for _, e := range s.reg.entries() {
+		if e.siteWM > maxWM {
+			maxWM = e.siteWM
+		}
+	}
+	base := s.watermarkBase()
+	if maxWM > base {
+		s.wmOffset.Store(maxWM - base)
+	}
+}
+
+// watermarkBase is the monotonic local-ingest counter: the WAL digested
+// LSN on durable servers, the in-memory mutation counter otherwise.
+func (s *Server) watermarkBase() uint64 {
+	if s.wal != nil {
+		return s.wal.DigestedLSN()
+	}
+	return s.wmBase.Load()
+}
+
+// watermark is the site watermark this node advertises: how much of its
+// site's ingest its current in-memory state covers. Monotonic across
+// restarts (the base replays/reloads, the offset is re-seeded from the
+// catalog) and across adoptions (advanceWatermark lifts the offset).
+func (s *Server) watermark() uint64 {
+	return s.watermarkBase() + s.wmOffset.Load()
+}
+
+// noteMutation advances the in-memory watermark base. WAL servers track
+// the digested LSN instead, so this is a no-op there.
+func (s *Server) noteMutation() {
+	if s.wal == nil {
+		s.wmBase.Add(1)
+	}
+}
+
+// advanceWatermark lifts the advertised watermark to at least wm (used
+// after adopting a peer replica numbered in this site's pre-restart
+// sequence). Serialized by the anti-entropy loop.
+func (s *Server) advanceWatermark(wm uint64) {
+	if cur := s.watermark(); wm > cur {
+		s.wmOffset.Add(wm - cur)
+	}
 }
 
 // Registry exposes the server's registry (used by tests and the
@@ -131,6 +241,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.loopDone
+	<-s.aeDone
 	if s.wal != nil {
 		s.stopWAL()
 	}
@@ -192,6 +303,7 @@ func (s *Server) CheckpointNow() error {
 		// position one atomic unit per histogram.
 		cover = s.wal.DigestedLSN()
 	}
+	wm := s.watermark()
 	type pending struct {
 		name string
 		data []byte
@@ -204,7 +316,7 @@ func (s *Server) CheckpointNow() error {
 		if !s.reg.Has(e.name) {
 			continue
 		}
-		data, err := EncodeEntry(e, cover)
+		data, err := EncodeEntry(e, cover, wm)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("checkpoint %q: %w", e.name, err)
@@ -251,7 +363,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/h/{name}/quantile", s.handleQuantile)
 	s.mux.HandleFunc("GET /v1/h/{name}/range", s.handleRange)
 	s.mux.HandleFunc("GET /v1/h/{name}/buckets", s.handleBuckets)
+	s.mux.HandleFunc("GET /v1/h/{name}/envelope", s.handleEnvelope)
 	s.mux.HandleFunc("GET /v1/wal/status", s.handleWALStatus)
+	s.mux.HandleFunc("GET /v1/sites/catalog", s.handleSiteCatalog)
+	s.mux.HandleFunc("GET /v1/sites/entry", s.handleSiteEntry)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -303,6 +418,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.noteMutation()
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -341,6 +457,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.noteMutation()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -465,7 +582,12 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 				writeErr(w, http.StatusServiceUnavailable, "durable append: %v", err)
 				return
 			}
-			writeJSON(w, http.StatusOK, wire.UpdateResponse{Applied: len(vs), Total: h.Total(), LSN: lsn})
+			// DigestedLSN tells the caller how much of the acked log the
+			// reads already reflect — once it reaches lsn, this batch is
+			// folded in, not just durable.
+			writeJSON(w, http.StatusOK, wire.UpdateResponse{
+				Applied: len(vs), Total: h.Total(), LSN: lsn, DigestedLSN: s.wal.DigestedLSN(),
+			})
 			return
 		}
 		if op == insertOp {
@@ -477,6 +599,7 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
+		s.noteMutation()
 		writeJSON(w, http.StatusOK, wire.UpdateResponse{Applied: len(vs), Total: h.Total()})
 	}
 }

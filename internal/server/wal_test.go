@@ -373,10 +373,12 @@ func TestWALIngestFaults(t *testing.T) {
 	}
 }
 
-// TestCatalogV2StillDecodes pins backward compatibility: a catalog
-// entry written in the pre-WAL v2 layout (no covered-LSN field) still
-// restores, with a zero position (replay everything).
-func TestCatalogV2StillDecodes(t *testing.T) {
+// TestCatalogOldVersionsStillDecode pins backward compatibility: a
+// catalog entry written in the pre-WAL v2 layout (no covered-LSN
+// field) still restores with a zero position (replay everything), and
+// a v3 entry (covered LSN but no site watermark) restores with a zero
+// watermark.
+func TestCatalogOldVersionsStillDecode(t *testing.T) {
 	reg := NewRegistry()
 	if _, err := reg.Create(wire.CreateRequest{Name: "old", Family: FamilyDADO, MemBytes: 1024, Shards: 1}); err != nil {
 		t.Fatal(err)
@@ -388,35 +390,47 @@ func TestCatalogV2StillDecodes(t *testing.T) {
 	if err := e.h.InsertBatch(seqValues(10)); err != nil {
 		t.Fatal(err)
 	}
-	v3, err := EncodeEntry(e, 77)
+	v4, err := EncodeEntry(e, 77, 9001)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the blob as v2: drop the 8-byte covered LSN that sits
-	// after name/mem/seed, and stamp the old version number.
+	// The covered LSN and site watermark sit back to back after
+	// name/mem/seed. Rewrite the blob as v2 (drop both) and as v3
+	// (drop only the watermark), stamping the old version numbers.
 	nameLen := len("old")
 	cut := 4 + 2 + 2 + nameLen + 4 + 8
-	v2 := append([]byte(nil), v3[:cut]...)
-	v2 = append(v2, v3[cut+8:]...)
+	v2 := append([]byte(nil), v4[:cut]...)
+	v2 = append(v2, v4[cut+16:]...)
 	v2[4], v2[5] = 2, 0 // little-endian version 2
+	v3 := append([]byte(nil), v4[:cut+8]...)
+	v3 = append(v3, v4[cut+16:]...)
+	v3[4], v3[5] = 3, 0 // little-endian version 3
 
 	got, err := DecodeEntry(v2)
 	if err != nil {
 		t.Fatalf("DecodeEntry(v2): %v", err)
 	}
-	if got.walLSN != 0 {
-		t.Fatalf("v2 entry decoded with walLSN %d, want 0", got.walLSN)
+	if got.walLSN != 0 || got.siteWM != 0 {
+		t.Fatalf("v2 entry decoded with walLSN %d siteWM %d, want 0 0", got.walLSN, got.siteWM)
 	}
 	if got.h.Total() != 10 {
 		t.Fatalf("v2 entry total = %v, want 10", got.h.Total())
 	}
 
-	// And the v3 round trip keeps the stamp.
 	got3, err := DecodeEntry(v3)
+	if err != nil {
+		t.Fatalf("DecodeEntry(v3): %v", err)
+	}
+	if got3.walLSN != 77 || got3.siteWM != 0 {
+		t.Fatalf("v3 entry decoded with walLSN %d siteWM %d, want 77 0", got3.walLSN, got3.siteWM)
+	}
+
+	// And the v4 round trip keeps both stamps.
+	got4, err := DecodeEntry(v4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got3.walLSN != 77 {
-		t.Fatalf("v3 entry decoded with walLSN %d, want 77", got3.walLSN)
+	if got4.walLSN != 77 || got4.siteWM != 9001 {
+		t.Fatalf("v4 entry decoded with walLSN %d siteWM %d, want 77 9001", got4.walLSN, got4.siteWM)
 	}
 }

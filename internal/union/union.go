@@ -9,6 +9,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"dynahist/internal/histogram"
@@ -28,7 +29,12 @@ func Superpose(members ...[]histogram.Bucket) ([]histogram.Bucket, error) {
 	if len(members) == 0 {
 		return nil, ErrNoMembers
 	}
+	// primary marks borders that are actual bucket edges (Left/Right) as
+	// opposed to recomputed sub-bucket borders: when near-equal borders
+	// are deduplicated below, a primary border wins, so member bucket
+	// edges survive the union bit-exactly.
 	borderSet := map[float64]struct{}{}
+	primary := map[float64]bool{}
 	for _, m := range members {
 		if err := histogram.Validate(m); err != nil {
 			return nil, fmt.Errorf("union: invalid member: %w", err)
@@ -36,6 +42,8 @@ func Superpose(members ...[]histogram.Bucket) ([]histogram.Bucket, error) {
 		for i := range m {
 			borderSet[m[i].Left] = struct{}{}
 			borderSet[m[i].Right] = struct{}{}
+			primary[m[i].Left] = true
+			primary[m[i].Right] = true
 			// Sub-bucket borders carry information too; keep them so the
 			// superposition stays lossless for DVO/DADO members.
 			k := len(m[i].Subs)
@@ -49,6 +57,7 @@ func Superpose(members ...[]histogram.Bucket) ([]histogram.Bucket, error) {
 		borders = append(borders, b)
 	}
 	sort.Float64s(borders)
+	borders = dedupeBorders(borders, primary)
 	if len(borders) < 2 {
 		return nil, errors.New("union: members have no extent")
 	}
@@ -69,6 +78,42 @@ func Superpose(members ...[]histogram.Bucket) ([]histogram.Bucket, error) {
 		return nil, errors.New("union: members are all empty")
 	}
 	return out, nil
+}
+
+// borderEps is the relative tolerance under which two borders are the
+// same logical border. Sub-bucket borders are recomputed per member as
+// Left + Width·j/k, so the same logical border derived from two members
+// can disagree in the last few bits; without deduplication those
+// near-duplicates become sliver buckets in the superposed result.
+// 1e-12 is ~4 decimal orders above double-precision rounding yet far
+// below any genuine sub-bucket width (≥ 1/k of a real bucket).
+const borderEps = 1e-12
+
+// dedupeBorders coalesces runs of near-equal sorted borders into one
+// representative each, preferring a primary (actual bucket edge) value
+// over a recomputed sub-border. Runs are anchored at their first
+// element: b joins the run of anchor a when b−a ≤ borderEps·scale(a,b).
+func dedupeBorders(borders []float64, primary map[float64]bool) []float64 {
+	out := borders[:0]
+	for i := 0; i < len(borders); {
+		anchor := borders[i]
+		rep, haveRep := anchor, primary[anchor]
+		j := i + 1
+		for j < len(borders) {
+			b := borders[j]
+			scale := math.Max(math.Abs(anchor), math.Abs(b))
+			if b-anchor > borderEps*scale {
+				break
+			}
+			if !haveRep && primary[b] {
+				rep, haveRep = b, true
+			}
+			j++
+		}
+		out = append(out, rep)
+		i = j
+	}
+	return out
 }
 
 // Reduce merges the bucket list down to at most n buckets by repeatedly

@@ -322,3 +322,64 @@ func TestSuperposeKeepsSubBucketDetail(t *testing.T) {
 		t.Errorf("mass below sub-border = %v, want 8", got)
 	}
 }
+
+func TestSuperposeDedupesULPBorders(t *testing.T) {
+	// The same logical border computed from two members can differ in
+	// the last bit: member 1's sub-border is exactly 1.0 (computed as
+	// Left + Width·1/2), member 2's bucket edge sits one ULP above it.
+	// Without relative-epsilon deduplication the superposition keeps
+	// both and emits a one-ULP sliver bucket.
+	ulpAbove := math.Nextafter(1.0, 2)
+	m1 := []histogram.Bucket{{Left: 0, Right: 2, Subs: []float64{3, 5}}}
+	m2 := []histogram.Bucket{{Left: ulpAbove, Right: 3, Subs: []float64{4}}}
+	u, err := Superpose(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := histogram.Validate(u); err != nil {
+		t.Fatal(err)
+	}
+	for i := range u {
+		w := u[i].Width()
+		scale := math.Max(math.Abs(u[i].Left), math.Abs(u[i].Right))
+		if w <= 16*borderEps*scale {
+			t.Errorf("bucket %d [%v,%v) is a %.3g-wide sliver", i, u[i].Left, u[i].Right, w)
+		}
+	}
+	// The member's real bucket edge (the primary border) must survive
+	// bit-exactly; the recomputed sub-border is the one that yields.
+	found := false
+	for i := range u {
+		if u[i].Left == ulpAbove || u[i].Right == ulpAbove {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("primary border %v did not survive deduplication: %+v", ulpAbove, u)
+	}
+	// Deduplication must not cost mass: the union still carries the
+	// members' combined total.
+	if total := histogram.TotalCount(u); math.Abs(total-12) > 1e-9 {
+		t.Errorf("union mass %v, want 12", total)
+	}
+}
+
+func TestDedupeBordersPrefersPrimary(t *testing.T) {
+	a := 1000.0
+	b := math.Nextafter(a, 2000)
+	got := dedupeBorders([]float64{0, a, b, 2000}, map[float64]bool{0: true, b: true, 2000: true})
+	want := []float64{0, b, 2000}
+	if len(got) != len(want) {
+		t.Fatalf("dedupeBorders = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedupeBorders = %v, want %v", got, want)
+		}
+	}
+	// Distinct borders far apart are untouched.
+	keep := []float64{0, 0.5, 1}
+	if got := dedupeBorders(keep, nil); len(got) != 3 {
+		t.Fatalf("dedupeBorders merged genuinely distinct borders: %v", got)
+	}
+}

@@ -162,6 +162,13 @@ type UpdateResponse struct {
 	// the batch is durable, and the background digester folds it into
 	// the histogram asynchronously.
 	LSN uint64 `json:"lsn,omitempty"`
+	// DigestedLSN is the WAL position the background digester had folded
+	// into the in-memory histogram at ack time (durable-ingest servers
+	// only). The acked batch is durable at LSN but only reflected in
+	// reads once DigestedLSN reaches it, so a caller can distinguish
+	// "acked durable" (LSN assigned) from "folded into the histogram"
+	// (DigestedLSN ≥ LSN) instead of guessing from a lagging Total.
+	DigestedLSN uint64 `json:"digested_lsn,omitempty"`
 }
 
 // WALStatusResponse is the body of GET /v1/wal/status: the durable
@@ -258,4 +265,59 @@ type BucketsResponse struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// Multi-node serving (paper §8: any site's histogram unions losslessly
+// into a global one). A peer-role server exposes its histograms as
+// compact snapshot envelopes instead of raw data; readers scatter-gather
+// the envelopes and superpose them, and peers anti-entropy each other's
+// catalogs so a rejoining site catches up without re-ingesting.
+
+// EnvelopeContentType is the Content-Type under which the per-histogram
+// envelope endpoint (GET /v1/h/{name}/envelope) serves the
+// self-describing dynahist snapshot blob.
+const EnvelopeContentType = "application/x-dynahist-envelope"
+
+// SiteEntryContentType is the Content-Type under which the anti-entropy
+// entry endpoint (GET /v1/sites/entry) serves a catalog-entry blob —
+// the server-to-server replication unit (snapshot envelope plus the
+// entry's identity and configuration).
+const SiteEntryContentType = "application/x-dynahist-catalog-entry"
+
+// Envelope response headers: the metadata riding beside a binary
+// envelope or catalog-entry body.
+const (
+	// HeaderSite is the ID of the site whose data the blob summarises.
+	HeaderSite = "X-Dynahist-Site"
+	// HeaderWatermark is the origin site's covered watermark at snapshot
+	// time: a monotonic per-site counter (the WAL digested LSN on
+	// durable servers) saying how much ingest the blob already contains.
+	HeaderWatermark = "X-Dynahist-Watermark"
+	// HeaderTotal is the summarised point count at snapshot time.
+	HeaderTotal = "X-Dynahist-Total"
+)
+
+// SiteEntry is one row of a peer's anti-entropy catalog: a histogram
+// held at the serving node — authoritative when Site is the node's own
+// site ID, a replica otherwise — with the covered watermark a puller
+// compares against its own copy.
+type SiteEntry struct {
+	Site      string  `json:"site"`
+	Name      string  `json:"name"`
+	Watermark uint64  `json:"watermark"`
+	Total     float64 `json:"total"`
+}
+
+// SiteCatalogResponse is the body of GET /v1/sites/catalog: the serving
+// node's site identity and everything it can hand to a peer — its own
+// histograms plus the peer replicas it holds. Watermark is the node's
+// current own-site watermark; a puller prunes its replicas of this
+// site only for entries absent here AND covered by this watermark, so
+// a freshly rejoined (empty, watermark-zero) node never triggers
+// pruning of the very replicas it is about to adopt.
+type SiteCatalogResponse struct {
+	SiteID    string      `json:"site_id"`
+	Watermark uint64      `json:"watermark"`
+	Peers     []string    `json:"peers,omitempty"`
+	Entries   []SiteEntry `json:"entries"`
 }
