@@ -53,6 +53,13 @@ func (e *APIError) Error() string {
 // times total, with doubling backoff starting at retryBaseDelay.
 // Mutating requests are never retried — an insert whose ack was lost
 // may still have landed, and replaying it would double-count.
+//
+// Retries are also budget-capped (see shouldRetry): an attempt that
+// burned most of the HTTP client's per-attempt timeout means a dead or
+// hung server, and repeating it would only multiply the latency of the
+// same answer — one timeout, not three, is what a fan-out caller waits
+// before flagging a site Partial. A caller context deadline likewise
+// cuts the backoff short.
 const (
 	retryAttempts  = 3
 	retryBaseDelay = 100 * time.Millisecond
@@ -117,6 +124,30 @@ func infoFromWire(w wire.Info) Info {
 	return Info{Name: w.Name, Family: w.Family, MemBytes: w.MemBytes, Shards: w.Shards, Total: w.Total}
 }
 
+// nextRetryDelay is the backoff that would precede the attempt after
+// the given 0-based one.
+func nextRetryDelay(attempt int) time.Duration {
+	return retryBaseDelay << attempt
+}
+
+// shouldRetry reports whether another attempt after a retryable GET
+// failure is worth its cost. It is false when the caller's context
+// deadline would expire before the backoff ends (the retry could never
+// complete anyway), and when the failed attempt already consumed most
+// of the HTTP client's per-attempt timeout — that signature is a dead
+// or hung server, not a flaky hop, and repeating the attempt would
+// multiply the caller's wait (a scatter-gather read should degrade to
+// Partial within roughly one timeout) for the same answer.
+func (c *Client) shouldRetry(ctx context.Context, attemptStart time.Time, delay time.Duration) bool {
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= delay {
+		return false
+	}
+	if t := c.http.Timeout; t > 0 && time.Since(attemptStart) >= t*3/4 {
+		return false
+	}
+	return true
+}
+
 // do issues one request and decodes the JSON response into out when
 // out is non-nil. GETs are retried per the package retry policy;
 // everything else gets exactly one attempt.
@@ -128,8 +159,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			delay := retryBaseDelay << (attempt - 1)
-			t := time.NewTimer(delay)
+			t := time.NewTimer(nextRetryDelay(attempt - 1))
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -137,6 +167,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			case <-t.C:
 			}
 		}
+		attemptStart := time.Now()
 		data, status, _, err := c.doOnce(ctx, method, path, contentType, body)
 		switch {
 		case err != nil:
@@ -146,9 +177,15 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			if ctx.Err() != nil {
 				return err
 			}
+			if !c.shouldRetry(ctx, attemptStart, nextRetryDelay(attempt)) {
+				return lastErr
+			}
 			continue
 		case status == http.StatusBadGateway || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
 			lastErr = apiError(status, data)
+			if !c.shouldRetry(ctx, attemptStart, nextRetryDelay(attempt)) {
+				return lastErr
+			}
 			continue
 		case status < 200 || status > 299:
 			return apiError(status, data)
@@ -192,7 +229,7 @@ func (c *Client) getRaw(ctx context.Context, path string) ([]byte, http.Header, 
 	var lastErr error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
-			t := time.NewTimer(retryBaseDelay << (attempt - 1))
+			t := time.NewTimer(nextRetryDelay(attempt - 1))
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -200,6 +237,7 @@ func (c *Client) getRaw(ctx context.Context, path string) ([]byte, http.Header, 
 			case <-t.C:
 			}
 		}
+		attemptStart := time.Now()
 		data, status, hdr, err := c.doOnce(ctx, http.MethodGet, path, "", nil)
 		switch {
 		case err != nil:
@@ -207,9 +245,15 @@ func (c *Client) getRaw(ctx context.Context, path string) ([]byte, http.Header, 
 			if ctx.Err() != nil {
 				return nil, nil, err
 			}
+			if !c.shouldRetry(ctx, attemptStart, nextRetryDelay(attempt)) {
+				return nil, nil, lastErr
+			}
 			continue
 		case status == http.StatusBadGateway || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
 			lastErr = apiError(status, data)
+			if !c.shouldRetry(ctx, attemptStart, nextRetryDelay(attempt)) {
+				return nil, nil, lastErr
+			}
 			continue
 		case status < 200 || status > 299:
 			return nil, nil, apiError(status, data)
@@ -279,13 +323,16 @@ func (c *Client) Info(ctx context.Context, name string) (Info, error) {
 type Ack struct {
 	// Total is the histogram's point count after the batch.
 	Total float64
+	// LSN is the write-ahead-log position the batch was logged at. Zero
+	// when the server runs without a WAL.
+	LSN uint64
 	// DigestedLSN is how far the server's write-ahead-log digester had
 	// folded records into the in-memory histograms when the batch was
 	// acknowledged. The batch itself is durable at ack time but becomes
-	// readable only once DigestedLSN passes its log position — writers
-	// that need read-your-writes can compare acks against WALStatus.
-	// Zero when the server runs without a WAL (then the batch is
-	// readable immediately).
+	// readable only once DigestedLSN reaches LSN — writers that need
+	// read-your-writes poll WALStatus until its DigestedLSN passes the
+	// ack's LSN. Zero when the server runs without a WAL (then the
+	// batch is readable immediately).
 	DigestedLSN uint64
 }
 
@@ -345,7 +392,7 @@ func (c *Client) update(ctx context.Context, name, op string, values []float64, 
 	if err := c.do(ctx, "POST", "/v1/h/"+url.PathEscape(name)+"/"+op, ct, body, &resp); err != nil {
 		return Ack{}, err
 	}
-	return Ack{Total: resp.Total, DigestedLSN: resp.DigestedLSN}, nil
+	return Ack{Total: resp.Total, LSN: resp.LSN, DigestedLSN: resp.DigestedLSN}, nil
 }
 
 // Total returns the histogram's current point count.

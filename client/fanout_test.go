@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"io"
 	"log"
 	"math"
@@ -98,6 +99,66 @@ func TestGetRetryHonoursContext(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("retry loop ran %v past a 50ms context", elapsed)
+	}
+}
+
+// TestGetRetrySkipsAfterTimeoutBurn pins the retry budget: an attempt
+// that burns the HTTP client's whole per-attempt timeout signals a dead
+// or hung server, and the remaining retries are skipped — a fan-out
+// caller degrades to Partial within roughly one timeout, not three
+// timeouts plus backoff.
+func TestGetRetrySkipsAfterTimeoutBurn(t *testing.T) {
+	var gets atomic.Int64
+	hang := make(chan struct{})
+	t.Cleanup(func() { close(hang) })
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		select {
+		case <-hang:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	const timeout = 100 * time.Millisecond
+	c := New(ts.URL, &http.Client{Timeout: timeout})
+	start := time.Now()
+	_, err := c.Total(context.Background(), "x")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("GET against a hung server: want error")
+	}
+	if gets.Load() != 1 {
+		t.Fatalf("hung server was attempted %d times, want 1 (retrying a timeout only multiplies the wait)", gets.Load())
+	}
+	if elapsed > 3*timeout {
+		t.Fatalf("GET took %v against a hung server, want about one %v timeout", elapsed, timeout)
+	}
+}
+
+// TestGetRetryRespectsDeadline pins the deadline cap: when the
+// caller's context cannot outlive the next backoff, the retry loop
+// returns the last real failure instead of sleeping into the deadline
+// and surfacing context.DeadlineExceeded.
+func TestGetRetryRespectsDeadline(t *testing.T) {
+	var gets atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+
+	// Attempts land at ~0ms and ~100ms; the next backoff (200ms) cannot
+	// fit before the 250ms deadline, so the loop must stop there.
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	_, err := New(ts.URL, nil).Total(ctx, "x")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the server's 503 (not a deadline error from sleeping out the budget)", err)
+	}
+	if n := gets.Load(); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (third backoff exceeds the deadline)", n)
 	}
 }
 

@@ -169,18 +169,35 @@ func TestDistributedKillAndRejoin(t *testing.T) {
 			}
 			batches[v%n] = append(batches[v%n], float64(v))
 		}
+		acked := make([]uint64, n)
 		for i, vs := range batches {
 			if len(vs) == 0 {
 				continue
 			}
-			if _, err := clients[i].InsertBinary(ctx, "lat", vs); err != nil {
+			ack, err := clients[i].InsertBinaryAck(ctx, "lat", vs)
+			if err != nil {
 				t.Fatalf("ingest to site %d: %v", i, err)
 			}
+			acked[i] = ack.LSN
 			for _, v := range vs {
 				if err := tracker.Insert(int(v)); err != nil {
 					t.Fatal(err)
 				}
 			}
+		}
+		// An ack means durable, not yet readable: the WAL digester folds
+		// batches in asynchronously. Audits below compare global reads
+		// against the exact tracker, so wait for read-your-writes the
+		// documented way — poll until each site's digested position
+		// passes its acked LSN.
+		for i, lsn := range acked {
+			if lsn == 0 {
+				continue
+			}
+			waitFor(t, fmt.Sprintf("site %d to digest LSN %d", i, lsn), func() (bool, error) {
+				ws, err := clients[i].WALStatus(ctx)
+				return err == nil && ws.DigestedLSN >= lsn, err
+			})
 		}
 	}
 	ingest(3000, func(int) bool { return true })

@@ -189,15 +189,16 @@ func DecodeEntry(data []byte) (*entry, error) {
 		return nil, fmt.Errorf("%w: shards hold %v members, not a maintained family",
 			ErrCatalog, h.MemberKind())
 	}
-	return &entry{
+	e := &entry{
 		name:     name,
 		memBytes: int(memBytes),
 		shards:   h.NumShards(),
 		seed:     int64(seed),
 		walLSN:   walLSN,
-		siteWM:   siteWM,
 		h:        h,
-	}, nil
+	}
+	e.siteWM.Store(siteWM)
+	return e, nil
 }
 
 // decodeEntryV1 parses the rest of a version-1 catalog entry (the

@@ -22,12 +22,25 @@ package server
 //     node that lost its disks catches up from a survivor without
 //     re-ingesting a single raw value.
 //
+// Watermarks in the protocol are per entry: every catalog row carries
+// the covered watermark of that histogram (its siteWM, stamped at the
+// entry's last mutation), not the node's global counter. That is what
+// makes adoption converge row by row — a rejoining node with N
+// histograms pulls all N, each gated on its own entry's coverage — and
+// what keeps steady-state cheap: a histogram nobody wrote to advertises
+// an unchanged watermark, so peers re-pull only what actually moved.
+// The node-wide watermark still exists (catalog header field) as the
+// deletion authority for pruning and as the monotone source new stamps
+// are drawn from.
+//
 // Consistency caveats: replicas are asynchronous snapshots, so a
 // replica is bounded-stale by the anti-entropy period; the watermark
-// comparison guarantees a node never adopts data older than what it
-// already serves, but concurrent ingest racing an adoption (only
-// possible when a peer's replica is genuinely ahead of local state,
-// i.e. during rejoin) may be superseded by the adopted snapshot.
+// comparison guarantees a node never adopts data older than what the
+// entry's own coverage claims, but concurrent ingest racing an adoption
+// (only possible when a peer's replica is genuinely ahead of local
+// state, i.e. during rejoin) may be superseded by the adopted snapshot.
+// On servers without a WAL the watermark/snapshot pairing is advisory
+// in one direction only — see the contract note on (*Server).watermark.
 
 import (
 	"context"
@@ -63,12 +76,14 @@ func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusOf(err), "%v", err)
 		return
 	}
-	// Pair the snapshot with the watermark it covers: with a WAL the
-	// digester is frozen between records while both are taken.
+	// Pair the snapshot with the entry's covered watermark: with a WAL
+	// the digester is frozen between records while both are taken; the
+	// stamp is read before the snapshot, so without one the snapshot can
+	// only contain more than the watermark claims, never less.
 	if s.wal != nil {
 		s.digestMu.Lock()
 	}
-	wm := s.watermark()
+	wm := e.siteWM.Load()
 	total := e.h.Total()
 	blob, err := e.h.Snapshot()
 	if s.wal != nil {
@@ -88,15 +103,16 @@ func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSiteCatalog serves GET /v1/sites/catalog: everything this node
-// can hand to a peer — its own histograms under its site ID at the
-// current watermark, plus every replica it holds — sorted for stable
-// output.
+// can hand to a peer — its own histograms under its site ID, each at
+// its entry's covered watermark, plus every replica it holds — sorted
+// for stable output. The response-level Watermark is the node-wide
+// counter; peers use it only as the pruning authority (a deletion bumps
+// it past every replica of the deleted histogram).
 func (s *Server) handleSiteCatalog(w http.ResponseWriter, r *http.Request) {
-	wm := s.watermark()
-	resp := wire.SiteCatalogResponse{SiteID: s.cfg.SiteID, Watermark: wm, Peers: s.cfg.Peers, Entries: []wire.SiteEntry{}}
+	resp := wire.SiteCatalogResponse{SiteID: s.cfg.SiteID, Watermark: s.watermark(), Peers: s.cfg.Peers, Entries: []wire.SiteEntry{}}
 	for _, e := range s.reg.entries() {
 		resp.Entries = append(resp.Entries, wire.SiteEntry{
-			Site: s.cfg.SiteID, Name: e.name, Watermark: wm, Total: e.h.Total(),
+			Site: s.cfg.SiteID, Name: e.name, Watermark: e.siteWM.Load(), Total: e.h.Total(),
 		})
 	}
 	s.replMu.RLock()
@@ -142,7 +158,7 @@ func (s *Server) handleSiteEntry(w http.ResponseWriter, r *http.Request) {
 		if s.wal != nil {
 			s.digestMu.Lock()
 		}
-		wm = s.watermark()
+		wm = e.siteWM.Load()
 		total = e.h.Total()
 		// The covered-LSN field is local to this node's WAL sequence and
 		// meaningless to the peer (who overwrites it on adoption); only
@@ -226,8 +242,9 @@ func (s *Server) antiEntropyLoop() {
 
 // SyncPeersNow runs one synchronous anti-entropy round against every
 // configured peer, bypassing the loop's backoff (tests and operators
-// poking a node after a topology change). Errors are collected per
-// peer, not short-circuited.
+// poking a node after a topology change). Rounds are serialised with
+// the background loop's, so calling this on a live server is safe.
+// Errors are collected per peer, not short-circuited.
 func (s *Server) SyncPeersNow() []error {
 	var errs []error
 	for _, peer := range s.cfg.Peers {
@@ -239,12 +256,17 @@ func (s *Server) SyncPeersNow() []error {
 }
 
 // syncPeer pulls one peer's site catalog and reconciles: adopt own-site
-// rows that are ahead of local state, pull fresher replicas of other
-// sites, prune replicas the origin itself has dropped. A failed row
-// pull is logged and skipped — the next round retries it — while a
+// rows whose covered watermark is ahead of the local entry's (or whose
+// entry is missing locally — the rejoin path), pull fresher replicas of
+// other sites, prune replicas the origin itself has dropped. A failed
+// row pull is logged and skipped — the next round retries it — while a
 // failed catalog pull fails the whole sync (that is what the loop's
-// backoff keys on).
+// backoff keys on). syncMu serialises rounds against each other, so
+// adoption and watermark advancement never interleave between a loop
+// tick and a SyncPeersNow caller.
 func (s *Server) syncPeer(base string) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
 	defer cancel()
 	cat, err := s.fetchPeerCatalog(ctx, base)
@@ -255,6 +277,11 @@ func (s *Server) syncPeer(base string) error {
 	// site's live histogram set; collect them so replicas of dropped
 	// histograms can be pruned below.
 	peerOwn := map[string]bool{}
+	// The node-wide watermark is lifted only after the whole catalog is
+	// reconciled: gating is per entry, and advancing mid-pass would make
+	// concurrently-served catalog rows claim coverage the still-pending
+	// adoptions don't have yet.
+	var maxAdopted uint64
 	for _, row := range cat.Entries {
 		if row.Site == "" || !ValidName(row.Name) {
 			continue
@@ -264,12 +291,18 @@ func (s *Server) syncPeer(base string) error {
 		}
 		switch {
 		case row.Site == s.cfg.SiteID:
-			// A peer claims to hold a fresher copy of our own site than
-			// we do: the rejoin path. Pull and adopt it.
-			if row.Watermark > s.watermark() {
-				if err := s.pullAndAdopt(base, row); err != nil {
-					s.log.Printf("anti-entropy: adopting %s/%s from %s: %v", row.Site, row.Name, base, err)
-				}
+			// A peer claims a copy of one of our own histograms that is
+			// ahead of that entry's local coverage — or a histogram we do
+			// not hold at all: the rejoin path. Pull and adopt it.
+			cur, err := s.reg.get(row.Name)
+			if err == nil && row.Watermark <= cur.siteWM.Load() {
+				continue
+			}
+			wm, err := s.pullAndAdopt(base, row)
+			if err != nil {
+				s.log.Printf("anti-entropy: adopting %s/%s from %s: %v", row.Site, row.Name, base, err)
+			} else if wm > maxAdopted {
+				maxAdopted = wm
 			}
 		default:
 			s.replMu.RLock()
@@ -282,6 +315,11 @@ func (s *Server) syncPeer(base string) error {
 			}
 		}
 	}
+	if maxAdopted > 0 {
+		// Post-adoption ingest must stamp above every adopted watermark
+		// (they are numbered in this site's pre-restart sequence).
+		s.advanceWatermark(maxAdopted)
+	}
 	if cat.SiteID != "" && cat.SiteID != s.cfg.SiteID {
 		s.pruneReplicas(cat.SiteID, cat.Watermark, peerOwn)
 	}
@@ -290,18 +328,20 @@ func (s *Server) syncPeer(base string) error {
 
 // pullAndAdopt fetches a peer's replica of this site's histogram and
 // installs it as local state — the catch-up step a rejoining node runs
-// instead of re-ingesting raw data.
-func (s *Server) pullAndAdopt(base string, row wire.SiteEntry) error {
+// instead of re-ingesting raw data. It returns the adopted watermark
+// (0 when the adoption was skipped) so the caller can lift the
+// node-wide watermark once the whole catalog pass is done.
+func (s *Server) pullAndAdopt(base string, row wire.SiteEntry) (uint64, error) {
 	data, wm, err := s.fetchPeerEntry(base, row)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	e, err := DecodeEntry(data)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if e.name != row.Name {
-		return fmt.Errorf("entry blob holds %q, want %q", e.name, row.Name)
+		return 0, fmt.Errorf("entry blob holds %q, want %q", e.name, row.Name)
 	}
 	if s.wal != nil {
 		s.digestMu.Lock()
@@ -311,19 +351,18 @@ func (s *Server) pullAndAdopt(base string, row wire.SiteEntry) error {
 		// after it still folds in on top.
 		e.walLSN = s.wal.DigestedLSN()
 	}
-	// Re-check under the digest freeze: adoption must never replace
-	// local state that caught up while the blob was in flight.
-	if wm <= s.watermark() {
-		return nil
+	// Re-check under the digest freeze: adoption must never replace an
+	// entry whose own coverage caught up while the blob was in flight.
+	if cur, err := s.reg.get(row.Name); err == nil && wm <= cur.siteWM.Load() {
+		return 0, nil
 	}
-	e.siteWM = wm
+	e.siteWM.Store(wm)
 	if err := s.reg.replace(e); err != nil {
-		return err
+		return 0, err
 	}
-	s.advanceWatermark(wm)
 	s.log.Printf("anti-entropy: adopted %q at watermark %d from %s (total %v)",
 		e.name, wm, base, e.h.Total())
-	return nil
+	return wm, nil
 }
 
 // pullReplica fetches and stores one other-site catalog entry. The blob

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -180,6 +181,126 @@ func TestAntiEntropyReplicationAdoptionPruning(t *testing.T) {
 		if row.Site == "b" {
 			t.Fatalf("A still lists pruned replica %+v", row)
 		}
+	}
+}
+
+// TestRejoinAdoptsEveryHistogram is the multi-histogram rejoin
+// regression: adoption is gated per entry, so a node that lost N
+// histograms recovers all N in one sync round — not just the first
+// catalog row before the node-wide watermark catches up.
+func TestRejoinAdoptsEveryHistogram(t *testing.T) {
+	bSrv, bTS := newTestServer(t, peerCfg("b"))
+	names := []string{"h0", "h1", "h2"}
+	for i, n := range names {
+		mustCreate(t, bTS.URL, n, FamilyDADO, 1024, 1)
+		mustInsertJSON(t, bTS.URL, n, seqValues(10*(i+1)))
+	}
+	bWM := bSrv.watermark()
+
+	aSrv, aTS := newTestServer(t, peerCfg("a", bTS.URL))
+	if errs := aSrv.SyncPeersNow(); len(errs) != 0 {
+		t.Fatalf("A sync: %v", errs)
+	}
+
+	// Total disk loss: a fresh node claiming site "b" must adopt every
+	// histogram from A's replicas in a single round.
+	b2Srv, b2TS := newTestServer(t, peerCfg("b", aTS.URL))
+	if errs := b2Srv.SyncPeersNow(); len(errs) != 0 {
+		t.Fatalf("B2 sync: %v", errs)
+	}
+	var list wire.ListResponse
+	do(t, "GET", b2TS.URL+"/v1/h", "", nil, http.StatusOK, &list)
+	if len(list.Histograms) != len(names) {
+		t.Fatalf("B2 adopted %d histogram(s) in one round, want %d: %+v",
+			len(list.Histograms), len(names), list.Histograms)
+	}
+	for i, info := range list.Histograms { // sorted by name: h0, h1, h2
+		if want := float64(10 * (i + 1)); info.Name != names[i] || info.Total != want {
+			t.Fatalf("B2 histogram %d = %+v, want %s with total %v", i, info, names[i], want)
+		}
+	}
+	if got := b2Srv.watermark(); got < bWM {
+		t.Fatalf("B2 watermark %d after adopting everything, want >= %d", got, bWM)
+	}
+}
+
+// TestCatalogAdvertisesPerEntryWatermarks pins the steady-state side
+// of per-entry watermarks: ingest into one histogram must not inflate
+// the advertised coverage of another, so peers re-pull only what
+// actually changed.
+func TestCatalogAdvertisesPerEntryWatermarks(t *testing.T) {
+	_, ts := newTestServer(t, Config{SiteID: "s"})
+	mustCreate(t, ts.URL, "hot", FamilyDADO, 1024, 1)
+	mustCreate(t, ts.URL, "cold", FamilyDADO, 1024, 1)
+	mustInsertJSON(t, ts.URL, "hot", seqValues(5))
+	mustInsertJSON(t, ts.URL, "cold", seqValues(5))
+
+	rowWM := func() map[string]uint64 {
+		var cat wire.SiteCatalogResponse
+		do(t, "GET", ts.URL+"/v1/sites/catalog", "", nil, http.StatusOK, &cat)
+		out := map[string]uint64{}
+		for _, row := range cat.Entries {
+			out[row.Name] = row.Watermark
+		}
+		return out
+	}
+	before := rowWM()
+	if before["hot"] == 0 || before["cold"] == 0 {
+		t.Fatalf("zero advertised watermark after ingest: %v", before)
+	}
+
+	mustInsertJSON(t, ts.URL, "hot", seqValues(5))
+	after := rowWM()
+	if after["hot"] <= before["hot"] {
+		t.Fatalf("hot watermark %d -> %d, want an increase", before["hot"], after["hot"])
+	}
+	if after["cold"] != before["cold"] {
+		t.Fatalf("cold watermark %d -> %d changed without a mutation", before["cold"], after["cold"])
+	}
+}
+
+// TestSyncRoundsAreSerialized drives SyncPeersNow from several
+// goroutines, racing the background anti-entropy loop and live ingest
+// on both nodes — the lock coverage test for syncMu under -race.
+func TestSyncRoundsAreSerialized(t *testing.T) {
+	_, bTS := newTestServer(t, peerCfg("b"))
+	mustCreate(t, bTS.URL, "lat", FamilyDADO, 1024, 1)
+	mustInsertJSON(t, bTS.URL, "lat", seqValues(10))
+
+	aSrv, aTS := newTestServer(t, Config{
+		SiteID: "a", Peers: []string{bTS.URL},
+		AntiEntropyEvery: time.Millisecond, PeerTimeout: 2 * time.Second,
+	})
+	mustCreate(t, aTS.URL, "own", FamilyDADO, 1024, 1)
+
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 10 {
+				if errs := aSrv.SyncPeersNow(); len(errs) != 0 {
+					t.Errorf("SyncPeersNow: %v", errs)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range 10 {
+			mustInsertJSON(t, aTS.URL, "own", seqValues(8))
+			mustInsertJSON(t, bTS.URL, "lat", seqValues(8))
+		}
+	}()
+	wg.Wait()
+
+	aSrv.replMu.RLock()
+	_, held := aSrv.replicas["b"]["lat"]
+	aSrv.replMu.RUnlock()
+	if !held {
+		t.Fatal("A holds no replica of b/lat after concurrent sync rounds")
 	}
 }
 

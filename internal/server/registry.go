@@ -78,13 +78,30 @@ type entry struct {
 	// cannot double-apply the overlap. It is a recovery-time fact only:
 	// live digestion always carries strictly larger LSNs.
 	walLSN uint64
-	// siteWM is the site watermark the entry's restored snapshot covers
-	// (catalog v4; 0 for older files and live-created entries). Unlike
-	// walLSN it is in the site's logical-ingest sequence, not the local
-	// WAL's: peers compare it during anti-entropy, and startup seeds the
-	// server's watermark from the maximum over restored entries.
-	siteWM uint64
+	// siteWM is the site watermark this entry's in-memory state covers:
+	// the server's advertised watermark at the entry's last applied
+	// mutation (restored from catalog v4 at startup; 0 for older files).
+	// Unlike walLSN it is in the site's logical-ingest sequence, not the
+	// local WAL's. It is the unit anti-entropy compares: catalog rows
+	// advertise it, adoption is gated on it per entry, and startup seeds
+	// the server's watermark from the maximum over restored entries.
+	// Stamped strictly *after* the mutation applies, so a concurrent
+	// reader pairing siteWM with a snapshot may understate the
+	// snapshot's coverage but never overstate it.
+	siteWM atomic.Uint64
 	h      *dynahist.Sharded
+}
+
+// bumpSiteWM lifts the entry's covered watermark to at least wm,
+// never lowering it — concurrent stamps land in arbitrary order, and
+// the advertised coverage must stay monotone regardless.
+func (e *entry) bumpSiteWM(wm uint64) {
+	for {
+		cur := e.siteWM.Load()
+		if wm <= cur || e.siteWM.CompareAndSwap(cur, wm) {
+			return
+		}
+	}
 }
 
 // kind returns the maintained kind the entry's shards were built from.

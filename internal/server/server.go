@@ -107,6 +107,12 @@ type Server struct {
 	replMu   sync.RWMutex
 	replicas map[string]map[string]replica
 
+	// syncMu serialises anti-entropy rounds: the loop and any
+	// SyncPeersNow callers take it around each syncPeer, so adoption,
+	// replica writes and watermark advancement never run concurrently
+	// with another round.
+	syncMu sync.Mutex
+
 	peerHTTP *http.Client
 
 	stopOnce sync.Once
@@ -182,8 +188,8 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) seedWatermark() {
 	var maxWM uint64
 	for _, e := range s.reg.entries() {
-		if e.siteWM > maxWM {
-			maxWM = e.siteWM
+		if wm := e.siteWM.Load(); wm > maxWM {
+			maxWM = wm
 		}
 	}
 	base := s.watermarkBase()
@@ -205,6 +211,17 @@ func (s *Server) watermarkBase() uint64 {
 // site's ingest its current in-memory state covers. Monotonic across
 // restarts (the base replays/reloads, the offset is re-seeded from the
 // catalog) and across adoptions (advanceWatermark lifts the offset).
+//
+// Watermark contract: a per-entry watermark (entry.siteWM, what catalog
+// rows and entry/envelope responses carry) never overstates the
+// snapshot it is paired with — the stamp lands only after the mutation
+// applies, and WAL servers additionally freeze the digester while
+// reading both. On in-memory servers the pairing is unsynchronised
+// against concurrent ingest, so an advertised watermark may briefly
+// *under*state what a snapshot already contains; peers then re-rank or
+// re-pull a copy they could have skipped, which the next round heals.
+// The adoption logic only relies on the safe direction: coverage
+// claimed is coverage present.
 func (s *Server) watermark() uint64 {
 	return s.watermarkBase() + s.wmOffset.Load()
 }
@@ -219,7 +236,8 @@ func (s *Server) noteMutation() {
 
 // advanceWatermark lifts the advertised watermark to at least wm (used
 // after adopting a peer replica numbered in this site's pre-restart
-// sequence). Serialized by the anti-entropy loop.
+// sequence). Serialized by syncMu; the base may advance concurrently
+// under it, which at worst lifts the result past wm — never below.
 func (s *Server) advanceWatermark(wm uint64) {
 	if cur := s.watermark(); wm > cur {
 		s.wmOffset.Add(wm - cur)
@@ -303,7 +321,6 @@ func (s *Server) CheckpointNow() error {
 		// position one atomic unit per histogram.
 		cover = s.wal.DigestedLSN()
 	}
-	wm := s.watermark()
 	type pending struct {
 		name string
 		data []byte
@@ -316,7 +333,9 @@ func (s *Server) CheckpointNow() error {
 		if !s.reg.Has(e.name) {
 			continue
 		}
-		data, err := EncodeEntry(e, cover, wm)
+		// Each entry persists its own covered watermark, so a restart
+		// re-advertises exactly the per-entry coverage peers saw live.
+		data, err := EncodeEntry(e, cover, e.siteWM.Load())
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("checkpoint %q: %w", e.name, err)
@@ -419,6 +438,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.noteMutation()
+	// A fresh histogram trivially covers the site sequence so far; the
+	// stamp gives peers a nonzero row to rank the empty entry by.
+	if e, err := s.reg.get(req.Name); err == nil {
+		e.bumpSiteWM(s.watermark())
+	}
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -515,11 +539,12 @@ func readBody(r io.Reader, dst []byte) ([]byte, error) {
 // binary ingest allocates nothing per request in this handler.
 func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		h, err := s.reg.Histogram(r.PathValue("name"))
+		e, err := s.reg.get(r.PathValue("name"))
 		if err != nil {
 			writeErr(w, statusOf(err), "%v", err)
 			return
 		}
+		h := e.h
 		buf := ingestPool.Get().(*ingestBuf)
 		defer func() {
 			if cap(buf.body) <= poolBufLimit && cap(buf.vals)*8 <= poolBufLimit {
@@ -600,6 +625,7 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 			return
 		}
 		s.noteMutation()
+		e.bumpSiteWM(s.watermark())
 		writeJSON(w, http.StatusOK, wire.UpdateResponse{Applied: len(vs), Total: h.Total()})
 	}
 }

@@ -38,8 +38,11 @@ func (s *Server) startWAL() error {
 	}
 	s.wal = w
 	from := w.CheckpointLSN()
+	touched := make(map[*entry]bool)
 	stats, err := w.Replay(from, func(rec wal.Record) error {
-		s.applyRecord(rec)
+		if e := s.applyRecord(rec); e != nil {
+			touched[e] = true
+		}
 		return nil
 	})
 	if err != nil {
@@ -47,6 +50,13 @@ func (s *Server) startWAL() error {
 		s.log.Printf("wal: replay: %v", err)
 	}
 	w.MarkDigested(w.LastLSN())
+	// Replayed records postdate each entry's catalog snapshot, so lift
+	// the touched entries' covered watermarks to the replayed position
+	// (bump, not store: a catalog restored after a prior adoption may
+	// already claim more than the local log's sequence).
+	for e := range touched {
+		e.bumpSiteWM(s.watermark())
+	}
 	if stats.Records > 0 || stats.CorruptSegments > 0 {
 		s.log.Printf("wal: replayed %d record(s) after LSN %d (%d corrupt segment tail(s) skipped)",
 			stats.Records, from, stats.CorruptSegments)
@@ -66,27 +76,38 @@ func (s *Server) digestLoop() {
 	defer close(s.digestDone)
 	for rec := range s.digestCh {
 		s.digestMu.Lock()
-		s.applyRecord(rec)
+		e := s.applyRecord(rec)
 		s.wal.MarkDigested(rec.LSN)
+		if e != nil {
+			// Stamp after the digested position advances, so the entry's
+			// covered watermark accounts for the record just folded in.
+			e.bumpSiteWM(s.watermark())
+		}
 		s.digestMu.Unlock()
 	}
 }
 
-// applyRecord folds one WAL record into the registry. It is fail-soft
-// end to end — a record for a dropped histogram, a duplicate create, a
-// batch the engine rejects are all logged and skipped — because replay
-// must always get through the log. Serialised by the caller (the
-// digester loop or startup replay), never concurrent with itself.
-func (s *Server) applyRecord(rec wal.Record) {
+// applyRecord folds one WAL record into the registry, returning the
+// entry the record touched (nil for drops, unknown names and garbage)
+// so the caller can stamp its covered watermark once the digested
+// position reflects the record. It is fail-soft end to end — a record
+// for a dropped histogram, a duplicate create, a batch the engine
+// rejects are all logged and skipped — because replay must always get
+// through the log. Serialised by the caller (the digester loop or
+// startup replay), never concurrent with itself.
+func (s *Server) applyRecord(rec wal.Record) *entry {
 	switch rec.Op {
 	case wal.OpCreate:
 		var req wire.CreateRequest
 		if err := json.Unmarshal(rec.Payload, &req); err != nil {
 			s.log.Printf("wal: LSN %d: bad create payload: %v", rec.LSN, err)
-			return
+			return nil
 		}
 		if _, err := s.reg.Create(req); err != nil && !errors.Is(err, ErrExists) {
 			s.log.Printf("wal: LSN %d: create %q: %v", rec.LSN, req.Name, err)
+		}
+		if e, err := s.reg.get(req.Name); err == nil {
+			return e
 		}
 	case wal.OpDrop:
 		if err := s.reg.Delete(rec.Name); err != nil && !errors.Is(err, ErrNotFound) {
@@ -106,19 +127,20 @@ func (s *Server) applyRecord(rec wal.Record) {
 		e, err := s.reg.get(rec.Name)
 		if err != nil {
 			s.log.Printf("wal: LSN %d: %v", rec.LSN, err)
-			return
+			return nil
 		}
 		if rec.LSN <= e.walLSN {
 			// The entry's catalog snapshot already contains this record —
 			// the crash landed between the catalog write and the WAL's
-			// position update. Replaying it would double-count.
-			return
+			// position update. Replaying it would double-count. The entry
+			// still covers the record, so it is stamped all the same.
+			return e
 		}
 		h := e.h
 		vs, err := wire.DecodeBatchInto(s.digestVals[:0], rec.Payload)
 		if err != nil {
 			s.log.Printf("wal: LSN %d: bad batch for %q: %v", rec.LSN, rec.Name, err)
-			return
+			return nil
 		}
 		if cap(vs) > cap(s.digestVals) {
 			s.digestVals = vs[:0]
@@ -131,9 +153,11 @@ func (s *Server) applyRecord(rec wal.Record) {
 		if err != nil {
 			s.log.Printf("wal: LSN %d: applying batch to %q: %v", rec.LSN, rec.Name, err)
 		}
+		return e
 	default:
 		s.log.Printf("wal: LSN %d: unknown op %d skipped", rec.LSN, rec.Op)
 	}
+	return nil
 }
 
 // appendAndEnqueue logs one mutating operation and hands it to the

@@ -410,8 +410,8 @@ func TestCatalogOldVersionsStillDecode(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeEntry(v2): %v", err)
 	}
-	if got.walLSN != 0 || got.siteWM != 0 {
-		t.Fatalf("v2 entry decoded with walLSN %d siteWM %d, want 0 0", got.walLSN, got.siteWM)
+	if got.walLSN != 0 || got.siteWM.Load() != 0 {
+		t.Fatalf("v2 entry decoded with walLSN %d siteWM %d, want 0 0", got.walLSN, got.siteWM.Load())
 	}
 	if got.h.Total() != 10 {
 		t.Fatalf("v2 entry total = %v, want 10", got.h.Total())
@@ -421,8 +421,8 @@ func TestCatalogOldVersionsStillDecode(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeEntry(v3): %v", err)
 	}
-	if got3.walLSN != 77 || got3.siteWM != 0 {
-		t.Fatalf("v3 entry decoded with walLSN %d siteWM %d, want 77 0", got3.walLSN, got3.siteWM)
+	if got3.walLSN != 77 || got3.siteWM.Load() != 0 {
+		t.Fatalf("v3 entry decoded with walLSN %d siteWM %d, want 77 0", got3.walLSN, got3.siteWM.Load())
 	}
 
 	// And the v4 round trip keeps both stamps.
@@ -430,7 +430,7 @@ func TestCatalogOldVersionsStillDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got4.walLSN != 77 || got4.siteWM != 9001 {
-		t.Fatalf("v4 entry decoded with walLSN %d siteWM %d, want 77 9001", got4.walLSN, got4.siteWM)
+	if got4.walLSN != 77 || got4.siteWM.Load() != 9001 {
+		t.Fatalf("v4 entry decoded with walLSN %d siteWM %d, want 77 9001", got4.walLSN, got4.siteWM.Load())
 	}
 }
