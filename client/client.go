@@ -511,6 +511,43 @@ func (c *Client) Query(ctx context.Context, name string, spec QuerySpec) (Summar
 	return sum, nil
 }
 
+// FeedbackResult reports what one feedback record did on the server:
+// the estimate the serving view gave for the range before the record
+// (Estimated), the estimate after it applied (TunedEstimate — the
+// answer the next query gets), and the state of the histogram's
+// feedback journal.
+type FeedbackResult struct {
+	Estimated     float64
+	TunedEstimate float64
+	JournalLen    int
+	Rounds        uint64
+}
+
+// Feedback reports one executed range predicate's true result count to
+// the server's self-tuning loop: the query covered the inclusive
+// integer range [lo, hi] (the Range/EstimateRange convention) and
+// actually matched observed points. The server journals the record and
+// nudges its served estimates toward the observation. Requires the
+// server to run with tuning enabled (histserved -tuning); otherwise it
+// fails with an APIError.
+func (c *Client) Feedback(ctx context.Context, name string, lo, hi, observed float64) (FeedbackResult, error) {
+	body, err := json.Marshal(wire.FeedbackRequest{Lo: lo, Hi: hi, Observed: observed})
+	if err != nil {
+		return FeedbackResult{}, err
+	}
+	var resp wire.FeedbackResponse
+	path := "/v1/h/" + url.PathEscape(name) + "/feedback"
+	if err := c.do(ctx, "POST", path, "application/json", body, &resp); err != nil {
+		return FeedbackResult{}, err
+	}
+	return FeedbackResult{
+		Estimated:     resp.Estimated,
+		TunedEstimate: resp.TunedEstimate,
+		JournalLen:    resp.JournalLen,
+		Rounds:        resp.Rounds,
+	}, nil
+}
+
 // Buckets returns the histogram's merged bucket list.
 func (c *Client) Buckets(ctx context.Context, name string) ([]Bucket, error) {
 	var resp wire.BucketsResponse

@@ -1,20 +1,26 @@
 package main
 
 // The -json / -compare modes: a fixed micro-benchmark smoke suite over
-// the ingest spine, emitted as machine-readable JSON so CI can record
-// one point per PR of the performance trajectory and diff a fresh run
-// against the committed baseline (BENCH_PR7.json at the repo root).
+// the ingest and serving spines, emitted as machine-readable JSON so CI
+// can record one point per PR of the performance trajectory and diff a
+// fresh run against the committed baseline (BENCH_PR9.json at the repo
+// root).
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
 
 	"dynahist"
+	"dynahist/internal/server"
 	"dynahist/internal/wal"
 	"dynahist/internal/wire"
 )
@@ -49,6 +55,7 @@ var benchSuite = []struct {
 	{"wire_decode_batch_512", benchWireDecode},
 	{"sharded_insert_batch_256", benchShardedInsertBatch},
 	{"wal_append_256", benchWALAppend},
+	{"cached_query_hit", benchCachedQueryHit},
 }
 
 func benchDADOInsertBatch(b *testing.B) {
@@ -153,6 +160,69 @@ func benchWALAppend(b *testing.B) {
 		if _, err := l.Append(wal.OpInsert, "bench", data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// discardResponseWriter sinks handler output without allocating, so
+// the cached-query benchmark measures the handler and nothing else.
+type discardResponseWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) WriteHeader(int)             {}
+func (w *discardResponseWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+// benchCachedQueryHit measures the hot repeated-query serving path
+// through the real router: body read into a pooled buffer, epoch load,
+// cache lookup, cached summary bytes written back. The handler's
+// steady state is allocation-free (internal/server's alloc gate pins
+// that); the single small allocation here is the mux's route-match
+// state.
+func benchCachedQueryHit(b *testing.B) {
+	s, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Registry().Create(wire.CreateRequest{
+		Name: "bench", Family: server.FamilyDADO, MemBytes: 1024, Shards: 2,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	h, err := s.Registry().Histogram("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vs {
+		vs[i] = float64(rng.Intn(5001))
+	}
+	if err := h.InsertBatch(vs); err != nil {
+		b.Fatal(err)
+	}
+
+	body := bytes.NewReader([]byte(`{"quantiles":[0.5,0.9],"cdf":[2500],"ranges":[{"lo":100,"hi":4000}]}`))
+	req := httptest.NewRequest("POST", "/v1/h/bench/query", nil)
+	req.Body = io.NopCloser(body)
+	handler := s.Handler()
+	w := &discardResponseWriter{h: make(http.Header)}
+	serve := func() {
+		if _, err := body.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		handler.ServeHTTP(w, req)
+	}
+	serve() // warm: first call evaluates and populates the cache
+	if w.n == 0 {
+		b.Fatal("warm query wrote nothing")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve()
 	}
 }
 

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	histcli [-algo dado|dvo|dc|ac] [-mem bytes] [-seed n]
-//	        [-query lo:hi ...] [-quantile q ...] [-dump] [file]
+//	        [-query lo:hi ...] [-quantile q ...]
+//	        [-feedback lo,hi,observed ...] [-dump] [file]
 //
 // Input: one value per line; lines beginning with '-' delete the value
 // instead of inserting it (e.g. "-42" deletes one occurrence of 42).
@@ -14,11 +15,18 @@
 // answers everything from it — the summary statistics, the -query
 // ranges, the -quantile percentiles, and with -dump the serialized
 // bucket list in hex.
+//
+// Each -feedback lo,hi,observed record reports the true row count for
+// the inclusive range [lo, hi]; the records drive one pass of the
+// internal/tuner feedback loop over the pinned view, and every query
+// after that answers from the tuned view — the same loop histserved
+// runs online under -tuning, drivable from the shell.
 package main
 
 import (
 	"bufio"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +35,8 @@ import (
 	"strings"
 
 	"dynahist"
+	"dynahist/internal/histogram"
+	"dynahist/internal/tuner"
 )
 
 type queryList []string
@@ -35,28 +45,47 @@ func (q *queryList) String() string     { return strings.Join(*q, ",") }
 func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: it parses args, runs the stream-ingest
+// and query workflow against in/out, and returns the exit code.
+func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("histcli", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		algo      = flag.String("algo", "dado", "histogram: dado, dvo, dc or ac")
-		mem       = flag.Int("mem", 1024, "memory budget in bytes")
-		seed      = flag.Int64("seed", 1, "seed for the AC backing sample")
-		dump      = flag.Bool("dump", false, "print the serialized bucket list in hex")
+		algo      = fs.String("algo", "dado", "histogram: dado, dvo, dc or ac")
+		mem       = fs.Int("mem", 1024, "memory budget in bytes")
+		seed      = fs.Int64("seed", 1, "seed for the AC backing sample")
+		dump      = fs.Bool("dump", false, "print the serialized bucket list in hex")
 		queries   queryList
 		quantiles queryList
+		feedbacks queryList
 	)
-	flag.Var(&queries, "query", "range query lo:hi (repeatable)")
-	flag.Var(&quantiles, "quantile", "quantile q in (0,1] (repeatable)")
-	flag.Parse()
+	fs.Var(&queries, "query", "range query lo:hi (repeatable)")
+	fs.Var(&quantiles, "quantile", "quantile q in (0,1] (repeatable)")
+	fs.Var(&feedbacks, "feedback", "feedback record lo,hi,observed — true row count for [lo,hi]; tunes the view before queries (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(errOut, "histcli: %v\n", err)
+		return 1
+	}
 
 	h, err := buildHistogram(*algo, *mem, *seed)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	in := io.Reader(os.Stdin)
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		in = f
@@ -95,59 +124,123 @@ func main() {
 		inserted++
 	}
 	if err := scanner.Err(); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	// Everything after the stream answers off one pinned read view:
 	// the summary line, every range query and every quantile see the
-	// same consistent state.
+	// same consistent state. Feedback records tune that view first, so
+	// the queries below answer from the adjusted estimates.
 	view, err := h.View()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("algorithm   %s\n", *algo)
-	fmt.Printf("memory      %d bytes\n", *mem)
-	fmt.Printf("inserted    %d\n", inserted)
-	fmt.Printf("deleted     %d\n", deleted)
+	fmt.Fprintf(out, "algorithm   %s\n", *algo)
+	fmt.Fprintf(out, "memory      %d bytes\n", *mem)
+	fmt.Fprintf(out, "inserted    %d\n", inserted)
+	fmt.Fprintf(out, "deleted     %d\n", deleted)
 	if skipped > 0 {
-		fmt.Printf("skipped     %d (unparseable or failed)\n", skipped)
+		fmt.Fprintf(out, "skipped     %d (unparseable or failed)\n", skipped)
 	}
-	fmt.Printf("total       %.0f\n", view.Total())
-	fmt.Printf("buckets     %d\n", view.NumBuckets())
+	fmt.Fprintf(out, "total       %.0f\n", view.Total())
+	fmt.Fprintf(out, "buckets     %d\n", view.NumBuckets())
+
+	if len(feedbacks) > 0 {
+		view, err = tunedView(view, feedbacks, out)
+		if err != nil {
+			return fail(err)
+		}
+	}
 
 	for _, q := range queries {
 		lo, hi, err := parseRange(q)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		est := view.EstimateRange(lo, hi)
 		sel := 0.0
 		if view.Total() > 0 {
 			sel = est / view.Total()
 		}
-		fmt.Printf("query [%g, %g]: estimate %.1f rows (selectivity %.4f)\n", lo, hi, est, sel)
+		fmt.Fprintf(out, "query [%g, %g]: estimate %.1f rows (selectivity %.4f)\n", lo, hi, est, sel)
 	}
 
 	for _, s := range quantiles {
 		q, err := strconv.ParseFloat(s, 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad quantile %q: %v", s, err))
+			return fail(fmt.Errorf("bad quantile %q: %v", s, err))
 		}
 		v, err := view.Quantile(q)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("quantile %g: %.2f\n", q, v)
+		fmt.Fprintf(out, "quantile %g: %.2f\n", q, v)
 	}
 
 	if *dump {
 		data, err := dynahist.MarshalBuckets(view.Buckets())
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("snapshot    %d bytes\n%s\n", len(data), hex.EncodeToString(data))
+		fmt.Fprintf(out, "snapshot    %d bytes\n%s\n", len(data), hex.EncodeToString(data))
 	}
+	return 0
+}
+
+// tunedView replays the -feedback records through one tuner pass over
+// the pinned view and returns the adjusted view, printing per-record
+// before/after estimates.
+func tunedView(v *dynahist.View, specs []string, out io.Writer) (*dynahist.View, error) {
+	recs := make([]tuner.Record, len(specs))
+	for i, s := range specs {
+		lo, hi, obs, err := parseFeedback(s)
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = tuner.Record{Lo: lo, Hi: hi, Observed: obs}
+	}
+
+	pb := v.Buckets()
+	if len(pb) == 0 {
+		return nil, fmt.Errorf("feedback needs a non-empty histogram")
+	}
+	k := len(pb[0].Counters)
+	ib := make([]histogram.Bucket, len(pb))
+	for i, b := range pb {
+		if len(b.Counters) != k {
+			return nil, fmt.Errorf("feedback needs uniform bucket resolution")
+		}
+		ib[i] = histogram.Bucket{Left: b.Left, Right: b.Right, Subs: b.Counters}
+	}
+	st, err := histogram.StoreOfBuckets(ib, k)
+	if err != nil {
+		return nil, err
+	}
+
+	t := tuner.New(tuner.Config{})
+	for i := range recs {
+		recs[i].Estimated = tuner.EstimateRange(st, recs[i].Lo, recs[i].Hi)
+		if err := t.Observe(recs[i]); err != nil {
+			return nil, fmt.Errorf("bad feedback %q: %v", specs[i], err)
+		}
+	}
+	t.ApplyTo(st)
+	for _, r := range recs {
+		fmt.Fprintf(out, "feedback [%g, %g]: estimated %.1f observed %.0f tuned %.1f\n",
+			r.Lo, r.Hi, r.Estimated, r.Observed, tuner.EstimateRange(st, r.Lo, r.Hi))
+	}
+
+	tuned := st.Buckets()
+	outB := make([]dynahist.Bucket, len(tuned))
+	for i, b := range tuned {
+		outB[i] = dynahist.Bucket{Left: b.Left, Right: b.Right, Counters: b.Subs}
+	}
+	h, err := dynahist.NewStaticFromBuckets(outB)
+	if err != nil {
+		return nil, err
+	}
+	return h.View()
 }
 
 func buildHistogram(algo string, mem int, seed int64) (dynahist.Estimator, error) {
@@ -181,7 +274,17 @@ func parseRange(s string) (lo, hi float64, err error) {
 	return lo, hi, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "histcli: %v\n", err)
-	os.Exit(1)
+// parseFeedback parses a -feedback spec "lo,hi,observed".
+func parseFeedback(s string) (lo, hi, observed float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad feedback %q, want lo,hi,observed", s)
+	}
+	fields := [3]*float64{&lo, &hi, &observed}
+	for i, p := range parts {
+		if *fields[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
+			return 0, 0, 0, fmt.Errorf("bad feedback %q: %v", s, err)
+		}
+	}
+	return lo, hi, observed, nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 )
@@ -55,6 +58,102 @@ func TestBuildHistogram(t *testing.T) {
 	if _, err := buildHistogram("dado", 2, 1); err == nil {
 		t.Error("tiny memory: want error")
 	}
+}
+
+func TestParseFeedback(t *testing.T) {
+	cases := []struct {
+		in          string
+		lo, hi, obs float64
+		ok          bool
+	}{
+		{"10,20,500", 10, 20, 500, true},
+		{" 1.5 , 2.5 , 0 ", 1.5, 2.5, 0, true},
+		{"-5,5,3", -5, 5, 3, true},
+		{"10,20", 0, 0, 0, false},
+		{"10,20,500,9", 0, 0, 0, false},
+		{"a,20,500", 0, 0, 0, false},
+		{"", 0, 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, obs, err := parseFeedback(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseFeedback(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (lo != c.lo || hi != c.hi || obs != c.obs) {
+			t.Errorf("parseFeedback(%q) = %v,%v,%v want %v,%v,%v", c.in, lo, hi, obs, c.lo, c.hi, c.obs)
+		}
+	}
+}
+
+// TestRunFeedbackTunesQueries drives run() end to end: a uniform
+// stream, one feedback record claiming far more mass in a range than
+// uniform suggests, and a query over that range — the query must
+// answer from the tuned view, i.e. land nearer the observed count than
+// the untuned estimate did.
+func TestRunFeedbackTunesQueries(t *testing.T) {
+	var input strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&input, "%d\n", i%100)
+	}
+
+	runOnce := func(args []string) string {
+		t.Helper()
+		var out, errOut bytes.Buffer
+		if code := run(args, strings.NewReader(input.String()), &out, &errOut); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, errOut.String())
+		}
+		return out.String()
+	}
+	estimate := func(output string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(output, "\n") {
+			if strings.HasPrefix(line, "query ") {
+				var lo, hi, est, sel float64
+				if _, err := fmt.Sscanf(line, "query [%g, %g]: estimate %g rows (selectivity %g)", &lo, &hi, &est, &sel); err != nil {
+					t.Fatalf("unparseable query line %q: %v", line, err)
+				}
+				return est
+			}
+		}
+		t.Fatalf("no query line in output:\n%s", output)
+		return 0
+	}
+
+	untuned := estimate(runOnce([]string{"-query", "10:29"}))
+	tunedOut := runOnce([]string{"-feedback", "10,29,600", "-query", "10:29"})
+	if !strings.Contains(tunedOut, "feedback [10, 29]") {
+		t.Fatalf("no feedback line in output:\n%s", tunedOut)
+	}
+	tuned := estimate(tunedOut)
+	const observed = 600.0
+	if !(abs(tuned-observed) < abs(untuned-observed)) {
+		t.Fatalf("tuned estimate %v is no closer to observed %v than untuned %v", tuned, observed, untuned)
+	}
+}
+
+func TestRunBadFeedbackFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-feedback", "10,20"}, strings.NewReader("1\n2\n3\n"), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "bad feedback") {
+		t.Fatalf("stderr %q does not mention bad feedback", errOut.String())
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	if code := run([]string{"-nope"}, strings.NewReader(""), io.Discard, io.Discard); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 func TestQueryListFlag(t *testing.T) {

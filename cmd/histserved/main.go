@@ -12,7 +12,7 @@
 //	           [-wal-dir DIR] [-wal-sync always|interval|none]
 //	           [-wal-sync-interval 100ms] [-wal-segment-bytes N]
 //	           [-site-id ID] [-peers URL,URL,...]
-//	           [-anti-entropy 1s] [-peer-timeout 2s]
+//	           [-anti-entropy 1s] [-peer-timeout 2s] [-tuning]
 //
 // With -wal-dir set, ingest is durable: every mutating request is
 // appended to a segmented write-ahead log and acknowledged once the
@@ -45,6 +45,8 @@
 //	GET    /v1/h/{name}/total       point count
 //	GET    /v1/h/{name}/cdf?x=      fraction of points ≤ x
 //	GET    /v1/h/{name}/quantile?q= smallest x with CDF(x) ≥ q
+//	POST   /v1/h/{name}/feedback    {"lo","hi","observed"} true count
+//	                                (requires -tuning; nudges estimates)
 //	GET    /v1/h/{name}/range?lo=&hi= count of points in [lo,hi]
 //	GET    /v1/h/{name}/buckets     merged bucket list
 //	GET    /healthz                 liveness
@@ -93,6 +95,7 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		peers      = fs.String("peers", "", "comma-separated peer base URLs for snapshot anti-entropy (e.g. http://host:8081,http://host:8082)")
 		antiEvery  = fs.Duration("anti-entropy", time.Second, "anti-entropy sync period (requires -peers)")
 		peerTO     = fs.Duration("peer-timeout", 2*time.Second, "per-peer request timeout during anti-entropy")
+		tuning     = fs.Bool("tuning", false, "enable feedback-driven self-tuning (POST /v1/h/{name}/feedback adjusts served estimates)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -109,6 +112,7 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		SiteID:           *siteID,
 		AntiEntropyEvery: *antiEvery,
 		PeerTimeout:      *peerTO,
+		Tuning:           server.TuningConfig{Enabled: *tuning},
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {

@@ -92,6 +92,85 @@ func TestServeIngestRestart(t *testing.T) {
 	}
 }
 
+// TestTuningFeedbackSurvivesRestart boots with -tuning, journals
+// feedback through the public client, restarts against the same
+// catalog, and asserts the journal (and the tuned estimate it implies)
+// came back — the flag-to-catalog persistence path end to end.
+func TestTuningFeedbackSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	start := func() (addr string, done chan int) {
+		ready := make(chan string, 1)
+		done = make(chan int, 1)
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-catalog", dir, "-checkpoint", "50ms", "-tuning"}, io.Discard, ready)
+		}()
+		select {
+		case addr = <-ready:
+		case code := <-done:
+			t.Fatalf("server exited early with code %d", code)
+		case <-time.After(5 * time.Second):
+			t.Fatal("server did not become ready")
+		}
+		return addr, done
+	}
+	stop := func(done chan int) {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit code %d", code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+
+	ctx := context.Background()
+	addr, done := start()
+	c := client.New("http://"+addr, nil)
+	if _, err := c.Create(ctx, client.CreateOptions{Name: "tuned", Family: client.FamilyDADO, MemBytes: 1024, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = float64(i % 100)
+	}
+	if _, err := c.InsertBinary(ctx, "tuned", vs); err != nil {
+		t.Fatal(err)
+	}
+	// The workload "observes" far more mass in [10,29] than uniform
+	// spread suggests; the journal should record it and the tuned
+	// estimate should move toward the observation.
+	fb, err := c.Feedback(ctx, "tuned", 10, 29, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.JournalLen != 1 {
+		t.Fatalf("JournalLen = %d, want 1", fb.JournalLen)
+	}
+	if !(fb.TunedEstimate > fb.Estimated) {
+		t.Fatalf("tuned estimate %v did not move toward observed 600 from %v", fb.TunedEstimate, fb.Estimated)
+	}
+	stop(done)
+
+	addr, done = start()
+	defer stop(done)
+	c = client.New("http://"+addr, nil)
+	fb2, err := c.Feedback(ctx, "tuned", 10, 29, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb2.JournalLen != 2 {
+		t.Fatalf("restored JournalLen = %d, want 2 (journal lost across restart?)", fb2.JournalLen)
+	}
+	if fb2.Rounds != 2 {
+		t.Fatalf("restored Rounds = %d, want 2", fb2.Rounds)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if code := run([]string{"-definitely-not-a-flag"}, io.Discard, nil); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)

@@ -102,6 +102,7 @@ var Registry = map[string]Runner{
 	"metric-comparison":    MetricComparison,
 	"concurrency":          Concurrency,
 	"serving":              Serving,
+	"selftune":             SelfTune,
 }
 
 // IDs returns the registry keys in stable order.

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestSelfTuneMonotone is the acceptance gate for the feedback loop:
+// on the skew-shift workload, with truth from the exact dist.Tracker,
+// the estimation error must be monotonically non-increasing over
+// feedback rounds and must end well below the untuned baseline.
+func TestSelfTuneMonotone(t *testing.T) {
+	for _, opts := range []struct {
+		name string
+		o    Options
+	}{
+		{"tiny", tinyOptions()},
+		{"quick", QuickOptions()},
+	} {
+		fig, err := SelfTune(opts.o)
+		if err != nil {
+			t.Fatalf("%s: %v", opts.name, err)
+		}
+		s := seriesByLabel(t, fig, "DADO+feedback")
+		if len(s.Y) < 2 {
+			t.Fatalf("%s: error series too short: %v", opts.name, s.Y)
+		}
+		for i := 1; i < len(s.Y); i++ {
+			// The float tolerance admits rounding noise, not regressions.
+			if s.Y[i] > s.Y[i-1]*(1+1e-9) {
+				t.Errorf("%s: error rose at round %d: %v -> %v (series %v)",
+					opts.name, i, s.Y[i-1], s.Y[i], s.Y)
+			}
+		}
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if !(last < first/2) {
+			t.Errorf("%s: final error %v not under half the untuned %v", opts.name, last, first)
+		}
+		if first <= 0 {
+			t.Errorf("%s: untuned error %v not positive — skew shift opened no gap", opts.name, first)
+		}
+	}
+}
+
+// TestSelfTuneRegistered pins the registry entry the tooling shells
+// out to.
+func TestSelfTuneRegistered(t *testing.T) {
+	fig := runFig(t, "selftune")
+	if fig.XLabel != "feedback round" {
+		t.Fatalf("XLabel = %q", fig.XLabel)
+	}
+}

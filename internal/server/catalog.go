@@ -26,13 +26,15 @@ import (
 // File layout (all integers little-endian):
 //
 //	u32  magic 0x48434154 ("HCAT")
-//	u16  version (4)
+//	u16  version (5)
 //	u16  name length, then name bytes
 //	u32  per-shard mem_bytes
 //	u64  seed
 //	u64  covered WAL LSN (version ≥ 3)
 //	u64  site watermark (version ≥ 4)
 //	u32  envelope length, then the envelope bytes
+//	u32  feedback journal length, then the journal bytes (version ≥ 5;
+//	     zero length when the entry holds no feedback)
 //
 // The covered WAL LSN is the durability linchpin: it says exactly
 // which write-ahead-log records this snapshot already contains, and it
@@ -46,9 +48,18 @@ import (
 // logical sequence rather than the local WAL's. Peers compare it during
 // anti-entropy, and startup re-seeds the server's advertised watermark
 // from it so a restarted node never announces older data as newer.
+// The feedback journal (version 5) is the self-tuning subsystem's
+// persistence: the entry's journaled query-feedback records
+// (internal/tuner's "DHTJ" snapshot format), so tuning survives
+// checkpoint/restore. It is opaque at this layer — decoded lazily by
+// the server when tuning is enabled, preserved verbatim otherwise.
 const (
 	catMagic   = 0x48434154 // "HCAT"
-	catVersion = 4
+	catVersion = 5
+
+	// catVersionV4 added the site watermark but predates the feedback
+	// journal; decoded with an empty journal.
+	catVersionV4 = 4
 
 	// catVersionV3 added the covered WAL LSN but predates the site
 	// watermark; decoded with a zero watermark.
@@ -92,7 +103,8 @@ func EncodeEntry(e *entry, coveredLSN, siteWM uint64) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: snapshot %q: %w", e.name, err)
 	}
-	out := make([]byte, 0, 44+len(e.name)+len(blob))
+	journal := e.journalSnapshot()
+	out := make([]byte, 0, 48+len(e.name)+len(blob)+len(journal))
 	out = binary.LittleEndian.AppendUint32(out, catMagic)
 	out = binary.LittleEndian.AppendUint16(out, catVersion)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.name)))
@@ -103,6 +115,8 @@ func EncodeEntry(e *entry, coveredLSN, siteWM uint64) ([]byte, error) {
 	out = binary.LittleEndian.AppendUint64(out, siteWM)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
 	out = append(out, blob...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(journal)))
+	out = append(out, journal...)
 	return out, nil
 }
 
@@ -125,7 +139,7 @@ func DecodeEntry(data []byte) (*entry, error) {
 		return nil, err
 	}
 	switch version {
-	case catVersion, catVersionV3, catVersionV2:
+	case catVersion, catVersionV4, catVersionV3, catVersionV2:
 	case catVersionLegacy:
 		return decodeEntryV1(&r)
 	default:
@@ -160,7 +174,7 @@ func DecodeEntry(data []byte) (*entry, error) {
 			return nil, err
 		}
 	}
-	if version >= catVersion {
+	if version >= catVersionV4 {
 		if siteWM, err = r.U64(); err != nil {
 			return nil, err
 		}
@@ -172,6 +186,20 @@ func DecodeEntry(data []byte) (*entry, error) {
 	blob, err := r.Bytes(int(blobLen))
 	if err != nil {
 		return nil, err
+	}
+	var journal []byte
+	if version >= catVersion {
+		jLen, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		if jLen > 0 {
+			j, err := r.Bytes(int(jLen))
+			if err != nil {
+				return nil, err
+			}
+			journal = append([]byte(nil), j...)
+		}
 	}
 	if r.Remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCatalog, r.Remaining())
@@ -195,6 +223,7 @@ func DecodeEntry(data []byte) (*entry, error) {
 		shards:   h.NumShards(),
 		seed:     int64(seed),
 		walLSN:   walLSN,
+		journal:  journal,
 		h:        h,
 	}
 	e.siteWM.Store(siteWM)

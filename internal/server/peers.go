@@ -14,7 +14,9 @@ package server
 //     protocol: the catalog lists every (site, name, watermark) this
 //     node can hand out — its own histograms plus replicas it holds —
 //     and the entry endpoint returns the corresponding catalog-entry
-//     blob.
+//     blob. GET /v1/sites/entries is the batch form: many blobs of one
+//     site in one framed body, so a catalog pull that finds N stale
+//     rows costs one round trip per site, not N.
 //   - antiEntropyLoop pulls each peer's catalog on a timer (per-peer
 //     timeout, exponential backoff on failures), stores fresher
 //     replicas of other sites' histograms, and adopts a peer's replica
@@ -190,6 +192,69 @@ func (s *Server) handleSiteEntry(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
+// maxSiteEntriesBatch bounds how many names one batch request may ask
+// for.
+const maxSiteEntriesBatch = 256
+
+// handleSiteEntries serves GET /v1/sites/entries?site=S&name=N1&name=N2…:
+// the batch form of /v1/sites/entry — many catalog-entry blobs of one
+// site in one framed body. Names the node cannot serve are simply
+// absent from the response; the puller falls back to the per-entry
+// endpoint for them or retries next round.
+func (s *Server) handleSiteEntries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	site := q.Get("site")
+	names := q["name"]
+	if len(names) == 0 {
+		writeErr(w, http.StatusBadRequest, "no names requested")
+		return
+	}
+	if len(names) > maxSiteEntriesBatch {
+		writeErr(w, http.StatusBadRequest, "%d names requested, limit %d", len(names), maxSiteEntriesBatch)
+		return
+	}
+	items := make([]wire.SiteEntryBlob, 0, len(names))
+	if site != "" && site == s.cfg.SiteID {
+		// Own-site entries encode fresh under one digest freeze, so the
+		// whole batch is one consistent cut of the fold state.
+		if s.wal != nil {
+			s.digestMu.Lock()
+		}
+		for _, name := range names {
+			if !ValidName(name) {
+				continue
+			}
+			e, err := s.reg.get(name)
+			if err != nil {
+				continue
+			}
+			wm := e.siteWM.Load()
+			data, err := EncodeEntry(e, 0, wm)
+			if err != nil {
+				s.log.Printf("site entries: encoding %q: %v", name, err)
+				continue
+			}
+			items = append(items, wire.SiteEntryBlob{Name: name, Watermark: wm, Data: data})
+		}
+		if s.wal != nil {
+			s.digestMu.Unlock()
+		}
+	} else {
+		s.replMu.RLock()
+		for _, name := range names {
+			if rep, ok := s.replicas[site][name]; ok {
+				items = append(items, wire.SiteEntryBlob{Name: name, Watermark: rep.watermark, Data: rep.data})
+			}
+		}
+		s.replMu.RUnlock()
+	}
+	h := w.Header()
+	h.Set("Content-Type", wire.SiteEntriesContentType)
+	h.Set(wire.HeaderSite, site)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(wire.EncodeSiteEntries(items))
+}
+
 // peerState is the anti-entropy loop's per-peer failure bookkeeping.
 type peerState struct {
 	failures int
@@ -282,6 +347,12 @@ func (s *Server) syncPeer(base string) error {
 	// concurrently-served catalog rows claim coverage the still-pending
 	// adoptions don't have yet.
 	var maxAdopted uint64
+	// Pass 1: decide which rows need pulling — own-site rows ahead of
+	// (or missing from) local state, other-site rows fresher than the
+	// held replica — grouped by origin site so pass 2 can pull each
+	// group in one batch request.
+	needed := map[string][]wire.SiteEntry{}
+	var sites []string
 	for _, row := range cat.Entries {
 		if row.Site == "" || !ValidName(row.Name) {
 			continue
@@ -289,8 +360,7 @@ func (s *Server) syncPeer(base string) error {
 		if row.Site == cat.SiteID {
 			peerOwn[row.Name] = true
 		}
-		switch {
-		case row.Site == s.cfg.SiteID:
+		if row.Site == s.cfg.SiteID {
 			// A peer claims a copy of one of our own histograms that is
 			// ahead of that entry's local coverage — or a histogram we do
 			// not hold at all: the rejoin path. Pull and adopt it.
@@ -298,20 +368,45 @@ func (s *Server) syncPeer(base string) error {
 			if err == nil && row.Watermark <= cur.siteWM.Load() {
 				continue
 			}
-			wm, err := s.pullAndAdopt(base, row)
-			if err != nil {
-				s.log.Printf("anti-entropy: adopting %s/%s from %s: %v", row.Site, row.Name, base, err)
-			} else if wm > maxAdopted {
-				maxAdopted = wm
-			}
-		default:
+		} else {
 			s.replMu.RLock()
 			cur, ok := s.replicas[row.Site][row.Name]
 			s.replMu.RUnlock()
-			if !ok || row.Watermark > cur.watermark {
-				if err := s.pullReplica(base, row); err != nil {
-					s.log.Printf("anti-entropy: replicating %s/%s from %s: %v", row.Site, row.Name, base, err)
+			if ok && row.Watermark <= cur.watermark {
+				continue
+			}
+		}
+		if len(needed[row.Site]) == 0 {
+			sites = append(sites, row.Site)
+		}
+		needed[row.Site] = append(needed[row.Site], row)
+	}
+	sort.Strings(sites)
+	// Pass 2: one batch fetch per site, with a per-entry fallback for
+	// rows the batch did not return (a peer predating the batch
+	// endpoint answers 404 and every row falls back).
+	for _, site := range sites {
+		rows := needed[site]
+		blobs := s.fetchPeerEntries(base, site, rows)
+		for _, row := range rows {
+			data, wm := blobs[row.Name].Data, blobs[row.Name].Watermark
+			if data == nil {
+				var err error
+				data, wm, err = s.fetchPeerEntry(base, row)
+				if err != nil {
+					s.log.Printf("anti-entropy: pulling %s/%s from %s: %v", row.Site, row.Name, base, err)
+					continue
 				}
+			}
+			if row.Site == s.cfg.SiteID {
+				awm, err := s.adoptEntry(data, row, wm)
+				if err != nil {
+					s.log.Printf("anti-entropy: adopting %s/%s from %s: %v", row.Site, row.Name, base, err)
+				} else if awm > maxAdopted {
+					maxAdopted = awm
+				}
+			} else if err := s.storeReplica(data, row, wm); err != nil {
+				s.log.Printf("anti-entropy: replicating %s/%s from %s: %v", row.Site, row.Name, base, err)
 			}
 		}
 	}
@@ -326,16 +421,12 @@ func (s *Server) syncPeer(base string) error {
 	return nil
 }
 
-// pullAndAdopt fetches a peer's replica of this site's histogram and
-// installs it as local state — the catch-up step a rejoining node runs
-// instead of re-ingesting raw data. It returns the adopted watermark
-// (0 when the adoption was skipped) so the caller can lift the
-// node-wide watermark once the whole catalog pass is done.
-func (s *Server) pullAndAdopt(base string, row wire.SiteEntry) (uint64, error) {
-	data, wm, err := s.fetchPeerEntry(base, row)
-	if err != nil {
-		return 0, err
-	}
+// adoptEntry installs a fetched replica of this site's histogram as
+// local state — the catch-up step a rejoining node runs instead of
+// re-ingesting raw data. It returns the adopted watermark (0 when the
+// adoption was skipped) so the caller can lift the node-wide watermark
+// once the whole catalog pass is done.
+func (s *Server) adoptEntry(data []byte, row wire.SiteEntry, wm uint64) (uint64, error) {
 	e, err := DecodeEntry(data)
 	if err != nil {
 		return 0, err
@@ -353,26 +444,27 @@ func (s *Server) pullAndAdopt(base string, row wire.SiteEntry) (uint64, error) {
 	}
 	// Re-check under the digest freeze: adoption must never replace an
 	// entry whose own coverage caught up while the blob was in flight.
-	if cur, err := s.reg.get(row.Name); err == nil && wm <= cur.siteWM.Load() {
-		return 0, nil
+	if cur, err := s.reg.get(row.Name); err == nil {
+		if wm <= cur.siteWM.Load() {
+			return 0, nil
+		}
+		// Locally observed query feedback outlives the adoption: the
+		// journal replays onto the adopted buckets like onto any fresh
+		// view epoch.
+		e.adoptTuning(cur)
 	}
 	e.siteWM.Store(wm)
 	if err := s.reg.replace(e); err != nil {
 		return 0, err
 	}
-	s.log.Printf("anti-entropy: adopted %q at watermark %d from %s (total %v)",
-		e.name, wm, base, e.h.Total())
+	s.log.Printf("anti-entropy: adopted %q at watermark %d (total %v)",
+		e.name, wm, e.h.Total())
 	return wm, nil
 }
 
-// pullReplica fetches and stores one other-site catalog entry. The blob
-// is decode-checked before it is stored, so the replica store never
-// re-serves garbage to peers.
-func (s *Server) pullReplica(base string, row wire.SiteEntry) error {
-	data, wm, err := s.fetchPeerEntry(base, row)
-	if err != nil {
-		return err
-	}
+// storeReplica decode-checks and stores one fetched other-site catalog
+// entry, so the replica store never re-serves garbage to peers.
+func (s *Server) storeReplica(data []byte, row wire.SiteEntry, wm uint64) error {
 	e, err := DecodeEntry(data)
 	if err != nil {
 		return err
@@ -466,4 +558,45 @@ func (s *Server) fetchPeerEntry(base string, row wire.SiteEntry) ([]byte, uint64
 		}
 	}
 	return data, wm, nil
+}
+
+// fetchPeerEntries pulls many of one site's catalog-entry blobs in a
+// single batch request, returning them by name. Any failure — a peer
+// predating the batch endpoint, a malformed body — degrades to an
+// empty result and the caller falls back to per-entry fetches:
+// batching is an optimisation, never a correctness dependency.
+func (s *Server) fetchPeerEntries(base, site string, rows []wire.SiteEntry) map[string]wire.SiteEntryBlob {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
+	defer cancel()
+	q := url.Values{}
+	q.Set("site", site)
+	for _, row := range rows {
+		q.Add("name", row.Name)
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/sites/entries?"+q.Encode(), nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil
+	}
+	items, err := wire.DecodeSiteEntries(data)
+	if err != nil {
+		s.log.Printf("anti-entropy: batch entries from %s: %v", base, err)
+		return nil
+	}
+	out := make(map[string]wire.SiteEntryBlob, len(items))
+	for _, it := range items {
+		out[it.Name] = it
+	}
+	return out
 }

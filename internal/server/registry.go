@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"dynahist"
+	"dynahist/internal/tuner"
 	"dynahist/internal/wire"
 )
 
@@ -90,6 +91,32 @@ type entry struct {
 	// snapshot's coverage but never overstate it.
 	siteWM atomic.Uint64
 	h      *dynahist.Sharded
+
+	// qEpoch is the entry's query epoch: bumped strictly *after* every
+	// applied mutation (ingest fold, adoption-free non-WAL insert,
+	// feedback) on the same sites that stamp siteWM. Readers load it
+	// before pinning a view; the query cache keys every stored response
+	// on the epoch the reader observed, so a response computed before a
+	// write can never be served to a reader who started after it.
+	qEpoch atomic.Uint64
+	// qc caches marshaled POST /query responses per (epoch, raw body).
+	qc queryCache
+
+	// Self-tuning state: the feedback journal (tun) and, for entries
+	// restored from a catalog, the raw journal blob awaiting its first
+	// use (decoded lazily because the tuner config lives on the
+	// server, not the catalog file). Both guarded by tunMu.
+	tunMu   sync.Mutex
+	tun     *tuner.Tuner
+	journal []byte
+
+	// Tuned-view memo: the overlay view served while the entry's query
+	// epoch and the tuner's round counter are unchanged. Guarded by
+	// tvMu.
+	tvMu     sync.Mutex
+	tv       *dynahist.View
+	tvEpoch  uint64
+	tvRounds uint64
 }
 
 // bumpSiteWM lifts the entry's covered watermark to at least wm,

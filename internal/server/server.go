@@ -59,6 +59,10 @@ type Config struct {
 	AntiEntropyEvery time.Duration
 	// PeerTimeout bounds each HTTP call to a peer; zero defaults to 2s.
 	PeerTimeout time.Duration
+
+	// Tuning enables the query-feedback self-tuning loop (see
+	// internal/tuner and the handlers in tuning.go).
+	Tuning TuningConfig
 }
 
 // Server is the histserved HTTP serving layer: a histogram registry,
@@ -377,6 +381,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/h/{name}/insert", s.handleUpdate(insertOp))
 	s.mux.HandleFunc("POST /v1/h/{name}/delete", s.handleUpdate(deleteOp))
 	s.mux.HandleFunc("POST /v1/h/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/h/{name}/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /v1/h/{name}/total", s.handleTotal)
 	s.mux.HandleFunc("GET /v1/h/{name}/cdf", s.handleCDF)
 	s.mux.HandleFunc("GET /v1/h/{name}/quantile", s.handleQuantile)
@@ -386,6 +391,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/wal/status", s.handleWALStatus)
 	s.mux.HandleFunc("GET /v1/sites/catalog", s.handleSiteCatalog)
 	s.mux.HandleFunc("GET /v1/sites/entry", s.handleSiteEntry)
+	s.mux.HandleFunc("GET /v1/sites/entries", s.handleSiteEntries)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -626,6 +632,7 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 		}
 		s.noteMutation()
 		e.bumpSiteWM(s.watermark())
+		e.bumpQueryEpoch()
 		writeJSON(w, http.StatusOK, wire.UpdateResponse{Applied: len(vs), Total: h.Total()})
 	}
 }
@@ -653,11 +660,18 @@ const maxQueryStats = 10000
 // one evaluation path and one consistency story. On failure it writes
 // the HTTP error itself and reports false.
 func (s *Server) evaluate(w http.ResponseWriter, name string, req wire.QueryRequest) (wire.QueryResponse, bool) {
-	h, err := s.reg.Histogram(name)
+	e, err := s.reg.get(name)
 	if err != nil {
 		writeErr(w, statusOf(err), "%v", err)
 		return wire.QueryResponse{}, false
 	}
+	return s.evaluateEntry(w, e, req)
+}
+
+// evaluateEntry is evaluate after entry resolution — the form the
+// cached query path uses, since it resolves the entry up front to
+// reach its cache.
+func (s *Server) evaluateEntry(w http.ResponseWriter, e *entry, req wire.QueryRequest) (wire.QueryResponse, bool) {
 	if n := len(req.Quantiles) + len(req.CDF) + len(req.PDF) + len(req.Ranges); n > maxQueryStats {
 		writeErr(w, http.StatusBadRequest, "query asks for %d statistics, limit %d", n, maxQueryStats)
 		return wire.QueryResponse{}, false
@@ -682,7 +696,7 @@ func (s *Server) evaluate(w http.ResponseWriter, name string, req wire.QueryRequ
 			return wire.QueryResponse{}, false
 		}
 	}
-	v, err := h.View()
+	v, err := s.viewOf(e)
 	if err != nil {
 		// Only reachable when a shard member produced an unmergeable
 		// bucket list — impossible for registry-built histograms, but
@@ -730,19 +744,92 @@ func toWireBuckets(bs []dynahist.Bucket) []wire.Bucket {
 	return out
 }
 
+// maxQueryBody caps POST /query request bodies.
+const maxQueryBody = 1 << 20
+
+// readBodyLimit is readBody with a size cap enforced inline instead of
+// through an http.MaxBytesReader wrapper — the cached query hit path
+// runs through here and must not allocate.
+// jsonContentType is the shared Content-Type value the allocation-free
+// cache-hit path assigns directly into the response header map.
+var jsonContentType = []string{"application/json"}
+
+func readBodyLimit(r io.Reader, dst []byte, limit int) ([]byte, error) {
+	dst = dst[:0]
+	for {
+		if len(dst) > limit {
+			return dst, fmt.Errorf("body exceeds %d bytes", limit)
+		}
+		if len(dst) == cap(dst) {
+			grown := make([]byte, len(dst), 2*cap(dst)+4096)
+			copy(grown, dst)
+			dst = grown
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
 // handleQuery serves POST /v1/h/{name}/query: many statistics, one
-// pinned view, one round trip.
+// pinned view, one round trip. Responses are cached per (entry, query
+// epoch, raw request body): a repeated hot query against an unchanged
+// histogram is answered straight from the cache — pooled body read,
+// allocation-free map lookup — and every applied mutation bumps the
+// entry's epoch, which makes all cached responses unreachable at once.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	e, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	buf := ingestPool.Get().(*ingestBuf)
+	defer func() {
+		if cap(buf.body) <= poolBufLimit && cap(buf.vals)*8 <= poolBufLimit {
+			ingestPool.Put(buf)
+		}
+	}()
+	buf.body, err = readBodyLimit(r.Body, buf.body, maxQueryBody)
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	// The epoch is loaded before any view is pinned, and the response
+	// is stored under it — so a cached response never claims more
+	// freshness than the state it was computed from.
+	epoch := e.qEpoch.Load()
+	if resp := e.qc.get(epoch, buf.body); resp != nil {
+		// Direct map assignment of a shared value: Header().Set would
+		// allocate a fresh []string on every hit.
+		w.Header()["Content-Type"] = jsonContentType
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(resp)
+		return
+	}
 	var req wire.QueryRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.Unmarshal(buf.body, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	resp, ok := s.evaluate(w, r.PathValue("name"), req)
+	resp, ok := s.evaluateEntry(w, e, req)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	data, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	data = append(data, '\n') // byte-identical to the Encoder framing writeJSON uses
+	e.qc.put(epoch, buf.body, data)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // The per-statistic GET endpoints are thin wrappers over the same

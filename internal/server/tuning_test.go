@@ -1,0 +1,357 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dynahist/internal/wire"
+)
+
+// postFeedback drives POST /v1/h/{name}/feedback and returns status +
+// decoded response.
+func postFeedback(t *testing.T, base, name string, lo, hi, observed float64) (int, wire.FeedbackResponse) {
+	t.Helper()
+	body, err := json.Marshal(wire.FeedbackRequest{Lo: lo, Hi: hi, Observed: observed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/h/"+name+"/feedback", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out wire.FeedbackResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func TestFeedbackDisabledConflict(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustCreate(t, ts.URL, "h", FamilyDADO, 1024, 2)
+	if status, _ := postFeedback(t, ts.URL, "h", 0, 10, 5); status != http.StatusConflict {
+		t.Fatalf("feedback with tuning disabled: status %d, want %d", status, http.StatusConflict)
+	}
+}
+
+func TestFeedbackTunesEstimate(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tuning: TuningConfig{Enabled: true}})
+	mustCreate(t, ts.URL, "h", FamilyDADO, 1024, 2)
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = float64(i % 100)
+	}
+	mustInsertJSON(t, ts.URL, "h", vs)
+
+	status, fb := postFeedback(t, ts.URL, "h", 10, 29, 600)
+	if status != http.StatusOK {
+		t.Fatalf("feedback: status %d", status)
+	}
+	if fb.JournalLen != 1 || fb.Rounds != 1 {
+		t.Fatalf("JournalLen/Rounds = %d/%d, want 1/1", fb.JournalLen, fb.Rounds)
+	}
+	wantGap := 600 - fb.Estimated
+	gotGap := 600 - fb.TunedEstimate
+	if !(gotGap >= 0 && gotGap < wantGap) {
+		t.Fatalf("tuned estimate %v did not move toward 600 from %v", fb.TunedEstimate, fb.Estimated)
+	}
+
+	// The tuned answer must now be what the query endpoints serve.
+	var rr wire.RangeResponse
+	do(t, "GET", ts.URL+"/v1/h/h/range?lo=10&hi=29", "", nil, http.StatusOK, &rr)
+	if !near(rr.Count, fb.TunedEstimate) {
+		t.Fatalf("served range count %v != tuned estimate %v", rr.Count, fb.TunedEstimate)
+	}
+}
+
+func TestFeedbackRejectsBadRecords(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tuning: TuningConfig{Enabled: true}})
+	mustCreate(t, ts.URL, "h", FamilyDADO, 1024, 2)
+	for _, c := range []struct{ lo, hi, obs float64 }{
+		{20, 10, 5}, // hi < lo
+		{0, 10, -1}, // negative observed
+	} {
+		if status, _ := postFeedback(t, ts.URL, "h", c.lo, c.hi, c.obs); status != http.StatusBadRequest {
+			t.Errorf("feedback(%v,%v,%v): status %d, want 400", c.lo, c.hi, c.obs, status)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/h/h/feedback", "application/json",
+		bytes.NewReader([]byte(`{"lo":"nope"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFeedbackJournalSurvivesCheckpoint proves the catalog round trip
+// at the server layer: feedback journaled, checkpoint taken, registry
+// restored into a new server, tuned estimates still served.
+func TestFeedbackJournalSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{CatalogDir: dir, Tuning: TuningConfig{Enabled: true}})
+	mustCreate(t, ts.URL, "h", FamilyDADO, 1024, 2)
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = float64(i % 100)
+	}
+	mustInsertJSON(t, ts.URL, "h", vs)
+	status, fb := postFeedback(t, ts.URL, "h", 10, 29, 600)
+	if status != http.StatusOK {
+		t.Fatalf("feedback: status %d", status)
+	}
+	if err := s.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, Config{CatalogDir: dir, Tuning: TuningConfig{Enabled: true}})
+	status2, fb2 := postFeedback(t, ts2.URL, "h", 10, 29, 600)
+	if status2 != http.StatusOK {
+		t.Fatalf("feedback after restore: status %d", status2)
+	}
+	if fb2.JournalLen != 2 {
+		t.Fatalf("restored JournalLen = %d, want 2", fb2.JournalLen)
+	}
+	if !(fb2.Estimated > fb.Estimated) {
+		t.Fatalf("restored estimate %v does not reflect the replayed journal (untuned was %v)",
+			fb2.Estimated, fb.Estimated)
+	}
+}
+
+func TestQueryCacheEpochDiscipline(t *testing.T) {
+	var c queryCache
+	key := []byte(`{"q":1}`)
+
+	if got := c.get(0, key); got != nil {
+		t.Fatalf("empty cache hit: %q", got)
+	}
+	c.put(3, key, []byte("epoch3"))
+	if got := c.get(3, key); string(got) != "epoch3" {
+		t.Fatalf("get(3) = %q, want epoch3", got)
+	}
+	// A reader that observed any other epoch — older or newer — must
+	// miss.
+	if got := c.get(2, key); got != nil {
+		t.Fatalf("older-epoch reader hit: %q", got)
+	}
+	if got := c.get(4, key); got != nil {
+		t.Fatalf("newer-epoch reader hit: %q", got)
+	}
+	// A put from a racing reader behind the cache's epoch is dropped.
+	c.put(2, key, []byte("stale"))
+	if got := c.get(3, key); string(got) != "epoch3" {
+		t.Fatalf("stale put replaced fresh entry: %q", got)
+	}
+	// A put ahead of the cache resets the map to the new epoch.
+	c.put(5, []byte("other"), []byte("epoch5"))
+	if got := c.get(3, key); got != nil {
+		t.Fatalf("old-epoch entry survived reset: %q", got)
+	}
+	if got := c.get(5, []byte("other")); string(got) != "epoch5" {
+		t.Fatalf("get(5) = %q, want epoch5", got)
+	}
+
+	// The size cap drops new shapes, never corrupts existing ones.
+	for i := 0; i < 2*maxCachedQueries; i++ {
+		c.put(5, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	if got := c.get(5, []byte("other")); string(got) != "epoch5" {
+		t.Fatalf("capped cache lost existing entry: %q", got)
+	}
+}
+
+// TestCachedQueryNeverStale races 8 writers against readers on the
+// cached query path. Inserts only ever add mass, so any reader that
+// observes the total decrease was served a summary cached under a
+// write history it should no longer see.
+func TestCachedQueryNeverStale(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustCreate(t, ts.URL, "h", FamilyDADO, 1024, 4)
+
+	const (
+		writers       = 8
+		readers       = 4
+		writesEach    = 40
+		batch         = 32
+		readsPerState = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			vs := make([]float64, batch)
+			for i := 0; i < writesEach; i++ {
+				for j := range vs {
+					vs[j] = float64(rng.Intn(1000))
+				}
+				body, err := json.Marshal(wire.ValuesRequest{Values: vs})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/h/h/insert", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("insert: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+
+	queryBody := []byte(`{"ranges":[{"lo":-1e9,"hi":1e9}],"quantiles":[0.5]}`)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1.0
+			for i := 0; i < readsPerState; i++ {
+				resp, err := http.Post(ts.URL+"/v1/h/h/query", "application/json", bytes.NewReader(queryBody))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var qr wire.QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if qr.Total < last {
+					t.Errorf("served total went backwards: %v after %v — stale-epoch cache hit", qr.Total, last)
+					return
+				}
+				last = qr.Total
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Post-quiescence, the cached path must serve the exact final
+	// state.
+	want := float64(writers * writesEach * batch)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/h/h/query", "application/json", bytes.NewReader(queryBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr wire.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !near(qr.Total, want) {
+			t.Fatalf("final total = %v, want %v (read %d)", qr.Total, want, i)
+		}
+	}
+}
+
+// nullResponseWriter is an allocation-free http.ResponseWriter for
+// measuring the handler's own cost.
+type nullResponseWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+func (w *nullResponseWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+// newCachedQueryFixture builds a server (no HTTP listener), one
+// populated histogram, and a re-playable request for the cached query
+// path.
+func newCachedQueryFixture(tb testing.TB) (*Server, *http.Request, *bytes.Reader) {
+	tb.Helper()
+	s, err := New(Config{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { _ = s.Close() })
+	if _, err := s.Registry().Create(wire.CreateRequest{Name: "h", Family: FamilyDADO, MemBytes: 1024, Shards: 2}); err != nil {
+		tb.Fatal(err)
+	}
+	h, err := s.Registry().Histogram("h")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vs := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vs {
+		vs[i] = float64(rng.Intn(1000))
+	}
+	if err := h.InsertBatch(vs); err != nil {
+		tb.Fatal(err)
+	}
+
+	body := bytes.NewReader([]byte(`{"quantiles":[0.5,0.9],"cdf":[250],"ranges":[{"lo":100,"hi":900}]}`))
+	req := httptest.NewRequest("POST", "/v1/h/h/query", nil)
+	req.SetPathValue("name", "h")
+	req.Body = io.NopCloser(body)
+	return s, req, body
+}
+
+// TestCachedQueryHitAllocs is the steady-state allocation gate: after
+// the first miss populates the cache, a repeated hot query must not
+// allocate.
+func TestCachedQueryHitAllocs(t *testing.T) {
+	s, req, body := newCachedQueryFixture(t)
+	w := &nullResponseWriter{h: make(http.Header)}
+
+	// Warm: first call evaluates and populates the cache.
+	if _, err := body.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	s.handleQuery(w, req)
+	if w.n == 0 {
+		t.Fatal("warm query wrote nothing")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := body.Seek(0, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		s.handleQuery(w, req)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("cache-hit path allocates %.1f/op, want ~0", allocs)
+	}
+}
+
+// BenchmarkCachedQuery measures the hot repeated-query path: pooled
+// body read, epoch load, cache lookup, cached bytes written back.
+func BenchmarkCachedQuery(b *testing.B) {
+	s, req, body := newCachedQueryFixture(b)
+	w := &nullResponseWriter{h: make(http.Header)}
+	if _, err := body.Seek(0, io.SeekStart); err != nil {
+		b.Fatal(err)
+	}
+	s.handleQuery(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := body.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		s.handleQuery(w, req)
+	}
+}

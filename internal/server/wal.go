@@ -82,6 +82,7 @@ func (s *Server) digestLoop() {
 			// Stamp after the digested position advances, so the entry's
 			// covered watermark accounts for the record just folded in.
 			e.bumpSiteWM(s.watermark())
+			e.bumpQueryEpoch()
 		}
 		s.digestMu.Unlock()
 	}

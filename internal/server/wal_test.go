@@ -390,10 +390,14 @@ func TestCatalogOldVersionsStillDecode(t *testing.T) {
 	if err := e.h.InsertBatch(seqValues(10)); err != nil {
 		t.Fatal(err)
 	}
-	v4, err := EncodeEntry(e, 77, 9001)
+	v5, err := EncodeEntry(e, 77, 9001)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The v5 blob ends with the feedback-journal field (u32 zero
+	// length here — no feedback observed); a v4 blob is v5 without it.
+	v4 := append([]byte(nil), v5[:len(v5)-4]...)
+	v4[4], v4[5] = 4, 0 // little-endian version 4
 	// The covered LSN and site watermark sit back to back after
 	// name/mem/seed. Rewrite the blob as v2 (drop both) and as v3
 	// (drop only the watermark), stamping the old version numbers.
@@ -425,12 +429,16 @@ func TestCatalogOldVersionsStillDecode(t *testing.T) {
 		t.Fatalf("v3 entry decoded with walLSN %d siteWM %d, want 77 0", got3.walLSN, got3.siteWM.Load())
 	}
 
-	// And the v4 round trip keeps both stamps.
-	got4, err := DecodeEntry(v4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got4.walLSN != 77 || got4.siteWM.Load() != 9001 {
-		t.Fatalf("v4 entry decoded with walLSN %d siteWM %d, want 77 9001", got4.walLSN, got4.siteWM.Load())
+	// And both the v4 layout and the current v5 round trip keep the
+	// stamps.
+	for label, blob := range map[string][]byte{"v4": v4, "v5": v5} {
+		got, err := DecodeEntry(blob)
+		if err != nil {
+			t.Fatalf("DecodeEntry(%s): %v", label, err)
+		}
+		if got.walLSN != 77 || got.siteWM.Load() != 9001 {
+			t.Fatalf("%s entry decoded with walLSN %d siteWM %d, want 77 9001",
+				label, got.walLSN, got.siteWM.Load())
+		}
 	}
 }

@@ -1,0 +1,276 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+
+	"dynahist/internal/histogram"
+)
+
+// uniformStore builds n contiguous unit-count buckets of width w
+// starting at lo, k sub-counters each.
+func uniformStore(t *testing.T, lo, w float64, n, k int, perBucket float64) *histogram.Store {
+	t.Helper()
+	buckets := make([]histogram.Bucket, n)
+	for i := range buckets {
+		subs := make([]float64, k)
+		for j := range subs {
+			subs[j] = perBucket / float64(k)
+		}
+		buckets[i] = histogram.Bucket{
+			Left:  lo + float64(i)*w,
+			Right: lo + float64(i+1)*w,
+			Subs:  subs,
+		}
+	}
+	st, err := histogram.StoreOfBuckets(buckets, k)
+	if err != nil {
+		t.Fatalf("StoreOfBuckets: %v", err)
+	}
+	return st
+}
+
+func TestObserveValidation(t *testing.T) {
+	tu := New(Config{})
+	bad := []Record{
+		{Lo: math.NaN(), Hi: 1, Observed: 1},
+		{Lo: 0, Hi: math.Inf(1), Observed: 1},
+		{Lo: 5, Hi: 1, Observed: 1},
+		{Lo: 0, Hi: 1, Observed: -3},
+		{Lo: 0, Hi: 1, Observed: math.NaN()},
+		{Lo: 0, Hi: 1, Observed: 1, Estimated: math.Inf(-1)},
+	}
+	for i, rec := range bad {
+		if err := tu.Observe(rec); err == nil {
+			t.Errorf("record %d: want validation error, got nil", i)
+		}
+	}
+	if tu.Len() != 0 {
+		t.Fatalf("invalid records journaled: len=%d", tu.Len())
+	}
+	if err := tu.Observe(Record{Lo: 0, Hi: 10, Estimated: 5, Observed: 8}); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	if tu.Len() != 1 || tu.Rounds() != 1 {
+		t.Fatalf("len=%d rounds=%d, want 1/1", tu.Len(), tu.Rounds())
+	}
+}
+
+func TestJournalBound(t *testing.T) {
+	tu := New(Config{MaxJournal: 4})
+	for i := 0; i < 10; i++ {
+		if err := tu.Observe(Record{Lo: float64(i), Hi: float64(i), Observed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tu.Len() != 4 {
+		t.Fatalf("journal len %d, want 4", tu.Len())
+	}
+	if tu.Rounds() != 10 {
+		t.Fatalf("rounds %d, want 10", tu.Rounds())
+	}
+	// The survivors are the newest four: Lo 6..9.
+	tu.mu.Lock()
+	for i, rec := range tu.journal {
+		if want := float64(6 + i); rec.Lo != want {
+			t.Errorf("journal[%d].Lo = %v, want %v", i, rec.Lo, want)
+		}
+	}
+	tu.mu.Unlock()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tu := New(Config{MaxJournal: 8})
+	recs := []Record{
+		{Lo: 0, Hi: 9, Estimated: 50, Observed: 80},
+		{Lo: 10, Hi: 19, Estimated: 50, Observed: 20},
+		{Lo: 2.5, Hi: 2.5, Estimated: 5, Observed: 0},
+	}
+	for _, rec := range recs {
+		if err := tu.Observe(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob := tu.Snapshot()
+	got, err := FromSnapshot(blob, Config{MaxJournal: 8})
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	if got.Len() != len(recs) || got.Rounds() != tu.Rounds() {
+		t.Fatalf("restored len=%d rounds=%d, want %d/%d",
+			got.Len(), got.Rounds(), len(recs), tu.Rounds())
+	}
+	got.mu.Lock()
+	for i, rec := range got.journal {
+		if rec != recs[i] {
+			t.Errorf("journal[%d] = %+v, want %+v", i, rec, recs[i])
+		}
+	}
+	got.mu.Unlock()
+
+	// Corrupt blobs fail soft-but-loud.
+	for _, bad := range [][]byte{nil, blob[:3], append([]byte("XXXX"), blob[4:]...), blob[:len(blob)-1]} {
+		if _, err := FromSnapshot(bad, Config{}); err == nil {
+			t.Errorf("FromSnapshot(%d bytes): want error", len(bad))
+		}
+	}
+}
+
+// TestAdjustReducesError: a uniform overlay told repeatedly that a
+// sub-range holds far more mass than estimated must shrink its
+// absolute estimation error on that range, without going negative
+// anywhere or breaking the store invariants.
+func TestAdjustReducesError(t *testing.T) {
+	st := uniformStore(t, 0, 10, 10, 2, 100) // [0,100), 1000 points uniform
+	tu := New(Config{})
+
+	lo, hi := 20.0, 39.0 // inclusive ints → mass over [20, 40)
+	observed := 600.0
+	before := math.Abs(EstimateRange(st, lo, hi) - observed)
+	for round := 0; round < 5; round++ {
+		est := EstimateRange(st, lo, hi)
+		if err := tu.Observe(Record{Lo: lo, Hi: hi, Estimated: est, Observed: observed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := uniformStore(t, 0, 10, 10, 2, 100)
+	tu.ApplyTo(fresh)
+	after := math.Abs(EstimateRange(fresh, lo, hi) - observed)
+	if after >= before {
+		t.Fatalf("error did not shrink: before=%v after=%v", before, after)
+	}
+	if err := fresh.Validate(); err != nil {
+		t.Fatalf("store invalid after tuning: %v", err)
+	}
+}
+
+// TestBorderNudgeConvergence: feedback whose endpoints sit mid-bucket
+// must pull shared borders toward them, bounded so no bucket
+// collapses and the store stays valid over many rounds.
+func TestBorderNudgeConvergence(t *testing.T) {
+	tu := New(Config{})
+	lo, hi := 14.0, 25.0
+	for i := 0; i < 50; i++ {
+		if err := tu.Observe(Record{Lo: lo, Hi: hi, Estimated: 100, Observed: 400}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := uniformStore(t, 0, 10, 10, 2, 100)
+	tu.ApplyTo(st)
+	if err := st.Validate(); err != nil {
+		t.Fatalf("store invalid after 50 rounds: %v", err)
+	}
+	for i := 0; i < st.Len(); i++ {
+		if st.Width(i) <= 0 {
+			t.Fatalf("bucket %d collapsed to width %v", i, st.Width(i))
+		}
+	}
+	// Some border should have moved toward the endpoint at 14.
+	movedToward := false
+	for i := 0; i < st.Len(); i++ {
+		if d := math.Abs(st.Left(i) - lo); d < 6-1e-9 { // started ≥ 4 away (10 or 20)
+			movedToward = true
+		}
+	}
+	if !movedToward {
+		t.Fatalf("no border moved toward endpoint %v", lo)
+	}
+}
+
+// TestGapSkipsBorderMove: a border facing a gap between buckets must
+// not move (that would fabricate or discard coverage), and feedback
+// landing wholly inside a gap is a no-op.
+func TestGapSkipsBorderMove(t *testing.T) {
+	buckets := []histogram.Bucket{
+		{Left: 0, Right: 10, Subs: []float64{50, 50}},
+		{Left: 20, Right: 30, Subs: []float64{50, 50}}, // gap [10,20)
+	}
+	st, err := histogram.StoreOfBuckets(buckets, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := New(Config{})
+	// Endpoint at 8 is nearer bucket 0's right border, which faces the
+	// gap: the border must stay at 10.
+	for i := 0; i < 10; i++ {
+		if err := tu.Observe(Record{Lo: 8, Hi: 8, Estimated: 10, Observed: 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tu.ApplyTo(st)
+	if st.Right(0) != 10 || st.Left(1) != 20 {
+		t.Fatalf("gap-facing borders moved: [%v, %v]", st.Right(0), st.Left(1))
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Feedback wholly inside the gap leaves the store untouched.
+	before := st.TotalMass()
+	gap := New(Config{})
+	if err := gap.Observe(Record{Lo: 12, Hi: 18, Estimated: 0, Observed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	gap.ApplyTo(st)
+	if st.TotalMass() != before {
+		t.Fatalf("gap feedback changed mass: %v → %v", before, st.TotalMass())
+	}
+}
+
+// TestZeroMassRangeGrows: feedback on a range the overlay holds no
+// mass in must still be able to add mass (width-proportional
+// fallback), capped so counters never go negative.
+func TestZeroMassRangeGrows(t *testing.T) {
+	buckets := []histogram.Bucket{
+		{Left: 0, Right: 10, Subs: []float64{0, 0}},
+		{Left: 10, Right: 20, Subs: []float64{100, 100}},
+	}
+	st, err := histogram.StoreOfBuckets(buckets, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := New(Config{})
+	if err := tu.Observe(Record{Lo: 0, Hi: 9, Estimated: 0, Observed: 40}); err != nil {
+		t.Fatal(err)
+	}
+	tu.ApplyTo(st)
+	got := EstimateRange(st, 0, 9)
+	if !(got > 0) {
+		t.Fatalf("zero-mass range did not grow: estimate %v", got)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverestimateClampsAtZero: shrinking feedback can at most empty
+// the overlapping counters, never drive them negative.
+func TestOverestimateClampsAtZero(t *testing.T) {
+	st := uniformStore(t, 0, 10, 4, 2, 10) // 40 points over [0,40)
+	tu := New(Config{Alpha: 1})
+	for i := 0; i < 20; i++ {
+		if err := tu.Observe(Record{Lo: 0, Hi: 39, Estimated: 40, Observed: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tu.ApplyTo(st)
+	if err := st.Validate(); err != nil {
+		t.Fatalf("negative counters after shrink: %v", err)
+	}
+	if m := st.TotalMass(); m < 0 || m > 40 {
+		t.Fatalf("total mass %v out of [0, 40]", m)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Alpha != DefaultAlpha || c.BorderStep != DefaultBorderStep ||
+		c.MaxBorderFrac != DefaultMaxBorderFrac || c.MaxScale != DefaultMaxScale ||
+		c.MaxJournal != DefaultMaxJournal {
+		t.Fatalf("zero config did not normalize to defaults: %+v", c)
+	}
+	bad := Config{Alpha: -1, BorderStep: 7, MaxBorderFrac: 1, MaxScale: 0.5, MaxJournal: -2}.normalized()
+	if bad != c {
+		t.Fatalf("out-of-range config did not normalize: %+v", bad)
+	}
+}

@@ -297,6 +297,125 @@ const (
 	HeaderTotal = "X-Dynahist-Total"
 )
 
+// FeedbackRequest is the body of POST /v1/h/{name}/feedback: one unit
+// of query feedback for the self-tuning loop. The executed predicate
+// covered the inclusive integer range [lo, hi] (the EstimateRange
+// convention) and actually matched observed points; the server pairs
+// it with its own current estimate and journals the record.
+type FeedbackRequest struct {
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Observed float64 `json:"observed"`
+}
+
+// FeedbackResponse reports what one feedback record did: the estimate
+// the serving view gave before the record was journaled, the estimate
+// after (the next query's answer), and the journal state.
+type FeedbackResponse struct {
+	Name     string  `json:"name"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Observed float64 `json:"observed"`
+	// Estimated is the tuned view's range estimate before this record.
+	Estimated float64 `json:"estimated"`
+	// TunedEstimate is the range estimate after the record applied.
+	TunedEstimate float64 `json:"tuned_estimate"`
+	// JournalLen and Rounds describe the entry's feedback journal:
+	// records currently retained, and records ever observed.
+	JournalLen int    `json:"journal_len"`
+	Rounds     uint64 `json:"rounds"`
+}
+
+// SiteEntriesContentType is the Content-Type under which the batch
+// anti-entropy endpoint (GET /v1/sites/entries) serves many
+// catalog-entry blobs in one framed body.
+const SiteEntriesContentType = "application/x-dynahist-catalog-entries"
+
+// siteEntriesMagic identifies a batched catalog-entry body ("HSE1").
+const siteEntriesMagic = 0x48534531
+
+// ErrSiteEntries reports a malformed batched catalog-entry body.
+var ErrSiteEntries = errors.New("wire: malformed site-entries batch")
+
+// SiteEntryBlob is one item of a batched catalog-entry response: a
+// histogram's catalog-entry blob plus the watermark it was served at.
+// The site is constant per response (it rides in HeaderSite).
+type SiteEntryBlob struct {
+	Name      string
+	Watermark uint64
+	Data      []byte
+}
+
+// EncodeSiteEntries frames many catalog-entry blobs into one body:
+//
+//	u32 magic "HSE1", u32 count, then per item
+//	u16 name length + name bytes, u64 watermark,
+//	u32 blob length + blob bytes
+//
+// — one round trip where the per-entry endpoint needs one per
+// histogram.
+func EncodeSiteEntries(items []SiteEntryBlob) []byte {
+	size := 8
+	for _, it := range items {
+		size += 2 + len(it.Name) + 8 + 4 + len(it.Data)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, siteEntriesMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(items)))
+	for _, it := range items {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(it.Name)))
+		out = append(out, it.Name...)
+		out = binary.LittleEndian.AppendUint64(out, it.Watermark)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(it.Data)))
+		out = append(out, it.Data...)
+	}
+	return out
+}
+
+// DecodeSiteEntries parses an EncodeSiteEntries body, rejecting bad
+// magic, truncated items and trailing bytes. The returned Data slices
+// alias the input.
+func DecodeSiteEntries(data []byte) ([]SiteEntryBlob, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSiteEntries, len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data); magic != siteEntriesMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrSiteEntries, magic)
+	}
+	n := binary.LittleEndian.Uint32(data[4:])
+	// Each item needs at least its fixed 14 bytes of framing.
+	if uint64(n) > uint64(len(data))/14 {
+		return nil, fmt.Errorf("%w: implausible count %d in %d bytes", ErrSiteEntries, n, len(data))
+	}
+	items := make([]SiteEntryBlob, 0, n)
+	off := 8
+	for i := uint32(0); i < n; i++ {
+		if off+2 > len(data) {
+			return nil, fmt.Errorf("%w: truncated item %d", ErrSiteEntries, i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+nameLen+12 > len(data) {
+			return nil, fmt.Errorf("%w: truncated item %d", ErrSiteEntries, i)
+		}
+		name := string(data[off : off+nameLen])
+		off += nameLen
+		wm := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		blobLen := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if blobLen < 0 || off+blobLen > len(data) {
+			return nil, fmt.Errorf("%w: truncated blob in item %d", ErrSiteEntries, i)
+		}
+		items = append(items, SiteEntryBlob{Name: name, Watermark: wm, Data: data[off : off+blobLen]})
+		off += blobLen
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSiteEntries, len(data)-off)
+	}
+	return items, nil
+}
+
 // SiteEntry is one row of a peer's anti-entropy catalog: a histogram
 // held at the serving node — authoritative when Site is the node's own
 // site ID, a replica otherwise — with the covered watermark a puller
