@@ -568,13 +568,18 @@ func (c *Client) Buckets(ctx context.Context, name string) ([]Bucket, error) {
 // difference), CheckpointLSN those covered by the last catalog
 // snapshot; everything past CheckpointLSN replays on restart.
 type WALStatus struct {
-	Enabled            bool
-	Dir                string
-	SyncPolicy         string
-	AppendedLSN        uint64
-	DigestedLSN        uint64
-	CheckpointLSN      uint64
-	LagRecords         uint64
+	Enabled       bool
+	Dir           string
+	SyncPolicy    string
+	AppendedLSN   uint64
+	DigestedLSN   uint64
+	CheckpointLSN uint64
+	LagRecords    uint64
+	// DigestLag is AppendedLSN − DigestedLSN as computed by the server:
+	// acknowledged records not yet folded into reads. A read-your-writes
+	// poller waits for it to reach zero instead of diffing the LSNs
+	// itself.
+	DigestLag          uint64
 	Segments           int
 	ActiveSegmentBytes int64
 	TotalBytes         int64
@@ -595,10 +600,162 @@ func (c *Client) WALStatus(ctx context.Context) (WALStatus, error) {
 		DigestedLSN:        resp.DigestedLSN,
 		CheckpointLSN:      resp.CheckpointLSN,
 		LagRecords:         resp.LagRecords,
+		DigestLag:          resp.DigestLag,
 		Segments:           resp.Segments,
 		ActiveSegmentBytes: resp.ActiveSegmentBytes,
 		TotalBytes:         resp.TotalBytes,
 	}, nil
+}
+
+// EndpointStats is one route's HTTP serving statistics: request and
+// in-flight counts, latency quantiles in seconds (estimated by the
+// server's own DADO histograms), and response counts by status class.
+type EndpointStats struct {
+	Requests   uint64
+	InFlight   int64
+	LatencyP50 float64
+	LatencyP90 float64
+	LatencyP99 float64
+	Status     map[string]uint64
+}
+
+// CacheStats describes the server's epoch-keyed query cache. HitRatio
+// is Hits / (Hits + Misses), 0 before any lookup.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	StalePuts uint64
+	Evictions uint64
+	HitRatio  float64
+}
+
+// WALObsStats is the WAL block of a stats snapshot. DigestLag is the
+// number of acknowledged records not yet folded into reads.
+type WALObsStats struct {
+	Enabled     bool
+	AppendedLSN uint64
+	DigestedLSN uint64
+	DigestLag   uint64
+	Fsyncs      uint64
+	Rotations   uint64
+}
+
+// PeerSyncStats is one peer's anti-entropy health: failed rounds and
+// the current backoff delay (0 when healthy).
+type PeerSyncStats struct {
+	Peer           string
+	Failures       uint64
+	BackoffSeconds float64
+}
+
+// AntiEntropyStats describes the server's peer-sync loop.
+type AntiEntropyStats struct {
+	Rounds        uint64
+	Adopted       uint64
+	Replicated    uint64
+	Skipped       uint64
+	FallbackPulls uint64
+	Peers         []PeerSyncStats
+}
+
+// TuningStats describes the feedback plane: records journaled, and
+// records whose bounded adjustment could not fully absorb the observed
+// count.
+type TuningStats struct {
+	Enabled bool
+	Applied uint64
+	Clamped uint64
+}
+
+// IngestStats describes the ingest batch-size distribution.
+type IngestStats struct {
+	Batches  uint64
+	Values   float64
+	BatchP50 float64
+	BatchP90 float64
+	BatchP99 float64
+}
+
+// Stats is the server's observability snapshot (GET /v1/stats): the
+// structured-JSON face of the same state /metrics exposes in
+// Prometheus text format. Requires the server to run with -metrics.
+type Stats struct {
+	SiteID        string
+	UptimeSeconds float64
+	Histograms    int
+	Endpoints     map[string]EndpointStats
+	Cache         CacheStats
+	WAL           WALObsStats
+	AntiEntropy   AntiEntropyStats
+	Tuning        TuningStats
+	Ingest        IngestStats
+}
+
+// Stats fetches the server's observability snapshot. Servers started
+// without -metrics answer 404, surfaced as an *APIError.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var resp wire.StatsResponse
+	if err := c.do(ctx, "GET", "/v1/stats", "", nil, &resp); err != nil {
+		return Stats{}, err
+	}
+	out := Stats{
+		SiteID:        resp.SiteID,
+		UptimeSeconds: resp.UptimeSeconds,
+		Histograms:    resp.Histograms,
+		Cache: CacheStats{
+			Hits:      resp.Cache.Hits,
+			Misses:    resp.Cache.Misses,
+			StalePuts: resp.Cache.StalePuts,
+			Evictions: resp.Cache.Evictions,
+			HitRatio:  resp.Cache.HitRatio,
+		},
+		WAL: WALObsStats{
+			Enabled:     resp.WAL.Enabled,
+			AppendedLSN: resp.WAL.AppendedLSN,
+			DigestedLSN: resp.WAL.DigestedLSN,
+			DigestLag:   resp.WAL.DigestLag,
+			Fsyncs:      resp.WAL.Fsyncs,
+			Rotations:   resp.WAL.Rotations,
+		},
+		AntiEntropy: AntiEntropyStats{
+			Rounds:        resp.AntiEntropy.Rounds,
+			Adopted:       resp.AntiEntropy.Adopted,
+			Replicated:    resp.AntiEntropy.Replicated,
+			Skipped:       resp.AntiEntropy.Skipped,
+			FallbackPulls: resp.AntiEntropy.FallbackPulls,
+		},
+		Tuning: TuningStats{
+			Enabled: resp.Tuning.Enabled,
+			Applied: resp.Tuning.Applied,
+			Clamped: resp.Tuning.Clamped,
+		},
+		Ingest: IngestStats{
+			Batches:  resp.Ingest.Batches,
+			Values:   resp.Ingest.Values,
+			BatchP50: resp.Ingest.BatchP50,
+			BatchP90: resp.Ingest.BatchP90,
+			BatchP99: resp.Ingest.BatchP99,
+		},
+	}
+	for _, p := range resp.AntiEntropy.Peers {
+		out.AntiEntropy.Peers = append(out.AntiEntropy.Peers, PeerSyncStats{
+			Peer: p.Peer, Failures: p.Failures, BackoffSeconds: p.BackoffSeconds,
+		})
+	}
+	if len(resp.Endpoints) > 0 {
+		out.Endpoints = make(map[string]EndpointStats, len(resp.Endpoints))
+		for name, ep := range resp.Endpoints {
+			out.Endpoints[name] = EndpointStats{
+				Requests:   ep.Requests,
+				InFlight:   ep.InFlight,
+				LatencyP50: ep.LatencyP50,
+				LatencyP90: ep.LatencyP90,
+				LatencyP99: ep.LatencyP99,
+				Status:     ep.Status,
+			}
+		}
+	}
+	return out, nil
 }
 
 // Healthy reports whether the server answers its health check.

@@ -237,6 +237,73 @@ func TestClientWALStatus(t *testing.T) {
 	if st.DigestedLSN > st.AppendedLSN || st.LagRecords != st.AppendedLSN-st.DigestedLSN {
 		t.Fatalf("WALStatus lag inconsistent: %+v", st)
 	}
+	if st.DigestLag != st.LagRecords {
+		t.Fatalf("WALStatus DigestLag = %d, LagRecords = %d, want equal", st.DigestLag, st.LagRecords)
+	}
+}
+
+func TestClientStats(t *testing.T) {
+	ctx := context.Background()
+
+	// Without -metrics the stats plane is not mounted: a 404 APIError.
+	c, _ := newPair(t)
+	if _, err := c.Stats(ctx); err == nil {
+		t.Fatal("Stats on a metrics-less server: want error")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+			t.Fatalf("Stats on a metrics-less server: err = %v, want 404 *APIError", err)
+		}
+	}
+
+	s, err := server.New(server.Config{
+		Logger:  log.New(io.Discard, "", 0),
+		Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = s.Close() })
+	cm := New(ts.URL, ts.Client())
+
+	if _, err := cm.Create(ctx, CreateOptions{Name: "s", Family: FamilyDADO, MemBytes: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.InsertBinary(ctx, "s", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Same query twice: one cache miss, one hit.
+	for i := 0; i < 2; i++ {
+		if _, err := cm.Query(ctx, "s", QuerySpec{Quantiles: []float64{0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := cm.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UptimeSeconds <= 0 || st.Histograms != 1 {
+		t.Fatalf("Stats header = %+v", st)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.HitRatio != 0.5 {
+		t.Fatalf("Stats cache = %+v, want 1 hit / 1 miss / ratio 0.5", st.Cache)
+	}
+	if st.WAL.Enabled {
+		t.Fatalf("Stats WAL = %+v, want disabled", st.WAL)
+	}
+	if st.Ingest.Batches != 1 || st.Ingest.Values != 4 {
+		t.Fatalf("Stats ingest = %+v, want 1 batch of 4 values", st.Ingest)
+	}
+	ep, ok := st.Endpoints["query"]
+	if !ok {
+		t.Fatalf("Stats missing query endpoint: %v", st.Endpoints)
+	}
+	if ep.Requests != 2 || ep.Status["2xx"] != 2 || ep.LatencyP50 <= 0 {
+		t.Fatalf("Stats query endpoint = %+v, want 2 requests, 2 2xx, positive latency", ep)
+	}
 }
 
 func TestClientContextCancellation(t *testing.T) {

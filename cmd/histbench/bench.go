@@ -3,8 +3,8 @@ package main
 // The -json / -compare modes: a fixed micro-benchmark smoke suite over
 // the ingest and serving spines, emitted as machine-readable JSON so CI
 // can record one point per PR of the performance trajectory and diff a
-// fresh run against the committed baseline (BENCH_PR9.json at the repo
-// root).
+// fresh run against the committed baseline (BENCH_PR10.json at the
+// repo root).
 
 import (
 	"bytes"
@@ -56,6 +56,7 @@ var benchSuite = []struct {
 	{"sharded_insert_batch_256", benchShardedInsertBatch},
 	{"wal_append_256", benchWALAppend},
 	{"cached_query_hit", benchCachedQueryHit},
+	{"metrics_scrape", benchMetricsScrape},
 }
 
 func benchDADOInsertBatch(b *testing.B) {
@@ -223,6 +224,55 @@ func benchCachedQueryHit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		serve()
+	}
+}
+
+// benchMetricsScrape measures GET /metrics on a metrics-enabled server
+// carrying realistic state: a populated registry, endpoint latency
+// trackers warmed by traffic, cache counters past zero. The scrape is
+// off every request path, so its cost is allowed to be allocation-
+// heavy — this series exists to catch it growing superlinearly as
+// metrics are added.
+func benchMetricsScrape(b *testing.B) {
+	s, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0), Metrics: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	handler := s.Handler()
+	w := &discardResponseWriter{h: make(http.Header)}
+
+	// Traffic so the scrape covers live series, not an empty registry.
+	createBody := bytes.NewReader([]byte(`{"name":"bench","family":"dado","mem_bytes":1024}`))
+	createReq := httptest.NewRequest("POST", "/v1/h", io.NopCloser(createBody))
+	handler.ServeHTTP(w, createReq)
+	insertBody := bytes.NewReader([]byte(`{"values":[1,2,3,4,5,6,7,8]}`))
+	queryBody := bytes.NewReader([]byte(`{"quantiles":[0.5]}`))
+	insertReq := httptest.NewRequest("POST", "/v1/h/bench/insert", nil)
+	queryReq := httptest.NewRequest("POST", "/v1/h/bench/query", nil)
+	for i := 0; i < 64; i++ {
+		if _, err := insertBody.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		insertReq.Body = io.NopCloser(insertBody)
+		handler.ServeHTTP(w, insertReq)
+		if _, err := queryBody.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		queryReq.Body = io.NopCloser(queryBody)
+		handler.ServeHTTP(w, queryReq)
+	}
+
+	scrapeReq := httptest.NewRequest("GET", "/metrics", nil)
+	w.n = 0
+	handler.ServeHTTP(w, scrapeReq)
+	if w.n == 0 {
+		b.Fatal("warm scrape wrote nothing")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handler.ServeHTTP(w, scrapeReq)
 	}
 }
 

@@ -8,6 +8,13 @@
 //	histcli [-algo dado|dvo|dc|ac] [-mem bytes] [-seed n]
 //	        [-query lo:hi ...] [-quantile q ...]
 //	        [-feedback lo,hi,observed ...] [-dump] [file]
+//	histcli -server URL -stats
+//
+// The second form talks to a running histserved instead of streaming
+// locally: -stats fetches GET /v1/stats (requires the server to run
+// with -metrics) and prints an operator table — uptime, cache hit
+// ratio, WAL digest lag, anti-entropy counters and per-endpoint
+// request counts with latency quantiles.
 //
 // Input: one value per line; lines beginning with '-' delete the value
 // instead of inserting it (e.g. "-42" deletes one occurrence of 42).
@@ -25,16 +32,21 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"dynahist"
+	"dynahist/client"
 	"dynahist/internal/histogram"
 	"dynahist/internal/tuner"
 )
@@ -58,6 +70,8 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 		mem       = fs.Int("mem", 1024, "memory budget in bytes")
 		seed      = fs.Int64("seed", 1, "seed for the AC backing sample")
 		dump      = fs.Bool("dump", false, "print the serialized bucket list in hex")
+		serverURL = fs.String("server", "", "histserved base URL for remote commands (e.g. http://localhost:8080)")
+		stats     = fs.Bool("stats", false, "fetch /v1/stats from -server and print an operator table (server needs -metrics)")
 		queries   queryList
 		quantiles queryList
 		feedbacks queryList
@@ -74,6 +88,17 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintf(errOut, "histcli: %v\n", err)
 		return 1
+	}
+
+	if *stats {
+		if *serverURL == "" {
+			fmt.Fprintln(errOut, "histcli: -stats needs -server URL")
+			return 2
+		}
+		if err := printStats(*serverURL, out); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	h, err := buildHistogram(*algo, *mem, *seed)
@@ -186,6 +211,67 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 		fmt.Fprintf(out, "snapshot    %d bytes\n%s\n", len(data), hex.EncodeToString(data))
 	}
 	return 0
+}
+
+// printStats fetches /v1/stats from a running histserved and renders
+// the operator table: the health header, cache and WAL state, the
+// anti-entropy counters, and one row per endpoint that has seen
+// traffic, with latency quantiles in milliseconds.
+func printStats(baseURL string, out io.Writer) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := client.New(baseURL, &http.Client{Timeout: 10 * time.Second})
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("fetching stats (is the server running with -metrics?): %w", err)
+	}
+
+	fmt.Fprintf(out, "server      %s\n", baseURL)
+	if st.SiteID != "" {
+		fmt.Fprintf(out, "site        %s\n", st.SiteID)
+	}
+	fmt.Fprintf(out, "uptime      %s\n", (time.Duration(st.UptimeSeconds * float64(time.Second))).Round(time.Second))
+	fmt.Fprintf(out, "histograms  %d\n", st.Histograms)
+	fmt.Fprintf(out, "cache       %d hits, %d misses (hit ratio %.3f), %d stale puts, %d evictions\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.HitRatio, st.Cache.StalePuts, st.Cache.Evictions)
+	if st.WAL.Enabled {
+		fmt.Fprintf(out, "wal         appended LSN %d, digested LSN %d, digest lag %d, %d fsyncs, %d rotations\n",
+			st.WAL.AppendedLSN, st.WAL.DigestedLSN, st.WAL.DigestLag, st.WAL.Fsyncs, st.WAL.Rotations)
+	} else {
+		fmt.Fprintf(out, "wal         disabled\n")
+	}
+	if st.AntiEntropy.Rounds > 0 || len(st.AntiEntropy.Peers) > 0 {
+		fmt.Fprintf(out, "sync        %d rounds: %d adopted, %d replicated, %d skipped, %d fallback pulls\n",
+			st.AntiEntropy.Rounds, st.AntiEntropy.Adopted, st.AntiEntropy.Replicated,
+			st.AntiEntropy.Skipped, st.AntiEntropy.FallbackPulls)
+		for _, p := range st.AntiEntropy.Peers {
+			fmt.Fprintf(out, "peer        %s: %d failures, backoff %.1fs\n", p.Peer, p.Failures, p.BackoffSeconds)
+		}
+	}
+	if st.Tuning.Enabled {
+		fmt.Fprintf(out, "tuning      %d feedback records applied, %d clamped\n", st.Tuning.Applied, st.Tuning.Clamped)
+	}
+	if st.Ingest.Batches > 0 {
+		fmt.Fprintf(out, "ingest      %d batches, %.0f values (batch size p50 %.1f, p90 %.1f, p99 %.1f)\n",
+			st.Ingest.Batches, st.Ingest.Values, st.Ingest.BatchP50, st.Ingest.BatchP90, st.Ingest.BatchP99)
+	}
+
+	names := make([]string, 0, len(st.Endpoints))
+	for name, ep := range st.Endpoints {
+		if ep.Requests > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(out, "\n%-14s %10s %12s %12s %12s\n", "endpoint", "requests", "p50 ms", "p90 ms", "p99 ms")
+		for _, name := range names {
+			ep := st.Endpoints[name]
+			fmt.Fprintf(out, "%-14s %10d %12.3f %12.3f %12.3f\n",
+				name, ep.Requests, ep.LatencyP50*1e3, ep.LatencyP90*1e3, ep.LatencyP99*1e3)
+		}
+	}
+	return nil
 }
 
 // tunedView replays the -feedback records through one tuner pass over

@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"log"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"dynahist/client"
+	"dynahist/internal/server"
 )
 
 func TestParseRange(t *testing.T) {
@@ -146,6 +152,77 @@ func TestRunBadFeedbackFails(t *testing.T) {
 func TestRunRejectsUnknownFlag(t *testing.T) {
 	if code := run([]string{"-nope"}, strings.NewReader(""), io.Discard, io.Discard); code != 2 {
 		t.Fatalf("run = %d, want 2", code)
+	}
+}
+
+func TestRunStatsNeedsServer(t *testing.T) {
+	var errOut bytes.Buffer
+	if code := run([]string{"-stats"}, strings.NewReader(""), io.Discard, &errOut); code != 2 {
+		t.Fatalf("run(-stats) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-server") {
+		t.Fatalf("stderr %q does not mention -server", errOut.String())
+	}
+}
+
+// TestRunStatsTable drives the remote form end to end: a metrics-
+// enabled in-process histserved, real traffic through the HTTP client,
+// then `histcli -server URL -stats` rendering the operator table.
+func TestRunStatsTable(t *testing.T) {
+	s, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0), Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	ctx := context.Background()
+	c := client.New(ts.URL, ts.Client())
+	if _, err := c.Create(ctx, client.CreateOptions{Name: "h", Family: client.FamilyDADO, MemBytes: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InsertBinary(ctx, "h", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Query(ctx, "h", client.QuerySpec{Quantiles: []float64{0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-server", ts.URL, "-stats"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("run(-stats) = %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"histograms  1",
+		"cache       1 hits, 1 misses (hit ratio 0.500)",
+		"wal         disabled",
+		"ingest      1 batches, 3 values",
+		"endpoint",
+		"query",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("stats table missing %q:\n%s", want, text)
+		}
+	}
+
+	// Against a server without -metrics the fetch fails with a hint.
+	s2, err := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s2.Close() })
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	errOut.Reset()
+	if code := run([]string{"-server", ts2.URL, "-stats"}, strings.NewReader(""), io.Discard, &errOut); code != 1 {
+		t.Fatalf("run(-stats) against metrics-less server = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-metrics") {
+		t.Fatalf("stderr %q does not hint at -metrics", errOut.String())
 	}
 }
 

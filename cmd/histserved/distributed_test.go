@@ -17,9 +17,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"io"
 	"net"
 	"net/http"
 	"os/exec"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -55,6 +57,24 @@ func siteCatalog(base string) (wire.SiteCatalogResponse, error) {
 		return cat, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	return cat, json.NewDecoder(resp.Body).Decode(&cat)
+}
+
+// scrapeMetrics fetches one node's Prometheus exposition.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scraping %s: status %d", base, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scraping %s: %v", base, err)
+	}
+	return string(body)
 }
 
 // ownWatermark returns the watermark a node advertises for its own
@@ -127,6 +147,7 @@ func TestDistributedKillAndRejoin(t *testing.T) {
 			"-peers", peers,
 			"-anti-entropy", "50ms",
 			"-peer-timeout", "1s",
+			"-metrics",
 		}
 	}
 	cmds := make([]*exec.Cmd, n)
@@ -226,6 +247,32 @@ func TestDistributedKillAndRejoin(t *testing.T) {
 		t.Fatalf("healthy read flagged partial: %+v", g.Sites)
 	}
 	audit(g)
+
+	// Metrics smoke: scrape every live node mid-test and assert the
+	// observability plane saw the anti-entropy traffic — the rounds
+	// counter must leave zero once the 50ms sync loop has fired.
+	for i, u := range urls {
+		waitFor(t, fmt.Sprintf("node %d anti-entropy rounds counter", i), func() (bool, error) {
+			text := scrapeMetrics(t, u)
+			for _, line := range strings.Split(text, "\n") {
+				var rounds uint64
+				if _, err := fmt.Sscanf(line, "dynahist_antientropy_rounds_total %d", &rounds); err == nil {
+					return rounds > 0, nil
+				}
+			}
+			return false, fmt.Errorf("no dynahist_antientropy_rounds_total sample")
+		})
+		text := scrapeMetrics(t, u)
+		for _, want := range []string{
+			"# TYPE dynahist_http_request_seconds summary",
+			"dynahist_query_cache_hit_ratio",
+			"dynahist_wal_digest_lag",
+		} {
+			if !strings.Contains(text, want) {
+				t.Fatalf("node %d: scrape missing %q", i, want)
+			}
+		}
+	}
 
 	// Wait until a survivor's replica of the victim's site has caught
 	// up to the victim's own watermark, so the coming disk loss loses

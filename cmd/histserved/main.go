@@ -9,10 +9,17 @@
 // Usage:
 //
 //	histserved [-addr :8080] [-catalog DIR] [-checkpoint 30s] [-pprof]
-//	           [-wal-dir DIR] [-wal-sync always|interval|none]
+//	           [-metrics] [-wal-dir DIR] [-wal-sync always|interval|none]
 //	           [-wal-sync-interval 100ms] [-wal-segment-bytes N]
 //	           [-site-id ID] [-peers URL,URL,...]
 //	           [-anti-entropy 1s] [-peer-timeout 2s] [-tuning]
+//
+// With -metrics set, the observability plane is exposed: GET /metrics
+// serves Prometheus text exposition (request/latency/cache/WAL/
+// anti-entropy metrics, with latency and batch-size distributions
+// summarised by the same dynamic histograms the server serves) and
+// GET /v1/stats serves the same state as structured JSON. Collection
+// is always on; the flag only gates the two endpoints.
 //
 // With -wal-dir set, ingest is durable: every mutating request is
 // appended to a segmented write-ahead log and acknowledged once the
@@ -87,6 +94,7 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		catalog    = fs.String("catalog", "", "catalog directory for snapshot-backed recovery (empty: no persistence)")
 		checkpoint = fs.Duration("checkpoint", 30*time.Second, "checkpoint period (requires -catalog)")
 		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling the live ingest path)")
+		metricsOn  = fs.Bool("metrics", false, "expose GET /metrics (Prometheus text) and GET /v1/stats (JSON)")
 		walDir     = fs.String("wal-dir", "", "write-ahead log directory for durable ingest (empty: ingest applies in-memory only)")
 		walSync    = fs.String("wal-sync", "always", "WAL durability policy: always (fsync per append), interval, none")
 		walEvery   = fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync interval")
@@ -113,6 +121,7 @@ func run(args []string, errOut io.Writer, ready chan<- string) int {
 		AntiEntropyEvery: *antiEvery,
 		PeerTimeout:      *peerTO,
 		Tuning:           server.TuningConfig{Enabled: *tuning},
+		Metrics:          *metricsOn,
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): one `# HELP` / `# TYPE` pair per
+// metric family, then one sample line per series, with trackers
+// rendered as summaries (quantile series plus `_sum` and `_count`).
+// Families are emitted in sorted order so output is stable for golden
+// tests and diff-friendly for humans.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.snapshot()
+	// Group series by family: the metric name with any fixed label set
+	// stripped. Series within a family share HELP and TYPE.
+	type familyGroup struct {
+		help, typ string
+		members   []metric
+	}
+	families := make(map[string]*familyGroup, len(metrics))
+	order := make([]string, 0, len(metrics))
+	for _, m := range metrics {
+		fam, _ := splitName(m.metricName())
+		g, ok := families[fam]
+		if !ok {
+			g = &familyGroup{help: m.helpText(), typ: m.promType()}
+			families[fam] = g
+			order = append(order, fam)
+		}
+		g.members = append(g.members, m)
+	}
+	sort.Strings(order)
+
+	bw := bufio.NewWriter(w)
+	for _, fam := range order {
+		g := families[fam]
+		if g.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(g.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam)
+		bw.WriteByte(' ')
+		bw.WriteString(g.typ)
+		bw.WriteByte('\n')
+		// Series order inside a family follows the sorted full names so
+		// label permutations don't reorder between scrapes.
+		members := g.members
+		sort.Slice(members, func(i, j int) bool {
+			return members[i].metricName() < members[j].metricName()
+		})
+		for _, m := range members {
+			writeMetric(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeMetric renders one metric's sample line(s).
+func writeMetric(bw *bufio.Writer, m metric) {
+	name := m.metricName()
+	switch v := m.(type) {
+	case *Counter:
+		writeSample(bw, name, "", strconv.FormatUint(v.Value(), 10))
+	case *CounterFunc:
+		writeSample(bw, name, "", strconv.FormatUint(v.fn(), 10))
+	case *Gauge:
+		writeSample(bw, name, "", strconv.FormatInt(v.Value(), 10))
+	case *GaugeFunc:
+		writeSample(bw, name, "", formatFloat(v.fn()))
+	case *Tracker:
+		count, sum, qs := v.summarySnapshot()
+		for i, q := range TrackerQuantiles {
+			writeSample(bw, name, `quantile="`+formatFloat(q)+`"`, formatFloat(qs[i]))
+		}
+		base, labels := splitName(name)
+		writeSample(bw, base+"_sum{"+labels+"}", "", formatFloat(sum))
+		writeSample(bw, base+"_count{"+labels+"}", "", strconv.FormatUint(count, 10))
+	}
+}
+
+// writeSample emits one exposition line, merging an extra label (e.g.
+// quantile) into the metric's fixed label set.
+func writeSample(bw *bufio.Writer, name, extraLabel, value string) {
+	base, labels := splitName(name)
+	bw.WriteString(base)
+	if labels != "" || extraLabel != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extraLabel != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extraLabel)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// splitName separates `family{a="b"}` into `family` and `a="b"`. A
+// name without labels returns an empty label string. An empty label
+// set `family{}` normalises to no labels.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	base = name[:i]
+	labels = strings.TrimSuffix(name[i+1:], "}")
+	return base, labels
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest round-trip representation.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text per the
+// exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

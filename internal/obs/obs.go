@@ -1,0 +1,351 @@
+// Package obs is histserved's observability plane: a dependency-free
+// metrics subsystem over atomic counters, gauges, and distribution
+// trackers backed by this repository's own dynamic histograms — the
+// server's latency distributions are summarised by the same DADO
+// engine the server exists to serve (the HistogramTools argument:
+// fleet-scale systems should expose their own distributions as
+// first-class monitoring artifacts, and this repo can dogfood that).
+//
+// The hot path is lock-free for counters and gauges (one atomic op per
+// event) and allocation-free end to end: trackers buffer observations
+// in a fixed ring under a short mutex and fold them into their DADO
+// histogram one batch at a time, so instrumenting the serving paths
+// does not regress the server's zero-allocation gates.
+//
+// Metrics are registered once, up front, in a named Registry; the
+// handles returned by Counter/Gauge/Tracker are then used directly, so
+// no request ever pays for a registry lookup. The registry renders two
+// ways: Prometheus text exposition (WritePrometheus — counters,
+// gauges, and trackers as summaries with 0.5/0.9/0.99 quantiles) and
+// structured access through the typed handles themselves.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"dynahist"
+)
+
+// A metric is anything the registry can expose. The name may carry a
+// fixed Prometheus label set: `requests_total{endpoint="query"}`.
+type metric interface {
+	metricName() string
+	helpText() string
+	// promType is the exposition TYPE: "counter", "gauge" or "summary".
+	promType() string
+}
+
+// Registry is a named collection of metrics. Registration (Counter,
+// Gauge, …) is safe for concurrent use but meant for wiring time;
+// the returned handles are the hot-path API and never touch the
+// registry again. Re-registering a name returns the existing handle,
+// so idempotent wiring (middleware installed per route) is safe;
+// re-registering a name as a different metric type panics — that is a
+// wiring bug, not a runtime condition.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []metric
+	byName  map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// register installs m under its name, or returns the already-installed
+// metric of the same name.
+func (r *Registry) register(m metric) metric {
+	name := m.metricName()
+	if name == "" {
+		panic("obs: metric with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[name]; ok {
+		return existing
+	}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// snapshot returns a stable copy of the registered metrics.
+func (r *Registry) snapshot() []metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+// Counter is a monotonically increasing event count. Inc/Add are one
+// atomic instruction: lock-free, allocation-free.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Counter registers (or returns) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(&Counter{name: name, help: help})
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %s", name, m.promType()))
+	}
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) helpText() string   { return c.help }
+func (c *Counter) promType() string   { return "counter" }
+
+// CounterFunc is a counter whose value lives elsewhere (e.g. the WAL's
+// appended LSN): the function is consulted only at exposition time, so
+// the owning subsystem keeps its own representation and pays nothing
+// per event. The function must be monotone and safe for concurrent
+// use.
+type CounterFunc struct {
+	name, help string
+	fn         func() uint64
+}
+
+// CounterFunc registers the named function-backed counter.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	m := r.register(&CounterFunc{name: name, help: help, fn: fn})
+	if _, ok := m.(*CounterFunc); !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %s", name, m.promType()))
+	}
+}
+
+func (c *CounterFunc) metricName() string { return c.name }
+func (c *CounterFunc) helpText() string   { return c.help }
+func (c *CounterFunc) promType() string   { return "counter" }
+
+// Gauge is a settable instantaneous value (in-flight requests, queue
+// depth). Set/Add are one atomic instruction.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Gauge registers (or returns) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(&Gauge{name: name, help: help})
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %s", name, m.promType()))
+	}
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) helpText() string   { return g.help }
+func (g *Gauge) promType() string   { return "gauge" }
+
+// GaugeFunc is a gauge computed at exposition time — the shape for
+// derived values (cache hit ratio, WAL digest lag) that would be racy
+// or redundant to maintain eagerly. The function must be safe for
+// concurrent use.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// GaugeFunc registers the named function-backed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m := r.register(&GaugeFunc{name: name, help: help, fn: fn})
+	if _, ok := m.(*GaugeFunc); !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %s", name, m.promType()))
+	}
+}
+
+func (g *GaugeFunc) metricName() string { return g.name }
+func (g *GaugeFunc) helpText() string   { return g.help }
+func (g *GaugeFunc) promType() string   { return "gauge" }
+
+// trackerBufCap is the tracker's observation ring: observations are
+// buffered and folded into the DADO histogram one InsertBatch at a
+// time, so the per-observation cost is an append into preallocated
+// space and the (rare, deferred) split-merge settling amortises across
+// the batch. 256 keeps the buffer hot in cache and the fold far off
+// any per-request path.
+const trackerBufCap = 256
+
+// trackerBuckets is the DADO bucket budget per tracker. Latency and
+// size distributions are low-modality; a small budget keeps a tracker
+// ~1 KiB while the dynamic borders still place quantile resolution
+// where the mass is.
+const trackerBuckets = 64
+
+// TrackerQuantiles are the quantiles a tracker exposes in Prometheus
+// summaries and stats snapshots.
+var TrackerQuantiles = [3]float64{0.5, 0.9, 0.99}
+
+// Tracker summarises a value distribution (request latency, batch
+// size) with one of this repository's own DADO dynamic histograms
+// under a small bucket budget. Observe is allocation-free: values
+// buffer in a fixed ring under a short mutex and fold into the
+// histogram in batches. Quantiles are answered at scrape time from a
+// pinned view.
+type Tracker struct {
+	name, help string
+	// scale maps observed values into the histogram's domain (and back
+	// out for quantile answers). The dynamic histograms resolve at unit
+	// granularity, so sub-unit distributions — request latencies in
+	// seconds — must be scaled up or every observation lands in one
+	// bucket and the quantiles are interpolation noise. Count and sum
+	// are kept in the caller's units; only the histogram sees scaled
+	// values.
+	scale float64
+
+	mu    sync.Mutex
+	buf   []float64
+	h     dynahist.BatchWriter
+	est   dynahist.Estimator
+	count uint64
+	sum   float64
+}
+
+// Tracker registers (or returns) the named distribution tracker with
+// unit resolution — right for integer-like distributions (batch
+// sizes). For sub-unit domains use ScaledTracker.
+func (r *Registry) Tracker(name, help string) *Tracker {
+	return r.ScaledTracker(name, help, 1)
+}
+
+// ScaledTracker registers (or returns) the named tracker whose
+// histogram resolves at 1/scale granularity: a latency tracker
+// observing seconds with scale 1e6 buckets at microsecond resolution.
+// Quantile answers come back in the caller's units.
+func (r *Registry) ScaledTracker(name, help string, scale float64) *Tracker {
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		panic(fmt.Sprintf("obs: tracker %q: scale %v must be a positive finite number", name, scale))
+	}
+	t := &Tracker{name: name, help: help, scale: scale, buf: make([]float64, 0, trackerBufCap)}
+	h, err := dynahist.New(dynahist.KindDADO, dynahist.WithBuckets(trackerBuckets))
+	if err != nil {
+		// Unreachable for a fixed valid budget; a tracker without a
+		// histogram still counts and sums, it just answers no quantiles.
+		panic(fmt.Sprintf("obs: building tracker histogram: %v", err))
+	}
+	t.h = h.(dynahist.BatchWriter)
+	t.est = h.(dynahist.Estimator)
+	m := r.register(t)
+	tt, ok := m.(*Tracker)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %s", name, m.promType()))
+	}
+	return tt
+}
+
+// Observe records one value. Non-finite values are dropped.
+func (t *Tracker) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	t.mu.Lock()
+	t.count++
+	t.sum += v
+	t.buf = append(t.buf, v*t.scale)
+	if len(t.buf) == cap(t.buf) {
+		t.flushLocked()
+	}
+	t.mu.Unlock()
+}
+
+// flushLocked folds the buffered observations into the histogram.
+// Callers hold t.mu.
+func (t *Tracker) flushLocked() {
+	if len(t.buf) == 0 {
+		return
+	}
+	// InsertBatch on a valid finite batch only errors on pathological
+	// states; a tracker must never take the serving path down with it.
+	_ = t.h.InsertBatch(t.buf)
+	t.buf = t.buf[:0]
+}
+
+// Count returns how many values were observed.
+func (t *Tracker) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Sum returns the sum of all observed values.
+func (t *Tracker) Sum() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sum
+}
+
+// Quantiles answers the given quantiles from a pinned view of the
+// tracker's histogram, flushing buffered observations first. With no
+// observations every answer is 0.
+func (t *Tracker) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+	if t.count == 0 {
+		return out
+	}
+	v, err := t.est.View()
+	if err != nil {
+		return out
+	}
+	for i, q := range qs {
+		if x, err := v.Quantile(q); err == nil {
+			out[i] = x / t.scale
+		}
+	}
+	return out
+}
+
+// summarySnapshot is one consistent cut of the tracker's state for
+// exposition: count, sum and the standard quantiles.
+func (t *Tracker) summarySnapshot() (count uint64, sum float64, quantiles [3]float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+	count, sum = t.count, t.sum
+	if count == 0 {
+		return count, sum, quantiles
+	}
+	v, err := t.est.View()
+	if err != nil {
+		return count, sum, quantiles
+	}
+	for i, q := range TrackerQuantiles {
+		if x, err := v.Quantile(q); err == nil {
+			quantiles[i] = x / t.scale
+		}
+	}
+	return count, sum, quantiles
+}
+
+func (t *Tracker) metricName() string { return t.name }
+func (t *Tracker) helpText() string   { return t.help }
+func (t *Tracker) promType() string   { return "summary" }

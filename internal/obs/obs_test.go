@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "help")
+	b := r.Counter("requests_total", "help")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same handle")
+	}
+	a.Inc()
+	if got := b.Value(); got != 1 {
+		t.Fatalf("shared handle value = %d, want 1", got)
+	}
+
+	g := r.Gauge("inflight", "help")
+	if g2 := r.Gauge("inflight", "other help"); g2 != g {
+		t.Fatal("re-registering a gauge must return the same handle")
+	}
+
+	tr := r.Tracker("latency_seconds", "help")
+	if tr2 := r.Tracker("latency_seconds", "help"); tr2 != tr {
+		t.Fatal("re-registering a tracker must return the same handle")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name must panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("g", "")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestTrackerQuantiles(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracker("lat", "")
+	for i := 1; i <= 1000; i++ {
+		tr.Observe(float64(i))
+	}
+	if got := tr.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	if got, want := tr.Sum(), 500500.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	qs := tr.Quantiles(0.5, 0.9, 0.99)
+	if qs[0] <= 0 || qs[1] < qs[0] || qs[2] < qs[1] {
+		t.Fatalf("quantiles not ordered: %v", qs)
+	}
+	// Uniform 1..1000: the DADO estimate should place the median well
+	// inside the middle of the range.
+	if qs[0] < 300 || qs[0] > 700 {
+		t.Fatalf("median estimate %v implausible for uniform 1..1000", qs[0])
+	}
+	if qs[2] > 1000.0001 {
+		t.Fatalf("p99 estimate %v above max observation", qs[2])
+	}
+}
+
+// TestScaledTrackerQuantiles checks sub-unit distributions: latencies
+// in seconds must be scaled into the histogram's unit-resolution
+// domain or every observation shares one bucket.
+func TestScaledTrackerQuantiles(t *testing.T) {
+	r := NewRegistry()
+	tr := r.ScaledTracker("lat_seconds", "", 1e6)
+	// Uniform 1ms..1000ms, observed in seconds.
+	for i := 1; i <= 1000; i++ {
+		tr.Observe(float64(i) / 1000)
+	}
+	if got, want := tr.Sum(), 500.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v (caller units)", got, want)
+	}
+	qs := tr.Quantiles(0.5, 0.9, 0.99)
+	if qs[0] < 0.3 || qs[0] > 0.7 {
+		t.Fatalf("median estimate %v implausible for uniform 1ms..1s", qs[0])
+	}
+	if qs[1] < qs[0] || qs[2] < qs[1] || qs[2] > 1.0001 {
+		t.Fatalf("quantiles implausible: %v", qs)
+	}
+}
+
+func TestScaledTrackerRejectsBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScaledTracker with scale 0: want panic")
+		}
+	}()
+	NewRegistry().ScaledTracker("bad", "", 0)
+}
+
+func TestTrackerDropsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracker("lat", "")
+	tr.Observe(nan())
+	tr.Observe(inf())
+	tr.Observe(1)
+	if got := tr.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1 (non-finite dropped)", got)
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+// TestConcurrentHammer drives one registry from 8 writer goroutines
+// while a scraper renders /metrics-style exposition concurrently. Run
+// under -race (CI does) this proves the hot path and the scrape path
+// are safe against each other; the final counts prove no increment was
+// lost.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "events")
+	g := r.Gauge("hammer_inflight", "in flight")
+	tr := r.Tracker("hammer_seconds", "latency")
+	r.GaugeFunc("hammer_derived", "derived", func() float64 {
+		return float64(c.Value()) / 2
+	})
+	r.CounterFunc("hammer_external_total", "external", func() uint64 {
+		return c.Value()
+	})
+
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		var buf bytes.Buffer
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			buf.Reset()
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				g.Add(1)
+				c.Inc()
+				tr.Observe(float64(i%100) + 0.5)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopScrape)
+	scrapeWG.Wait()
+
+	if got, want := c.Value(), uint64(writers*perG); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0 after balanced add/sub", got)
+	}
+	if got, want := tr.Count(), uint64(writers*perG); got != want {
+		t.Fatalf("tracker count = %d, want %d", got, want)
+	}
+}
+
+// TestHotPathAllocs gates the instrumentation cost: counter and gauge
+// updates must be allocation-free, and tracker observation must stay
+// allocation-free amortised across its batch folds.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("allocs_total", "")
+	g := r.Gauge("allocs_inflight", "")
+	tr := r.Tracker("allocs_seconds", "")
+
+	if avg := testing.AllocsPerRun(1000, func() { c.Inc() }); avg != 0 {
+		t.Fatalf("Counter.Inc allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { g.Add(1); g.Add(-1) }); avg != 0 {
+		t.Fatalf("Gauge.Add allocates %.2f/op, want 0", avg)
+	}
+
+	// Warm the tracker's histogram past its settling phase so the
+	// amortised measurement sees steady state, as the serving path does.
+	for i := 0; i < 10*trackerBufCap; i++ {
+		tr.Observe(float64(i % 128))
+	}
+	v := 0.0
+	if avg := testing.AllocsPerRun(2000, func() {
+		tr.Observe(v)
+		v += 0.25
+		if v >= 128 {
+			v = 0
+		}
+	}); avg > 0.05 {
+		t.Fatalf("Tracker.Observe allocates %.3f/op amortised, want ~0", avg)
+	}
+}
+
+// TestExpositionGolden locks the exposition format: family grouping,
+// HELP/TYPE lines, label merging, and summary rendering. Regenerate
+// with `go test ./internal/obs -run TestExpositionGolden -update`.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	reqQ := r.Counter(`demo_requests_total{endpoint="query"}`, "Requests served, by endpoint.")
+	reqU := r.Counter(`demo_requests_total{endpoint="update"}`, "Requests served, by endpoint.")
+	inflight := r.Gauge("demo_in_flight", "Requests currently in flight.")
+	r.GaugeFunc("demo_hit_ratio", "Cache hit ratio.", func() float64 { return 0.75 })
+	r.CounterFunc("demo_appended_total", "Externally owned count.", func() uint64 { return 9001 })
+	lat := r.Tracker(`demo_latency_seconds{endpoint="query"}`, "Request latency, by endpoint.")
+
+	reqQ.Add(120)
+	reqU.Add(30)
+	inflight.Set(3)
+	for i := 1; i <= 1000; i++ {
+		lat.Observe(float64(i) / 1000)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := buf.Bytes()
+
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Structural sanity independent of the exact quantile values.
+	text := buf.String()
+	for _, wantLine := range []string{
+		"# TYPE demo_requests_total counter",
+		"# TYPE demo_latency_seconds summary",
+		`demo_requests_total{endpoint="query"} 120`,
+		`demo_latency_seconds{endpoint="query",quantile="0.5"}`,
+		`demo_latency_seconds_sum{endpoint="query"}`,
+		`demo_latency_seconds_count{endpoint="query"} 1000`,
+		"demo_hit_ratio 0.75",
+		"demo_appended_total 9001",
+	} {
+		if !strings.Contains(text, wantLine) {
+			t.Fatalf("exposition missing %q:\n%s", wantLine, text)
+		}
+	}
+}

@@ -294,11 +294,14 @@ func (s *Server) antiEntropyLoop() {
 						shift = maxBackoffShift
 					}
 					st.nextTry = now.Add(s.cfg.AntiEntropyEvery << shift)
+					s.metrics.peerFailures[peer].Inc()
+					s.metrics.peerBackoffMS[peer].Set((s.cfg.AntiEntropyEvery << shift).Milliseconds())
 					s.log.Printf("anti-entropy: peer %s: %v (retry in %v)",
 						peer, err, s.cfg.AntiEntropyEvery<<shift)
 				} else {
 					st.failures = 0
 					st.nextTry = time.Time{}
+					s.metrics.peerBackoffMS[peer].Set(0)
 				}
 			}
 		}
@@ -332,6 +335,7 @@ func (s *Server) SyncPeersNow() []error {
 func (s *Server) syncPeer(base string) error {
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
+	s.metrics.aeRounds.Inc()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
 	defer cancel()
 	cat, err := s.fetchPeerCatalog(ctx, base)
@@ -366,6 +370,7 @@ func (s *Server) syncPeer(base string) error {
 			// not hold at all: the rejoin path. Pull and adopt it.
 			cur, err := s.reg.get(row.Name)
 			if err == nil && row.Watermark <= cur.siteWM.Load() {
+				s.metrics.aeSkipped.Inc()
 				continue
 			}
 		} else {
@@ -373,6 +378,7 @@ func (s *Server) syncPeer(base string) error {
 			cur, ok := s.replicas[row.Site][row.Name]
 			s.replMu.RUnlock()
 			if ok && row.Watermark <= cur.watermark {
+				s.metrics.aeSkipped.Inc()
 				continue
 			}
 		}
@@ -384,17 +390,22 @@ func (s *Server) syncPeer(base string) error {
 	sort.Strings(sites)
 	// Pass 2: one batch fetch per site, with a per-entry fallback for
 	// rows the batch did not return (a peer predating the batch
-	// endpoint answers 404 and every row falls back).
+	// endpoint answers 404 and every row falls back). Fallbacks are
+	// counted and reported once per round — a degraded batch path must
+	// be visible in metrics and the log, but a hundred-row catalog must
+	// not emit a hundred lines about it.
+	var fallbackPulls, fallbackErrs int
 	for _, site := range sites {
 		rows := needed[site]
 		blobs := s.fetchPeerEntries(base, site, rows)
 		for _, row := range rows {
 			data, wm := blobs[row.Name].Data, blobs[row.Name].Watermark
 			if data == nil {
+				fallbackPulls++
 				var err error
 				data, wm, err = s.fetchPeerEntry(base, row)
 				if err != nil {
-					s.log.Printf("anti-entropy: pulling %s/%s from %s: %v", row.Site, row.Name, base, err)
+					fallbackErrs++
 					continue
 				}
 			}
@@ -409,6 +420,11 @@ func (s *Server) syncPeer(base string) error {
 				s.log.Printf("anti-entropy: replicating %s/%s from %s: %v", row.Site, row.Name, base, err)
 			}
 		}
+	}
+	if fallbackPulls > 0 {
+		s.metrics.aeFallbackPulls.Add(uint64(fallbackPulls))
+		s.log.Printf("anti-entropy: %s: batch fetch incomplete, %d row(s) pulled individually (%d of those failed, retried next round)",
+			base, fallbackPulls, fallbackErrs)
 	}
 	if maxAdopted > 0 {
 		// Post-adoption ingest must stamp above every adopted watermark
@@ -457,6 +473,7 @@ func (s *Server) adoptEntry(data []byte, row wire.SiteEntry, wm uint64) (uint64,
 	if err := s.reg.replace(e); err != nil {
 		return 0, err
 	}
+	s.metrics.aeAdopted.Inc()
 	s.log.Printf("anti-entropy: adopted %q at watermark %d (total %v)",
 		e.name, wm, e.h.Total())
 	return wm, nil
@@ -482,6 +499,7 @@ func (s *Server) storeReplica(data []byte, row wire.SiteEntry, wm uint64) error 
 		s.replicas[row.Site] = make(map[string]replica)
 	}
 	s.replicas[row.Site][row.Name] = replica{data: data, watermark: wm, total: e.h.Total()}
+	s.metrics.aeReplicated.Inc()
 	return nil
 }
 

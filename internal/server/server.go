@@ -63,6 +63,13 @@ type Config struct {
 	// Tuning enables the query-feedback self-tuning loop (see
 	// internal/tuner and the handlers in tuning.go).
 	Tuning TuningConfig
+
+	// Metrics mounts the observability exposition endpoints: GET
+	// /metrics (Prometheus text format) and GET /v1/stats (structured
+	// JSON). Collection itself is always on — it is allocation-free on
+	// the serving paths — so enabling this mid-fleet exposes history,
+	// not just data from the flag-flip onward.
+	Metrics bool
 }
 
 // Server is the histserved HTTP serving layer: a histogram registry,
@@ -70,10 +77,11 @@ type Config struct {
 // mount Handler on an http.Server, and Close it on shutdown for a
 // final checkpoint.
 type Server struct {
-	cfg Config
-	reg *Registry
-	mux *http.ServeMux
-	log *log.Logger
+	cfg     Config
+	reg     *Registry
+	mux     *http.ServeMux
+	log     *log.Logger
+	metrics *serverMetrics
 
 	// catMu serialises catalog writes against each other and against
 	// deletes, so a checkpoint pass cannot resurrect a file removed by
@@ -169,6 +177,11 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.seedWatermark()
+	// Metric registration needs the WAL handle (function-backed WAL
+	// metrics) and must precede routes (the middleware resolves its
+	// per-endpoint handles at mount time) and the anti-entropy loop
+	// (which updates per-peer counters).
+	s.metrics = newServerMetrics(s)
 	s.routes()
 	if cfg.CatalogDir != "" && cfg.CheckpointEvery > 0 {
 		go s.checkpointLoop()
@@ -368,30 +381,37 @@ func (s *Server) CheckpointNow() error {
 	return firstErr
 }
 
-// routes mounts every endpoint.
+// routes mounts every endpoint, each behind the instrument middleware
+// (per-endpoint request counts, in-flight gauge, latency tracker,
+// status-class counters). The exposition endpoints themselves are
+// mounted only under Config.Metrics.
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
-	s.mux.HandleFunc("POST /v1/h", s.handleCreate)
-	s.mux.HandleFunc("GET /v1/h", s.handleList)
-	s.mux.HandleFunc("GET /v1/h/{name}", s.handleInfo)
-	s.mux.HandleFunc("DELETE /v1/h/{name}", s.handleDelete)
-	s.mux.HandleFunc("POST /v1/h/{name}/insert", s.handleUpdate(insertOp))
-	s.mux.HandleFunc("POST /v1/h/{name}/delete", s.handleUpdate(deleteOp))
-	s.mux.HandleFunc("POST /v1/h/{name}/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/h/{name}/feedback", s.handleFeedback)
-	s.mux.HandleFunc("GET /v1/h/{name}/total", s.handleTotal)
-	s.mux.HandleFunc("GET /v1/h/{name}/cdf", s.handleCDF)
-	s.mux.HandleFunc("GET /v1/h/{name}/quantile", s.handleQuantile)
-	s.mux.HandleFunc("GET /v1/h/{name}/range", s.handleRange)
-	s.mux.HandleFunc("GET /v1/h/{name}/buckets", s.handleBuckets)
-	s.mux.HandleFunc("GET /v1/h/{name}/envelope", s.handleEnvelope)
-	s.mux.HandleFunc("GET /v1/wal/status", s.handleWALStatus)
-	s.mux.HandleFunc("GET /v1/sites/catalog", s.handleSiteCatalog)
-	s.mux.HandleFunc("GET /v1/sites/entry", s.handleSiteEntry)
-	s.mux.HandleFunc("GET /v1/sites/entries", s.handleSiteEntries)
+	}))
+	s.mux.HandleFunc("POST /v1/h", s.instrument("create", s.handleCreate))
+	s.mux.HandleFunc("GET /v1/h", s.instrument("list", s.handleList))
+	s.mux.HandleFunc("GET /v1/h/{name}", s.instrument("info", s.handleInfo))
+	s.mux.HandleFunc("DELETE /v1/h/{name}", s.instrument("drop", s.handleDelete))
+	s.mux.HandleFunc("POST /v1/h/{name}/insert", s.instrument("insert", s.handleUpdate(insertOp)))
+	s.mux.HandleFunc("POST /v1/h/{name}/delete", s.instrument("delete", s.handleUpdate(deleteOp)))
+	s.mux.HandleFunc("POST /v1/h/{name}/query", s.instrument("query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/h/{name}/feedback", s.instrument("feedback", s.handleFeedback))
+	s.mux.HandleFunc("GET /v1/h/{name}/total", s.instrument("total", s.handleTotal))
+	s.mux.HandleFunc("GET /v1/h/{name}/cdf", s.instrument("cdf", s.handleCDF))
+	s.mux.HandleFunc("GET /v1/h/{name}/quantile", s.instrument("quantile", s.handleQuantile))
+	s.mux.HandleFunc("GET /v1/h/{name}/range", s.instrument("range", s.handleRange))
+	s.mux.HandleFunc("GET /v1/h/{name}/buckets", s.instrument("buckets", s.handleBuckets))
+	s.mux.HandleFunc("GET /v1/h/{name}/envelope", s.instrument("envelope", s.handleEnvelope))
+	s.mux.HandleFunc("GET /v1/wal/status", s.instrument("wal_status", s.handleWALStatus))
+	s.mux.HandleFunc("GET /v1/sites/catalog", s.instrument("site_catalog", s.handleSiteCatalog))
+	s.mux.HandleFunc("GET /v1/sites/entry", s.instrument("site_entry", s.handleSiteEntry))
+	s.mux.HandleFunc("GET /v1/sites/entries", s.instrument("site_entries", s.handleSiteEntries))
+	if s.cfg.Metrics {
+		s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+		s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -616,6 +636,7 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 			// DigestedLSN tells the caller how much of the acked log the
 			// reads already reflect — once it reaches lsn, this batch is
 			// folded in, not just durable.
+			s.metrics.ingestBatch.Observe(float64(len(vs)))
 			writeJSON(w, http.StatusOK, wire.UpdateResponse{
 				Applied: len(vs), Total: h.Total(), LSN: lsn, DigestedLSN: s.wal.DigestedLSN(),
 			})
@@ -633,6 +654,7 @@ func (s *Server) handleUpdate(op updateOp) http.HandlerFunc {
 		s.noteMutation()
 		e.bumpSiteWM(s.watermark())
 		e.bumpQueryEpoch()
+		s.metrics.ingestBatch.Observe(float64(len(vs)))
 		writeJSON(w, http.StatusOK, wire.UpdateResponse{Applied: len(vs), Total: h.Total()})
 	}
 }
@@ -804,6 +826,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// freshness than the state it was computed from.
 	epoch := e.qEpoch.Load()
 	if resp := e.qc.get(epoch, buf.body); resp != nil {
+		s.metrics.cacheHits.Inc()
 		// Direct map assignment of a shared value: Header().Set would
 		// allocate a fresh []string on every hit.
 		w.Header()["Content-Type"] = jsonContentType
@@ -811,6 +834,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(resp)
 		return
 	}
+	s.metrics.cacheMisses.Inc()
 	var req wire.QueryRequest
 	if err := json.Unmarshal(buf.body, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -826,7 +850,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	data = append(data, '\n') // byte-identical to the Encoder framing writeJSON uses
-	e.qc.put(epoch, buf.body, data)
+	stale, evicted := e.qc.put(epoch, buf.body, data)
+	if stale {
+		s.metrics.cacheStalePuts.Inc()
+	}
+	if evicted > 0 {
+		s.metrics.cacheEvictions.Add(uint64(evicted))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)

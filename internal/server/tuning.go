@@ -75,26 +75,30 @@ func (c *queryCache) get(epoch uint64, key []byte) []byte {
 // put stores a response computed at the observed epoch. A put from a
 // reader that raced a write (its epoch is behind the cache's) is
 // dropped — its response may predate the write the cache's current
-// epoch covers. A put ahead of the cache's epoch resets the map.
-func (c *queryCache) put(epoch uint64, key, resp []byte) {
+// epoch covers. A put ahead of the cache's epoch resets the map. The
+// return values feed the cache metrics: stale reports a dropped racy
+// put, evicted how many cached responses an epoch advance cleared.
+func (c *queryCache) put(epoch uint64, key, resp []byte) (stale bool, evicted int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if epoch < c.epoch {
-		return
+		return true, 0
 	}
 	if epoch > c.epoch {
 		c.epoch = epoch
+		evicted = len(c.m)
 		clear(c.m)
 	}
 	if c.m == nil {
 		c.m = make(map[string][]byte)
 	}
 	if len(c.m) >= maxCachedQueries {
-		return
+		return false, evicted
 	}
 	// The key aliases pooled request scratch; the stored copy must own
 	// its bytes.
 	c.m[string(append([]byte(nil), key...))] = resp
+	return false, evicted
 }
 
 // bumpQueryEpoch invalidates the entry's cached responses and tuned
@@ -278,6 +282,14 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	if tv, err := s.viewOf(e); err == nil {
 		resp.TunedEstimate = tv.EstimateRange(req.Lo, req.Hi)
+	}
+	s.metrics.feedbackApplied.Inc()
+	// "Clamped" is a serving-side definition: the tuner's bounded
+	// adjustment left the tuned estimate more than max(1, 1% of
+	// observed) away from the observed count — the record was journaled
+	// but could not be fully absorbed this round.
+	if math.Abs(resp.TunedEstimate-req.Observed) > math.Max(1, 0.01*math.Abs(req.Observed)) {
+		s.metrics.feedbackClamped.Inc()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -221,6 +221,7 @@ func (s *Server) handleWALStatus(w http.ResponseWriter, r *http.Request) {
 		resp.DigestedLSN = st.DigestedLSN
 		resp.CheckpointLSN = st.CheckpointLSN
 		resp.LagRecords = st.AppendedLSN - st.DigestedLSN
+		resp.DigestLag = resp.LagRecords
 		resp.Segments = st.Segments
 		resp.ActiveSegmentBytes = st.ActiveSegmentBytes
 		resp.TotalBytes = st.TotalBytes

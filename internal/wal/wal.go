@@ -214,6 +214,11 @@ type Log struct {
 
 	digested atomic.Uint64
 
+	// Observability counters: successful segment-file fsyncs and segment
+	// rotations, exposed through Fsyncs/Rotations for the metrics plane.
+	fsyncs    atomic.Uint64
+	rotations atomic.Uint64
+
 	flushStop chan struct{}
 	flushDone chan struct{}
 }
@@ -373,6 +378,7 @@ func (l *Log) openSegment(firstLSN uint64) error {
 			f.Close()
 			return err
 		}
+		l.fsyncs.Add(1)
 	}
 	if err := l.fs.SyncDir(l.dir); err != nil {
 		l.logf.Printf("wal: dir sync: %v", err)
@@ -400,6 +406,8 @@ func (l *Log) rotate() error {
 		if l.opts.Sync != SyncNone && !l.torn {
 			if err := l.active.Sync(); err != nil {
 				l.logf.Printf("wal: seal sync: %v", err)
+			} else {
+				l.fsyncs.Add(1)
 			}
 		}
 		if err := l.active.Close(); err != nil {
@@ -410,7 +418,11 @@ func (l *Log) rotate() error {
 			l.segs[n-1].size = l.activeSize
 		}
 	}
-	return l.openSegment(l.lastLSN + 1)
+	if err := l.openSegment(l.lastLSN + 1); err != nil {
+		return err
+	}
+	l.rotations.Add(1)
+	return nil
 }
 
 // EncodePayload builds a record payload from its parts. For
@@ -498,6 +510,7 @@ func (l *Log) Append(op byte, name string, body []byte) (uint64, error) {
 			l.torn = true
 			return 0, fmt.Errorf("wal: sync: %w: %w", ErrCorrupt, err)
 		}
+		l.fsyncs.Add(1)
 		l.dirty = false
 	}
 	l.lastLSN++
@@ -522,6 +535,7 @@ func (l *Log) flushLoop() {
 				if err := l.active.Sync(); err != nil {
 					l.logf.Printf("wal: interval sync: %v", err)
 				} else {
+					l.fsyncs.Add(1)
 					l.dirty = false
 				}
 			}
@@ -543,6 +557,15 @@ func (l *Log) MarkDigested(lsn uint64) {
 
 // DigestedLSN returns the newest digested position.
 func (l *Log) DigestedLSN() uint64 { return l.digested.Load() }
+
+// Fsyncs returns how many segment-file fsyncs have succeeded since the
+// log was opened (appends under SyncAlways, interval flushes, segment
+// seals and the close sync).
+func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
+
+// Rotations returns how many times the log sealed a segment and opened
+// the next one since it was opened.
+func (l *Log) Rotations() uint64 { return l.rotations.Load() }
 
 // LastLSN returns the newest appended position.
 func (l *Log) LastLSN() uint64 {
@@ -663,6 +686,8 @@ func (l *Log) Close() error {
 	if l.opts.Sync != SyncNone && !l.torn {
 		if err := l.active.Sync(); err != nil {
 			firstErr = fmt.Errorf("wal: close sync: %w", err)
+		} else {
+			l.fsyncs.Add(1)
 		}
 	}
 	if err := l.active.Close(); err != nil && firstErr == nil {

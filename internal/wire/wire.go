@@ -177,13 +177,18 @@ type UpdateResponse struct {
 // covered by the last catalog snapshot (everything past it replays on
 // restart). Lag = appended - digested.
 type WALStatusResponse struct {
-	Enabled            bool   `json:"enabled"`
-	Dir                string `json:"dir,omitempty"`
-	SyncPolicy         string `json:"sync_policy,omitempty"`
-	AppendedLSN        uint64 `json:"appended_lsn"`
-	DigestedLSN        uint64 `json:"digested_lsn"`
-	CheckpointLSN      uint64 `json:"checkpoint_lsn"`
-	LagRecords         uint64 `json:"lag_records"`
+	Enabled       bool   `json:"enabled"`
+	Dir           string `json:"dir,omitempty"`
+	SyncPolicy    string `json:"sync_policy,omitempty"`
+	AppendedLSN   uint64 `json:"appended_lsn"`
+	DigestedLSN   uint64 `json:"digested_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	LagRecords    uint64 `json:"lag_records"`
+	// DigestLag duplicates LagRecords under the name the stats plane
+	// uses: appended LSN minus digested LSN, the number a
+	// read-your-writes poller watches go to zero. Kept alongside
+	// LagRecords so existing consumers of that field keep working.
+	DigestLag          uint64 `json:"digest_lag"`
 	Segments           int    `json:"segments"`
 	ActiveSegmentBytes int64  `json:"active_segment_bytes"`
 	TotalBytes         int64  `json:"total_bytes"`
@@ -425,6 +430,102 @@ type SiteEntry struct {
 	Name      string  `json:"name"`
 	Watermark uint64  `json:"watermark"`
 	Total     float64 `json:"total"`
+}
+
+// Observability (GET /v1/stats): the structured-JSON face of the
+// metrics plane. The same state is exposed in Prometheus text form at
+// GET /metrics; both are enabled by `histserved -metrics`. Latency and
+// size quantiles are estimated by internal/obs trackers — DADO dynamic
+// histograms under a small bucket budget — at 0.5/0.9/0.99.
+
+// EndpointStats is one route's HTTP serving statistics.
+type EndpointStats struct {
+	Requests uint64 `json:"requests"`
+	InFlight int64  `json:"in_flight"`
+	// Latency quantiles in seconds.
+	LatencyP50 float64 `json:"latency_p50_seconds"`
+	LatencyP90 float64 `json:"latency_p90_seconds"`
+	LatencyP99 float64 `json:"latency_p99_seconds"`
+	// Status counts responses by class ("2xx", "4xx", …); classes with
+	// no responses are absent.
+	Status map[string]uint64 `json:"status,omitempty"`
+}
+
+// CacheStats describes the epoch-keyed query cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	StalePuts uint64 `json:"stale_puts"`
+	Evictions uint64 `json:"evictions"`
+	// HitRatio is hits / (hits + misses); 0 before any lookup.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// WALStats describes the durable-ingest pipeline; zero-valued with
+// Enabled false on servers running without a WAL.
+type WALStats struct {
+	Enabled     bool   `json:"enabled"`
+	AppendedLSN uint64 `json:"appended_lsn"`
+	DigestedLSN uint64 `json:"digested_lsn"`
+	// DigestLag is appended minus digested: acked records not yet
+	// folded into the in-memory histograms.
+	DigestLag uint64 `json:"digest_lag"`
+	Fsyncs    uint64 `json:"fsyncs"`
+	Rotations uint64 `json:"rotations"`
+}
+
+// PeerSyncStats is one peer's anti-entropy health.
+type PeerSyncStats struct {
+	Peer     string `json:"peer"`
+	Failures uint64 `json:"failures"`
+	// BackoffSeconds is the current retry delay; 0 when the peer is
+	// healthy.
+	BackoffSeconds float64 `json:"backoff_seconds"`
+}
+
+// AntiEntropyStats describes the peer-sync loop.
+type AntiEntropyStats struct {
+	Rounds     uint64 `json:"rounds"`
+	Adopted    uint64 `json:"adopted"`
+	Replicated uint64 `json:"replicated"`
+	Skipped    uint64 `json:"skipped"`
+	// FallbackPulls counts rows pulled one at a time after an
+	// incomplete batch fetch.
+	FallbackPulls uint64          `json:"fallback_pulls"`
+	Peers         []PeerSyncStats `json:"peers,omitempty"`
+}
+
+// TuningStats describes the feedback plane.
+type TuningStats struct {
+	Enabled bool   `json:"enabled"`
+	Applied uint64 `json:"applied"`
+	// Clamped counts records whose bounded adjustment left the tuned
+	// estimate more than max(1, 1% of observed) away from the observed
+	// count — feedback the tuner could not fully absorb.
+	Clamped uint64 `json:"clamped"`
+}
+
+// IngestStats describes the ingest batch-size distribution.
+type IngestStats struct {
+	Batches uint64 `json:"batches"`
+	// Values is the total number of values ingested across batches.
+	Values   float64 `json:"values"`
+	BatchP50 float64 `json:"batch_p50"`
+	BatchP90 float64 `json:"batch_p90"`
+	BatchP99 float64 `json:"batch_p99"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	SiteID        string                   `json:"site_id,omitempty"`
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Histograms    int                      `json:"histograms"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Cache         CacheStats               `json:"cache"`
+	WAL           WALStats                 `json:"wal"`
+	AntiEntropy   AntiEntropyStats         `json:"anti_entropy"`
+	Tuning        TuningStats              `json:"tuning"`
+	Ingest        IngestStats              `json:"ingest"`
 }
 
 // SiteCatalogResponse is the body of GET /v1/sites/catalog: the serving
